@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation 3 (DESIGN.md §5): the §8.1 countermeasures.
+ *
+ *  - Clustered multiple-row activation: replaying the double-sided
+ *    SiMRA experiment with the clustered decoder geometry shows the
+ *    sandwiched-victim channel disappears (only edge victims remain).
+ *  - Compute-region separation: sweeps the per-op refresh interval
+ *    and reports the worst-case SiMRA exposure against the lowest
+ *    observed SiMRA HC_first (26).
+ */
+
+#include "common.h"
+#include "mitigation/countermeasures.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("countermeasure ablations", "paper §8.1");
+
+    // --- clustered activation removes double-sided SiMRA --------------
+    {
+        Table table({"N", "bit-combination group", "clustered group",
+                     "sandwiched victims (combi)", "(clustered)"});
+        dram::SimraDecoder decoder(512);
+        for (int n : {2, 4, 8, 16}) {
+            const dram::RowId r1 = 100;
+            dram::RowId mask = 0;
+            for (int b = 1; (1 << b) <= n; ++b)
+                mask |= dram::RowId(1) << b;
+            const auto combi = decoder.activatedSet(r1, r1 ^ mask);
+            const auto clustered =
+                mitigation::clusteredActivationSet(r1, n, 512);
+
+            auto sandwiched = [](const std::vector<dram::RowId> &g) {
+                int s = 0;
+                for (std::size_t i = 0; i + 1 < g.size(); ++i)
+                    s += g[i + 1] - g[i] == 2;
+                return s;
+            };
+            char span_a[48], span_b[48];
+            std::snprintf(span_a, sizeof(span_a), "%u..%u (%zu rows)",
+                          combi.front(), combi.back(), combi.size());
+            std::snprintf(span_b, sizeof(span_b), "%u..%u (%zu rows)",
+                          clustered.front(), clustered.back(),
+                          clustered.size());
+            table.addRow({Table::count(n), span_a, span_b,
+                          Table::count(sandwiched(combi)),
+                          Table::count(sandwiched(clustered))});
+        }
+        std::printf("\n[clustered multiple-row activation]\n");
+        table.print();
+    }
+
+    // --- compute-region refresh interval sweep -------------------------
+    {
+        std::printf("\n[compute-region separation]\n");
+        Table table({"compute rows", "refresh every N ops",
+                     "worst-case exposure (ops)",
+                     "below SiMRA HC_first=26?"});
+        for (dram::RowId rows : {8u, 16u, 32u}) {
+            for (int every : {1, 2, 20}) {
+                mitigation::ComputeRegionPolicy policy(512, rows,
+                                                       every);
+                const auto exposure =
+                    policy.maxOpsBetweenRefreshes();
+                table.addRow({Table::count(rows),
+                              Table::count(every),
+                              Table::count((long long)exposure),
+                              exposure < 26 ? "yes" : "NO"});
+            }
+        }
+        table.print();
+        std::printf("Paper sketch (refresh after ~20 SiMRA ops) only "
+                    "holds for small compute regions; the sweep "
+                    "quantifies the constraint.\n");
+    }
+
+    // --- storage-region residual risk: single-sided CoMRA --------------
+    {
+        std::printf("\n[storage-region residual: single-sided CoMRA "
+                    "reduction vs RowHammer]\n");
+        const auto &family =
+            representative(dram::Manufacturer::SKHynix);
+        ModuleTester::Options opt;
+        opt.searchWcdp = true;
+        opt.search.maxHammers = 2000000;
+        auto series = measurePopulation(
+            populationFor(family, scale),
+            {[&](ModuleTester &t, dram::RowId v) {
+                 return t.rhSingle(v, opt);
+             },
+             [&](ModuleTester &t, dram::RowId v) {
+                 return t.comraSingle(v, opt);
+             },
+             [&](ModuleTester &t, dram::RowId v) {
+                 return t.farDouble(v, opt);
+             }});
+        series = hammer::dropIncomplete(series);
+        std::vector<double> vs_ss, vs_far;
+        for (std::size_t k = 0; k < series[0].size(); ++k) {
+            vs_ss.push_back(series[0][k] / series[1][k]);
+            vs_far.push_back(series[2][k] / series[1][k]);
+        }
+        std::printf("ss-CoMRA vs ss-RowHammer: %.3fx; vs the far "
+                    "double-sided access pattern it adds only "
+                    "%.1f%%\n -> RowHammer mitigations for the "
+                    "storage region need only a small threshold "
+                    "margin (paper: <2%% vs Fig. 7's far pattern).\n",
+                    stats::geomean(vs_ss),
+                    100.0 * (stats::geomean(vs_far) - 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation 1 (DESIGN.md §5): the executor's loop fast-path.  Uses
+ * google-benchmark to measure HC_first-probe throughput with the
+ * fast-path enabled vs naive per-iteration execution, and reports the
+ * infrastructure's raw command rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bender/host.h"
+#include "hammer/patterns.h"
+
+namespace {
+
+using namespace pud;
+
+dram::DeviceConfig
+benchConfig()
+{
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", 1);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 128;
+    cfg.cols = 512;
+    return cfg;
+}
+
+void
+BM_HammerProbe(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const auto hammers = static_cast<std::uint64_t>(state.range(1));
+
+    bender::TestBench bench(benchConfig());
+    bench.executor().setFastPath(fast);
+    dram::Device &dev = bench.device();
+    const dram::RowData aggr(512, dram::DataPattern::P55);
+    const dram::RowData vict(512, dram::DataPattern::PAA);
+
+    hammer::PatternTimings t;
+    const auto program = hammer::doubleSidedRowHammer(
+        0, dev.toLogical(32), dev.toLogical(34), hammers, t);
+
+    for (auto _ : state) {
+        bench.writeRow(0, dev.toLogical(32), aggr);
+        bench.writeRow(0, dev.toLogical(34), aggr);
+        bench.writeRow(0, dev.toLogical(33), vict);
+        bench.run(program);
+        benchmark::DoNotOptimize(
+            bench.countBitflips(0, dev.toLogical(33), vict));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(hammers));
+}
+
+void
+BM_RawCommandRate(benchmark::State &state)
+{
+    bender::TestBench bench(benchConfig());
+    bench.executor().setFastPath(false);
+    dram::Device &dev = bench.device();
+
+    hammer::PatternTimings t;
+    const auto program = hammer::comraHammer(
+        0, dev.toLogical(16), dev.toLogical(20), 256, t);
+
+    for (auto _ : state)
+        bench.run(program);
+    // 4 commands per copy cycle.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256 * 4);
+}
+
+} // namespace
+
+// {fast-path?, hammer count}
+BENCHMARK(BM_HammerProbe)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({1, 700000});
+
+BENCHMARK(BM_RawCommandRate);
+
+BENCHMARK_MAIN();

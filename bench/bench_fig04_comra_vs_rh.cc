@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Fig. 4: the distribution of the change in HC_first under
+ * double-sided CoMRA vs double-sided RowHammer (left plot) and the
+ * lowest HC_first observed per manufacturer (right plot).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("double-sided CoMRA vs RowHammer", "paper Fig. 4, Obs. 1-2");
+
+    Table change_table({"mfr", "victims", "%lower", "%>50%red",
+                        "%>90%red", "median change%"});
+    Table lowest_table({"mfr", "lowest RH", "lowest CoMRA",
+                        "reduction x", "paper x"});
+
+    for (auto mfr : kAllMfrs) {
+        std::vector<double> rh_all, comra_all;
+        for (const auto &family : dram::table2Families()) {
+            if (family.mfr != mfr)
+                continue;
+            ModuleTester::Options opt;
+            opt.searchWcdp = true;
+            auto series = measurePopulation(
+                populationFor(family, scale),
+                {[&](ModuleTester &t, dram::RowId v) {
+                     return t.rhDouble(v, opt);
+                 },
+                 [&](ModuleTester &t, dram::RowId v) {
+                     return t.comraDouble(v, opt);
+                 }});
+            series = hammer::dropIncomplete(series);
+            rh_all.insert(rh_all.end(), series[0].begin(),
+                          series[0].end());
+            comra_all.insert(comra_all.end(), series[1].begin(),
+                             series[1].end());
+        }
+
+        const auto change = stats::changeCurve(rh_all, comra_all);
+        change_table.addRow(
+            {name(mfr), Table::count((long long)change.size()),
+             Table::num(100.0 * stats::fractionBelow(change, 0.0), 1),
+             Table::num(100.0 * stats::fractionBelow(change, -50.0), 1),
+             Table::num(100.0 * stats::fractionBelow(change, -90.0), 1),
+             Table::num(stats::quantileSorted(
+                            [&] {
+                                auto c = change;
+                                std::sort(c.begin(), c.end());
+                                return c;
+                            }(),
+                            0.5),
+                        1)});
+
+        const double rh_min = stats::boxStats(rh_all).min;
+        const double comra_min = stats::boxStats(comra_all).min;
+        // Paper's lowest-HC_first reductions per manufacturer (Obs. 1).
+        const double paper_x =
+            mfr == dram::Manufacturer::SKHynix   ? 13.98
+            : mfr == dram::Manufacturer::Micron  ? 1.18
+            : mfr == dram::Manufacturer::Samsung ? 3.28
+                                                 : 1.58;
+        lowest_table.addRow({name(mfr), Table::num(rh_min, 0),
+                             Table::num(comra_min, 0),
+                             Table::num(rh_min / comra_min, 2),
+                             Table::num(paper_x, 2)});
+    }
+
+    std::printf("\n[left] HC_first change distribution "
+                "(CoMRA vs RowHammer):\n");
+    change_table.print();
+    std::printf("\n[right] lowest observed HC_first:\n");
+    lowest_table.print();
+    return 0;
+}

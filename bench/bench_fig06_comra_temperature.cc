@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 6: HC_first distribution of double-sided CoMRA at
+ * 50/60/70/80C per manufacturer.
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("CoMRA temperature sweep", "paper Fig. 6, Obs. 4");
+
+    for (auto mfr : kAllMfrs) {
+        const auto &family = representative(mfr);
+        Table table(boxHeader("temperature"));
+        double mean50 = 0, mean80 = 0;
+        for (double temp : {50.0, 60.0, 70.0, 80.0}) {
+            ModuleTester::Options opt;
+            opt.searchWcdp = true;
+            auto series = measurePopulation(
+                populationFor(family, scale),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    t.bench().thermo().setTarget(temp);
+                    return t.comraDouble(v, opt);
+                }});
+            series = hammer::dropIncomplete(series);
+            char label[16];
+            std::snprintf(label, sizeof(label), "%.0fC", temp);
+            table.addRow(boxRow(label, series[0]));
+            const double mean = stats::boxStats(series[0]).mean;
+            if (temp == 50.0)
+                mean50 = mean;
+            if (temp == 80.0)
+                mean80 = mean;
+        }
+        std::printf("\n%s (%s):\n", name(mfr),
+                    family.moduleId.c_str());
+        table.print();
+        std::printf("mean HC_first 50C/80C ratio: %.2fx "
+                    "(paper trend: %s)\n",
+                    mean50 / mean80,
+                    mfr == dram::Manufacturer::Micron
+                        ? "inverted, ~1.14x the other way"
+                        : "hotter is worse");
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Fig. 7: single-sided CoMRA vs single-sided RowHammer vs
+ * far double-sided RowHammer (same access pattern as single-sided
+ * CoMRA but with a nominal tRP).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("single-sided CoMRA vs RowHammer",
+           "paper Fig. 7, Obs. 5");
+
+    for (auto mfr : kAllMfrs) {
+        const auto &family = representative(mfr);
+        ModuleTester::Options opt;
+        opt.searchWcdp = true;
+        opt.search.maxHammers = 2000000;  // single-sided needs more
+
+        auto series = measurePopulation(
+            populationFor(family, scale),
+            {[&](ModuleTester &t, dram::RowId v) {
+                 return t.comraSingle(v, opt);
+             },
+             [&](ModuleTester &t, dram::RowId v) {
+                 return t.rhSingle(v, opt);
+             },
+             [&](ModuleTester &t, dram::RowId v) {
+                 return t.farDouble(v, opt);
+             }});
+        series = hammer::dropIncomplete(series);
+
+        Table table(boxHeader("technique"));
+        table.addRow(boxRow("single-sided CoMRA", series[0]));
+        table.addRow(boxRow("single-sided RowHammer", series[1]));
+        table.addRow(boxRow("far double-sided RowHammer", series[2]));
+        std::printf("\n%s (%s):\n", name(mfr),
+                    family.moduleId.c_str());
+        table.print();
+
+        const double co = stats::boxStats(series[0]).min;
+        const double ss = stats::boxStats(series[1]).min;
+        const double fd = stats::boxStats(series[2]).min;
+        std::printf("lowest HC_first: ss-CoMRA %.0f is %.2fx lower "
+                    "than ss-RH and %.2fx vs far-ds-RH "
+                    "(paper, SK Hynix: 1.42x and 1.02x)\n",
+                    co, ss / co, fd / co);
+    }
+    return 0;
+}

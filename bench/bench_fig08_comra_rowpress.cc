@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Fig. 8: double-sided CoMRA vs RowHammer/RowPress across
+ * t_AggOn values (36ns, 144ns, 7.8us, 70.2us), including the Obs. 7
+ * crossover where RowPress overtakes CoMRA at t_AggOn = tREFI and
+ * CoMRA wins again at 9x tREFI.
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("CoMRA vs RowPress t_AggOn sweep",
+           "paper Fig. 8, Obs. 6-7");
+
+    const double t_on_ns[] = {36.0, 144.0, 7800.0, 70200.0};
+
+    for (auto mfr : kAllMfrs) {
+        const auto &family = representative(mfr);
+        Table table(boxHeader("technique @ t_AggOn"));
+        double comra_mean[4] = {}, press_mean[4] = {};
+        for (int i = 0; i < 4; ++i) {
+            ModuleTester::Options opt;
+            opt.searchWcdp = true;
+            opt.timings.tAggOn = units::fromNs(t_on_ns[i]);
+            auto series = measurePopulation(
+                populationFor(family, scale),
+                {[&](ModuleTester &t, dram::RowId v) {
+                     return t.comraDouble(v, opt);
+                 },
+                 [&](ModuleTester &t, dram::RowId v) {
+                     return t.rhDouble(v, opt);  // RowPress when held
+                 }});
+            series = hammer::dropIncomplete(series);
+            char label[48];
+            std::snprintf(label, sizeof(label), "CoMRA @ %gns",
+                          t_on_ns[i]);
+            table.addRow(boxRow(label, series[0]));
+            std::snprintf(label, sizeof(label), "RowPress @ %gns",
+                          t_on_ns[i]);
+            table.addRow(boxRow(label, series[1]));
+            comra_mean[i] = stats::boxStats(series[0]).mean;
+            press_mean[i] = stats::boxStats(series[1]).mean;
+        }
+        std::printf("\n%s (%s):\n", name(mfr),
+                    family.moduleId.c_str());
+        table.print();
+        std::printf("CoMRA mean reduction 36ns -> 70.2us: %.1fx "
+                    "(paper, Micron: 78.74x); RowPress: %.1fx "
+                    "(paper: 31.15x)\n",
+                    comra_mean[0] / comra_mean[3],
+                    press_mean[0] / press_mean[3]);
+        std::printf("winner by mean HC_first: 144ns: %s, 7.8us: %s, "
+                    "70.2us: %s (paper: CoMRA, RowPress, CoMRA)\n",
+                    comra_mean[1] < press_mean[1] ? "CoMRA" : "RowPress",
+                    comra_mean[2] < press_mean[2] ? "CoMRA" : "RowPress",
+                    comra_mean[3] < press_mean[3] ? "CoMRA"
+                                                  : "RowPress");
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Fig. 9: double-sided CoMRA HC_first for violated
+ * PRE -> ACT dst gaps of 7.5 / 9 / 10.5 / 12 ns.
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("CoMRA PRE->ACT delay sweep", "paper Fig. 9, Obs. 8");
+
+    for (auto mfr : kAllMfrs) {
+        const auto &family = representative(mfr);
+        Table table(boxHeader("PRE->ACT gap"));
+        double first_mean = 0, last_mean = 0;
+        for (double gap_ns : {7.5, 9.0, 10.5, 12.0}) {
+            ModuleTester::Options opt;
+            opt.searchWcdp = true;
+            opt.timings.comraPreToAct = units::fromNs(gap_ns);
+            auto series = measurePopulation(
+                populationFor(family, scale),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    return t.comraDouble(v, opt);
+                }});
+            series = hammer::dropIncomplete(series);
+            char label[16];
+            std::snprintf(label, sizeof(label), "%.1fns", gap_ns);
+            table.addRow(boxRow(label, series[0]));
+            const double mean = stats::boxStats(series[0]).mean;
+            if (gap_ns == 7.5)
+                first_mean = mean;
+            if (gap_ns == 12.0)
+                last_mean = mean;
+        }
+        std::printf("\n%s (%s):\n", name(mfr),
+                    family.moduleId.c_str());
+        table.print();
+        const double paper =
+            mfr == dram::Manufacturer::SKHynix   ? 3.10
+            : mfr == dram::Manufacturer::Micron  ? 1.18
+            : mfr == dram::Manufacturer::Samsung ? 1.17
+                                                 : 3.01;
+        std::printf("mean HC_first increase 7.5ns -> 12ns: %.2fx "
+                    "(paper: %.2fx)\n",
+                    last_mean / first_mean, paper);
+    }
+    return 0;
+}

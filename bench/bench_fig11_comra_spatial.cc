@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 11: double-sided CoMRA HC_first by victim-row
+ * location in the subarray (five regions).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("CoMRA spatial variation", "paper Fig. 11, Obs. 10-11");
+
+    for (auto mfr : kAllMfrs) {
+        const auto &family = representative(mfr);
+        ModuleTester::Options opt;
+        opt.searchWcdp = true;
+
+        // Collect HC_first together with each victim's region.
+        std::vector<double> by_region[dram::kNumRegions];
+        dram::DeviceConfig cfg =
+            dram::makeConfig(family.moduleId, scale.seed);
+        cfg.rowsPerSubarray = scale.rowsPerSubarray;
+        ModuleTester tester(cfg);
+        const auto &model = tester.device().disturbModel();
+        for (dram::RowId v : tester.sampleVictims(scale.victims * 2)) {
+            const auto hc = tester.comraDouble(v, opt);
+            if (hc == kNoFlip)
+                continue;
+            by_region[static_cast<int>(model.regionOf(v))].push_back(
+                static_cast<double>(hc));
+        }
+
+        Table table(boxHeader("region"));
+        double lo_mean = 1e18, hi_mean = 0;
+        for (int r = 0; r < dram::kNumRegions; ++r) {
+            table.addRow(boxRow(
+                dram::name(static_cast<dram::Region>(r)),
+                by_region[r]));
+            const double mean = stats::boxStats(by_region[r]).mean;
+            if (mean > 0) {
+                lo_mean = std::min(lo_mean, mean);
+                hi_mean = std::max(hi_mean, mean);
+            }
+        }
+        std::printf("\n%s (%s):\n", name(mfr),
+                    family.moduleId.c_str());
+        table.print();
+        const double paper =
+            mfr == dram::Manufacturer::SKHynix   ? 1.40
+            : mfr == dram::Manufacturer::Micron  ? 2.25
+            : mfr == dram::Manufacturer::Samsung ? 2.57
+                                                 : 1.04;
+        std::printf("max/min mean HC_first across regions: %.2fx "
+                    "(paper: %.2fx)\n",
+                    hi_mean / lo_mean, paper);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 14: double-sided SiMRA HC_first per aggressor data
+ * pattern and N, showing the strong directionality effect (Obs.
+ * 13-14: the dominant SiMRA flip direction is 1 -> 0, so the all-ones
+ * victim / all-zeros aggressor pattern is by far the most effective).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("SiMRA data-pattern sweep", "paper Fig. 14, Obs. 13-14");
+
+    const auto &family = representative(dram::Manufacturer::SKHynix);
+
+    for (int n : {2, 4, 8, 16}) {
+        Table table(boxHeader("aggressor pattern"));
+        double best_mean = 1e18, worst_mean = 0;
+        std::size_t noflip_total = 0;
+        for (dram::DataPattern pattern : dram::kAllPatterns) {
+            ModuleTester::Options opt;
+            opt.pattern = pattern;
+            const auto series = measurePopulation(
+                populationFor(family, scale, /*odd_only=*/true),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    return t.simraDouble(v, n, opt);
+                }});
+            std::vector<double> finite;
+            std::size_t noflip = 0;
+            for (double x : series[0]) {
+                if (std::isnan(x))
+                    ++noflip;
+                else
+                    finite.push_back(x);
+            }
+            noflip_total += noflip;
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s (noflip %zu)",
+                          dram::name(pattern), noflip);
+            table.addRow(boxRow(label, finite));
+            const double mean = stats::boxStats(finite).mean;
+            if (mean > 0) {
+                best_mean = std::min(best_mean, mean);
+                worst_mean = std::max(worst_mean, mean);
+            }
+        }
+        std::printf("\nSiMRA-%d (%s):\n", n, family.moduleId.c_str());
+        table.print();
+        std::printf("mean HC_first worst/best pattern ratio: %.1fx "
+                    "(paper: up to 57.80x; victim 0x00 rows often "
+                    "never flip)\n",
+                    worst_mean / best_mean);
+    }
+    return 0;
+}

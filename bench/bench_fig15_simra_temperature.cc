@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 15: double-sided SiMRA HC_first at 50/60/70/80C
+ * per number of simultaneously activated rows.
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("SiMRA temperature sweep", "paper Fig. 15, Obs. 15");
+
+    const auto &family = representative(dram::Manufacturer::SKHynix);
+    const double paper_ratio[4] = {3.24, 3.10, 3.02, 3.26};
+    const int ns[4] = {2, 4, 8, 16};
+
+    for (int i = 0; i < 4; ++i) {
+        const int n = ns[i];
+        Table table(boxHeader("temperature"));
+        double mean50 = 0, mean80 = 0;
+        for (double temp : {50.0, 60.0, 70.0, 80.0}) {
+            ModuleTester::Options opt;
+            opt.pattern = dram::DataPattern::P00;
+            auto series = measurePopulation(
+                populationFor(family, scale, /*odd_only=*/true),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    t.bench().thermo().setTarget(temp);
+                    return t.simraDouble(v, n, opt);
+                }});
+            series = hammer::dropIncomplete(series);
+            char label[16];
+            std::snprintf(label, sizeof(label), "%.0fC", temp);
+            table.addRow(boxRow(label, series[0]));
+            const double mean = stats::boxStats(series[0]).mean;
+            if (temp == 50.0)
+                mean50 = mean;
+            if (temp == 80.0)
+                mean80 = mean;
+        }
+        std::printf("\nSiMRA-%d:\n", n);
+        table.print();
+        std::printf("mean HC_first decrease 50C -> 80C: %.2fx "
+                    "(paper: %.2fx)\n",
+                    mean50 / mean80, paper_ratio[i]);
+    }
+    return 0;
+}

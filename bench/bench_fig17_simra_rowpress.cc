@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 17: double-sided SiMRA vs RowPress across t_AggOn
+ * values (the open time after the ACT-PRE-ACT group activation).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("SiMRA vs RowPress t_AggOn sweep",
+           "paper Fig. 17, Obs. 18");
+
+    const auto &family = representative(dram::Manufacturer::SKHynix);
+    const double t_on_ns[4] = {36.0, 144.0, 7800.0, 70200.0};
+
+    for (int n : {2, 4, 8, 16}) {
+        Table table(boxHeader("t_AggOn"));
+        double first_mean = 0, last_mean = 0;
+        for (int i = 0; i < 4; ++i) {
+            ModuleTester::Options opt;
+            opt.pattern = dram::DataPattern::P00;
+            opt.timings.tAggOn = units::fromNs(t_on_ns[i]);
+            auto series = measurePopulation(
+                populationFor(family, scale, /*odd_only=*/true),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    return t.simraDouble(v, n, opt);
+                }});
+            series = hammer::dropIncomplete(series);
+            char label[24];
+            std::snprintf(label, sizeof(label), "%gns", t_on_ns[i]);
+            table.addRow(boxRow(label, series[0]));
+            const double mean = stats::boxStats(series[0]).mean;
+            if (i == 0)
+                first_mean = mean;
+            if (i == 3)
+                last_mean = mean;
+        }
+        std::printf("\nSiMRA-%d:\n", n);
+        table.print();
+        std::printf("mean HC_first decrease 36ns -> 70.2us: %.1fx "
+                    "(paper: 144.93x - 270.27x across N)\n",
+                    first_mean / last_mean);
+    }
+    return 0;
+}

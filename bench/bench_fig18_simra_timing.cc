@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 18: double-sided SiMRA HC_first across violated
+ * ACT -> PRE and PRE -> ACT gaps (1.5 / 3 / 4.5 ns grids).
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("SiMRA ACT-PRE-ACT timing sweep",
+           "paper Fig. 18, Obs. 19-20");
+
+    const auto &family = representative(dram::Manufacturer::SKHynix);
+    const int n = static_cast<int>(args.getInt("n", 16));
+
+    Table table(boxHeader("ACT->PRE / PRE->ACT"));
+    double mean[3][3] = {};
+    const double gaps[3] = {1.5, 3.0, 4.5};
+    for (int a = 0; a < 3; ++a) {
+        for (int p = 0; p < 3; ++p) {
+            ModuleTester::Options opt;
+            opt.pattern = dram::DataPattern::P00;
+            opt.timings.simraActToPre = units::fromNs(gaps[a]);
+            opt.timings.simraPreToAct = units::fromNs(gaps[p]);
+            auto series = measurePopulation(
+                populationFor(family, scale, /*odd_only=*/true),
+                {[&](ModuleTester &t, dram::RowId v) {
+                    return t.simraDouble(v, n, opt);
+                }});
+            series = hammer::dropIncomplete(series);
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.1fns / %.1fns",
+                          gaps[a], gaps[p]);
+            table.addRow(boxRow(label, series[0]));
+            mean[a][p] = stats::boxStats(series[0]).mean;
+        }
+    }
+    std::printf("SiMRA-%d (%s):\n", n, family.moduleId.c_str());
+    table.print();
+    std::printf("\nACT->PRE 1.5ns vs 3ns (partial activation): "
+                "%.2fx higher mean HC_first (paper: 2.28x)\n",
+                mean[0][1] / mean[1][1]);
+    std::printf("PRE->ACT 1.5ns -> 4.5ns at ACT->PRE 3ns: %.2fx "
+                "lower mean HC_first (paper: 1.23x)\n",
+                mean[1][0] / mean[1][2]);
+    return 0;
+}

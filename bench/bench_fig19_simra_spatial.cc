@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 19: double-sided SiMRA HC_first by victim-row
+ * subarray region, per number of simultaneously activated rows.
+ */
+
+#include "common.h"
+
+using namespace pud;
+using namespace pud::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    const Scale scale = Scale::parse(args);
+    banner("SiMRA spatial variation", "paper Fig. 19, Obs. 21");
+
+    const auto &family = representative(dram::Manufacturer::SKHynix);
+    dram::DeviceConfig cfg =
+        dram::makeConfig(family.moduleId, scale.seed);
+    cfg.rowsPerSubarray = scale.rowsPerSubarray;
+
+    for (int n : {2, 4, 8, 16}) {
+        ModuleTester tester(cfg);
+        const auto &model = tester.device().disturbModel();
+        ModuleTester::Options opt;
+        opt.pattern = dram::DataPattern::P00;
+
+        std::vector<double> by_region[dram::kNumRegions];
+        for (dram::RowId v :
+             tester.sampleVictims(scale.victims * 2, true)) {
+            const auto hc = tester.simraDouble(v, n, opt);
+            if (hc == kNoFlip)
+                continue;
+            by_region[static_cast<int>(model.regionOf(v))].push_back(
+                static_cast<double>(hc));
+        }
+
+        Table table(boxHeader("region"));
+        int lowest_region = 0, highest_region = 0;
+        double lo = 1e18, hi = 0;
+        for (int r = 0; r < dram::kNumRegions; ++r) {
+            table.addRow(boxRow(
+                dram::name(static_cast<dram::Region>(r)),
+                by_region[r]));
+            const double mean = stats::boxStats(by_region[r]).mean;
+            if (mean > 0 && mean < lo) {
+                lo = mean;
+                lowest_region = r;
+            }
+            if (mean > hi) {
+                hi = mean;
+                highest_region = r;
+            }
+        }
+        std::printf("\nSiMRA-%d:\n", n);
+        table.print();
+        std::printf("highest mean HC_first region: %s; lowest: %s "
+                    "(paper: N=4 highest at Beginning, N=8 highest "
+                    "at End)\n",
+                    dram::name(static_cast<dram::Region>(
+                        highest_region)),
+                    dram::name(static_cast<dram::Region>(
+                        lowest_region)));
+    }
+    return 0;
+}

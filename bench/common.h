@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared scaffolding for the bench binaries that regenerate the
+ * paper's tables and figures.
+ *
+ * Every bench accepts the same scale knobs so users can trade runtime
+ * for population size:
+ *   --victims=N   victims sampled per subarray (default 8)
+ *   --modules=N   cap on module instances per family (default 2)
+ *   --rows=N      rows per subarray (default 128, power of two)
+ *   --seed=N      master seed (default 1)
+ *   --fast        minimal population for smoke runs
+ *   --full        paper-scale population (slow)
+ */
+
+#ifndef PUD_BENCH_COMMON_H
+#define PUD_BENCH_COMMON_H
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hammer/experiment.h"
+#include "stats/summary.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace pud::bench {
+
+using hammer::kNoFlip;
+using hammer::MeasureFn;
+using hammer::ModuleTester;
+using hammer::PopulationConfig;
+
+/** Scale knobs common to all benches. */
+struct Scale
+{
+    dram::RowId victims = 8;
+    int modulesCap = 2;
+    dram::RowId rowsPerSubarray = 128;
+    std::uint64_t seed = 1;
+
+    static Scale
+    parse(const Args &args)
+    {
+        Scale s;
+        if (args.has("fast")) {
+            s.victims = 4;
+            s.modulesCap = 1;
+        }
+        if (args.has("full")) {
+            s.victims = 1024;  // clamped to the subarray interior
+            s.modulesCap = 64;  // clamped to Table 2 module counts
+            s.rowsPerSubarray = 512;
+        }
+        s.victims = static_cast<dram::RowId>(
+            args.getInt("victims", static_cast<long>(s.victims)));
+        s.modulesCap = static_cast<int>(
+            args.getInt("modules", s.modulesCap));
+        s.rowsPerSubarray = static_cast<dram::RowId>(
+            args.getInt("rows", static_cast<long>(s.rowsPerSubarray)));
+        s.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+        return s;
+    }
+};
+
+/** Population config for one Table 2 family under the scale knobs. */
+inline PopulationConfig
+populationFor(const dram::FamilyProfile &family, const Scale &scale,
+              bool odd_only = false)
+{
+    PopulationConfig cfg;
+    cfg.moduleId = family.moduleId;
+    cfg.modules = std::min(family.numModules, scale.modulesCap);
+    cfg.victimsPerSubarray = scale.victims;
+    cfg.oddOnly = odd_only;
+    cfg.seed = scale.seed;
+    cfg.rowsPerSubarray = scale.rowsPerSubarray;
+    return cfg;
+}
+
+/**
+ * The representative family per manufacturer used for the detailed
+ * per-figure sweeps (the paper's SiMRA sections use the SK Hynix
+ * 8Gb A-die module, which is also the TRR experiment's DUT).
+ */
+inline const dram::FamilyProfile &
+representative(dram::Manufacturer mfr)
+{
+    switch (mfr) {
+      case dram::Manufacturer::SKHynix:
+        return dram::findFamily("HMA81GU7AFR8N-UH");
+      case dram::Manufacturer::Micron:
+        return dram::findFamily("MTA18ASF4G72HZ-3G2F1");
+      case dram::Manufacturer::Samsung:
+        return dram::findFamily("M391A2G43BB2-CWE");
+      case dram::Manufacturer::Nanya:
+        return dram::findFamily("KVR24N17S8/8");
+    }
+    return dram::table2Families().front();
+}
+
+constexpr dram::Manufacturer kAllMfrs[] = {
+    dram::Manufacturer::SKHynix,
+    dram::Manufacturer::Micron,
+    dram::Manufacturer::Samsung,
+    dram::Manufacturer::Nanya,
+};
+
+/** Render a BoxStats sample set as a table row. */
+inline std::vector<std::string>
+boxRow(const std::string &label, const std::vector<double> &samples)
+{
+    const auto bs = stats::boxStats(samples);
+    return {label,
+            Table::count(static_cast<long long>(bs.count)),
+            Table::num(bs.min, 0),
+            Table::num(bs.q1, 0),
+            Table::num(bs.median, 0),
+            Table::num(bs.q3, 0),
+            Table::num(bs.max, 0),
+            Table::num(bs.mean, 1)};
+}
+
+inline std::vector<std::string>
+boxHeader(const std::string &first)
+{
+    return {first, "n", "min", "q1", "median", "q3", "max", "mean"};
+}
+
+/** Standard header line for a bench. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("=== PuDHammer reproduction: %s (%s) ===\n", what,
+                paper_ref);
+}
+
+} // namespace pud::bench
+
+#endif // PUD_BENCH_COMMON_H

@@ -1,0 +1,162 @@
+#include "bender/executor.h"
+
+#include "util/logging.h"
+
+namespace pud::bender {
+
+std::size_t
+Executor::matchEnd(const Program &program, std::size_t begin_index)
+{
+    const auto &insts = program.insts();
+    int depth = 0;
+    for (std::size_t i = begin_index; i < insts.size(); ++i) {
+        if (insts[i].op == Op::LoopBegin)
+            ++depth;
+        else if (insts[i].op == Op::LoopEnd && --depth == 0)
+            return i;
+    }
+    fatal("Executor: unbalanced loop at instruction %zu", begin_index);
+}
+
+bool
+Executor::bodyEligible(const Program &program, std::size_t begin,
+                       std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const Op op = program.insts()[i].op;
+        if (op == Op::Ref || op == Op::Rd || op == Op::LoopBegin ||
+            op == Op::LoopEnd) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Time
+Executor::bodyDuration(const Program &program, std::size_t begin,
+                       std::size_t end)
+{
+    Time d = 0;
+    for (std::size_t i = begin; i < end; ++i)
+        d += program.insts()[i].gap;
+    return d;
+}
+
+void
+Executor::execOne(const Program &program, const Inst &inst, Time &cursor,
+                  ExecResult &result)
+{
+    cursor += inst.gap;
+    switch (inst.op) {
+      case Op::Act:
+        device_->act(cursor, inst.bank, inst.row);
+        break;
+      case Op::Pre:
+        device_->pre(cursor, inst.bank);
+        break;
+      case Op::PreAll:
+        device_->preAll(cursor);
+        break;
+      case Op::Rd:
+        result.reads.push_back(device_->rd(cursor, inst.bank));
+        break;
+      case Op::Wr:
+        if (inst.dataIndex < 0 ||
+            inst.dataIndex >=
+                static_cast<int>(program.dataTable().size())) {
+            fatal("Executor: Wr with invalid data index %d",
+                  inst.dataIndex);
+        }
+        device_->wr(cursor, inst.bank,
+                    program.dataTable()[inst.dataIndex]);
+        break;
+      case Op::Ref:
+        device_->ref(cursor);
+        break;
+      case Op::Nop:
+        break;
+      case Op::LoopBegin:
+      case Op::LoopEnd:
+        panic("Executor: loop marker reached execOne");
+    }
+}
+
+std::size_t
+Executor::execRange(const Program &program, std::size_t begin,
+                    std::size_t end, Time &cursor, ExecResult &result)
+{
+    const auto &insts = program.insts();
+    std::size_t i = begin;
+    while (i < end) {
+        const Inst &inst = insts[i];
+        if (inst.op == Op::LoopEnd) {
+            panic("Executor: stray LoopEnd at %zu", i);
+        } else if (inst.op == Op::LoopBegin) {
+            const std::size_t close = matchEnd(program, i);
+            const std::size_t body_begin = i + 1;
+            const std::uint64_t n = inst.count;
+
+            const bool use_fast =
+                fastPath_ && n >= kFastPathThreshold &&
+                bodyEligible(program, body_begin, close);
+
+            if (use_fast) {
+                const Time loop_start = cursor;
+
+                // Two warm-up iterations reach steady state (CoMRA
+                // copies settle, side-alternation state stabilizes).
+                for (int w = 0; w < 2; ++w)
+                    for (std::size_t k = body_begin; k < close; ++k)
+                        execOne(program, insts[k], cursor, result);
+
+                // One recorded steady-state iteration.
+                device_->beginRecording();
+                for (std::size_t k = body_begin; k < close; ++k)
+                    execOne(program, insts[k], cursor, result);
+                const dram::DamageRecord record =
+                    device_->endRecording();
+
+                // Replay the remaining trip count arithmetically, and
+                // shift loop-era timestamps so commands after the loop
+                // see the state of the virtual final iteration.
+                const std::uint64_t remaining = n - 3;
+                device_->replayRecord(record, remaining);
+                const Time skipped =
+                    static_cast<Time>(remaining) *
+                    bodyDuration(program, body_begin, close);
+                device_->shiftLoopTimestamps(loop_start, skipped);
+                cursor += skipped;
+                result.fastPathIterations += remaining;
+            } else {
+                for (std::uint64_t it = 0; it < n; ++it) {
+                    Time c = cursor;
+                    execRange(program, body_begin, close, c, result);
+                    cursor = c;
+                }
+            }
+            i = close + 1;
+        } else {
+            execOne(program, inst, cursor, result);
+            ++i;
+        }
+    }
+    return i;
+}
+
+ExecResult
+Executor::run(const Program &program)
+{
+    if (!program.balanced())
+        fatal("Executor: program has unbalanced loops");
+
+    ExecResult result;
+    // Leave a bus-turnaround gap after whatever ran before.
+    Time cursor = device_->now() + units::fromNs(100);
+    result.startTime = cursor;
+    execRange(program, 0, program.insts().size(), cursor, result);
+    device_->flush();
+    result.endTime = cursor;
+    return result;
+}
+
+} // namespace pud::bender

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Test-program representation for the DRAM Bender-like infrastructure.
+ *
+ * A Program is a straight-line sequence of timestamped DDR commands
+ * with (possibly nested) counted loops -- the same abstraction the
+ * real DRAM Bender exposes for crafting precisely-timed command
+ * sequences, including ones that deliberately violate nominal timing
+ * parameters.  Each instruction carries the gap (in ps) from the
+ * previous command's issue time, so a program fully determines the
+ * command schedule.
+ */
+
+#ifndef PUD_BENDER_PROGRAM_H
+#define PUD_BENDER_PROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/datapattern.h"
+#include "dram/types.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace pud::bender {
+
+using dram::BankId;
+using dram::RowId;
+using dram::RowData;
+
+/** Instruction opcodes. */
+enum class Op : std::uint8_t
+{
+    Act,        //!< activate (bank, row) after `gap`
+    Pre,        //!< precharge bank
+    PreAll,     //!< precharge all banks
+    Rd,         //!< read the open row; result collected by the executor
+    Wr,         //!< write the open row(s) from the program data table
+    Ref,        //!< refresh command
+    Nop,        //!< advance time only
+    LoopBegin,  //!< repeat up to the matching LoopEnd `count` times
+    LoopEnd,
+};
+
+/** One program instruction. */
+struct Inst
+{
+    Op op = Op::Nop;
+    Time gap = 0;              //!< time since the previous command issue
+    BankId bank = 0;
+    RowId row = 0;             //!< Act only (logical row address)
+    int dataIndex = -1;        //!< Wr only: index into the data table
+    std::uint64_t count = 0;   //!< LoopBegin only
+};
+
+/**
+ * A test program.  Built fluently:
+ *
+ *   Program p;
+ *   p.loopBegin(100000)
+ *        .act(0, src, tRP)
+ *        .pre(0, tRAS)
+ *        .act(0, dst, violated)   // CoMRA
+ *        .pre(0, tRAS)
+ *    .loopEnd();
+ */
+class Program
+{
+  public:
+    Program &
+    act(BankId bank, RowId row, Time gap)
+    {
+        insts_.push_back({Op::Act, gap, bank, row, -1, 0});
+        return *this;
+    }
+
+    Program &
+    pre(BankId bank, Time gap)
+    {
+        insts_.push_back({Op::Pre, gap, bank, 0, -1, 0});
+        return *this;
+    }
+
+    Program &
+    preAll(Time gap)
+    {
+        insts_.push_back({Op::PreAll, gap, 0, 0, -1, 0});
+        return *this;
+    }
+
+    Program &
+    rd(BankId bank, Time gap)
+    {
+        insts_.push_back({Op::Rd, gap, bank, 0, -1, 0});
+        return *this;
+    }
+
+    Program &
+    wr(BankId bank, int data_index, Time gap)
+    {
+        insts_.push_back({Op::Wr, gap, bank, 0, data_index, 0});
+        return *this;
+    }
+
+    Program &
+    ref(Time gap)
+    {
+        insts_.push_back({Op::Ref, gap, 0, 0, -1, 0});
+        return *this;
+    }
+
+    Program &
+    nop(Time gap)
+    {
+        insts_.push_back({Op::Nop, gap, 0, 0, -1, 0});
+        return *this;
+    }
+
+    Program &
+    loopBegin(std::uint64_t count)
+    {
+        insts_.push_back({Op::LoopBegin, 0, 0, 0, -1, count});
+        ++openLoops_;
+        return *this;
+    }
+
+    Program &
+    loopEnd()
+    {
+        if (openLoops_ == 0)
+            fatal("Program: loopEnd without loopBegin");
+        --openLoops_;
+        insts_.push_back({Op::LoopEnd, 0, 0, 0, -1, 0});
+        return *this;
+    }
+
+    /** Register a row image for Wr instructions; returns its index. */
+    int
+    addData(RowData data)
+    {
+        dataTable_.push_back(std::move(data));
+        return static_cast<int>(dataTable_.size()) - 1;
+    }
+
+    /** Patch the trip count of the loop opened by the i-th LoopBegin. */
+    void
+    setLoopCount(std::size_t loop_index, std::uint64_t count)
+    {
+        std::size_t seen = 0;
+        for (auto &inst : insts_) {
+            if (inst.op == Op::LoopBegin) {
+                if (seen == loop_index) {
+                    inst.count = count;
+                    return;
+                }
+                ++seen;
+            }
+        }
+        fatal("Program: no loop with index %zu", loop_index);
+    }
+
+    const std::vector<Inst> &insts() const { return insts_; }
+    const std::vector<RowData> &dataTable() const { return dataTable_; }
+    bool balanced() const { return openLoops_ == 0; }
+
+  private:
+    std::vector<Inst> insts_;
+    std::vector<RowData> dataTable_;
+    int openLoops_ = 0;
+};
+
+} // namespace pud::bender
+
+#endif // PUD_BENDER_PROGRAM_H

@@ -1,0 +1,446 @@
+#include "dram/config.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pud::dram {
+
+double
+inverseNormalCdf(double p)
+{
+    // Acklam's rational approximation, |relative error| < 1.15e-9.
+    if (p <= 0.0 || p >= 1.0)
+        panic("inverseNormalCdf: p=%f out of (0,1)", p);
+
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1.0);
+    }
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+namespace {
+
+/**
+ * Solve for the lognormal sigma of the base threshold distribution
+ * given the min/avg anchors and the tested population size.
+ *
+ * For X ~ LogNormal(median m, sigma s): mean = m * exp(s^2/2) and the
+ * expected minimum of M samples ~= m * exp(-z * s) with
+ * z = -Phi^-1(1/M).  Hence avg/min = exp(s^2/2 + z*s), a quadratic in
+ * s with the positive root below.
+ */
+double
+solveSigma(double avg, double min, double z)
+{
+    if (min <= 0 || avg <= min)
+        return 0.05;
+    const double target = std::log(avg / min);
+    const double s = -z + std::sqrt(z * z + 2.0 * target);
+    return std::max(0.02, s);
+}
+
+} // namespace
+
+CalibratedDistributions
+calibrate(const FamilyProfile &profile)
+{
+    CalibratedDistributions out;
+    const double M = out.population;
+    const double z = -inverseNormalCdf(1.0 / M);
+
+    // Base (RowHammer) threshold distribution.
+    out.rhSigma = solveSigma(profile.rhAvg, profile.rhMin, z);
+    out.rhMedian =
+        profile.rhAvg * std::exp(-0.5 * out.rhSigma * out.rhSigma);
+
+    // CoMRA gain factor F_c: HC_comra(row) = base(row) / F_c(row).
+    //   avg anchor: E[base/F] = rhAvg * exp(sf^2/2) / f_med
+    //   min anchor: min(base/F) ~= (rhMedian / f_med)
+    //                              * exp(-z * sqrt(s^2 + sf^2))
+    // Solve for sf by bisection with f_med eliminated via the avg
+    // equation.
+    {
+        const double avg_ratio =
+            std::max(1.01, profile.rhAvg / std::max(1.0, profile.comraAvg));
+        const double min_target = std::max(1.0, profile.comraMin);
+        auto min_given_sf = [&](double sf) {
+            const double f_med = avg_ratio * std::exp(0.5 * sf * sf);
+            const double spread =
+                std::sqrt(out.rhSigma * out.rhSigma + sf * sf);
+            return (out.rhMedian / f_med) * std::exp(-z * spread);
+        };
+        double lo = 0.02, hi = 2.5;
+        // min_given_sf is decreasing in sf; find sf hitting min_target.
+        if (min_given_sf(lo) <= min_target) {
+            out.comraFactorSigma = lo;
+        } else if (min_given_sf(hi) >= min_target) {
+            out.comraFactorSigma = hi;
+        } else {
+            for (int i = 0; i < 60; ++i) {
+                const double mid = 0.5 * (lo + hi);
+                if (min_given_sf(mid) > min_target)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            out.comraFactorSigma = 0.5 * (lo + hi);
+        }
+        out.comraFactorMedian =
+            avg_ratio *
+            std::exp(0.5 * out.comraFactorSigma * out.comraFactorSigma);
+    }
+
+    // SiMRA gain mixture.
+    if (profile.supportsSimra && profile.simraMin > 0) {
+        // Extreme tail median pinned so the population minimum lands on
+        // the simraMin anchor.
+        const double spread = std::sqrt(out.rhSigma * out.rhSigma +
+                                        out.simraExtremeSigma *
+                                            out.simraExtremeSigma);
+        // Only the extreme fraction of rows participates in the tail;
+        // effective population for the min is p_ext * M.
+        const double z_ext =
+            -inverseNormalCdf(1.0 / (out.simraExtremeFraction * M));
+        out.simraExtremeMedian = std::max(
+            2.0, out.rhMedian * std::exp(-z_ext * spread) / profile.simraMin);
+
+        // Regular component median from the avg anchor:
+        //   simraAvg ~= (1-p) * rhAvg * exp(sr^2/2) / f_reg
+        //             + p * rhAvg * exp(se^2/2) / f_ext
+        const double p = out.simraExtremeFraction;
+        const double ext_term = p * profile.rhAvg *
+                                std::exp(0.5 * out.simraExtremeSigma *
+                                         out.simraExtremeSigma) /
+                                out.simraExtremeMedian;
+        const double reg_avg_target =
+            std::max(profile.simraAvg - ext_term, 0.05 * profile.simraAvg);
+        out.simraRegularMedian = std::max(
+            1.2, (1.0 - p) * profile.rhAvg *
+                     std::exp(0.5 * out.simraRegularSigma *
+                              out.simraRegularSigma) /
+                     reg_avg_target);
+    }
+
+    return out;
+}
+
+const std::vector<FamilyProfile> &
+table2Families()
+{
+    static const std::vector<FamilyProfile> families = [] {
+        std::vector<FamilyProfile> v;
+
+        auto add = [&v](FamilyProfile p) { v.push_back(std::move(p)); };
+
+        // Spatial region gain templates per manufacturer (Fig. 11):
+        // SK Hynix: beginning rows most vulnerable, max/min 1.40x.
+        const std::array<double, 5> hynix_region{1.28, 1.02, 0.915, 0.96,
+                                                 1.00};
+        // Micron: strong beginning bias, max/min 2.25x.
+        const std::array<double, 5> micron_region{1.80, 1.28, 0.96, 0.80,
+                                                  1.00};
+        // Samsung: middle rows most vulnerable, max/min 2.57x.
+        const std::array<double, 5> samsung_region{0.62, 0.96, 1.59, 1.12,
+                                                   0.93};
+        // Nanya: nearly flat, max/min 1.04x.
+        const std::array<double, 5> nanya_region{1.02, 1.01, 0.99, 0.98,
+                                                 1.00};
+
+        const std::array<double, 5> hynix_simra_temp{3.24, 3.10, 3.02, 3.26,
+                                                     3.15};
+        const std::array<double, 5> no_simra_temp{1, 1, 1, 1, 1};
+
+        FamilyProfile p;
+
+        // --- SK Hynix ---------------------------------------------------
+        p = {};
+        p.moduleId = "75TT21NUS1R8-4";
+        p.mfr = Manufacturer::SKHynix;
+        p.numModules = 1;
+        p.numChips = 8;
+        p.density = "4Gb";
+        p.dieRev = "A";
+        p.org = "x8";
+        p.rhMin = 38450; p.rhAvg = 112000;
+        p.comraMin = 447; p.comraAvg = 5840;
+        p.simraMin = 585; p.simraAvg = 6620;
+        p.supportsSimra = true;
+        p.comraTempGain50To80 = 3.45;
+        p.simraTempGain50To80 = hynix_simra_temp;
+        p.comraRegionGain = hynix_region;
+        p.mapping = MappingScheme::XorFold;
+        add(p);
+
+        p = {};
+        p.moduleId = "HMA81GU7AFR8N-UH";
+        p.mfr = Manufacturer::SKHynix;
+        p.numModules = 8;
+        p.numChips = 64;
+        p.density = "8Gb";
+        p.dieRev = "A";
+        p.org = "x8";
+        p.rhMin = 25000; p.rhAvg = 63240;
+        p.comraMin = 1885; p.comraAvg = 45280;
+        p.simraMin = 26; p.simraAvg = 16140;
+        p.supportsSimra = true;
+        p.comraTempGain50To80 = 3.45;
+        p.simraTempGain50To80 = hynix_simra_temp;
+        p.comraRegionGain = hynix_region;
+        p.mapping = MappingScheme::XorFold;
+        add(p);
+
+        p = {};
+        p.moduleId = "KSM26ES8/16HC";
+        p.mfr = Manufacturer::SKHynix;
+        p.numModules = 2;
+        p.numChips = 16;
+        p.density = "16Gb";
+        p.dieRev = "C";
+        p.org = "x8";
+        p.rhMin = 6250; p.rhAvg = 17130;
+        p.comraMin = 4540; p.comraAvg = 12270;
+        p.simraMin = 48; p.simraAvg = 16020;
+        p.supportsSimra = true;
+        p.comraTempGain50To80 = 3.45;
+        p.simraTempGain50To80 = hynix_simra_temp;
+        p.comraRegionGain = hynix_region;
+        p.mapping = MappingScheme::XorFold;
+        add(p);
+
+        p = {};
+        p.moduleId = "HMA81GU7DJR8N-WM";
+        p.mfr = Manufacturer::SKHynix;
+        p.numModules = 6;
+        p.numChips = 48;
+        p.density = "8Gb";
+        p.dieRev = "D";
+        p.org = "x8";
+        p.rhMin = 7580; p.rhAvg = 23110;
+        p.comraMin = 632; p.comraAvg = 16420;
+        p.simraMin = 95; p.simraAvg = 22810;
+        p.supportsSimra = true;
+        p.comraTempGain50To80 = 3.45;
+        p.simraTempGain50To80 = hynix_simra_temp;
+        p.comraRegionGain = hynix_region;
+        p.mapping = MappingScheme::XorFold;
+        add(p);
+
+        // --- Micron -------------------------------------------------------
+        p = {};
+        p.moduleId = "KVR21S15S8/4";
+        p.mfr = Manufacturer::Micron;
+        p.numModules = 1;
+        p.numChips = 8;
+        p.density = "4Gb";
+        p.dieRev = "B";
+        p.org = "x8";
+        p.rhMin = 126000; p.rhAvg = 338000;
+        p.comraMin = 93000; p.comraAvg = 295000;
+        p.comraTempGain50To80 = 1.0 / 1.14;  // inverted trend (Obs. 4)
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = micron_region;
+        p.mapping = MappingScheme::Sequential;
+        add(p);
+
+        p = {};
+        p.moduleId = "MTA4ATF1G64HZ-3G2E1";
+        p.mfr = Manufacturer::Micron;
+        p.numModules = 4;
+        p.numChips = 32;
+        p.density = "16Gb";
+        p.dieRev = "E";
+        p.org = "x16";
+        p.rhMin = 4890; p.rhAvg = 10010;
+        p.comraMin = 3720; p.comraAvg = 7690;
+        p.comraTempGain50To80 = 1.0 / 1.14;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = micron_region;
+        p.mapping = MappingScheme::Sequential;
+        add(p);
+
+        p = {};
+        p.moduleId = "MTA18ASF4G72HZ-3G2F1";
+        p.mfr = Manufacturer::Micron;
+        p.numModules = 4;
+        p.numChips = 32;
+        p.density = "16Gb";
+        p.dieRev = "F";
+        p.org = "x8";
+        p.rhMin = 4123; p.rhAvg = 9030;
+        p.comraMin = 3490; p.comraAvg = 7060;
+        p.comraTempGain50To80 = 1.0 / 1.14;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = micron_region;
+        p.mapping = MappingScheme::Sequential;
+        add(p);
+
+        p = {};
+        p.moduleId = "KSM32ES8/8MR";
+        p.mfr = Manufacturer::Micron;
+        p.numModules = 2;
+        p.numChips = 16;
+        p.density = "8Gb";
+        p.dieRev = "R";
+        p.org = "x8";
+        p.rhMin = 3840; p.rhAvg = 9320;
+        p.comraMin = 3670; p.comraAvg = 7670;
+        p.comraTempGain50To80 = 1.0 / 1.14;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = micron_region;
+        p.mapping = MappingScheme::Sequential;
+        add(p);
+
+        // --- Samsung ------------------------------------------------------
+        p = {};
+        p.moduleId = "M378A2G43AB3-CWE";
+        p.mfr = Manufacturer::Samsung;
+        p.numModules = 1;
+        p.numChips = 8;
+        p.density = "16Gb";
+        p.dieRev = "A";
+        p.org = "x8";
+        p.rhMin = 6700; p.rhAvg = 14800;
+        p.comraMin = 5260; p.comraAvg = 10610;
+        p.comraTempGain50To80 = 2.13;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = samsung_region;
+        p.mapping = MappingScheme::MirroredPairs;
+        add(p);
+
+        p = {};
+        p.moduleId = "M391A2G43BB2-CWE";
+        p.mfr = Manufacturer::Samsung;
+        p.numModules = 5;
+        p.numChips = 40;
+        p.density = "16Gb";
+        p.dieRev = "B";
+        p.org = "x8";
+        p.rhMin = 6150; p.rhAvg = 14790;
+        p.comraMin = 1875; p.comraAvg = 10640;
+        p.comraTempGain50To80 = 2.13;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = samsung_region;
+        p.mapping = MappingScheme::MirroredPairs;
+        add(p);
+
+        p = {};
+        p.moduleId = "M471A5244CB0-CRC";
+        p.mfr = Manufacturer::Samsung;
+        p.numModules = 1;
+        p.numChips = 4;
+        p.density = "4Gb";
+        p.dieRev = "C";
+        p.org = "x16";
+        p.rhMin = 8940; p.rhAvg = 25830;
+        p.comraMin = 6250; p.comraAvg = 18400;
+        p.comraTempGain50To80 = 2.13;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = samsung_region;
+        p.mapping = MappingScheme::MirroredPairs;
+        add(p);
+
+        p = {};
+        p.moduleId = "M471A4G43CB1-CWE";
+        p.mfr = Manufacturer::Samsung;
+        p.numModules = 1;
+        p.numChips = 8;
+        p.density = "16Gb";
+        p.dieRev = "C";
+        p.org = "x8";
+        p.rhMin = 6810; p.rhAvg = 15220;
+        p.comraMin = 4433; p.comraAvg = 10950;
+        p.comraTempGain50To80 = 2.13;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = samsung_region;
+        p.mapping = MappingScheme::MirroredPairs;
+        add(p);
+
+        p = {};
+        p.moduleId = "MTA4ATF1G64HZ-3G2B2";
+        p.mfr = Manufacturer::Samsung;
+        p.numModules = 1;
+        p.numChips = 8;
+        p.density = "4Gb";
+        p.dieRev = "E";
+        p.org = "x8";
+        p.rhMin = 15770; p.rhAvg = 81030;
+        p.comraMin = 11720; p.comraAvg = 60830;
+        p.comraTempGain50To80 = 2.13;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = samsung_region;
+        p.mapping = MappingScheme::MirroredPairs;
+        add(p);
+
+        // --- Nanya --------------------------------------------------------
+        p = {};
+        p.moduleId = "KVR24N17S8/8";
+        p.mfr = Manufacturer::Nanya;
+        p.numModules = 3;
+        p.numChips = 24;
+        p.density = "8Gb";
+        p.dieRev = "C";
+        p.org = "x8";
+        p.rhMin = 31290; p.rhAvg = 128000;
+        p.comraMin = 20190; p.comraAvg = 107000;
+        p.trueAntiCells = true;
+        p.comraTempGain50To80 = 1.14;
+        p.simraTempGain50To80 = no_simra_temp;
+        p.comraRegionGain = nanya_region;
+        p.mapping = MappingScheme::Sequential;
+        add(p);
+
+        return v;
+    }();
+    return families;
+}
+
+const FamilyProfile &
+findFamily(const std::string &module_id)
+{
+    for (const auto &f : table2Families())
+        if (f.moduleId == module_id)
+            return f;
+    fatal("unknown module family '%s'", module_id.c_str());
+}
+
+DeviceConfig
+makeConfig(const std::string &module_id, std::uint64_t seed)
+{
+    DeviceConfig cfg;
+    cfg.profile = findFamily(module_id);
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace pud::dram

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Device geometry, per-module-family calibration profiles, and the
+ * analytic fit that turns the paper's Table 2 anchors into weak-cell
+ * threshold distributions.
+ *
+ * The paper characterizes 14 DDR4 module families (Table 1 / Table 2)
+ * and reports, per family, the minimum and average HC_first across all
+ * tested rows for double-sided RowHammer, CoMRA, and SiMRA.  Those six
+ * anchors, plus the per-observation condition factors (temperature,
+ * data pattern, spatial region, timing), are the single source of
+ * truth from which every simulated module's weak-cell population is
+ * drawn.
+ */
+
+#ifndef PUD_DRAM_CONFIG_H
+#define PUD_DRAM_CONFIG_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/mapping.h"
+#include "dram/timing.h"
+#include "dram/types.h"
+
+namespace pud::dram {
+
+/**
+ * Calibration anchors and condition-factor parameters for one module
+ * family (one row of the paper's Table 2).
+ */
+struct FamilyProfile
+{
+    std::string moduleId;   //!< module identifier (e.g. HMA81GU7AFR8N-UH)
+    Manufacturer mfr = Manufacturer::SKHynix;
+    int numModules = 1;
+    int numChips = 8;
+    std::string density;    //!< e.g. "8Gb"
+    std::string dieRev;     //!< e.g. "A"
+    std::string org;        //!< e.g. "x8"
+
+    // ---- Table 2 anchors: double-sided, WCDP, 80C, nominal timings ----
+    double rhMin = 0, rhAvg = 0;        //!< RowHammer HC_first
+    double comraMin = 0, comraAvg = 0;  //!< CoMRA HC_first
+    double simraMin = 0, simraAvg = 0;  //!< SiMRA HC_first; 0 => no SiMRA
+
+    /** Chips that ignore grossly violated commands cannot do SiMRA. */
+    bool supportsSimra = false;
+
+    /**
+     * Nanya's complicated true-/anti-cell layout prevented the paper
+     * from observing bitflips with solid (0x00/0xFF) patterns within a
+     * refresh window; modeled as a large damage penalty for solid
+     * aggressor patterns.
+     */
+    bool trueAntiCells = false;
+
+    /**
+     * Multiplicative increase of CoMRA disturbance from 50C to 80C
+     * (Fig. 6): >1 means hotter is worse; Micron's trend is inverted.
+     */
+    double comraTempGain50To80 = 1.0;
+
+    /** Per-N (2,4,8,16,32) SiMRA temperature gains 50C->80C (Fig. 15). */
+    std::array<double, 5> simraTempGain50To80{1, 1, 1, 1, 1};
+
+    /**
+     * Per-region CoMRA damage multipliers (Fig. 11), normalized to
+     * geometric mean 1 so Table 2 anchors are preserved.
+     */
+    std::array<double, kNumRegions> comraRegionGain{1, 1, 1, 1, 1};
+
+    /** In-DRAM logical-to-physical row scrambling scheme. */
+    MappingScheme mapping = MappingScheme::Sequential;
+};
+
+/**
+ * Parameters of the per-cell threshold distributions, derived
+ * analytically from a FamilyProfile by calibrate().
+ */
+struct CalibratedDistributions
+{
+    /** Lognormal of the per-row base (RowHammer) HC_first. */
+    double rhMedian = 0;
+    double rhSigma = 0;
+
+    /** Lognormal of the per-row CoMRA damage-gain factor. */
+    double comraFactorMedian = 1;
+    double comraFactorSigma = 0.1;
+
+    /** SiMRA gain mixture: regular component ... */
+    double simraRegularMedian = 1;
+    double simraRegularSigma = 0.5;
+    /** ... and the extreme tail component (paper: >=25% of victim rows
+     *  show >99% HC_first reduction for all N). */
+    double simraExtremeMedian = 1;
+    double simraExtremeSigma = 1.1;
+    double simraExtremeFraction = 0.32;
+
+    /** Reference tested-row population used for the min-anchor fit. */
+    double population = 3000;
+};
+
+/** Fit the threshold distributions to a family's Table 2 anchors. */
+CalibratedDistributions calibrate(const FamilyProfile &profile);
+
+/** Inverse standard normal CDF (Acklam's approximation). */
+double inverseNormalCdf(double p);
+
+/** The 14 module families of the paper's Table 2. */
+const std::vector<FamilyProfile> &table2Families();
+
+/** Look up a family by module identifier; fatal() if unknown. */
+const FamilyProfile &findFamily(const std::string &module_id);
+
+/**
+ * Full configuration of one simulated DRAM module.
+ *
+ * Geometry defaults are scaled down from real 8Gb chips (64K rows per
+ * bank) to keep experiments fast; the characterization methodology is
+ * geometry-independent.  A module is modeled at rank granularity: the
+ * row width is the per-chip row slice, and bitflip counts aggregate
+ * across the rank exactly as the real testbed reads them.
+ */
+struct DeviceConfig
+{
+    FamilyProfile profile;
+    TimingParams timings;
+
+    BankId banks = 2;
+    SubarrayId subarraysPerBank = 8;
+    RowId rowsPerSubarray = 512;
+    ColId cols = 1024;             //!< bits per row
+
+    /** Average number of disturbance-prone weak cells per row. */
+    int weakCellsPerRow = 6;
+
+    /** Fraction of the distance-1 coupling felt at distance 2. */
+    double distance2Weight = 0.20;
+
+    /** Damage penalty for hammering from one side only (no sandwich). */
+    double singleSidedScale = 1.0 / 3.0;
+
+    /**
+     * Sigma of the per-trial lognormal threshold jitter, redrawn at
+     * every host row write.  Zero (default) keeps the model fully
+     * deterministic; characterization runs that use the paper's
+     * repeat-five-take-minimum methodology enable it.
+     */
+    double trialNoiseSigma = 0.0;
+
+    /** Device temperature at power-up; the testbed can change it. */
+    Celsius temperature = 80.0;
+
+    std::uint64_t seed = 1;
+
+    RowId rowsPerBank() const { return subarraysPerBank * rowsPerSubarray; }
+};
+
+/** Convenience: default-geometry config for a Table 2 family. */
+DeviceConfig makeConfig(const std::string &module_id, std::uint64_t seed = 1);
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_CONFIG_H

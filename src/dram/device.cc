@@ -1,0 +1,539 @@
+#include "dram/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pud::dram {
+
+namespace {
+
+// Fraction of the calibrated factor spread assigned to the row level
+// vs the cell level.  Per-cell heterogeneity is what makes combined
+// RowHammer + PuDHammer patterns (paper §6) only *partially* share
+// damage: the cell that is most vulnerable to RowHammer is often not
+// the one most vulnerable to CoMRA/SiMRA (paper Obs. 23).
+constexpr double kRowShare = 0.8;
+constexpr double kCellShare = 0.6;  // sqrt(0.8^2 + 0.6^2) = 1
+
+// Probability that a cell's conventional-class flip direction is the
+// dominant 0 -> 1 (Obs. 14 for RowHammer).
+constexpr double kConvZeroToOneFraction = 0.60;
+
+// Probability that a cell's SiMRA flip direction is the dominant
+// 1 -> 0 (Obs. 14).
+constexpr double kSimraOneToZeroFraction = 0.90;
+
+// Per-N jitter of the SiMRA factor, making the HC_first reduction
+// non-monotonic in N per victim row (paper §5.3).
+constexpr double kSimraPerNJitterSigma = 0.30;
+
+
+
+} // namespace
+
+Device::Device(DeviceConfig cfg)
+    : cfg_(std::move(cfg)),
+      mapping_(cfg_.profile.mapping),
+      decoder_(cfg_.rowsPerSubarray),
+      disturb_(cfg_),
+      temperature_(cfg_.temperature),
+      trrRng_(Rng(cfg_.seed).fork(0x7272)),
+      noiseRng_(Rng(cfg_.seed).fork(0x4E01))
+{
+    if (cfg_.banks == 0 || cfg_.subarraysPerBank == 0 ||
+        cfg_.rowsPerSubarray == 0 || cfg_.cols == 0) {
+        fatal("Device: degenerate geometry");
+    }
+    if ((cfg_.rowsPerSubarray & (cfg_.rowsPerSubarray - 1)) != 0)
+        fatal("Device: rowsPerSubarray must be a power of two");
+
+    Rng rng(cfg_.seed);
+    banks_.resize(cfg_.banks);
+    for (BankId b = 0; b < cfg_.banks; ++b) {
+        Rng bank_rng = rng.fork(b + 1);
+        populateBank(banks_[b], bank_rng);
+    }
+}
+
+void
+Device::populateBank(BankState &bank, Rng &rng)
+{
+    const auto cal = calibrate(cfg_.profile);
+    const RowId num_rows = cfg_.rowsPerBank();
+
+    bank.rows.resize(num_rows);
+    bank.trrRing.assign(kTrrWindow, kNoRow);
+
+    const double comra_row_sigma = kRowShare * cal.comraFactorSigma;
+    const double comra_cell_sigma = kCellShare * cal.comraFactorSigma;
+
+    for (RowId r = 0; r < num_rows; ++r) {
+        Row &row = bank.rows[r];
+        row.data = RowData(cfg_.cols);
+
+        const double base_row = std::max(
+            100.0, rng.logNormalMedian(cal.rhMedian, cal.rhSigma));
+        // CoMRA amplifies read disturbance for essentially every row
+        // (Obs. 2: 99% of rows see a lower HC_first), so the row-level
+        // gain is floored just above 1.
+        const double comra_row = std::max(
+            1.05, rng.logNormalMedian(cal.comraFactorMedian,
+                                      comra_row_sigma));
+
+        double simra_row = 1.0;
+        if (cfg_.profile.supportsSimra) {
+            if (rng.chance(cal.simraExtremeFraction)) {
+                simra_row = rng.logNormalMedian(
+                    cal.simraExtremeMedian,
+                    kRowShare * cal.simraExtremeSigma);
+            } else {
+                simra_row = rng.logNormalMedian(
+                    cal.simraRegularMedian,
+                    kRowShare * cal.simraRegularSigma);
+            }
+            simra_row = std::max(0.8, simra_row);
+        }
+
+        row.cells.resize(cfg_.weakCellsPerRow);
+        for (int c = 0; c < cfg_.weakCellsPerRow; ++c) {
+            WeakCell &cell = row.cells[c];
+
+            // Distinct column per cell.
+            for (;;) {
+                cell.col = static_cast<ColId>(rng.below(cfg_.cols));
+                bool dup = false;
+                for (int k = 0; k < c; ++k)
+                    if (row.cells[k].col == cell.col)
+                        dup = true;
+                if (!dup)
+                    break;
+            }
+
+            const double mult =
+                c == 0 ? 1.0 : std::exp(rng.uniform(0.08, 1.3));
+            cell.baseHc = static_cast<float>(base_row * mult);
+
+            cell.comraFactor = static_cast<float>(std::max(
+                1.02, comra_row * std::exp(comra_cell_sigma *
+                                           rng.gaussian())));
+
+            if (cfg_.profile.supportsSimra) {
+                const double cell_simra = std::max(
+                    0.3, simra_row *
+                             std::exp(kCellShare *
+                                      cal.simraRegularSigma *
+                                      rng.gaussian()));
+                for (int n = 0; n < 5; ++n) {
+                    cell.simraFactor[n] = static_cast<float>(std::max(
+                        0.2, cell_simra *
+                                 std::exp(kSimraPerNJitterSigma *
+                                          rng.gaussian())));
+                }
+            }
+
+            cell.tempSlopeConv =
+                static_cast<float>(rng.uniform(-0.35, 0.5));
+            cell.upperShare =
+                static_cast<float>(rng.uniform(0.38, 0.62));
+            cell.dstRoleGain = static_cast<float>(
+                std::exp(0.04 * rng.gaussian()));
+            cell.dirConv = rng.chance(kConvZeroToOneFraction)
+                               ? FlipDirection::ZeroToOne
+                               : FlipDirection::OneToZero;
+            cell.dirSimra = rng.chance(kSimraOneToZeroFraction)
+                                ? FlipDirection::OneToZero
+                                : FlipDirection::ZeroToOne;
+            cell.resetDamage();
+        }
+    }
+}
+
+void
+Device::advanceTime(Time t)
+{
+    if (t < now_)
+        fatal("Device: command time went backwards (%lld < %lld)",
+              static_cast<long long>(t), static_cast<long long>(now_));
+    now_ = t;
+}
+
+void
+Device::restoreRow(Row &row)
+{
+    for (WeakCell &cell : row.cells) {
+        if (cell.flipped())
+            row.data.toggle(cell.col);
+        cell.resetDamage();
+        disturb_.noteReset(cell);
+    }
+}
+
+RowData
+Device::viewOf(const Row &row)
+{
+    RowData out = row.data;
+    for (const WeakCell &cell : row.cells)
+        if (cell.flipped())
+            out.toggle(cell.col);
+    return out;
+}
+
+void
+Device::majorityMerge(BankState &bank)
+{
+    const auto n = bank.openRows.size();
+    if (n < 2)
+        return;
+
+    RowData out(cfg_.cols);
+    for (ColId col = 0; col < cfg_.cols; ++col) {
+        unsigned ones = 0;
+        for (RowId r : bank.openRows)
+            ones += bank.rows[r].data.get(col);
+        bool bit;
+        if (2 * ones > n)
+            bit = true;
+        else if (2 * ones < n)
+            bit = false;
+        else
+            bit = bank.rows[bank.openRows.front()].data.get(col);
+        out.set(col, bit);
+    }
+    for (RowId r : bank.openRows)
+        bank.rows[r].data = out;
+}
+
+void
+Device::trrRecord(BankState &bank, RowId physical)
+{
+    bank.trrRing[bank.trrPos] = physical;
+    bank.trrPos = (bank.trrPos + 1) % kTrrWindow;
+    if (bank.trrFill < kTrrWindow)
+        ++bank.trrFill;
+}
+
+void
+Device::refreshRow(BankState &bank, RowId physical)
+{
+    restoreRow(bank.rows[physical]);
+    bank.rows[physical].lastSide = 0;
+}
+
+void
+Device::flushPending(BankState &bank)
+{
+    if (!bank.pendingValid)
+        return;
+    bank.pendingValid = false;
+    disturb_.applyClose(bank.rows, bank.pending, temperature_);
+}
+
+void
+Device::openNormal(BankState &bank, Time t, RowId physical)
+{
+    bank.st = BankState::St::Open;
+    bank.openRows.assign(1, physical);
+    bank.openKind = OpenKind::Normal;
+    bank.openedAt = t;
+    const Time last = bank.rows[physical].lastCloseAt;
+    bank.offGapOfOpen = last >= 0 ? t - last : 0;
+    restoreRow(bank.rows[physical]);
+    trrRecord(bank, physical);
+}
+
+void
+Device::act(Time t, BankId b, RowId logical_row)
+{
+    advanceTime(t);
+    if (b >= banks_.size())
+        fatal("ACT to bank %u (device has %zu banks)", b, banks_.size());
+    BankState &bank = banks_[b];
+    if (logical_row >= cfg_.rowsPerBank())
+        fatal("ACT to row %u (bank has %u rows)", logical_row,
+              cfg_.rowsPerBank());
+    const RowId phys = mapping_.toPhysical(logical_row);
+
+    if (bank.st == BankState::St::Open)
+        fatal("ACT to bank %u while a row is open (missing PRE)", b);
+
+    ++counters_.acts;
+
+    if (bank.pendingValid) {
+        const Time gap = t - bank.pendingClosedAt;
+        const bool single = bank.pending.rows.size() == 1;
+        const bool same_sub =
+            single && subarrayOfPhysical(bank.pending.rows.front()) ==
+                          subarrayOfPhysical(phys);
+
+        // --- SiMRA: ACT-PRE-ACT with both gaps grossly violated -------
+        if (single && same_sub &&
+            bank.pending.tOn <= cfg_.timings.simraMaxActToPre &&
+            gap <= cfg_.timings.simraMaxPreToAct) {
+            if (!cfg_.profile.supportsSimra) {
+                // The chip ignores commands that grossly violate the
+                // nominal timings (paper §5.3 footnote): the quick PRE
+                // and this ACT have no effect; the first row stays
+                // open with its original activation time.
+                counters_.ignoredCommands += 2;
+                bank.st = BankState::St::Open;
+                bank.openRows = bank.pending.rows;
+                bank.openKind = bank.pendingKind;
+                bank.openedAt = bank.pendingOpenedAt;
+                bank.pendingValid = false;
+                return;
+            }
+            auto group =
+                decoder_.activatedSet(bank.pending.rows.front(), phys);
+            if (group.size() > 1) {
+                const Time act_to_pre = bank.pending.tOn;
+                bank.pendingValid = false;  // blip is part of this op
+                for (RowId r : group)
+                    restoreRow(bank.rows[r]);
+                bank.st = BankState::St::Open;
+                bank.openRows = std::move(group);
+                bank.openKind = OpenKind::Simra;
+                bank.openedAt = t;
+                bank.simraActToPre = act_to_pre;
+                bank.simraPreToAct = gap;
+                {
+                    const Time last = bank.rows[phys].lastCloseAt;
+                    bank.offGapOfOpen = last >= 0 ? t - last : 0;
+                }
+                majorityMerge(bank);
+                trrRecord(bank, phys);
+                ++counters_.simraOps;
+                return;
+            }
+            // Degenerate pair (same row reissued): fall through.
+        }
+
+        // --- CoMRA: full restore then reopen below tRP -----------------
+        if (single && same_sub && bank.pending.rows.front() != phys &&
+            bank.pending.tOn >= cfg_.timings.tRAS - units::ns &&
+            gap <= cfg_.timings.comraMaxPreToAct) {
+            const RowId src = bank.pending.rows.front();
+            // Retro-tag the source row's close as the copy cycle's
+            // first half: the disturbance hypothesis (paper §4.3) ties
+            // the amplification to the short wordline off-interval.
+            bank.pending.cls = TechClass::Comra;
+            bank.pending.comraDelay = gap;
+            bank.pending.comraPartner = phys;
+            bank.pending.comraDstRole = false;
+            flushPending(bank);
+
+            // Destination latches the source's bitline charge: the
+            // in-DRAM copy, with full charge restoration on dst.
+            restoreRow(bank.rows[src]);
+            bank.rows[phys].data = bank.rows[src].data;
+            for (WeakCell &c : bank.rows[phys].cells) {
+                c.resetDamage();
+                disturb_.noteReset(c);
+            }
+
+            bank.st = BankState::St::Open;
+            bank.openRows.assign(1, phys);
+            bank.openKind = OpenKind::ComraDst;
+            bank.openedAt = t;
+            bank.comraDelayOfOpen = gap;
+            bank.comraPartnerOfOpen = src;
+            {
+                const Time last = bank.rows[phys].lastCloseAt;
+                bank.offGapOfOpen = last >= 0 ? t - last : 0;
+            }
+            trrRecord(bank, phys);
+            ++counters_.comraCopies;
+            return;
+        }
+
+        flushPending(bank);
+    }
+
+    openNormal(bank, t, phys);
+}
+
+void
+Device::pre(Time t, BankId b)
+{
+    advanceTime(t);
+    BankState &bank = banks_.at(b);
+    ++counters_.pres;
+    if (bank.st != BankState::St::Open)
+        return;  // PRE on a precharged bank is a no-op
+
+    if (bank.pendingValid)
+        flushPending(bank);
+
+    CloseEvent ev;
+    ev.rows = bank.openRows;
+    switch (bank.openKind) {
+      case OpenKind::ComraDst:
+        ev.cls = TechClass::Comra;
+        ev.comraDelay = bank.comraDelayOfOpen;
+        ev.comraPartner = bank.comraPartnerOfOpen;
+        ev.comraDstRole = true;
+        break;
+      case OpenKind::Simra:
+        ev.cls = TechClass::Simra;
+        ev.simraN = static_cast<int>(bank.openRows.size());
+        ev.simraActToPre = bank.simraActToPre;
+        ev.simraPreToAct = bank.simraPreToAct;
+        break;
+      default:
+        ev.cls = TechClass::Conventional;
+        break;
+    }
+    ev.tOn = t - bank.openedAt;
+    ev.reopenGap = bank.offGapOfOpen;
+    for (RowId r : bank.openRows)
+        bank.rows[r].lastCloseAt = t;
+
+    bank.pending = std::move(ev);
+    bank.pendingValid = true;
+    bank.pendingClosedAt = t;
+    bank.pendingKind = bank.openKind;
+    bank.pendingOpenedAt = bank.openedAt;
+
+    bank.st = BankState::St::Precharging;
+    bank.openRows.clear();
+}
+
+void
+Device::preAll(Time t)
+{
+    for (BankId b = 0; b < banks_.size(); ++b)
+        pre(t, b);
+}
+
+RowData
+Device::rd(Time t, BankId b)
+{
+    advanceTime(t);
+    BankState &bank = banks_.at(b);
+    if (bank.st != BankState::St::Open)
+        fatal("RD on bank %u with no open row", b);
+    return viewOf(bank.rows[bank.openRows.front()]);
+}
+
+void
+Device::wr(Time t, BankId b, const RowData &data)
+{
+    advanceTime(t);
+    BankState &bank = banks_.at(b);
+    if (bank.st != BankState::St::Open)
+        fatal("WR on bank %u with no open row", b);
+    if (data.bits() != cfg_.cols)
+        fatal("WR with %u bits to a %u-bit row", data.bits(), cfg_.cols);
+    for (RowId r : bank.openRows) {
+        bank.rows[r].data = data;
+        for (WeakCell &c : bank.rows[r].cells) {
+            c.resetDamage();
+            disturb_.noteReset(c);
+        }
+    }
+}
+
+void
+Device::ref(Time t)
+{
+    advanceTime(t);
+    ++counters_.refs;
+    const RowId rows_per_bank = cfg_.rowsPerBank();
+    const auto window = static_cast<std::uint64_t>(
+        cfg_.timings.refsPerWindow);
+    const std::uint64_t slot = refCounter_ % window;
+    const RowId start =
+        static_cast<RowId>(slot * rows_per_bank / window);
+    const RowId end =
+        static_cast<RowId>((slot + 1) * rows_per_bank / window);
+    ++refCounter_;
+
+    for (BankState &bank : banks_) {
+        if (bank.st == BankState::St::Open)
+            fatal("REF issued with an open bank");
+        flushPending(bank);
+        for (RowId r = start; r < end; ++r)
+            refreshRow(bank, r);
+
+        if (trrEnabled_ && bank.trrFill > 0) {
+            // Sampling TRR: pick one of the last kTrrWindow activated
+            // row addresses and preventively refresh its neighbours.
+            const std::size_t span =
+                std::min(bank.trrFill, kTrrWindow);
+            const std::size_t back = trrRng_.below(span);
+            const std::size_t idx =
+                (bank.trrPos + kTrrWindow - 1 - back) % kTrrWindow;
+            const RowId aggr = bank.trrRing[idx];
+            if (aggr != kNoRow) {
+                const SubarrayId sub = subarrayOfPhysical(aggr);
+                for (int d : {-1, 1}) {
+                    const std::int64_t v =
+                        static_cast<std::int64_t>(aggr) + d;
+                    if (v < 0 ||
+                        v >= static_cast<std::int64_t>(
+                                 bank.rows.size()))
+                        continue;
+                    if (subarrayOfPhysical(static_cast<RowId>(v)) != sub)
+                        continue;
+                    refreshRow(bank, static_cast<RowId>(v));
+                    ++counters_.trrRefreshes;
+                }
+            }
+        }
+    }
+}
+
+void
+Device::shiftLoopTimestamps(Time from, Time delta)
+{
+    if (delta <= 0)
+        return;
+    for (BankState &bank : banks_) {
+        if (bank.pendingValid && bank.pendingClosedAt >= from) {
+            bank.pendingClosedAt += delta;
+            bank.pendingOpenedAt += delta;
+        }
+        if (bank.st == BankState::St::Open && bank.openedAt >= from)
+            bank.openedAt += delta;
+        for (Row &row : bank.rows)
+            if (row.lastCloseAt >= from)
+                row.lastCloseAt += delta;
+    }
+}
+
+void
+Device::flush()
+{
+    for (BankState &bank : banks_)
+        flushPending(bank);
+}
+
+void
+Device::writeRowDirect(BankId b, RowId logical_row, const RowData &data)
+{
+    BankState &bank = banks_.at(b);
+    const RowId phys = mapping_.toPhysical(logical_row);
+    Row &row = bank.rows.at(phys);
+    row.data = data;
+    for (WeakCell &c : row.cells) {
+        c.resetDamage();
+        if (cfg_.trialNoiseSigma > 0.0) {
+            // A host write starts a fresh trial: redraw the cell's
+            // run-to-run threshold jitter.
+            c.trialScale = static_cast<float>(
+                std::exp(cfg_.trialNoiseSigma * noiseRng_.gaussian()));
+        }
+    }
+    row.lastSide = 0;
+}
+
+RowData
+Device::readRowDirect(BankId b, RowId logical_row) const
+{
+    const BankState &bank = banks_.at(b);
+    const RowId phys = mapping_.toPhysical(logical_row);
+    return viewOf(bank.rows.at(phys));
+}
+
+} // namespace pud::dram

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Command-level DDR4 device model with multiple-row activation.
+ *
+ * The device consumes timestamped DDR4 commands (ACT, PRE, RD, WR,
+ * REF) exactly as DRAM Bender issues them to a real module.  Timing
+ * *violations are allowed* -- they are the mechanism behind
+ * Processing-using-DRAM:
+ *
+ *  - ACT src ... PRE, ACT dst with the PRE->ACT gap below tRP and both
+ *    rows in one subarray performs an in-DRAM RowClone copy (CoMRA).
+ *  - ACT R1, PRE, ACT R2 with both gaps grossly violated activates the
+ *    bit-combination row set simultaneously (SiMRA) on chips that
+ *    tolerate the sequence (SK Hynix in the paper); other chips ignore
+ *    the violating commands, matching the paper's §5.3 footnote.
+ *
+ * Every row-close feeds the DisturbanceModel, which accrues read-
+ * disturbance damage on neighbouring rows' weak cells.  REF performs
+ * stripe refresh and, when enabled, sampling-based Target Row Refresh.
+ */
+
+#ifndef PUD_DRAM_DEVICE_H
+#define PUD_DRAM_DEVICE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dram/cell.h"
+#include "dram/config.h"
+#include "dram/datapattern.h"
+#include "dram/disturb.h"
+#include "dram/mapping.h"
+#include "dram/simra_decoder.h"
+#include "dram/types.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace pud::dram {
+
+/** Aggregate command counters, exposed for tests and benches. */
+struct DeviceCounters
+{
+    std::uint64_t acts = 0;       //!< explicit ACT commands
+    std::uint64_t pres = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t comraCopies = 0;   //!< detected CoMRA copy cycles
+    std::uint64_t simraOps = 0;      //!< detected SiMRA group opens
+    std::uint64_t ignoredCommands = 0;  //!< grossly violating, ignored
+    std::uint64_t trrRefreshes = 0;     //!< TRR victim refreshes
+};
+
+/** A simulated DRAM module (rank granularity). */
+class Device
+{
+  public:
+    explicit Device(DeviceConfig cfg);
+
+    // ---- DDR command interface (t must be non-decreasing) -------------
+    void act(Time t, BankId bank, RowId logical_row);
+    void pre(Time t, BankId bank);
+    void preAll(Time t);
+    /** Read the open row (flip-composed view). */
+    RowData rd(Time t, BankId bank);
+    /** Write all currently open rows (SiMRA groups included). */
+    void wr(Time t, BankId bank, const RowData &data);
+    /** Stripe refresh + TRR; all banks must be precharged. */
+    void ref(Time t);
+
+    /** Apply any pending close events (end of a test program). */
+    void flush();
+
+    // ---- environment ----------------------------------------------------
+    void setTemperature(Celsius c) { temperature_ = c; }
+    Celsius temperature() const { return temperature_; }
+    void setTrrEnabled(bool on) { trrEnabled_ = on; }
+    bool trrEnabled() const { return trrEnabled_; }
+
+    // ---- testbench (host-DMA) helpers ------------------------------------
+    /** Write a row directly, restoring full charge (resets damage). */
+    void writeRowDirect(BankId bank, RowId logical_row, const RowData &data);
+    /** Read a row directly without disturbing anything. */
+    RowData readRowDirect(BankId bank, RowId logical_row) const;
+
+    // ---- executor fast-path recording ------------------------------------
+    void beginRecording() { disturb_.beginRecording(); }
+    DamageRecord endRecording() { return disturb_.endRecording(); }
+    void
+    replayRecord(const DamageRecord &record, std::uint64_t times)
+    {
+        DisturbanceModel::replay(record, times);
+    }
+
+    /**
+     * After a loop fast-path replay, advance every timestamp that was
+     * set during the loop (pending closes, per-row last-close times)
+     * by the skipped iterations' duration, so cross-loop-boundary
+     * timing detection (CoMRA/SiMRA windows, off-time gains) behaves
+     * exactly as if every iteration had executed.
+     */
+    void shiftLoopTimestamps(Time from, Time delta);
+
+    // ---- introspection ----------------------------------------------------
+    const DeviceConfig &config() const { return cfg_; }
+    const DeviceCounters &counters() const { return counters_; }
+    bool supportsSimra() const { return cfg_.profile.supportsSimra; }
+    RowId rowsPerBank() const { return cfg_.rowsPerBank(); }
+    RowId toPhysical(RowId logical) const { return mapping_.toPhysical(logical); }
+    RowId toLogical(RowId physical) const { return mapping_.toLogical(physical); }
+    SubarrayId
+    subarrayOfPhysical(RowId physical) const
+    {
+        return physical / cfg_.rowsPerSubarray;
+    }
+    const DisturbanceModel &disturbModel() const { return disturb_; }
+    Time now() const { return now_; }
+
+    /** Test-only: the weak cells of a (logical) row. */
+    const std::vector<WeakCell> &
+    weakCells(BankId bank, RowId logical_row) const
+    {
+        return banks_[bank].rows[toPhysical(logical_row)].cells;
+    }
+
+  private:
+    struct BankState
+    {
+        enum class St { Idle, Open, Precharging };
+
+        std::vector<Row> rows;
+
+        St st = St::Idle;
+        std::vector<RowId> openRows;  //!< physical, sorted
+        OpenKind openKind = OpenKind::Normal;
+        Time openedAt = 0;
+        Time comraDelayOfOpen = 0;
+        RowId comraPartnerOfOpen = kNoRow;
+        Time offGapOfOpen = 0;
+        Time simraActToPre = 0;
+        Time simraPreToAct = 0;
+
+        bool pendingValid = false;
+        CloseEvent pending;
+        Time pendingClosedAt = 0;
+        Time pendingOpenedAt = 0;
+        OpenKind pendingKind = OpenKind::Normal;
+
+        // TRR sampler: ring of the last kTrrWindow ACT row addresses.
+        std::vector<RowId> trrRing;
+        std::size_t trrPos = 0;
+        std::size_t trrFill = 0;
+    };
+
+    /** Number of ACTs the TRR sampler considers before a REF (§7). */
+    static constexpr std::size_t kTrrWindow = 450;
+
+    void populateBank(BankState &bank, Rng &rng);
+    void advanceTime(Time t);
+    void flushPending(BankState &bank);
+    void openNormal(BankState &bank, Time t, RowId physical);
+    void trrRecord(BankState &bank, RowId physical);
+    void refreshRow(BankState &bank, RowId physical);
+
+    /** Restore a row's charge: materialize flips, clear damage. */
+    void restoreRow(Row &row);
+
+    /** Flip-composed view of a row's contents. */
+    static RowData viewOf(const Row &row);
+
+    /** Overwrite all open rows with the column-wise majority. */
+    void majorityMerge(BankState &bank);
+
+    DeviceConfig cfg_;
+    RowMapping mapping_;
+    SimraDecoder decoder_;
+    DisturbanceModel disturb_;
+    std::vector<BankState> banks_;
+    Celsius temperature_;
+    bool trrEnabled_ = false;
+    Time now_ = 0;
+    std::uint64_t refCounter_ = 0;
+    Rng trrRng_;
+    Rng noiseRng_;
+    DeviceCounters counters_;
+};
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_DEVICE_H

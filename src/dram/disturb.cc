@@ -1,0 +1,482 @@
+#include "dram/disturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pud::dram {
+
+namespace {
+
+/**
+ * Piecewise log-log interpolation through (t_ns, gain) anchor points,
+ * clamped to the endpoint values outside the anchor range.
+ */
+double
+interpLogLog(const double (&ts)[4], const double (&gs)[4], double t_ns)
+{
+    if (t_ns <= ts[0])
+        return gs[0];
+    if (t_ns >= ts[3])
+        return gs[3];
+    for (int i = 0; i < 3; ++i) {
+        if (t_ns <= ts[i + 1]) {
+            const double f = (std::log(t_ns) - std::log(ts[i])) /
+                             (std::log(ts[i + 1]) - std::log(ts[i]));
+            return std::exp(std::log(gs[i]) +
+                            f * (std::log(gs[i + 1]) - std::log(gs[i])));
+        }
+    }
+    return gs[3];
+}
+
+// Press-gain anchors vs t_AggOn, calibrated to paper Figs. 8 and 17:
+// RowPress 31.15x at 70.2us (Obs. 6), CoMRA 78.74x overall => dst-side
+// gain 156.5 (DESIGN.md §4), and the CoMRA-vs-RowPress crossovers of
+// Obs. 7 at 144ns / 7.8us / 70.2us.
+constexpr double kPressT[4] = {36.0, 144.0, 7800.0, 70200.0};
+constexpr double kPressConv[4] = {1.0, 1.878, 11.5, 31.15};
+constexpr double kPressComra[4] = {1.0, 2.756, 14.48, 156.5};
+
+// SiMRA press end factors per N (Obs. 18: 144.93x - 270.27x at 70.2us).
+constexpr double kSimraPressEnd[5] = {270.27, 230.0, 185.0, 144.93, 160.0};
+
+// Fractional log-progress of the SiMRA press curve at the anchor times.
+constexpr double kSimraPressW[4] = {0.0, 0.15, 0.67, 1.0};
+
+// CoMRA PRE->ACT delay: HC_first increase from 7.5ns to 12ns (Obs. 8).
+double
+comraDelayEnd(Manufacturer mfr)
+{
+    switch (mfr) {
+      case Manufacturer::SKHynix: return 3.10;
+      case Manufacturer::Micron:  return 1.18;
+      case Manufacturer::Samsung: return 1.17;
+      case Manufacturer::Nanya:   return 3.01;
+    }
+    return 1.0;
+}
+
+// SiMRA spatial-region damage gains per N index (Obs. 21: e.g. for
+// 4-row activation the beginning of the subarray sees the highest
+// HC_first; for 8-row activation the end does).
+constexpr double kSimraRegionGain[5][kNumRegions] = {
+    {0.95, 1.00, 1.05, 1.00, 0.95},  // N=2
+    {0.70, 0.95, 1.10, 1.05, 1.00},  // N=4
+    {1.05, 1.10, 1.00, 0.90, 0.70},  // N=8
+    {0.90, 1.05, 1.10, 0.95, 0.85},  // N=16
+    {1.00, 0.95, 1.05, 1.00, 0.90},  // N=32
+};
+
+// Non-sandwiched (edge) victims of a SiMRA group see only a mild
+// per-N gain rather than the full SiMRA amplification: the paper's
+// single-sided SiMRA beats single-sided RowHammer by just 1.17x at
+// N=32 (Obs. 16) while sandwiched victims see >100x reductions, and
+// the average HC_first falls 1.47x from N=2 to N=32 (Obs. 17).
+constexpr double kSimraEdgeGain[5] = {0.30, 0.33, 0.36, 0.40, 0.44};
+
+/** Damage scale for a cell whose flip direction is the class minority. */
+double
+minorityScale(TechClass cls, const WeakCell &cell)
+{
+    if (cls == TechClass::Simra)
+        return cell.dirSimra == FlipDirection::ZeroToOne ? 0.05 : 1.0;
+    return cell.dirConv == FlipDirection::OneToZero ? 0.85 : 1.0;
+}
+
+} // namespace
+
+DisturbanceModel::DisturbanceModel(const DeviceConfig &cfg)
+    : cfg_(cfg), rowsPerSubarray_(cfg.rowsPerSubarray)
+{
+}
+
+double
+DisturbanceModel::crossTransfer(TechClass from, TechClass to)
+{
+    if (from == to)
+        return 1.0;
+    // Cross-technique damage feeds only the conventional channel: the
+    // trap-assisted leakage pathway RowHammer exploits is the common
+    // denominator that multiple-row activation partially charges
+    // (Obs. 22: CoMRA pre-hammering to 90% of its HC_first cuts the
+    // subsequent RowHammer requirement by just 1.34x), while the
+    // PuD-specific pathways are not charged by plain hammering --
+    // otherwise a 90% pre-charged CoMRA accumulator would be topped up
+    // by the RowHammer phase and flip at ~3x instead.
+    if (to != TechClass::Conventional)
+        return 0.0;
+    return from == TechClass::Comra ? 0.30 : 0.35;
+}
+
+void
+DisturbanceModel::deposit(WeakCell &cell, TechClass cls, float delta)
+{
+    const auto own = static_cast<int>(cls);
+    cell.damage[own] += delta;
+    for (int other = 0; other < 3; ++other) {
+        if (other == own)
+            continue;
+        const auto to = static_cast<TechClass>(other);
+        // Damage only transfers between classes pulling the cell's
+        // bit the same way.
+        if (cell.fromBit(cls) != cell.fromBit(to))
+            continue;
+        cell.damage[other] += static_cast<float>(
+            crossTransfer(cls, to) * delta);
+    }
+}
+
+void
+DisturbanceModel::addDamage(WeakCell &cell, TechClass cls, float delta)
+{
+    deposit(cell, cls, delta);
+    if (recording_)
+        record_.push_back({&cell, delta, cls, false});
+}
+
+void
+DisturbanceModel::replay(const DamageRecord &record, std::uint64_t times)
+{
+    // Fold the event stream into per-cell per-class deltas and a
+    // reset flag; the per-iteration map is affine per accumulator.
+    struct Net
+    {
+        float delta[3] = {0, 0, 0};
+        bool reset = false;
+    };
+    std::unordered_map<WeakCell *, Net> net;
+    for (const auto &e : record) {
+        auto &state = net[e.cell];
+        if (e.reset) {
+            state.delta[0] = state.delta[1] = state.delta[2] = 0.0f;
+            state.reset = true;
+        } else {
+            state.delta[static_cast<int>(e.cls)] += e.delta;
+        }
+    }
+    for (const auto &[cell, state] : net) {
+        if (state.reset)
+            continue;  // fixed point already reached
+        for (int cls = 0; cls < 3; ++cls) {
+            if (state.delta[cls] != 0.0f) {
+                deposit(*cell, static_cast<TechClass>(cls),
+                        state.delta[cls] * static_cast<float>(times));
+            }
+        }
+    }
+}
+
+double
+DisturbanceModel::pressGain(TechClass cls, int simra_n, Time t_on) const
+{
+    const double t_ns = units::toNs(t_on);
+    // A row open for less than tRAS only partially disturbs its
+    // neighbours (charge restoration incomplete).
+    if (t_ns < 36.0)
+        return std::max(0.0, t_ns / 36.0);
+    switch (cls) {
+      case TechClass::Conventional:
+        return interpLogLog(kPressT, kPressConv, t_ns);
+      case TechClass::Comra:
+        return interpLogLog(kPressT, kPressComra, t_ns);
+      case TechClass::Simra: {
+        const double end = kSimraPressEnd[simraIndex(simra_n)];
+        double w;
+        if (t_ns <= kPressT[0]) {
+            w = 0.0;
+        } else if (t_ns >= kPressT[3]) {
+            w = 1.0;
+        } else {
+            w = 1.0;
+            for (int i = 0; i < 3; ++i) {
+                if (t_ns <= kPressT[i + 1]) {
+                    const double f =
+                        (std::log(t_ns) - std::log(kPressT[i])) /
+                        (std::log(kPressT[i + 1]) - std::log(kPressT[i]));
+                    w = kSimraPressW[i] +
+                        f * (kSimraPressW[i + 1] - kSimraPressW[i]);
+                    break;
+                }
+            }
+        }
+        return std::exp(std::log(end) * w);
+      }
+    }
+    return 1.0;
+}
+
+double
+DisturbanceModel::offGain(Time reopen_gap) const
+{
+    if (reopen_gap <= 0)
+        return 1.0;
+    // Normalized to 1.0 at the double-sided RowHammer cycle's natural
+    // off-time (tRP + t_AggOn + tRP ~= 63.5 ns); shorter off-times --
+    // e.g. plain single-sided hammering at tRP -- couple more weakly,
+    // matching Obs. 5 (ss-CoMRA and far-ds-RH beat ss-RH ~1.4x).
+    const double ratio = units::toNs(reopen_gap) / 63.5;
+    return std::min(1.05, std::pow(ratio, 0.25));
+}
+
+double
+DisturbanceModel::comraDelayGain(Time delay) const
+{
+    const double d_ns = units::toNs(delay);
+    if (d_ns <= 7.5)
+        return 1.0;
+    const double end = comraDelayEnd(cfg_.profile.mfr);
+    return std::pow(end, -(d_ns - 7.5) / 4.5);
+}
+
+double
+DisturbanceModel::simraTimingGain(Time act_to_pre, Time pre_to_act) const
+{
+    double g = 1.0;
+    // Partial activation at very small ACT->PRE gaps (Obs. 20).
+    if (act_to_pre <= cfg_.timings.simraPartialActToPre)
+        g /= 2.28;
+    // Larger PRE->ACT gaps slightly strengthen the disturbance
+    // (Obs. 19: 1.23x from 1.5ns to 4.5ns); normalized to 1.0 at 3ns.
+    const double p_ns = units::toNs(pre_to_act);
+    g *= 0.902 * std::pow(1.23, (p_ns - 1.5) / 3.0);
+    return g;
+}
+
+double
+DisturbanceModel::tempGain(TechClass cls, int simra_n, Celsius temp,
+                           const WeakCell &cell) const
+{
+    const double dt = (temp - 80.0) / 30.0;
+    switch (cls) {
+      case TechClass::Conventional:
+        return std::max(0.05, 1.0 + cell.tempSlopeConv * dt);
+      case TechClass::Comra:
+        return std::pow(cfg_.profile.comraTempGain50To80, dt);
+      case TechClass::Simra:
+        return std::pow(
+            cfg_.profile.simraTempGain50To80[simraIndex(simra_n)], dt);
+    }
+    return 1.0;
+}
+
+double
+DisturbanceModel::dataGain(const RowData &aggressor, ColId col,
+                           bool victim_bit) const
+{
+    const bool aggr_bit = aggressor.get(col);
+    double g = aggr_bit != victim_bit ? 1.0 : 0.75;
+    // Local bitline alternation (checkerboard) strengthens coupling.
+    const bool local_alt = aggressor.get(col) != aggressor.get(col ^ 1);
+    if (!local_alt) {
+        g *= 0.80;
+        // Nanya's true-/anti-cell layout makes solid patterns
+        // ineffective within a refresh window (paper footnote 1).
+        if (cfg_.profile.trueAntiCells)
+            g *= 0.05;
+    }
+    return g;
+}
+
+double
+DisturbanceModel::regionGain(TechClass cls, int simra_n, Region region) const
+{
+    const auto r = static_cast<int>(region);
+    switch (cls) {
+      case TechClass::Conventional:
+      case TechClass::Comra:
+        // The family's spatial vulnerability profile applies to both
+        // single-row and CoMRA activation (spatial variation in plain
+        // RowHammer is well documented); this keeps Obs. 2 (CoMRA
+        // lowers HC_first for ~99% of rows) true in every region
+        // while still producing Fig. 11's per-region distributions.
+        return cfg_.profile.comraRegionGain[r];
+      case TechClass::Simra:
+        // The family's spatial vulnerability profile underlies every
+        // technique; SiMRA adds its own per-N trend on top (Obs. 21).
+        return cfg_.profile.comraRegionGain[r] *
+               kSimraRegionGain[simraIndex(simra_n)][r];
+    }
+    return 1.0;
+}
+
+Region
+DisturbanceModel::regionOf(RowId physical_row) const
+{
+    const RowId offset = physical_row % rowsPerSubarray_;
+    const auto r = std::min<RowId>(
+        kNumRegions - 1, offset * kNumRegions / rowsPerSubarray_);
+    return static_cast<Region>(r);
+}
+
+void
+DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
+                             Celsius temperature)
+{
+    // Collect distance-1 / distance-2 victims of every closed aggressor.
+    // The aggressor set is small (<= 32) so linear membership tests are
+    // cheaper than hashing.
+    auto is_aggressor = [&event](RowId r) {
+        return std::find(event.rows.begin(), event.rows.end(), r) !=
+               event.rows.end();
+    };
+
+    struct Contribution
+    {
+        RowId victim;
+        RowId aggressor;
+        int distance;
+        int side;  // -1: aggressor below victim, +1: above
+    };
+    std::vector<Contribution> contribs;
+    contribs.reserve(event.rows.size() * 4);
+
+    for (RowId a : event.rows) {
+        const RowId sub = a / rowsPerSubarray_;
+        for (int d : {-2, -1, 1, 2}) {
+            const std::int64_t v =
+                static_cast<std::int64_t>(a) + d;
+            if (v < 0 || v >= static_cast<std::int64_t>(rows.size()))
+                continue;
+            const auto vr = static_cast<RowId>(v);
+            if (vr / rowsPerSubarray_ != sub)
+                continue;  // sense-amp isolation at subarray boundary
+            if (is_aggressor(vr))
+                continue;
+            contribs.push_back({vr, a, d < 0 ? -d : d, d < 0 ? 1 : -1});
+        }
+    }
+
+    // Group by victim (contribs is near-sorted; sort to be safe).
+    std::sort(contribs.begin(), contribs.end(),
+              [](const Contribution &x, const Contribution &y) {
+                  return x.victim < y.victim;
+              });
+
+    std::size_t i = 0;
+    while (i < contribs.size()) {
+        std::size_t j = i;
+        while (j < contribs.size() &&
+               contribs[j].victim == contribs[i].victim)
+            ++j;
+
+        const RowId victim_row = contribs[i].victim;
+        Row &victim = rows[victim_row];
+
+        bool has_left = false, has_right = false;
+        for (std::size_t k = i; k < j; ++k) {
+            if (contribs[k].side < 0)
+                has_left = true;
+            else
+                has_right = true;
+        }
+
+        double side_strength;
+        std::int8_t new_side;
+        if (has_left && has_right) {
+            side_strength = 1.0;
+            new_side = 0;  // "both": next one-sided hit counts as a switch
+        } else {
+            const std::int8_t s = has_left ? -1 : 1;
+            side_strength =
+                (victim.lastSide != 0 && victim.lastSide != s)
+                    ? 1.0
+                    : cfg_.singleSidedScale;
+            new_side = s;
+        }
+
+        const Region region = regionOf(victim_row);
+
+        // The CoMRA amplification is local to the just-closed /
+        // just-reopened wordline pair: it applies only to victims
+        // within the blast radius of *both* operands (Obs. 5: a far
+        // destination degenerates to far double-sided RowHammer).
+        bool comra_local = false;
+        if (event.cls == TechClass::Comra &&
+            event.comraPartner != kNoRow) {
+            const auto d =
+                static_cast<std::int64_t>(victim_row) -
+                static_cast<std::int64_t>(event.comraPartner);
+            comra_local = d >= -2 && d <= 2;
+        }
+        const TechClass eff_cls =
+            event.cls == TechClass::Comra && !comra_local
+                ? TechClass::Conventional
+                : event.cls;
+
+        // Likewise, the full SiMRA amplification needs a sandwiched
+        // victim; group-edge victims behave close to conventional
+        // hammering (Obs. 16/17).
+        const bool simra_sandwiched =
+            eff_cls == TechClass::Simra && has_left && has_right;
+
+        const double common =
+            side_strength *
+            pressGain(eff_cls, event.simraN, event.tOn) *
+            (eff_cls == TechClass::Comra
+                 ? comraDelayGain(event.comraDelay)
+                 : eff_cls == TechClass::Simra
+                       ? simraTimingGain(event.simraActToPre,
+                                         event.simraPreToAct)
+                       : 1.0) *
+            (eff_cls == TechClass::Conventional
+                 ? offGain(event.reopenGap)
+                 : 1.0) *
+            regionGain(eff_cls, event.simraN, region);
+
+        for (std::size_t k = i; k < j; ++k) {
+            const Contribution &c = contribs[k];
+            const RowData &aggr_data = rows[c.aggressor].data;
+
+            for (WeakCell &cell : victim.cells) {
+                const bool stored = victim.data.get(cell.col);
+                if (stored != cell.fromBit(eff_cls))
+                    continue;  // cannot flip in this class's direction
+
+                double dist_w;
+                if (c.distance == 1) {
+                    // Per-cell split of the coupling between the upper
+                    // and lower neighbour (mean-preserving).
+                    dist_w = c.side > 0 ? 2.0 * cell.upperShare
+                                        : 2.0 * (1.0 - cell.upperShare);
+                } else {
+                    dist_w = cfg_.distance2Weight;
+                }
+
+                double tech;
+                switch (eff_cls) {
+                  case TechClass::Comra:
+                    tech = cell.comraFactor *
+                           (event.comraDstRole ? cell.dstRoleGain
+                                               : 1.0);
+                    break;
+                  case TechClass::Simra:
+                    tech = simra_sandwiched
+                               ? cell.simraFactor[simraIndex(
+                                     event.simraN)]
+                               : kSimraEdgeGain[simraIndex(
+                                     event.simraN)];
+                    break;
+                  default:
+                    tech = 1.0;
+                }
+
+                const double delta =
+                    common * dist_w * tech *
+                    minorityScale(eff_cls, cell) *
+                    tempGain(eff_cls, event.simraN, temperature, cell) *
+                    dataGain(aggr_data, cell.col, stored) /
+                    (2.0 * cell.baseHc * cell.trialScale);
+                addDamage(cell, eff_cls, static_cast<float>(delta));
+            }
+        }
+
+        victim.lastSide = new_side;
+        i = j;
+    }
+}
+
+} // namespace pud::dram

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The read-disturbance model: turns aggressor-row close events into
+ * damage on neighbouring rows' weak cells.
+ *
+ * This is the calibrated substitute for real DRAM silicon.  Every
+ * condition dependence the paper characterizes is a multiplicative
+ * factor on the per-event damage:
+ *
+ *   damage += sideStrength * distanceWeight
+ *             * F_tech * F_press(t_on) * F_temp * F_data * F_region
+ *             * F_timing / (2 * baseHc(cell))
+ *
+ * normalized so that an alternating double-sided RowHammer at the
+ * reference conditions flips the weakest cell after exactly baseHc
+ * hammers per aggressor.  Factor magnitudes are calibrated to the
+ * paper's observations; see DESIGN.md §4 for the anchor table.
+ */
+
+#ifndef PUD_DRAM_DISTURB_H
+#define PUD_DRAM_DISTURB_H
+
+#include <vector>
+
+#include "dram/cell.h"
+#include "dram/config.h"
+#include "dram/datapattern.h"
+#include "dram/types.h"
+#include "util/units.h"
+
+namespace pud::dram {
+
+/** Context of one aggressor row (group) being closed. */
+struct CloseEvent
+{
+    /** Sorted physical rows that were open together (1 for non-SiMRA). */
+    std::vector<RowId> rows;
+
+    TechClass cls = TechClass::Conventional;
+
+    /** Number of simultaneously activated rows (SiMRA only). */
+    int simraN = 1;
+
+    /** How long the row (group) stayed open. */
+    Time tOn = 0;
+
+    /** Violated PRE->ACT gap of the CoMRA cycle (both halves). */
+    Time comraDelay = 0;
+
+    /**
+     * The other operand of the copy cycle.  The CoMRA amplification is
+     * local to the just-closed/just-opened wordline pair: it only
+     * applies to victims near *both* operands, which is why
+     * single-sided CoMRA behaves like far double-sided RowHammer
+     * (paper Obs. 5).
+     */
+    RowId comraPartner = kNoRow;
+
+    /** True when this close is the destination half of the cycle. */
+    bool comraDstRole = false;
+
+    /**
+     * The aggressor's off-time (t_AggOFF) *preceding* this open: the
+     * gap between the row's previous close and this activation.
+     * Longer off-times strengthen conventional hammering (RowPress
+     * companion effect; what makes far double-sided RowHammer and
+     * single-sided CoMRA beat plain single-sided RowHammer, Obs. 5).
+     */
+    Time reopenGap = 0;
+
+    /** SiMRA ACT->PRE / PRE->ACT gaps of the ACT-PRE-ACT open. */
+    Time simraActToPre = 0;
+    Time simraPreToAct = 0;
+};
+
+/** One recorded damage event, for the executor's loop fast-path. */
+struct DamageDelta
+{
+    WeakCell *cell;
+    float delta;
+    TechClass cls;  //!< originating technique class
+    bool reset;     //!< charge restoration (aggressor self-refresh, WR)
+};
+
+/** Damage events of one loop iteration, replayable k more times. */
+using DamageRecord = std::vector<DamageDelta>;
+
+/**
+ * Applies close events to a bank's rows.  Owned by Device; stateless
+ * apart from calibration constants and an optional recording sink.
+ */
+class DisturbanceModel
+{
+  public:
+    DisturbanceModel(const DeviceConfig &cfg);
+
+    /**
+     * Apply one close event to the rows of a bank.
+     *
+     * @param rows        the bank's physical row array
+     * @param event       the closed aggressor context
+     * @param temperature current chip temperature
+     */
+    void applyClose(std::vector<Row> &rows, const CloseEvent &event,
+                    Celsius temperature);
+
+    /** Start mirroring damage additions into a record. */
+    void beginRecording() { recording_ = true; record_.clear(); }
+
+    /** Stop mirroring and take the record. */
+    DamageRecord
+    endRecording()
+    {
+        recording_ = false;
+        return std::move(record_);
+    }
+
+    /**
+     * Re-apply a record's net per-iteration effect `times` more times.
+     *
+     * Per cell, one iteration is an affine map: if the cell was reset
+     * during the iteration (it was activated/written, restoring its
+     * charge), its post-iteration damage is a fixed point and further
+     * iterations leave it unchanged; otherwise the iteration adds a
+     * constant, which scales linearly with the remaining trip count.
+     */
+    static void replay(const DamageRecord &record, std::uint64_t times);
+
+    /** Record a charge restoration while recording (no-op otherwise). */
+    void
+    noteReset(WeakCell &cell)
+    {
+        if (recording_)
+            record_.push_back(
+                {&cell, 0.0f, TechClass::Conventional, true});
+    }
+
+    // --- individual factors, exposed for unit tests -------------------
+
+    /** Press gain vs t_AggOn for a technique class and SiMRA N. */
+    double pressGain(TechClass cls, int simra_n, Time t_on) const;
+
+    /** CoMRA PRE->ACT delay gain (1.0 at <= 7.5 ns). */
+    double comraDelayGain(Time delay) const;
+
+    /** SiMRA ACT->PRE / PRE->ACT timing gain. */
+    double simraTimingGain(Time act_to_pre, Time pre_to_act) const;
+
+    /** Temperature gain for a class (per-cell slope for conventional). */
+    double tempGain(TechClass cls, int simra_n, Celsius temp,
+                    const WeakCell &cell) const;
+
+    /** Data-coupling gain given aggressor data and the victim bit. */
+    double dataGain(const RowData &aggressor, ColId col,
+                    bool victim_bit) const;
+
+    /** Spatial region gain for a class. */
+    double regionGain(TechClass cls, int simra_n, Region region) const;
+
+    /** Aggressor off-time gain (conventional class only). */
+    double offGain(Time reopen_gap) const;
+
+    /** Region of a physical row within its subarray. */
+    Region regionOf(RowId physical_row) const;
+
+  private:
+    void disturbVictim(Row &victim, RowId victim_row,
+                       const CloseEvent &event,
+                       const std::vector<Row> &rows, Celsius temperature,
+                       const std::vector<RowId> &left_aggressors,
+                       const std::vector<RowId> &right_aggressors);
+
+    /**
+     * Deposit damage from a class: full amount into the class's own
+     * accumulator, and a calibrated cross-transfer fraction into the
+     * other classes whose flip direction matches (see
+     * crossTransfer()).
+     */
+    void addDamage(WeakCell &cell, TechClass cls, float delta);
+
+    /** Cross-class damage transfer coefficient. */
+    static double crossTransfer(TechClass from, TechClass to);
+
+    /** Apply one deposit (shared by live path and replay). */
+    static void deposit(WeakCell &cell, TechClass cls, float delta);
+
+    DeviceConfig cfg_;
+    RowId rowsPerSubarray_;
+
+    bool recording_ = false;
+    DamageRecord record_;
+};
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_DISTURB_H

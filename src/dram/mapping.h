@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Logical-to-physical in-DRAM row address mapping (paper §3.2).
+ *
+ * DRAM manufacturers remap memory-controller-visible (logical) row
+ * addresses to internal (physical) wordlines for yield and circuit
+ * reasons.  Read-disturbance experiments must know *physical*
+ * adjacency, so the paper reverse engineers the layout of every chip.
+ * We model three representative invertible schemes; the reverse
+ * engineering algorithms in pud::hammer recover them blindly, the same
+ * way the real methodology does.
+ */
+
+#ifndef PUD_DRAM_MAPPING_H
+#define PUD_DRAM_MAPPING_H
+
+#include <cstdint>
+
+#include "dram/types.h"
+
+namespace pud::dram {
+
+/** The remapping schemes modeled for the four manufacturers. */
+enum class MappingScheme : std::uint8_t
+{
+    /** physical == logical. */
+    Sequential,
+
+    /**
+     * Samsung-style pair mirroring: within each aligned group of 8
+     * rows, the middle pairs are swapped (logical ...2,3,4,5... map to
+     * physical ...3,2,5,4...), modeled after published DDR4 layouts.
+     */
+    MirroredPairs,
+
+    /**
+     * SK Hynix-style XOR fold: bit 3 of the logical address XORs into
+     * bits 2..1, scrambling adjacency across 8-row blocks.
+     */
+    XorFold,
+};
+
+inline const char *
+name(MappingScheme s)
+{
+    switch (s) {
+      case MappingScheme::Sequential:    return "sequential";
+      case MappingScheme::MirroredPairs: return "mirrored-pairs";
+      case MappingScheme::XorFold:       return "xor-fold";
+    }
+    return "?";
+}
+
+/** Invertible logical<->physical row translator for one scheme. */
+class RowMapping
+{
+  public:
+    explicit RowMapping(MappingScheme scheme) : scheme_(scheme) {}
+
+    MappingScheme scheme() const { return scheme_; }
+
+    /** Translate a logical (controller-visible) row to a wordline. */
+    RowId
+    toPhysical(RowId logical) const
+    {
+        switch (scheme_) {
+          case MappingScheme::Sequential:
+            return logical;
+          case MappingScheme::MirroredPairs: {
+            // Swap rows 2<->3 and 4<->5 within each 8-row group.
+            const RowId pos = logical & 7;
+            if (pos >= 2 && pos <= 5)
+                return (logical & ~RowId(7)) | (pos ^ 1);
+            return logical;
+          }
+          case MappingScheme::XorFold: {
+            const RowId b3 = (logical >> 3) & 1;
+            return logical ^ (b3 ? RowId(0b110) : RowId(0));
+          }
+        }
+        return logical;
+    }
+
+    /** Inverse translation.  All modeled schemes are involutions. */
+    RowId
+    toLogical(RowId physical) const
+    {
+        // Each scheme is its own inverse: applying it twice yields the
+        // identity, which the unit tests verify exhaustively.
+        return toPhysical(physical);
+    }
+
+  private:
+    MappingScheme scheme_;
+};
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_MAPPING_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DDR4 timing parameters (paper §2.1) and the violated-timing windows
+ * that enable multiple-row activation (paper §4.1, §5.1).
+ *
+ * All figures are nominal DDR4-2400 values; the testing infrastructure
+ * may issue commands that violate them -- that is precisely how CoMRA
+ * and SiMRA are performed on commercial off-the-shelf chips.
+ */
+
+#ifndef PUD_DRAM_TIMING_H
+#define PUD_DRAM_TIMING_H
+
+#include "util/units.h"
+
+namespace pud::dram {
+
+/** Nominal timing parameter set plus multiple-row-activation windows. */
+struct TimingParams
+{
+    // --- Nominal DDR4 parameters ---------------------------------------
+    Time tRCD = units::fromNs(13.75);  //!< ACT to column command
+    Time tRAS = units::fromNs(36.0);   //!< ACT to PRE (charge restore)
+    Time tRP = units::fromNs(13.75);   //!< PRE to ACT
+    Time tRC = units::fromNs(46.0);    //!< ACT to ACT (same bank)
+    Time tWR = units::fromNs(15.0);    //!< write recovery
+    Time tRFC = units::fromNs(350.0);  //!< REF to next command
+    Time tREFI = units::fromNs(7800.0);   //!< REF interval
+    Time tREFW = 64 * units::ms;          //!< refresh window
+
+    // --- Multiple-row activation windows --------------------------------
+    /**
+     * A PRE -> ACT gap below this value, after a full tRAS restore and
+     * targeting the same subarray, leaves the source row's charge on
+     * the bitlines and turns the new activation into an in-DRAM copy
+     * (CoMRA).  The paper sweeps 7.5 ns - 12 ns; nominal tRP (13.75 ns)
+     * no longer copies.
+     */
+    Time comraMaxPreToAct = units::fromNs(13.0);
+
+    /**
+     * An ACT -> PRE gap at or below this value (grossly violating
+     * tRAS), followed by a quick second ACT, simultaneously activates
+     * the bit-combination row set (SiMRA).  The paper uses 3 ns and
+     * sweeps 1.5 / 3 / 4.5 ns.
+     */
+    Time simraMaxActToPre = units::fromNs(6.0);
+
+    /** Maximum PRE -> ACT gap for the SiMRA ACT-PRE-ACT sequence. */
+    Time simraMaxPreToAct = units::fromNs(6.0);
+
+    /**
+     * Below this ACT -> PRE gap some aggressor rows are only partially
+     * activated (paper Obs. 20), weakening the disturbance.
+     */
+    Time simraPartialActToPre = units::fromNs(2.0);
+
+    /** Number of REF commands that cover the whole device (8K groups). */
+    int refsPerWindow = 8192;
+};
+
+/** The default DDR4 timing set used throughout the experiments. */
+inline TimingParams
+ddr4Timings()
+{
+    return TimingParams{};
+}
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_TIMING_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fundamental identifiers and enumerations for the DRAM device model.
+ */
+
+#ifndef PUD_DRAM_TYPES_H
+#define PUD_DRAM_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace pud::dram {
+
+/** Logical or physical row index within a bank. */
+using RowId = std::uint32_t;
+
+/** Bank index within a (single-rank) module. */
+using BankId = std::uint32_t;
+
+/** Subarray index within a bank. */
+using SubarrayId = std::uint32_t;
+
+/** Bit-column index within a row. */
+using ColId = std::uint32_t;
+
+/** Sentinel for "no row". */
+constexpr RowId kNoRow = ~RowId(0);
+
+/** The four DRAM manufacturers characterized by the paper. */
+enum class Manufacturer
+{
+    SKHynix,
+    Micron,
+    Samsung,
+    Nanya,
+};
+
+/** Human-readable manufacturer name. */
+inline const char *
+name(Manufacturer m)
+{
+    switch (m) {
+      case Manufacturer::SKHynix: return "SK Hynix";
+      case Manufacturer::Micron:  return "Micron";
+      case Manufacturer::Samsung: return "Samsung";
+      case Manufacturer::Nanya:   return "Nanya";
+    }
+    return "?";
+}
+
+/**
+ * Read-disturbance technique class as seen by the disturbance model.
+ *
+ * Conventional covers RowHammer and RowPress (a single row activated at
+ * a time with nominal inter-command delays); Comra is an activation
+ * that is part of a consecutive-multiple-row-activation in-DRAM copy
+ * cycle; Simra is a simultaneous multiple-row activation.
+ */
+enum class TechClass
+{
+    Conventional,
+    Comra,
+    Simra,
+};
+
+inline const char *
+name(TechClass t)
+{
+    switch (t) {
+      case TechClass::Conventional: return "conventional";
+      case TechClass::Comra:        return "CoMRA";
+      case TechClass::Simra:        return "SiMRA";
+    }
+    return "?";
+}
+
+/** Direction of a read-disturbance bitflip. */
+enum class FlipDirection : std::uint8_t
+{
+    ZeroToOne,
+    OneToZero,
+};
+
+/** Victim-row location region within a subarray (paper §4.2). */
+enum class Region : std::uint8_t
+{
+    Beginning,        //!< first 20% of rows
+    BeginningMiddle,  //!< second 20%
+    Middle,           //!< third 20%
+    MiddleEnd,        //!< fourth 20%
+    End,              //!< last 20%
+};
+
+constexpr int kNumRegions = 5;
+
+inline const char *
+name(Region r)
+{
+    switch (r) {
+      case Region::Beginning:       return "Beginning";
+      case Region::BeginningMiddle: return "Beg-Mid";
+      case Region::Middle:          return "Middle";
+      case Region::MiddleEnd:       return "Mid-End";
+      case Region::End:             return "End";
+    }
+    return "?";
+}
+
+/** How a currently-open row (group) was opened. */
+enum class OpenKind : std::uint8_t
+{
+    Normal,    //!< ordinary single-row ACT
+    ComraDst,  //!< ACT issued with a violated tRP after a full restore
+    Simra,     //!< simultaneous group open via ACT-PRE-ACT
+};
+
+} // namespace pud::dram
+
+#endif // PUD_DRAM_TYPES_H

@@ -1,0 +1,184 @@
+#include "hammer/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pud::hammer {
+
+std::vector<std::vector<double>>
+measurePopulation(const PopulationConfig &cfg,
+                  const std::vector<MeasureFn> &measures)
+{
+    std::vector<std::vector<double>> series(measures.size());
+
+    for (int m = 0; m < cfg.modules; ++m) {
+        dram::DeviceConfig dev_cfg =
+            dram::makeConfig(cfg.moduleId, cfg.seed + m);
+        if (cfg.rowsPerSubarray)
+            dev_cfg.rowsPerSubarray = cfg.rowsPerSubarray;
+        ModuleTester tester(dev_cfg);
+
+        const auto victims =
+            tester.sampleVictims(cfg.victimsPerSubarray, cfg.oddOnly);
+        for (RowId v : victims) {
+            for (std::size_t i = 0; i < measures.size(); ++i) {
+                const std::uint64_t hc = measures[i](tester, v);
+                series[i].push_back(
+                    hc == kNoFlip
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : static_cast<double>(hc));
+            }
+        }
+    }
+    return series;
+}
+
+std::vector<std::vector<double>>
+dropIncomplete(const std::vector<std::vector<double>> &series)
+{
+    if (series.empty())
+        return {};
+    const std::size_t n = series.front().size();
+    for (const auto &s : series)
+        if (s.size() != n)
+            panic("dropIncomplete: ragged series");
+
+    std::vector<std::vector<double>> out(series.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        bool ok = true;
+        for (const auto &s : series)
+            if (std::isnan(s[i]))
+                ok = false;
+        if (!ok)
+            continue;
+        for (std::size_t k = 0; k < series.size(); ++k)
+            out[k].push_back(series[k][i]);
+    }
+    return out;
+}
+
+std::uint64_t
+runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
+                 const TrrConfig &cfg, bool trr_enabled)
+{
+    dram::Device &dev = tester.device();
+    const ColId cols = dev.config().cols;
+    const RowId rps = dev.config().rowsPerSubarray;
+    const dram::SubarrayId sub = dev.config().subarraysPerBank / 2;
+    const RowId base = sub * rps;
+
+    dev.setTrrEnabled(trr_enabled);
+
+    // SiMRA is most effective with 1 -> 0 flips (Obs. 14): an all-ones
+    // victim (all-zeros aggressor) pattern.  RowHammer and CoMRA use
+    // the checkerboard WCDP.
+    const DataPattern aggr_pattern = tech == TrrTechnique::Simra
+                                         ? DataPattern::P00
+                                         : DataPattern::P55;
+    const RowData aggr_data(cols, aggr_pattern);
+    const RowData victim_data(cols, dram::negate(aggr_pattern));
+
+    PatternTimings t;
+
+    // Aggressor geometry in the middle of the subarray.
+    std::vector<RowId> aggressors_phys;
+    Program program;
+    const RowId mid = base + rps / 2;
+
+    switch (tech) {
+      case TrrTechnique::RowHammer:
+      case TrrTechnique::Comra: {
+        // Like the U-TRR methodology, profile candidate victims first
+        // and aim the N-sided pattern at the most vulnerable one.
+        RowId best_victim = mid + 1;
+        std::uint64_t best_hc = ~std::uint64_t(0);
+        ModuleTester::Options profile_opt;
+        profile_opt.pattern = aggr_pattern;
+        for (RowId v = base + 5; v + 8 + 2 * cfg.nSided < base + rps;
+             v += 4) {
+            const std::uint64_t hc = tester.rhDouble(v, profile_opt);
+            if (hc < best_hc) {
+                best_hc = hc;
+                best_victim = v;
+            }
+        }
+
+        // N aggressors spaced by 2, sandwiching odd victims; for CoMRA
+        // they are walked as (src, dst) pairs.
+        int n = cfg.nSided;
+        if (tech == TrrTechnique::Comra && n % 2)
+            ++n;
+        for (int i = 0; i < n; ++i)
+            aggressors_phys.push_back(best_victim - 1 +
+                                      2 * static_cast<RowId>(i));
+        std::vector<RowId> aggressors_logical;
+        for (RowId a : aggressors_phys)
+            aggressors_logical.push_back(dev.toLogical(a));
+        const RowId dummy = dev.toLogical(base + 4);
+        const std::uint64_t acts_per_cycle =
+            static_cast<std::uint64_t>(cfg.actsPerTrefi) /
+            aggressors_phys.size();
+        const std::uint64_t cycles = std::max<std::uint64_t>(
+            1, cfg.hammersPerAggressor / std::max<std::uint64_t>(
+                                             1, acts_per_cycle));
+        program = trrBypassPattern(cfg.bank, aggressors_logical, dummy,
+                                   tech == TrrTechnique::Comra, cycles,
+                                   t, cfg.actsPerTrefi);
+        break;
+      }
+      case TrrTechnique::Simra: {
+        // A spaced (bit-combination) group leaves its sandwiched
+        // victims invisible to the TRR sampler, which only observes
+        // the two issued ACT addresses (Obs. 26).  32-row activation
+        // only resolves as a contiguous block in the modeled decoder
+        // (paper footnote 3), so it falls back to edge victims.
+        std::optional<SimraPlan> plan;
+        if (cfg.simraN <= 16) {
+            const RowId victim = (mid & ~RowId(3)) | 1;
+            plan = tester.planSimraDouble(victim, cfg.simraN);
+        } else {
+            plan = tester.planSimraSingle(
+                ((mid / cfg.simraN) * cfg.simraN) - 1, cfg.simraN);
+        }
+        if (!plan)
+            fatal("runTrrExperiment: no SiMRA-%d group near row %u",
+                  cfg.simraN, mid);
+        aggressors_phys = plan->group;
+        const std::uint64_t ops_per_cycle =
+            static_cast<std::uint64_t>(cfg.actsPerTrefi) / 2;
+        const std::uint64_t cycles = std::max<std::uint64_t>(
+            1, cfg.hammersPerAggressor / ops_per_cycle);
+        program = trrSimraPattern(cfg.bank, dev.toLogical(plan->r1),
+                                  dev.toLogical(plan->r2), cycles, t,
+                                  cfg.actsPerTrefi);
+        break;
+      }
+    }
+
+    // Initialize the whole subarray: aggressors with the pattern,
+    // everything else as a victim.
+    auto is_aggr = [&](RowId p) {
+        return std::find(aggressors_phys.begin(), aggressors_phys.end(),
+                         p) != aggressors_phys.end();
+    };
+    for (RowId p = base; p < base + rps; ++p) {
+        dev.writeRowDirect(cfg.bank, dev.toLogical(p),
+                           is_aggr(p) ? aggr_data : victim_data);
+    }
+
+    tester.bench().run(program);
+
+    std::uint64_t flips = 0;
+    for (RowId p = base; p < base + rps; ++p) {
+        if (is_aggr(p))
+            continue;
+        flips += tester.bench().countBitflips(
+            cfg.bank, dev.toLogical(p), victim_data);
+    }
+    dev.setTrrEnabled(false);
+    return flips;
+}
+
+} // namespace pud::hammer

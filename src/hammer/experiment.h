@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Population-level experiment runners: instantiate module populations,
+ * sweep victims, and run the §7 TRR experiment.  These are the
+ * building blocks every bench binary uses.
+ */
+
+#ifndef PUD_HAMMER_EXPERIMENT_H
+#define PUD_HAMMER_EXPERIMENT_H
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hammer/tester.h"
+
+namespace pud::hammer {
+
+/** Scale knobs for a module-family population run. */
+struct PopulationConfig
+{
+    std::string moduleId;
+
+    /** Module instances to simulate (Table 2 column #Modules). */
+    int modules = 1;
+
+    /** Victims sampled per subarray (the paper tests all rows). */
+    RowId victimsPerSubarray = 12;
+
+    /** Restrict to rows sandwichable by double-sided SiMRA groups. */
+    bool oddOnly = false;
+
+    std::uint64_t seed = 1;
+
+    /** Geometry override hook (0 = default). */
+    RowId rowsPerSubarray = 0;
+};
+
+/** HC_first measurement as a function of (tester, victim). */
+using MeasureFn =
+    std::function<std::uint64_t(ModuleTester &, RowId victim)>;
+
+/**
+ * Run several measurements over the same victim population.
+ *
+ * @return one vector per MeasureFn, aligned per victim; kNoFlip maps
+ *         to NaN so downstream stats can filter pairs consistently.
+ */
+std::vector<std::vector<double>>
+measurePopulation(const PopulationConfig &cfg,
+                  const std::vector<MeasureFn> &measures);
+
+/** Drop victim entries where any series is NaN; keeps pairing. */
+std::vector<std::vector<double>>
+dropIncomplete(const std::vector<std::vector<double>> &series);
+
+// ---------------------------------------------------------------------------
+// §7: PuDHammer in the presence of in-DRAM TRR
+// ---------------------------------------------------------------------------
+
+enum class TrrTechnique
+{
+    RowHammer,  //!< U-TRR N-sided pattern
+    Comra,      //!< same pattern with copy cycles
+    Simra,      //!< back-to-back SiMRA ops between REFs
+};
+
+inline const char *
+name(TrrTechnique t)
+{
+    switch (t) {
+      case TrrTechnique::RowHammer: return "RowHammer";
+      case TrrTechnique::Comra:     return "CoMRA";
+      case TrrTechnique::Simra:     return "SiMRA";
+    }
+    return "?";
+}
+
+struct TrrConfig
+{
+    BankId bank = 0;
+
+    /** Aggressor count for the N-sided RowHammer/CoMRA pattern. */
+    int nSided = 2;
+
+    /** Simultaneously activated rows for the SiMRA variant. */
+    int simraN = 32;
+
+    /** Total hammers per aggressor (paper: 500K). */
+    std::uint64_t hammersPerAggressor = 60000;
+
+    /** ACT budget per tREFI in the tested module (paper: 156). */
+    int actsPerTrefi = 156;
+};
+
+/**
+ * Run one TRR experiment iteration: build the aggressor geometry in
+ * the middle subarray, initialize victims, run the paced pattern with
+ * periodic REF, and count bitflips across every non-aggressor row of
+ * the subarray.
+ */
+std::uint64_t runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
+                               const TrrConfig &cfg, bool trr_enabled);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_EXPERIMENT_H

@@ -1,0 +1,59 @@
+#include "hammer/hcfirst.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::hammer {
+
+namespace {
+
+std::uint64_t
+searchOnce(const HcSearchConfig &cfg,
+           const std::function<bool(std::uint64_t)> &flips_at)
+{
+    // Exponential ramp to bracket the threshold.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = std::max<std::uint64_t>(1, cfg.rampStart);
+    for (;;) {
+        if (hi >= cfg.maxHammers) {
+            hi = cfg.maxHammers;
+            if (!flips_at(hi))
+                return kNoFlip;
+            break;
+        }
+        if (flips_at(hi))
+            break;
+        lo = hi;
+        hi *= 2;
+    }
+
+    // Bisect until the bracket width is within the convergence bound.
+    while (hi - lo > std::max<std::uint64_t>(
+                         1, static_cast<std::uint64_t>(
+                                cfg.convergence *
+                                static_cast<double>(hi)))) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (flips_at(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace
+
+std::uint64_t
+findHcFirst(const HcSearchConfig &cfg,
+            const std::function<bool(std::uint64_t)> &flips_at)
+{
+    if (cfg.maxHammers == 0)
+        fatal("findHcFirst: zero hammer budget");
+    std::uint64_t best = kNoFlip;
+    for (int r = 0; r < std::max(1, cfg.repeats); ++r)
+        best = std::min(best, searchOnce(cfg, flips_at));
+    return best;
+}
+
+} // namespace pud::hammer

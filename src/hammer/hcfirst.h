@@ -1,0 +1,61 @@
+/**
+ * @file
+ * HC_first search: the bisection algorithm of the paper's §4.2.
+ *
+ * The search finds the minimum hammer count that induces the first
+ * bitflip in a victim row.  A trial functor runs a fresh hammering
+ * experiment at a given count and reports whether any bitflip
+ * occurred; the search brackets the threshold with an exponential
+ * ramp, bisects until the bracket is within 1% (the paper's
+ * convergence criterion), repeats the whole search `repeats` times,
+ * and reports the minimum observed HC_first.
+ */
+
+#ifndef PUD_HAMMER_HCFIRST_H
+#define PUD_HAMMER_HCFIRST_H
+
+#include <cstdint>
+#include <functional>
+
+namespace pud::hammer {
+
+/** Returned when no bitflip occurs within the hammer budget. */
+constexpr std::uint64_t kNoFlip = ~std::uint64_t(0);
+
+/** Parameters of the HC_first search. */
+struct HcSearchConfig
+{
+    /**
+     * Maximum hammers per trial.  The paper bounds test programs
+     * within the refresh window; at ~92 ns per double-sided round,
+     * 64 ms fits ~700K rounds.
+     */
+    std::uint64_t maxHammers = 700'000;
+
+    /** Bracket convergence as a fraction of the lower bound (1%). */
+    double convergence = 0.01;
+
+    /**
+     * Number of independent searches; the minimum result is reported
+     * (paper: five).  The device model is deterministic per seed, so
+     * the default avoids redundant repeats; benches can restore 5.
+     */
+    int repeats = 1;
+
+    /** Initial ramp point. */
+    std::uint64_t rampStart = 512;
+};
+
+/**
+ * Run the bisection HC_first search.
+ *
+ * @param flips_at trial functor: hammer `n` times from a fresh state
+ *                 and return whether the victim flipped
+ * @return the smallest bracketing count, or kNoFlip
+ */
+std::uint64_t findHcFirst(const HcSearchConfig &cfg,
+                          const std::function<bool(std::uint64_t)> &flips_at);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_HCFIRST_H

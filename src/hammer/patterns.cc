@@ -1,0 +1,199 @@
+#include "hammer/patterns.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::hammer {
+
+Program
+doubleSidedRowHammer(BankId bank, RowId a1, RowId a2,
+                     std::uint64_t hammers, const PatternTimings &t)
+{
+    Program p;
+    if (hammers == 0)
+        return p;
+    p.loopBegin(hammers)
+        .act(bank, a1, t.base.tRP)
+        .pre(bank, t.aggOn())
+        .act(bank, a2, t.base.tRP)
+        .pre(bank, t.aggOn())
+        .loopEnd();
+    return p;
+}
+
+Program
+singleSidedRowHammer(BankId bank, RowId aggressor, std::uint64_t hammers,
+                     const PatternTimings &t)
+{
+    Program p;
+    if (hammers == 0)
+        return p;
+    p.loopBegin(hammers)
+        .act(bank, aggressor, t.base.tRP)
+        .pre(bank, t.aggOn())
+        .loopEnd();
+    return p;
+}
+
+Program
+comraHammer(BankId bank, RowId src, RowId dst, std::uint64_t hammers,
+            const PatternTimings &t)
+{
+    Program p;
+    if (hammers == 0)
+        return p;
+    p.loopBegin(hammers)
+        .act(bank, src, t.base.tRP)
+        .pre(bank, t.base.tRAS)
+        .act(bank, dst, t.comraPreToAct)  // violated tRP: the copy
+        .pre(bank, t.aggOn())
+        .loopEnd();
+    return p;
+}
+
+Program
+simraHammer(BankId bank, RowId r1, RowId r2, std::uint64_t hammers,
+            const PatternTimings &t)
+{
+    Program p;
+    if (hammers == 0)
+        return p;
+    p.loopBegin(hammers)
+        .act(bank, r1, t.base.tRP)
+        .pre(bank, t.simraActToPre)      // violated tRAS
+        .act(bank, r2, t.simraPreToAct)  // violated tRP: group opens
+        .pre(bank, t.aggOn())
+        .loopEnd();
+    return p;
+}
+
+namespace {
+
+void
+appendLoop(Program &dst, const Program &src)
+{
+    // Pattern builders above produce self-contained programs; splice
+    // their instructions (they share no data table entries).
+    for (const auto &inst : src.insts()) {
+        switch (inst.op) {
+          case bender::Op::Act:
+            dst.act(inst.bank, inst.row, inst.gap);
+            break;
+          case bender::Op::Pre:
+            dst.pre(inst.bank, inst.gap);
+            break;
+          case bender::Op::LoopBegin:
+            dst.loopBegin(inst.count);
+            break;
+          case bender::Op::LoopEnd:
+            dst.loopEnd();
+            break;
+          default:
+            panic("appendLoop: unexpected opcode");
+        }
+    }
+}
+
+} // namespace
+
+Program
+combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2, RowId comra_src,
+                RowId comra_dst, RowId simra_r1, RowId simra_r2,
+                const CombinedCounts &counts, const PatternTimings &t)
+{
+    Program p;
+    if (counts.comra > 0)
+        appendLoop(p, comraHammer(bank, comra_src, comra_dst,
+                                  counts.comra, t));
+    if (counts.simra > 0)
+        appendLoop(p, simraHammer(bank, simra_r1, simra_r2,
+                                  counts.simra, t));
+    if (counts.rowHammer > 0)
+        appendLoop(p, doubleSidedRowHammer(bank, rh_a1, rh_a2,
+                                           counts.rowHammer, t));
+    return p;
+}
+
+Program
+trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
+                 RowId dummy, bool comra, std::uint64_t cycles,
+                 const PatternTimings &t, int acts_per_trefi)
+{
+    if (aggressors.empty())
+        fatal("trrBypassPattern: no aggressors");
+    if (comra && aggressors.size() % 2 != 0)
+        fatal("trrBypassPattern: CoMRA needs (src, dst) pairs");
+
+    Program p;
+    if (cycles == 0)
+        return p;
+
+    // Spacing that fits acts_per_trefi single-row activations (or
+    // half as many copy cycles, which use two ACTs each) in one tREFI.
+    const Time slot = t.base.tREFI / acts_per_trefi;
+    const Time act_gap = std::max(t.base.tRP, slot - t.aggOn());
+    const Time comra_gap =
+        std::max(t.base.tRP, 2 * slot - t.base.tRAS -
+                                 t.comraPreToAct - t.aggOn());
+
+    p.loopBegin(cycles);
+
+    // Aggressor phase: acts_per_trefi ACTs spread over the aggressor
+    // list within one tREFI, then a (potentially TRR-capable) REF.
+    if (comra) {
+        const int cycles_per_trefi = acts_per_trefi / 2;
+        for (int i = 0; i < cycles_per_trefi; ++i) {
+            const std::size_t pair =
+                (i % (aggressors.size() / 2)) * 2;
+            p.act(bank, aggressors[pair], comra_gap)
+                .pre(bank, t.base.tRAS)
+                .act(bank, aggressors[pair + 1], t.comraPreToAct)
+                .pre(bank, t.aggOn());
+        }
+    } else {
+        for (int i = 0; i < acts_per_trefi; ++i) {
+            p.act(bank, aggressors[i % aggressors.size()], act_gap)
+                .pre(bank, t.aggOn());
+        }
+    }
+    p.ref(t.base.tRP);
+
+    // Dummy phase: three tREFIs of dummy-row hammering, each ending
+    // with a REF, flooding the TRR sampler window.
+    for (int trefi = 0; trefi < 3; ++trefi) {
+        for (int i = 0; i < acts_per_trefi; ++i)
+            p.act(bank, dummy, act_gap).pre(bank, t.aggOn());
+        p.ref(t.base.tRP);
+    }
+
+    p.loopEnd();
+    return p;
+}
+
+Program
+trrSimraPattern(BankId bank, RowId r1, RowId r2, std::uint64_t cycles,
+                const PatternTimings &t, int acts_per_trefi)
+{
+    Program p;
+    if (cycles == 0)
+        return p;
+    const int ops_per_trefi = acts_per_trefi / 2;
+    const Time slot = t.base.tREFI / ops_per_trefi;
+    const Time op_gap = std::max(
+        t.base.tRP,
+        slot - t.simraActToPre - t.simraPreToAct - t.aggOn());
+
+    p.loopBegin(cycles);
+    for (int i = 0; i < ops_per_trefi; ++i) {
+        p.act(bank, r1, op_gap)
+            .pre(bank, t.simraActToPre)
+            .act(bank, r2, t.simraPreToAct)
+            .pre(bank, t.aggOn());
+    }
+    p.ref(t.base.tRP);
+    p.loopEnd();
+    return p;
+}
+
+} // namespace pud::hammer

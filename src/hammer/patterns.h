@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Access-pattern builders: every hammering pattern the paper uses,
+ * expressed as a bender test program.
+ *
+ * Hammer-count conventions follow the paper exactly:
+ *  - RowHammer / RowPress: one hammer = one activation per aggressor
+ *    (a double-sided round activates each of the two aggressors once);
+ *  - CoMRA: one hammer = one copy cycle (the ACT src + ACT dst pair);
+ *  - SiMRA: one hammer = one ACT-PRE-ACT multi-row activation.
+ */
+
+#ifndef PUD_HAMMER_PATTERNS_H
+#define PUD_HAMMER_PATTERNS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/timing.h"
+
+namespace pud::hammer {
+
+using bender::Program;
+using dram::BankId;
+using dram::RowId;
+
+/** Timing knobs every pattern builder takes. */
+struct PatternTimings
+{
+    dram::TimingParams base;
+
+    /** Aggressor-on time (RowPress sweeps); defaults to tRAS. */
+    Time tAggOn = 0;
+
+    /** Violated PRE -> ACT dst gap of the CoMRA cycle (Fig. 9 sweep). */
+    Time comraPreToAct = units::fromNs(7.5);
+
+    /** SiMRA ACT -> PRE / PRE -> ACT gaps (Fig. 18 sweep). */
+    Time simraActToPre = units::fromNs(3.0);
+    Time simraPreToAct = units::fromNs(3.0);
+
+    Time aggOn() const { return tAggOn > 0 ? tAggOn : base.tRAS; }
+};
+
+/**
+ * Double-sided RowHammer / RowPress: alternately activate a1 and a2,
+ * holding each open for tAggOn.  `hammers` activations per aggressor.
+ */
+Program doubleSidedRowHammer(BankId bank, RowId a1, RowId a2,
+                             std::uint64_t hammers,
+                             const PatternTimings &t);
+
+/** Single-sided RowHammer / RowPress on one aggressor. */
+Program singleSidedRowHammer(BankId bank, RowId aggressor,
+                             std::uint64_t hammers,
+                             const PatternTimings &t);
+
+/**
+ * One CoMRA copy cycle repeated `hammers` times:
+ * ACT src, wait tRAS, PRE + ACT dst back-to-back with the violated
+ * tRP, wait tAggOn, PRE.  Whether the attack is double- or
+ * single-sided is purely a matter of where src and dst sit relative
+ * to the victim (paper Fig. 3).
+ */
+Program comraHammer(BankId bank, RowId src, RowId dst,
+                    std::uint64_t hammers, const PatternTimings &t);
+
+/**
+ * SiMRA hammering: ACT r1 - PRE - ACT r2 with both gaps violated,
+ * opening the bit-combination row group, held for tAggOn, then PRE.
+ */
+Program simraHammer(BankId bank, RowId r1, RowId r2,
+                    std::uint64_t hammers, const PatternTimings &t);
+
+/**
+ * Combined pattern (paper §6, Fig. 20): optional CoMRA phase, then an
+ * optional SiMRA phase, then a RowHammer phase.  Zero-count phases are
+ * omitted.
+ */
+struct CombinedCounts
+{
+    std::uint64_t comra = 0;
+    std::uint64_t simra = 0;
+    std::uint64_t rowHammer = 0;
+};
+
+Program combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2,
+                        RowId comra_src, RowId comra_dst, RowId simra_r1,
+                        RowId simra_r2, const CombinedCounts &counts,
+                        const PatternTimings &t);
+
+/**
+ * The U-TRR-style N-sided TRR bypass pattern (paper §7) for RowHammer
+ * or CoMRA aggressors: per refresh-window cycle, spread
+ * `actsPerTrefi` activations over the aggressor list within one tREFI
+ * and issue a REF, then hammer the dummy row for three full tREFIs
+ * (with REFs) so the sampler's window fills with the dummy address.
+ *
+ * For `comra == true` the aggressor list is walked in (src, dst) pairs
+ * performing copy cycles instead of plain activations.
+ */
+Program trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
+                         RowId dummy, bool comra, std::uint64_t cycles,
+                         const PatternTimings &t, int actsPerTrefi = 156);
+
+/**
+ * SiMRA under TRR (paper §7): per tREFI, issue `actsPerTrefi / 2`
+ * SiMRA operations (each consumes two ACT commands), then a REF.
+ */
+Program trrSimraPattern(BankId bank, RowId r1, RowId r2,
+                        std::uint64_t cycles, const PatternTimings &t,
+                        int actsPerTrefi = 156);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_PATTERNS_H

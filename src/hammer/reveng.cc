@@ -1,0 +1,218 @@
+#include "hammer/reveng.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::hammer {
+
+std::vector<RowId>
+findDisturbanceNeighbors(ModuleTester &tester, BankId bank,
+                         RowId logical_aggressor, std::uint64_t hammers,
+                         RowId window)
+{
+    dram::Device &dev = tester.device();
+    const ColId cols = dev.config().cols;
+    const RowId rows = dev.rowsPerBank();
+
+    // Checkerboard victims hold both bit values, so cells of either
+    // flip direction can fire.
+    const RowData aggr_data(cols, DataPattern::P55);
+    const RowData probe_data(cols, DataPattern::PAA);
+
+    const RowId lo =
+        logical_aggressor > window ? logical_aggressor - window : 0;
+    const RowId hi = std::min(rows - 1, logical_aggressor + window);
+
+    for (RowId r = lo; r <= hi; ++r) {
+        if (r == logical_aggressor)
+            dev.writeRowDirect(bank, r, aggr_data);
+        else
+            dev.writeRowDirect(bank, r, probe_data);
+    }
+
+    PatternTimings t;
+    t.tAggOn = units::fromNs(70200.0);  // RowPress-amplified
+    tester.bench().run(
+        singleSidedRowHammer(bank, logical_aggressor, hammers, t));
+
+    std::vector<RowId> flipped;
+    for (RowId r = lo; r <= hi; ++r) {
+        if (r == logical_aggressor)
+            continue;
+        if (tester.bench().countBitflips(bank, r, probe_data) > 0)
+            flipped.push_back(r);
+    }
+    return flipped;
+}
+
+dram::MappingScheme
+identifyMappingScheme(ModuleTester &tester, BankId bank)
+{
+    using dram::MappingScheme;
+    const MappingScheme candidates[] = {
+        MappingScheme::Sequential,
+        MappingScheme::MirroredPairs,
+        MappingScheme::XorFold,
+    };
+
+    // Sample aggressors across 8-row blocks (all modeled schemes are
+    // local within aligned 8-row groups).
+    const RowId rows = tester.device().rowsPerBank();
+    std::vector<RowId> samples;
+    for (RowId r = 8; r + 8 < rows && samples.size() < 12; r += rows / 13)
+        samples.push_back((r & ~RowId(7)) | (samples.size() % 8));
+
+    int best_score = -1;
+    MappingScheme best = MappingScheme::Sequential;
+    for (MappingScheme scheme : candidates) {
+        dram::RowMapping mapping(scheme);
+        int score = 0;
+        for (RowId aggr : samples) {
+            const auto flipped =
+                findDisturbanceNeighbors(tester, bank, aggr);
+            const RowId phys = mapping.toPhysical(aggr);
+            bool ok = true;
+            for (int d : {-1, 1}) {
+                const RowId neighbor_logical =
+                    mapping.toLogical(phys + d);
+                if (std::find(flipped.begin(), flipped.end(),
+                              neighbor_logical) == flipped.end())
+                    ok = false;
+            }
+            if (ok)
+                ++score;
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = scheme;
+        }
+    }
+    return best;
+}
+
+bool
+rowCloneWorks(ModuleTester &tester, BankId bank, RowId src_logical,
+              RowId dst_logical)
+{
+    dram::Device &dev = tester.device();
+    const ColId cols = dev.config().cols;
+    const RowData src_data(cols, DataPattern::PAA);
+    const RowData dst_data(cols, DataPattern::P55);
+    dev.writeRowDirect(bank, src_logical, src_data);
+    dev.writeRowDirect(bank, dst_logical, dst_data);
+
+    PatternTimings t;
+    Program p;
+    p.act(bank, src_logical, t.base.tRP)
+        .pre(bank, t.base.tRAS)
+        .act(bank, dst_logical, t.comraPreToAct)
+        .pre(bank, t.base.tRAS);
+    tester.bench().run(p);
+
+    return dev.readRowDirect(bank, dst_logical) == src_data;
+}
+
+std::vector<RowId>
+findSubarrayBoundaries(ModuleTester &tester, BankId bank)
+{
+    const RowId rows = tester.device().rowsPerBank();
+    std::vector<RowId> starts{0};
+    for (RowId r = 0; r + 1 < rows; ++r) {
+        if (!rowCloneWorks(tester, bank, r, r + 1))
+            starts.push_back(r + 1);
+    }
+    return starts;
+}
+
+std::vector<RowId>
+discoverSimraGroup(ModuleTester &tester, BankId bank, RowId r1_logical,
+                   RowId r2_logical)
+{
+    dram::Device &dev = tester.device();
+    const ColId cols = dev.config().cols;
+    const RowData canvas(cols, DataPattern::P00);
+    const RowData marker(cols, DataPattern::PFF);
+
+    // Blanket the subarray of r1 with the canvas pattern.
+    const RowId rps = dev.config().rowsPerSubarray;
+    const RowId phys1 = dev.toPhysical(r1_logical);
+    const RowId base = (phys1 / rps) * rps;
+    for (RowId p = base; p < base + rps; ++p)
+        dev.writeRowDirect(bank, dev.toLogical(p), canvas);
+
+    PatternTimings t;
+    Program prog;
+    const int data_index = prog.addData(marker);
+    prog.act(bank, r1_logical, t.base.tRP)
+        .pre(bank, t.simraActToPre)
+        .act(bank, r2_logical, t.simraPreToAct)
+        .nop(t.base.tRCD)
+        .wr(bank, data_index, 0)
+        .pre(bank, t.base.tRAS);
+    tester.bench().run(prog);
+
+    std::vector<RowId> group;
+    for (RowId p = base; p < base + rps; ++p) {
+        const RowId logical = dev.toLogical(p);
+        if (dev.readRowDirect(bank, logical) == marker)
+            group.push_back(logical);
+    }
+    std::sort(group.begin(), group.end());
+    return group;
+}
+
+bool
+detectTrr(ModuleTester &tester, BankId bank)
+{
+    dram::Device &dev = tester.device();
+    const ColId cols = dev.config().cols;
+    const RowId rps = dev.config().rowsPerSubarray;
+
+    // Profile a handful of candidate victims and pick the weakest so
+    // the over-hammering margin is large.
+    ModuleTester::Options opt;
+    RowId victim = dram::kNoRow;
+    std::uint64_t hc = kNoFlip;
+    for (RowId v = rps / 4 + 1; v + 8 < rps; v += rps / 8) {
+        const std::uint64_t h = tester.rhDouble(v, opt);
+        if (h < hc) {
+            hc = h;
+            victim = v;
+        }
+    }
+    if (hc == kNoFlip)
+        fatal("detectTrr: no vulnerable victim found to probe with");
+
+    // Hammer to 3x HC_first at the nominal pace with periodic REF.
+    const RowData aggr_data(cols, DataPattern::P55);
+    const RowData victim_data(cols, DataPattern::PAA);
+    const RowId a1 = dev.toLogical(victim - 1);
+    const RowId a2 = dev.toLogical(victim + 1);
+    dev.writeRowDirect(bank, a1, aggr_data);
+    dev.writeRowDirect(bank, a2, aggr_data);
+    dev.writeRowDirect(bank, dev.toLogical(victim), victim_data);
+
+    PatternTimings t;
+    const std::uint64_t cycles = 3 * hc / 78 + 1;
+    Program p;
+    const Time slot = t.base.tREFI / 156;
+    const Time act_gap = std::max(t.base.tRP, slot - t.base.tRAS);
+    p.loopBegin(cycles);
+    for (int i = 0; i < 78; ++i) {
+        p.act(bank, a1, act_gap).pre(bank, t.base.tRAS);
+        p.act(bank, a2, act_gap).pre(bank, t.base.tRAS);
+    }
+    p.ref(t.base.tRP);
+    p.loopEnd();
+    tester.bench().run(p);
+
+    const bool flipped =
+        tester.bench().countBitflips(bank, dev.toLogical(victim),
+                                     victim_data) > 0;
+    // No flip despite 3x the profiled threshold within a fraction of
+    // the refresh window => a targeted mitigation intervened.
+    return !flipped;
+}
+
+} // namespace pud::hammer

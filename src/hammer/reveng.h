@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reverse-engineering algorithms (paper §3.2, §4.2, §5.2): in-DRAM
+ * row mapping, subarray boundaries, and SiMRA row groups, all
+ * recovered blindly through the command interface exactly as the real
+ * methodology does.
+ */
+
+#ifndef PUD_HAMMER_REVENG_H
+#define PUD_HAMMER_REVENG_H
+
+#include <vector>
+
+#include "dram/mapping.h"
+#include "hammer/tester.h"
+
+namespace pud::hammer {
+
+/**
+ * Find the physical disturbance neighbours of a logical row by
+ * hammering it single-sided with a long t_AggOn (RowPress amplifies
+ * the coupling enough to flip even strong rows within the budget) and
+ * scanning a logical window for bitflips.
+ *
+ * @return logical rows that experienced bitflips
+ */
+std::vector<RowId> findDisturbanceNeighbors(ModuleTester &tester,
+                                            BankId bank,
+                                            RowId logical_aggressor,
+                                            std::uint64_t hammers = 400000,
+                                            RowId window = 8);
+
+/**
+ * Identify the module's logical-to-physical row mapping scheme by
+ * comparing measured disturbance-neighbour sets of sample rows
+ * against each candidate scheme's predictions.
+ */
+dram::MappingScheme identifyMappingScheme(ModuleTester &tester,
+                                          BankId bank);
+
+/** Try one RowClone copy; true if dst received src's content. */
+bool rowCloneWorks(ModuleTester &tester, BankId bank, RowId src_logical,
+                   RowId dst_logical);
+
+/**
+ * Recover subarray boundaries: RowClone succeeds only within one
+ * subarray, so scanning consecutive row pairs locates the boundaries
+ * (paper §4.2).  Returns the first logical row of every subarray.
+ */
+std::vector<RowId> findSubarrayBoundaries(ModuleTester &tester,
+                                          BankId bank);
+
+/**
+ * Discover which rows an ACT-PRE-ACT pair simultaneously activates
+ * (paper §5.2): issue the sequence followed by a WR marker and scan
+ * the subarray for rows that received the marker.
+ *
+ * @return logical rows in the activated group (sorted)
+ */
+std::vector<RowId> discoverSimraGroup(ModuleTester &tester, BankId bank,
+                                      RowId r1_logical, RowId r2_logical);
+
+/**
+ * Detect an in-DRAM TRR mechanism (paper §7 methodology, simplified
+ * from U-TRR): profile a weak victim's HC_first with refresh
+ * disabled, then hammer it well past that threshold at the nominal
+ * pace (156 ACTs per tREFI with periodic REF).  The run is far
+ * shorter than the victim's own periodic-refresh interval, so only a
+ * targeted victim refresh -- i.e. TRR -- can prevent the bitflip.
+ *
+ * @return true if a TRR-like mechanism intervened
+ */
+bool detectTrr(ModuleTester &tester, BankId bank);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_REVENG_H

@@ -1,0 +1,85 @@
+#include "mitigation/countermeasures.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::mitigation {
+
+ComputeRegionPolicy::ComputeRegionPolicy(RowId subarray_rows,
+                                         RowId compute_rows,
+                                         int refresh_every_ops)
+    : subarrayRows_(subarray_rows), computeRows_(compute_rows),
+      refreshEveryOps_(refresh_every_ops)
+{
+    if (compute_rows == 0 || compute_rows > subarray_rows)
+        fatal("ComputeRegionPolicy: %u compute rows in a %u-row "
+              "subarray", compute_rows, subarray_rows);
+    if (refresh_every_ops <= 0)
+        fatal("ComputeRegionPolicy: non-positive refresh interval");
+}
+
+bool
+ComputeRegionPolicy::inComputeRegion(RowId row_offset) const
+{
+    return row_offset < computeRows_;
+}
+
+bool
+ComputeRegionPolicy::allowsSimra(std::span<const RowId> row_offsets) const
+{
+    return std::all_of(row_offsets.begin(), row_offsets.end(),
+                       [this](RowId r) { return inComputeRegion(r); });
+}
+
+bool
+ComputeRegionPolicy::allowsComra(RowId src_offset, RowId dst_offset) const
+{
+    return inComputeRegion(src_offset) || inComputeRegion(dst_offset);
+}
+
+RowId
+ComputeRegionPolicy::onSimraOp()
+{
+    if (++opsSinceRefresh_ < refreshEveryOps_)
+        return dram::kNoRow;
+    opsSinceRefresh_ = 0;
+    const RowId row = nextRefresh_;
+    nextRefresh_ = (nextRefresh_ + 1) % computeRows_;
+    return row;
+}
+
+std::uint64_t
+ComputeRegionPolicy::maxOpsBetweenRefreshes() const
+{
+    return static_cast<std::uint64_t>(computeRows_) *
+           static_cast<std::uint64_t>(refreshEveryOps_);
+}
+
+std::vector<RowId>
+clusteredActivationSet(RowId row, int n, RowId rows_per_subarray)
+{
+    if (n <= 0 || (n & (n - 1)) != 0)
+        fatal("clusteredActivationSet: N=%d not a power of two", n);
+    const RowId base_sub = (row / rows_per_subarray) * rows_per_subarray;
+    const RowId offset = row - base_sub;
+    const RowId block = offset & ~static_cast<RowId>(n - 1);
+    std::vector<RowId> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i)
+        out.push_back(base_sub + block + static_cast<RowId>(i));
+    return out;
+}
+
+bool
+hasSandwichedVictim(std::span<const RowId> sorted_group)
+{
+    for (std::size_t i = 0; i + 1 < sorted_group.size(); ++i) {
+        const RowId gap = sorted_group[i + 1] - sorted_group[i];
+        if (gap == 2)
+            return true;
+    }
+    return false;
+}
+
+} // namespace pud::mitigation

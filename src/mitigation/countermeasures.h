@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The three PuDHammer countermeasures sketched in paper §8.1.
+ *
+ *  1. Compute-region separation: SiMRA only inside a small compute
+ *     region whose rows are refreshed round-robin every few SiMRA
+ *     operations; CoMRA may have at most one operand outside.
+ *  2. Weighted contribution of activation types (implemented in
+ *     PracConfig::weighted, re-exported here for discoverability).
+ *  3. Clustered multiple-row activation: a row decoder that only
+ *     activates contiguous groups, making sandwiched (double-sided)
+ *     SiMRA victims geometrically impossible.
+ */
+
+#ifndef PUD_MITIGATION_COUNTERMEASURES_H
+#define PUD_MITIGATION_COUNTERMEASURES_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dram/types.h"
+
+namespace pud::mitigation {
+
+using dram::RowId;
+
+/**
+ * Countermeasure 1: compute-region separation with periodic
+ * compute-row refresh.
+ *
+ * The subarray's first `computeRows` rows form the compute region.
+ * Policy checks return whether an operation is admissible; the
+ * refresh schedule spreads one compute-row refresh over every
+ * `refreshEveryOps` SiMRA operations, bounding the damage any
+ * compute-region row can accumulate between refreshes.
+ */
+class ComputeRegionPolicy
+{
+  public:
+    ComputeRegionPolicy(RowId subarray_rows, RowId compute_rows,
+                        int refresh_every_ops);
+
+    bool inComputeRegion(RowId row_offset) const;
+
+    /** SiMRA admissible only if every activated row is in-region. */
+    bool allowsSimra(std::span<const RowId> row_offsets) const;
+
+    /** CoMRA admissible if at most one operand is out-of-region. */
+    bool allowsComra(RowId src_offset, RowId dst_offset) const;
+
+    /**
+     * Account one SiMRA operation; returns the compute-region row to
+     * refresh now, or dram::kNoRow if this op carries no refresh.
+     */
+    RowId onSimraOp();
+
+    /**
+     * Worst-case SiMRA operations any compute-region row can endure
+     * between its refreshes: computeRows * refreshEveryOps.
+     */
+    std::uint64_t maxOpsBetweenRefreshes() const;
+
+    RowId computeRows() const { return computeRows_; }
+
+  private:
+    RowId subarrayRows_;
+    RowId computeRows_;
+    int refreshEveryOps_;
+    int opsSinceRefresh_ = 0;
+    RowId nextRefresh_ = 0;
+};
+
+/**
+ * Countermeasure 3: clustered multiple-row activation.  Given the
+ * first issued row and the requested group size, returns the
+ * contiguous N-aligned block containing it -- the decoder constraint
+ * that guarantees no unactivated row is sandwiched.
+ */
+std::vector<RowId> clusteredActivationSet(RowId row, int n,
+                                          RowId rows_per_subarray);
+
+/** True if any un-activated row lies between two activated rows. */
+bool hasSandwichedVictim(std::span<const RowId> sorted_group);
+
+} // namespace pud::mitigation
+
+#endif // PUD_MITIGATION_COUNTERMEASURES_H

@@ -1,0 +1,89 @@
+#include "mitigation/prac.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::mitigation {
+
+PracCounters::PracCounters(const PracConfig &cfg, BankId banks,
+                           RowId rows_per_bank)
+    : cfg_(cfg), rowsPerBank_(rows_per_bank),
+      counters_(banks, std::vector<std::uint32_t>(rows_per_bank, 0))
+{
+    if (cfg.rdt == 0)
+        fatal("PracCounters: RDT must be positive");
+}
+
+bool
+PracCounters::bump(BankId bank, RowId row, std::uint32_t amount)
+{
+    auto &c = counters_.at(bank).at(row);
+    c += amount;
+    return c >= cfg_.rdt;
+}
+
+bool
+PracCounters::onActivate(BankId bank, RowId row)
+{
+    return bump(bank, row, 1);
+}
+
+bool
+PracCounters::onComra(BankId bank, RowId src, RowId dst)
+{
+    const std::uint32_t w = cfg_.weighted ? cfg_.comraWeight : 1;
+    const bool a = bump(bank, src, w);
+    const bool b = bump(bank, dst, w);
+    return a || b;
+}
+
+bool
+PracCounters::onSimra(BankId bank, std::span<const RowId> rows)
+{
+    const std::uint32_t w = cfg_.weighted ? cfg_.simraWeight : 1;
+    bool alert = false;
+    for (RowId r : rows)
+        alert |= bump(bank, r, w);
+    return alert;
+}
+
+Time
+PracCounters::updateLatency(int rows_updated) const
+{
+    if (!cfg_.areaOptimized || rows_updated <= 1)
+        return 0;
+    return static_cast<Time>(rows_updated - 1) * cfg_.tRC;
+}
+
+int
+PracCounters::onRfm(BankId bank)
+{
+    auto &c = counters_.at(bank);
+    int refreshed = 0;
+    for (int k = 0; k < cfg_.victimsPerRfm; ++k) {
+        auto it = std::max_element(c.begin(), c.end());
+        if (it == c.end() || *it == 0)
+            break;
+        *it = 0;
+        ++refreshed;
+    }
+    return refreshed;
+}
+
+bool
+PracCounters::alertPending(BankId bank) const
+{
+    const auto &c = counters_.at(bank);
+    return std::any_of(c.begin(), c.end(), [this](std::uint32_t v) {
+        return v >= cfg_.rdt;
+    });
+}
+
+std::uint32_t
+PracCounters::counter(BankId bank, RowId row) const
+{
+    return counters_.at(bank).at(row);
+}
+
+} // namespace pud::mitigation

@@ -1,0 +1,280 @@
+#include "pud/engine.h"
+
+#include <algorithm>
+
+#include "hammer/patterns.h"
+#include "util/logging.h"
+
+namespace pud::ops {
+
+PudEngine::PudEngine(bender::TestBench &bench, BankId bank)
+    : bench_(&bench), bank_(bank)
+{
+    if (bank >= bench.device().config().banks)
+        fatal("PudEngine: bank %u out of range", bank);
+}
+
+bool
+PudEngine::sameSubarray(RowId a, RowId b) const
+{
+    const dram::Device &dev = bench_->device();
+    return dev.subarrayOfPhysical(dev.toPhysical(a)) ==
+           dev.subarrayOfPhysical(dev.toPhysical(b));
+}
+
+RowId
+PudEngine::subarrayOffset(RowId logical) const
+{
+    const dram::Device &dev = bench_->device();
+    return dev.toPhysical(logical) %
+           dev.config().rowsPerSubarray;
+}
+
+void
+PudEngine::setPolicy(mitigation::ComputeRegionPolicy *policy,
+                     dram::SubarrayId subarray)
+{
+    policy_ = policy;
+    policySubarray_ = subarray;
+}
+
+bool
+PudEngine::policyAllowsComra(RowId src, RowId dst)
+{
+    if (!policy_)
+        return true;
+    if (!policy_->allowsComra(subarrayOffset(src),
+                              subarrayOffset(dst))) {
+        ++stats_.rejected;
+        return false;
+    }
+    return true;
+}
+
+bool
+PudEngine::policyAllowsSimra(const std::vector<RowId> &rows_physical)
+{
+    if (!policy_)
+        return true;
+    const dram::Device &dev = bench_->device();
+    std::vector<RowId> offsets;
+    offsets.reserve(rows_physical.size());
+    for (RowId p : rows_physical)
+        offsets.push_back(p % dev.config().rowsPerSubarray);
+    if (!policy_->allowsSimra(offsets)) {
+        ++stats_.rejected;
+        return false;
+    }
+    return true;
+}
+
+void
+PudEngine::policyOnSimraOp()
+{
+    if (!policy_)
+        return;
+    const RowId offset = policy_->onSimraOp();
+    if (offset == dram::kNoRow)
+        return;
+    // Refresh the scheduled compute-region row: activate + precharge.
+    dram::Device &dev = bench_->device();
+    const RowId physical =
+        policySubarray_ * dev.config().rowsPerSubarray + offset;
+    const RowId logical = dev.toLogical(physical);
+    hammer::PatternTimings t;
+    bender::Program p;
+    p.act(bank_, logical, t.base.tRP).pre(bank_, t.base.tRAS);
+    bench_->run(p);
+    ++stats_.policyRefreshes;
+}
+
+void
+PudEngine::issueCopy(RowId src, RowId dst)
+{
+    hammer::PatternTimings t;
+    bender::Program p;
+    p.act(bank_, src, t.base.tRP)
+        .pre(bank_, t.base.tRAS)
+        .act(bank_, dst, t.comraPreToAct)
+        .pre(bank_, t.base.tRAS);
+    bench_->run(p);
+    ++stats_.copies;
+}
+
+bool
+PudEngine::copy(RowId src, RowId dst)
+{
+    if (src == dst || !sameSubarray(src, dst))
+        return false;
+    if (!policyAllowsComra(src, dst))
+        return false;
+    const RowData expected = bench_->readRow(bank_, src);
+    issueCopy(src, dst);
+    return bench_->readRow(bank_, dst) == expected;
+}
+
+void
+PudEngine::fill(RowId row, bool value)
+{
+    bench_->fillRow(bank_, row,
+                    value ? dram::DataPattern::PFF
+                          : dram::DataPattern::P00);
+}
+
+bool
+PudEngine::groupWrite(RowId block_row, int n, const RowData &data)
+{
+    dram::Device &dev = bench_->device();
+    if (!dev.supportsSimra())
+        return false;
+    if (n < 2 || n > 32 || (n & (n - 1)) != 0)
+        return false;
+
+    // The contiguous N-aligned block containing block_row.
+    const RowId phys = dev.toPhysical(block_row);
+    const RowId base = phys & ~static_cast<RowId>(n - 1);
+    if (dev.subarrayOfPhysical(base) !=
+        dev.subarrayOfPhysical(base + n - 1))
+        return false;
+
+    std::vector<RowId> group;
+    for (int i = 0; i < n; ++i)
+        group.push_back(base + static_cast<RowId>(i));
+    if (!policyAllowsSimra(group))
+        return false;
+
+    const RowId r1 = dev.toLogical(base);
+    const RowId r2 = dev.toLogical(base + static_cast<RowId>(n - 1));
+
+    hammer::PatternTimings t;
+    bender::Program p;
+    const int data_index = p.addData(data);
+    p.act(bank_, r1, t.base.tRP)
+        .pre(bank_, t.simraActToPre)
+        .act(bank_, r2, t.simraPreToAct)
+        .nop(t.base.tRCD)
+        .wr(bank_, data_index, 0)
+        .pre(bank_, t.base.tRAS);
+    bench_->run(p);
+    ++stats_.simraOps;
+    policyOnSimraOp();
+    return true;
+}
+
+bool
+PudEngine::broadcast(RowId src, RowId block_row, int n)
+{
+    const RowData data = bench_->readRow(bank_, src);
+    return groupWrite(block_row, n, data);
+}
+
+std::optional<RowData>
+PudEngine::replicatedMajority(const std::vector<RowId> &operands,
+                              const std::vector<int> &replication,
+                              RowId scratch_block, int n)
+{
+    dram::Device &dev = bench_->device();
+    if (!dev.supportsSimra())
+        return std::nullopt;
+
+    // The contiguous n-aligned scratch block.
+    const RowId phys = dev.toPhysical(scratch_block);
+    const RowId base = phys & ~static_cast<RowId>(n - 1);
+    if (dev.subarrayOfPhysical(base) !=
+        dev.subarrayOfPhysical(base + static_cast<RowId>(n - 1)))
+        return std::nullopt;
+
+    std::vector<RowId> group;
+    for (int i = 0; i < n; ++i)
+        group.push_back(base + static_cast<RowId>(i));
+    if (!policyAllowsSimra(group))
+        return std::nullopt;
+
+    // Stage the replicated operands into the block via RowClone; every
+    // operand must share the scratch block's subarray.
+    int slot = 0;
+    for (std::size_t o = 0; o < operands.size(); ++o) {
+        if (!sameSubarray(operands[o], dev.toLogical(base))) {
+            ++stats_.rejected;
+            return std::nullopt;
+        }
+        for (int r = 0; r < replication[o]; ++r) {
+            const RowId dst = dev.toLogical(
+                base + static_cast<RowId>(slot++));
+            if (!policyAllowsComra(operands[o], dst))
+                return std::nullopt;
+            issueCopy(operands[o], dst);
+        }
+    }
+    if (slot != n)
+        panic("replicatedMajority: replication counts must sum to n");
+
+    // One simultaneous activation computes the bitline majority and
+    // writes it back into every row of the block.
+    const RowId r1 = dev.toLogical(base);
+    const RowId r2 =
+        dev.toLogical(base + static_cast<RowId>(n - 1));
+    hammer::PatternTimings t;
+    bender::Program p;
+    p.act(bank_, r1, t.base.tRP)
+        .pre(bank_, t.simraActToPre)
+        .act(bank_, r2, t.simraPreToAct)
+        .pre(bank_, t.base.tRAS);
+    bench_->run(p);
+    ++stats_.simraOps;
+    policyOnSimraOp();
+
+    return bench_->readRow(bank_, r1);
+}
+
+std::optional<RowData>
+PudEngine::maj3(RowId a, RowId b, RowId c, RowId scratch_block)
+{
+    // (3, 3, 2): bitline one-counts land in {0, 2, 3, 5, 6, 8} -- a
+    // 4-4 tie is impossible, and the weighted majority equals MAJ3.
+    return replicatedMajority({a, b, c}, {3, 3, 2}, scratch_block, 8);
+}
+
+std::optional<RowData>
+PudEngine::maj5(RowId a, RowId b, RowId c, RowId d, RowId e,
+                RowId scratch_block)
+{
+    // (4, 3, 3, 3, 3): no subset sums to 8, so no bitline ever ties,
+    // and any 3-of-5 winning coalition weighs at least 9 > 16/2.
+    return replicatedMajority({a, b, c, d, e}, {4, 3, 3, 3, 3},
+                              scratch_block, 16);
+}
+
+std::optional<RowData>
+PudEngine::bitAnd(RowId a, RowId b, RowId scratch_block)
+{
+    // AND(a, b) = MAJ3(a, b, 0): the control operand is staged in the
+    // scratch block itself (last slots) after being filled.
+    dram::Device &dev = bench_->device();
+    const RowId phys = dev.toPhysical(scratch_block);
+    const RowId base = phys & ~RowId(7);
+    // Use the row after the block as the control row if it fits,
+    // otherwise the one before.
+    const RowId rps = dev.config().rowsPerSubarray;
+    RowId ctrl_phys = base + 8 < ((base / rps) + 1) * rps ? base + 8
+                                                          : base - 1;
+    const RowId ctrl = dev.toLogical(ctrl_phys);
+    fill(ctrl, false);
+    return maj3(a, b, ctrl, scratch_block);
+}
+
+std::optional<RowData>
+PudEngine::bitOr(RowId a, RowId b, RowId scratch_block)
+{
+    dram::Device &dev = bench_->device();
+    const RowId phys = dev.toPhysical(scratch_block);
+    const RowId base = phys & ~RowId(7);
+    const RowId rps = dev.config().rowsPerSubarray;
+    RowId ctrl_phys = base + 8 < ((base / rps) + 1) * rps ? base + 8
+                                                          : base - 1;
+    const RowId ctrl = dev.toLogical(ctrl_phys);
+    fill(ctrl, true);
+    return maj3(a, b, ctrl, scratch_block);
+}
+
+} // namespace pud::ops

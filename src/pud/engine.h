@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The Processing-using-DRAM operations library: the in-DRAM compute
+ * primitives whose read-disturbance side effects the paper
+ * characterizes (§2.3).
+ *
+ * Everything here is built from the same two violated-timing
+ * mechanisms the characterization uses:
+ *
+ *  - RowClone copy (CoMRA): ACT src, PRE, ACT dst under a violated
+ *    tRP copies src's bitline charge into dst (Seshadri+ MICRO'13;
+ *    demonstrated on COTS chips by ComputeDRAM and follow-ups).
+ *  - Simultaneous multi-row activation (SiMRA): ACT-PRE-ACT with both
+ *    gaps grossly violated opens a 2^k-row group; the sense
+ *    amplifiers resolve each bitline to the *majority* of the
+ *    activated cells (Ambit-style charge sharing), and a following WR
+ *    overwrites the whole group.
+ *
+ * Multi-input majority — and therefore AND/OR/MAJ3/MAJ5 — is obtained
+ * by *replicating* operands across the rows of an activation block
+ * with tie-free replication counts, exactly as done on real chips
+ * (Yuksel et al., HPCA'24 / DSN'24).
+ *
+ * Every operation is accounted: the engine counts CoMRA and SiMRA
+ * operations (the currency of the paper's §8 mitigations) and can
+ * enforce a ComputeRegionPolicy (§8.1 countermeasure 1), injecting
+ * the policy's compute-row refreshes.
+ */
+
+#ifndef PUD_PUD_ENGINE_H
+#define PUD_PUD_ENGINE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bender/host.h"
+#include "mitigation/countermeasures.h"
+
+namespace pud::ops {
+
+using dram::BankId;
+using dram::RowData;
+using dram::RowId;
+
+/** Operation accounting (maps onto PRAC weighted counting, §8.2). */
+struct OpStats
+{
+    std::uint64_t copies = 0;        //!< CoMRA copy cycles issued
+    std::uint64_t simraOps = 0;      //!< SiMRA activations issued
+    std::uint64_t policyRefreshes = 0;  //!< compute-row refreshes injected
+    std::uint64_t rejected = 0;      //!< operations blocked by policy
+};
+
+/**
+ * In-DRAM compute engine for one bank of one module.
+ *
+ * Rows are addressed logically (as the memory controller sees them);
+ * the engine takes care of command sequences and timing violations.
+ */
+class PudEngine
+{
+  public:
+    /**
+     * @param bench the testbench holding the target module
+     * @param bank  target bank
+     */
+    PudEngine(bender::TestBench &bench, BankId bank);
+
+    // ---- data movement ---------------------------------------------------
+
+    /**
+     * RowClone: copy src's contents to dst.  Both rows must be in the
+     * same subarray.  @return false if the chip did not perform the
+     * copy (wrong geometry) or the policy rejected it.
+     */
+    bool copy(RowId src, RowId dst);
+
+    /**
+     * Copy src's contents into every row of the N-row activation block
+     * containing `block_row` (N in {2,4,8,16,32}): one SiMRA group
+     * open plus a WR, the multi-destination copy of DSN'24.
+     */
+    bool broadcast(RowId src, RowId block_row, int n);
+
+    /** Fill a row with a constant (host-side initialization). */
+    void fill(RowId row, bool value);
+
+    // ---- bitwise computation ----------------------------------------------
+
+    /**
+     * Three-input bitwise majority into an 8-row activation block:
+     * operands are replicated (3, 3, 2) so no bitline ever ties.  The
+     * result lands in every row of the block; it is also returned.
+     *
+     * @param scratch_block any row inside a free 8-aligned block in
+     *        the same subarray as the operands
+     */
+    std::optional<RowData> maj3(RowId a, RowId b, RowId c,
+                                RowId scratch_block);
+
+    /** Five-input majority via a 16-row block, replication (4,3,3,3,3). */
+    std::optional<RowData> maj5(RowId a, RowId b, RowId c, RowId d,
+                                RowId e, RowId scratch_block);
+
+    /** Bitwise AND via MAJ3 with an all-zeros control row. */
+    std::optional<RowData> bitAnd(RowId a, RowId b, RowId scratch_block);
+
+    /** Bitwise OR via MAJ3 with an all-ones control row. */
+    std::optional<RowData> bitOr(RowId a, RowId b, RowId scratch_block);
+
+    // ---- policy / accounting ----------------------------------------------
+
+    /**
+     * Enforce a compute-region policy (§8.1): operations whose rows
+     * violate the region rules are rejected, and the policy's
+     * per-operation compute-row refreshes are injected.  The policy's
+     * row offsets are interpreted within `subarray`.
+     */
+    void setPolicy(mitigation::ComputeRegionPolicy *policy,
+                   dram::SubarrayId subarray);
+
+    const OpStats &stats() const { return stats_; }
+    BankId bank() const { return bank_; }
+
+  private:
+    bool sameSubarray(RowId a, RowId b) const;
+    RowId subarrayOffset(RowId logical) const;
+    bool policyAllowsComra(RowId src, RowId dst);
+    bool policyAllowsSimra(const std::vector<RowId> &rows_physical);
+    void policyOnSimraOp();
+
+    /** Issue one RowClone command sequence (no policy check). */
+    void issueCopy(RowId src, RowId dst);
+
+    /** Open the N-row block around block_row and write `data`. */
+    bool groupWrite(RowId block_row, int n, const RowData &data);
+
+    /** Generic replicated-majority into a block of size `n`. */
+    std::optional<RowData>
+    replicatedMajority(const std::vector<RowId> &operands,
+                       const std::vector<int> &replication,
+                       RowId scratch_block, int n);
+
+    bender::TestBench *bench_;
+    BankId bank_;
+    mitigation::ComputeRegionPolicy *policy_ = nullptr;
+    dram::SubarrayId policySubarray_ = 0;
+    OpStats stats_;
+};
+
+} // namespace pud::ops
+
+#endif // PUD_PUD_ENGINE_H

@@ -1,0 +1,296 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pud::sim {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+/** Kind of a memory request in the controller. */
+enum class Kind : std::uint8_t { Read, Simra, Comra };
+
+struct Request
+{
+    Time arrival = 0;
+    int core = -1;  //!< -1 for PuD requests
+    BankId bank = 0;
+    RowId row = 0;
+    Kind kind = Kind::Read;
+};
+
+struct BankCtl
+{
+    Time freeAt = 0;
+    RowId openRow = dram::kNoRow;
+    int hitStreak = 0;
+    std::vector<Request> queue;
+};
+
+/** Push a service start out of any refresh window it falls into. */
+Time
+afterRefresh(const MemTimings &mem, Time t)
+{
+    const Time k = t / mem.tREFI;
+    const Time window_start = k * mem.tREFI;
+    if (t < window_start + mem.tRFC)
+        return window_start + mem.tRFC;
+    return t;
+}
+
+} // namespace
+
+RunResult
+runSystem(const SystemConfig &cfg, const std::vector<WorkloadParams> &cores)
+{
+    RunResult result;
+
+    std::vector<TraceCore> trace;
+    trace.reserve(cores.size());
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        trace.emplace_back(static_cast<int>(c), cores[c],
+                           cfg.instructionsPerCore, cfg.banks,
+                           cfg.rowsPerBank, cfg.seed);
+    }
+
+    std::vector<BankCtl> banks(cfg.banks);
+    mitigation::PracCounters prac(cfg.prac, cfg.banks, cfg.rowsPerBank);
+
+    // SiMRA group / CoMRA pair used by the PuD core: a fixed compute
+    // region at the top of the PuD bank.
+    std::vector<RowId> simra_rows;
+    for (int i = 0; i < cfg.pudSimraN; ++i)
+        simra_rows.push_back(static_cast<RowId>(i));
+    const RowId comra_src = static_cast<RowId>(cfg.pudSimraN);
+    const RowId comra_dst = static_cast<RowId>(cfg.pudSimraN + 2);
+
+    // Per-core next-issue times (kInf while a request is outstanding
+    // or the core is done).
+    std::vector<Time> core_next(trace.size());
+    for (std::size_t c = 0; c < trace.size(); ++c)
+        core_next[c] = trace[c].nextIssueTime(0);
+
+    Time pud_next = cfg.pudPeriod > 0 ? cfg.pudPeriod : kInf;
+    Time block_until = 0;  //!< PRAC alert back-off (all banks)
+
+    auto all_done = [&] {
+        return std::all_of(trace.begin(), trace.end(),
+                           [](const TraceCore &t) { return t.done(); });
+    };
+
+    std::uint64_t guard = 0;
+    while (!all_done()) {
+        if (++guard > 200'000'000ULL)
+            fatal("runSystem: simulation failed to converge");
+
+        // Next arrival event.
+        Time t_arr = pud_next;
+        int arr_core = -1;
+        for (std::size_t c = 0; c < trace.size(); ++c) {
+            if (core_next[c] < t_arr) {
+                t_arr = core_next[c];
+                arr_core = static_cast<int>(c);
+            }
+        }
+
+        // Next serviceable bank.
+        Time t_srv = kInf;
+        BankId srv_bank = 0;
+        for (BankId b = 0; b < cfg.banks; ++b) {
+            if (banks[b].queue.empty())
+                continue;
+            Time earliest = kInf;
+            for (const Request &r : banks[b].queue)
+                earliest = std::min(earliest, r.arrival);
+            Time t = std::max({banks[b].freeAt, block_until, earliest});
+            t = afterRefresh(cfg.mem, t);
+            if (t < t_srv) {
+                t_srv = t;
+                srv_bank = b;
+            }
+        }
+
+        if (t_arr <= t_srv) {
+            if (t_arr == kInf)
+                fatal("runSystem: deadlock (no events)");
+            if (arr_core >= 0) {
+                // Trace-core load.
+                Request r;
+                r.arrival = t_arr;
+                r.core = arr_core;
+                trace[arr_core].next(r.bank, r.row);
+                r.kind = Kind::Read;
+                banks[r.bank].queue.push_back(r);
+                core_next[arr_core] = kInf;  // outstanding
+                ++result.requests;
+            } else {
+                // PuD core: one SiMRA + one CoMRA, back to back.  The
+                // core is closed-loop: the next pair is scheduled when
+                // this one completes (PuD software waits for its
+                // operations to finish before issuing more).
+                Request s;
+                s.arrival = t_arr;
+                s.bank = cfg.pudBank;
+                s.kind = Kind::Simra;
+                banks[s.bank].queue.push_back(s);
+                Request c = s;
+                c.kind = Kind::Comra;
+                banks[c.bank].queue.push_back(c);
+                pud_next = kInf;  // re-armed on CoMRA completion
+                result.pudOps += 2;
+            }
+            continue;
+        }
+
+        // Serve one request on srv_bank at t_srv with FR-FCFS+Cap.
+        BankCtl &bank = banks[srv_bank];
+        std::size_t pick = bank.queue.size();
+        bool picked_hit = false;
+        if (bank.hitStreak < cfg.frfcfsCap) {
+            for (std::size_t i = 0; i < bank.queue.size(); ++i) {
+                const Request &r = bank.queue[i];
+                if (r.arrival <= t_srv && r.kind == Kind::Read &&
+                    r.row == bank.openRow) {
+                    pick = i;
+                    picked_hit = true;
+                    break;
+                }
+            }
+        }
+        if (!picked_hit) {
+            for (std::size_t i = 0; i < bank.queue.size(); ++i) {
+                if (bank.queue[i].arrival > t_srv)
+                    continue;
+                if (pick == bank.queue.size() ||
+                    bank.queue[i].arrival < bank.queue[pick].arrival)
+                    pick = i;
+            }
+        }
+        if (pick == bank.queue.size())
+            panic("runSystem: no serviceable request at pick time");
+        Request req = bank.queue[pick];
+        bank.queue.erase(bank.queue.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+
+        Time busy = 0;
+        bool alert = false;
+        switch (req.kind) {
+          case Kind::Read:
+            if (picked_hit) {
+                busy = cfg.mem.tCL + cfg.mem.tBurst;
+                ++bank.hitStreak;
+            } else {
+                const bool was_open = bank.openRow != dram::kNoRow;
+                busy = (was_open ? cfg.mem.tRP : Time(0)) +
+                       cfg.mem.tRCD + cfg.mem.tCL + cfg.mem.tBurst;
+                bank.openRow = req.row;
+                bank.hitStreak = 1;
+                if (cfg.pracEnabled)
+                    alert = prac.onActivate(srv_bank, req.row);
+            }
+            break;
+          case Kind::Simra:
+            // ACT-PRE-ACT + tRAS + PRE: about one row cycle, plus the
+            // sequential counter-update penalty for PRAC-AO.
+            busy = cfg.mem.tRC;
+            if (cfg.pracEnabled) {
+                alert = prac.onSimra(srv_bank, simra_rows);
+                busy += prac.updateLatency(cfg.pudSimraN);
+            }
+            bank.openRow = dram::kNoRow;
+            bank.hitStreak = 0;
+            break;
+          case Kind::Comra:
+            // ACT src + tRAS + PRE/ACT dst + tRAS + PRE.
+            busy = cfg.mem.tRAS + cfg.mem.tRAS + cfg.mem.tRP;
+            if (cfg.pracEnabled) {
+                alert = prac.onComra(srv_bank, comra_src, comra_dst);
+                busy += prac.updateLatency(2);
+            }
+            bank.openRow = dram::kNoRow;
+            bank.hitStreak = 0;
+            break;
+        }
+
+        const Time completion = t_srv + busy;
+        bank.freeAt = completion;
+
+        if (alert) {
+            // Back-off (DDR5 ABO): the controller stops issuing ACTs
+            // and services rfmsPerAlert all-bank RFMs; each RFM lets
+            // the device refresh its hottest rows and reset their
+            // counters.  Rows still at/above the RDT afterwards
+            // re-assert the alert on their next activation, so a
+            // saturated counter population (e.g. a SiMRA group under
+            // weighted counting, or all rows under a naive RDT of 20)
+            // produces a sustained back-off stream -- the mechanism
+            // behind Fig. 25's overheads.
+            ++result.alerts;
+            Time t_block = std::max(block_until, completion);
+            for (int k = 0; k < cfg.mem.rfmsPerAlert; ++k) {
+                for (BankId b = 0; b < cfg.banks; ++b)
+                    prac.onRfm(b);
+                t_block += cfg.mem.tRFM;
+                ++result.rfms;
+            }
+            block_until = t_block;
+            for (BankId b = 0; b < cfg.banks; ++b) {
+                banks[b].openRow = dram::kNoRow;
+                banks[b].hitStreak = 0;
+            }
+        }
+
+        if (req.kind == Kind::Comra && cfg.pudPeriod > 0)
+            pud_next = completion + cfg.pudPeriod;
+
+        if (req.core >= 0) {
+            TraceCore &core = trace[req.core];
+            core.onComplete();
+            if (core.done()) {
+                core.setFinishTime(completion);
+                core_next[req.core] = kInf;
+            } else {
+                core_next[req.core] = core.nextIssueTime(completion);
+            }
+        }
+    }
+
+    result.endTime = 0;
+    for (const TraceCore &core : trace) {
+        result.endTime = std::max(result.endTime, core.finishTime());
+        const double t_ns = units::toNs(core.finishTime());
+        result.coreIpc.push_back(
+            t_ns > 0 ? static_cast<double>(core.instructionsDone()) / t_ns
+                     : 0.0);
+    }
+    return result;
+}
+
+double
+weightedSpeedup(const SystemConfig &cfg,
+                const std::vector<WorkloadParams> &mix)
+{
+    // IPC_alone: each workload solo, no PuD core, no mitigation.
+    std::vector<double> alone;
+    for (const WorkloadParams &w : mix) {
+        SystemConfig solo = cfg;
+        solo.pudPeriod = 0;
+        solo.pracEnabled = false;
+        const RunResult r = runSystem(solo, {w});
+        alone.push_back(r.coreIpc.at(0));
+    }
+
+    const RunResult shared = runSystem(cfg, mix);
+    double ws = 0.0;
+    for (std::size_t c = 0; c < mix.size(); ++c) {
+        if (alone[c] > 0)
+            ws += shared.coreIpc.at(c) / alone[c];
+    }
+    return ws;
+}
+
+} // namespace pud::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-level memory-system simulation for the §8.2 PRAC evaluation
+ * (paper Fig. 25): a multi-bank DRAM controller with FR-FCFS+Cap
+ * scheduling, periodic refresh, PRAC counters with alert/back-off RFM
+ * storms, four trace cores, and one synthetic PuD core issuing
+ * back-to-back SiMRA-32 + CoMRA operations at a sweepable period.
+ */
+
+#ifndef PUD_SIM_SYSTEM_H
+#define PUD_SIM_SYSTEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mitigation/prac.h"
+#include "sim/workload.h"
+
+namespace pud::sim {
+
+/** DDR5-like controller timing (ns-resolution Time). */
+struct MemTimings
+{
+    Time tRP = units::fromNs(14);
+    Time tRCD = units::fromNs(14);
+    Time tCL = units::fromNs(14);
+    Time tBurst = units::fromNs(4);
+    Time tRC = units::fromNs(46);
+    Time tRAS = units::fromNs(32);
+    Time tREFI = units::fromNs(3900);
+    Time tRFC = units::fromNs(295);
+    Time tRFM = units::fromNs(350);
+    int rfmsPerAlert = 4;  //!< all-bank RFMs per back-off event
+};
+
+/** Full system configuration for one run. */
+struct SystemConfig
+{
+    MemTimings mem;
+
+    /**
+     * Geometry is scaled down so that per-row activation counts over
+     * the (scaled-down) instruction budget match the paper's
+     * 100M-instruction runs against full-size banks; what matters for
+     * PRAC overhead is activations-per-row relative to the RDT.
+     */
+    BankId banks = 4;
+    RowId rowsPerBank = 48;
+    std::uint64_t instructionsPerCore = 400000;
+    int frfcfsCap = 4;  //!< FR-FCFS+Cap row-hit streak cap
+
+    /** PuD core: one SiMRA-32 + one CoMRA every period (0 = none). */
+    Time pudPeriod = 0;
+    int pudSimraN = 32;
+    BankId pudBank = 0;
+
+    bool pracEnabled = false;
+    mitigation::PracConfig prac;
+
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one system run. */
+struct RunResult
+{
+    std::vector<double> coreIpc;  //!< instructions per ns, per core
+    Time endTime = 0;
+    std::uint64_t alerts = 0;       //!< PRAC back-off events
+    std::uint64_t rfms = 0;
+    std::uint64_t pudOps = 0;
+    std::uint64_t requests = 0;
+};
+
+/** Run the system with the given per-core workloads. */
+RunResult runSystem(const SystemConfig &cfg,
+                    const std::vector<WorkloadParams> &cores);
+
+/**
+ * Weighted speedup of a mix under `cfg`:
+ * sum over cores of IPC_shared / IPC_alone, with IPC_alone measured
+ * solo on the unmitigated, PuD-free system.
+ */
+double weightedSpeedup(const SystemConfig &cfg,
+                       const std::vector<WorkloadParams> &mix);
+
+} // namespace pud::sim
+
+#endif // PUD_SIM_SYSTEM_H

@@ -1,0 +1,183 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace pud::sim {
+
+const std::vector<WorkloadParams> &
+suitePresets()
+{
+    static const std::vector<WorkloadParams> presets = {
+        // Intensity classes modeled on the suites' published memory
+        // behaviour: MPKI and row-buffer locality.
+        {"spec06-mem", 18.0, 0.45, 0.40},
+        {"spec17-mix", 10.0, 0.55, 0.40},
+        {"tpc-oltp", 25.0, 0.30, 0.45},
+        {"media-stream", 5.0, 0.80, 0.35},
+        {"ycsb-kv", 30.0, 0.25, 0.45},
+    };
+    return presets;
+}
+
+std::vector<WorkloadParams>
+makeMix(int mix_index)
+{
+    const auto &presets = suitePresets();
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(mix_index) * 7919);
+
+    std::vector<WorkloadParams> mix;
+    for (int c = 0; c < 4; ++c) {
+        WorkloadParams w =
+            presets[(mix_index + c * 2 + c * c) % presets.size()];
+        // Per-mix jitter so the 60 mixes are distinct workload points.
+        w.mpki = std::max(1.0, w.mpki * rng.uniform(0.7, 1.4));
+        w.rowHitProb =
+            std::clamp(w.rowHitProb * rng.uniform(0.8, 1.2), 0.05, 0.95);
+        w.name += "-m" + std::to_string(mix_index) + "c" +
+                  std::to_string(c);
+        mix.push_back(std::move(w));
+    }
+    return mix;
+}
+
+std::vector<TraceEntry>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("loadTrace: cannot open '%s'", path.c_str());
+    std::vector<TraceEntry> out;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        unsigned gap, bank, row;
+        if (std::sscanf(line, "%u %u %u", &gap, &bank, &row) != 3) {
+            std::fclose(f);
+            fatal("loadTrace: malformed line in '%s': %s",
+                  path.c_str(), line);
+        }
+        out.push_back({gap, static_cast<BankId>(bank),
+                       static_cast<RowId>(row)});
+    }
+    std::fclose(f);
+    if (out.empty())
+        fatal("loadTrace: '%s' contains no entries", path.c_str());
+    return out;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<TraceEntry> &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("saveTrace: cannot open '%s'", path.c_str());
+    std::fprintf(f, "# pudhammer trace: <gap> <bank> <row>\n");
+    for (const TraceEntry &e : trace)
+        std::fprintf(f, "%u %u %u\n", e.gap, e.bank, e.row);
+    std::fclose(f);
+}
+
+std::vector<TraceEntry>
+synthesizeTrace(const WorkloadParams &params, std::uint64_t instructions,
+                BankId banks, RowId rows_per_bank, std::uint64_t seed)
+{
+    TraceCore core(0, params, instructions, banks, rows_per_bank, seed);
+    std::vector<TraceEntry> out;
+    std::uint64_t done = 0;
+    while (!core.done()) {
+        TraceEntry e;
+        core.next(e.bank, e.row);
+        const std::uint64_t before = core.instructionsDone();
+        core.onComplete();
+        e.gap = static_cast<std::uint32_t>(core.instructionsDone() -
+                                           before);
+        done += e.gap;
+        out.push_back(e);
+    }
+    (void)done;
+    return out;
+}
+
+TraceCore::TraceCore(int id, std::vector<TraceEntry> trace, double cpi,
+                     std::uint64_t instructions)
+    : id_(id), banks_(1), rowsPerBank_(1), rng_(1),
+      recorded_(std::move(trace)), instructionsLeft_(instructions)
+{
+    if (instructions == 0)
+        fatal("TraceCore: zero instruction budget");
+    params_.cpi = cpi;
+    params_.name = "recorded";
+    rollSegment();
+}
+
+TraceCore::TraceCore(int id, const WorkloadParams &params,
+                     std::uint64_t instructions, BankId banks,
+                     RowId rows_per_bank, std::uint64_t seed)
+    : id_(id), params_(params), banks_(banks), rowsPerBank_(rows_per_bank),
+      rng_(seed ^ (0x5EEDULL + static_cast<std::uint64_t>(id) * 104729)),
+      instructionsLeft_(instructions)
+{
+    if (instructions == 0)
+        fatal("TraceCore: zero instruction budget");
+    curBank_ = static_cast<BankId>(rng_.below(banks_));
+    curRow_ = static_cast<RowId>(rng_.below(rowsPerBank_));
+    rollSegment();
+}
+
+void
+TraceCore::rollSegment()
+{
+    if (!recorded_.empty()) {
+        std::uint64_t gap = std::max<std::uint64_t>(
+            1, recorded_[recordedPos_].gap);
+        gap = std::min(gap, instructionsLeft_);
+        segment_ = gap;
+        computeTime_ = static_cast<Time>(
+            static_cast<double>(gap) * params_.cpi *
+            static_cast<double>(units::ns));
+        return;
+    }
+    // Geometric-ish inter-load instruction gap around 1000 / MPKI.
+    const double mean_gap = 1000.0 / params_.mpki;
+    const double u = std::max(1e-9, rng_.uniform());
+    auto gap = static_cast<std::uint64_t>(
+        std::max(1.0, -mean_gap * std::log(u)));
+    gap = std::min(gap, instructionsLeft_);
+    segment_ = gap;
+    computeTime_ = static_cast<Time>(
+        static_cast<double>(gap) * params_.cpi *
+        static_cast<double>(units::ns));
+}
+
+void
+TraceCore::next(BankId &bank, RowId &row)
+{
+    if (!recorded_.empty()) {
+        bank = recorded_[recordedPos_].bank;
+        row = recorded_[recordedPos_].row;
+        recordedPos_ = (recordedPos_ + 1) % recorded_.size();
+        return;
+    }
+    if (!rng_.chance(params_.rowHitProb)) {
+        curBank_ = static_cast<BankId>(rng_.below(banks_));
+        curRow_ = static_cast<RowId>(rng_.below(rowsPerBank_));
+    }
+    bank = curBank_;
+    row = curRow_;
+}
+
+void
+TraceCore::onComplete()
+{
+    done_ += segment_;
+    instructionsLeft_ -= segment_;
+    if (instructionsLeft_ > 0)
+        rollSegment();
+}
+
+} // namespace pud::sim

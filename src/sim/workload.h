@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Synthetic trace cores for the §8.2 system evaluation.
+ *
+ * The paper draws four workloads per mix from five benchmark suites
+ * (SPEC CPU2006, SPEC CPU2017, TPC, MediaBench, YCSB) plus one
+ * synthetic PuD workload.  Without the proprietary traces we model
+ * each suite as an intensity class (memory accesses per kilo-
+ * instruction and row-buffer locality drawn from the suites'
+ * published characteristics); the mix generator reproduces the
+ * 60-mix structure deterministically.
+ */
+
+#ifndef PUD_SIM_WORKLOAD_H
+#define PUD_SIM_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/types.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace pud::sim {
+
+using dram::BankId;
+using dram::RowId;
+
+/** Memory-intensity class of one workload. */
+struct WorkloadParams
+{
+    std::string name;
+    double mpki = 10.0;        //!< loads per kilo-instruction
+    double rowHitProb = 0.5;   //!< probability of staying in the row
+    double cpi = 0.4;          //!< non-memory CPI (ns per instruction
+                               //!< at the modeled clock)
+};
+
+/** The five suite presets. */
+const std::vector<WorkloadParams> &suitePresets();
+
+/**
+ * Deterministic mix generator: mix k yields four workloads drawn from
+ * the five suites with per-mix parameter jitter, matching the paper's
+ * 60 five-core multiprogrammed mixes (the fifth core is the PuD
+ * workload, configured separately).
+ */
+std::vector<WorkloadParams> makeMix(int mix_index);
+
+/** One recorded trace entry: instruction gap, then a load. */
+struct TraceEntry
+{
+    std::uint32_t gap = 1;  //!< instructions before the load
+    BankId bank = 0;
+    RowId row = 0;
+};
+
+/**
+ * Load a recorded trace from disk.  The format is one entry per line,
+ * "<gap> <bank> <row>", with '#' comments -- simple enough to write
+ * from any profiler.
+ */
+std::vector<TraceEntry> loadTrace(const std::string &path);
+
+/** Save a trace (the inverse of loadTrace). */
+void saveTrace(const std::string &path,
+               const std::vector<TraceEntry> &trace);
+
+/**
+ * Synthesize a reproducible trace from an intensity class, for
+ * recording workloads to disk.
+ */
+std::vector<TraceEntry> synthesizeTrace(const WorkloadParams &params,
+                                        std::uint64_t instructions,
+                                        BankId banks,
+                                        RowId rows_per_bank,
+                                        std::uint64_t seed);
+
+/**
+ * An in-order trace core: retires `cpi`-paced instructions between
+ * memory requests and blocks on each outstanding load (MLP 1).
+ * Addresses come either from the synthetic generator or from a
+ * recorded trace (replayed cyclically until the instruction budget
+ * is spent).
+ */
+class TraceCore
+{
+  public:
+    TraceCore(int id, const WorkloadParams &params,
+              std::uint64_t instructions, BankId banks,
+              RowId rows_per_bank, std::uint64_t seed);
+
+    /** File-driven core: addresses and gaps replay `trace`. */
+    TraceCore(int id, std::vector<TraceEntry> trace, double cpi,
+              std::uint64_t instructions);
+
+    bool done() const { return instructionsLeft_ == 0; }
+    int id() const { return id_; }
+
+    /** Time the next request is issued, given readiness at `t`. */
+    Time nextIssueTime(Time t) const { return t + computeTime_; }
+
+    /** Address of the next request (advances the trace). */
+    void next(BankId &bank, RowId &row);
+
+    /** Called when the outstanding request completes. */
+    void onComplete();
+
+    std::uint64_t instructionsDone() const { return done_; }
+    Time finishTime() const { return finishTime_; }
+    void setFinishTime(Time t) { finishTime_ = t; }
+
+  private:
+    void rollSegment();
+
+    int id_;
+    WorkloadParams params_;
+    BankId banks_;
+    RowId rowsPerBank_;
+    Rng rng_;
+
+    std::vector<TraceEntry> recorded_;
+    std::size_t recordedPos_ = 0;
+
+    std::uint64_t instructionsLeft_;
+    std::uint64_t done_ = 0;
+    std::uint64_t segment_ = 0;   //!< instructions until next load
+    Time computeTime_ = 0;        //!< ns spent on the segment
+    BankId curBank_ = 0;
+    RowId curRow_ = 0;
+    Time finishTime_ = 0;
+};
+
+} // namespace pud::sim
+
+#endif // PUD_SIM_WORKLOAD_H

@@ -1,0 +1,137 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace pud::stats {
+
+std::string
+BoxStats::str(int precision) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%.*f / %.*f / %.*f / %.*f / %.*f (mean %.*f)",
+                  precision, min, precision, q1, precision, median,
+                  precision, q3, precision, max,
+                  precision == 0 ? 1 : precision, mean);
+    return buf;
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxStats
+boxStats(std::vector<double> samples)
+{
+    BoxStats out;
+    out.count = samples.size();
+    if (samples.empty())
+        return out;
+    std::sort(samples.begin(), samples.end());
+    out.min = samples.front();
+    out.max = samples.back();
+    out.q1 = quantileSorted(samples, 0.25);
+    out.median = quantileSorted(samples, 0.50);
+    out.q3 = quantileSorted(samples, 0.75);
+    double sum = 0.0;
+    for (double x : samples)
+        sum += x;
+    out.mean = sum / static_cast<double>(samples.size());
+    return out;
+}
+
+std::vector<double>
+changeCurve(const std::vector<double> &base, const std::vector<double> &variant)
+{
+    if (base.size() != variant.size())
+        panic("changeCurve: mismatched sample counts (%zu vs %zu)",
+              base.size(), variant.size());
+    std::vector<double> change;
+    change.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (base[i] <= 0.0)
+            continue;
+        change.push_back(100.0 * (variant[i] - base[i]) / base[i]);
+    }
+    // Most positive change first, matching the paper's x-axis.
+    std::sort(change.begin(), change.end(), std::greater<>());
+    return change;
+}
+
+double
+fractionBelow(const std::vector<double> &v, double threshold)
+{
+    if (v.empty())
+        return 0.0;
+    std::size_t below = 0;
+    for (double x : v)
+        if (x < threshold)
+            ++below;
+    return static_cast<double>(below) / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            panic("geomean: non-positive sample %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        panic("Histogram: invalid range [%f, %f) with %zu bins",
+              lo, hi, bins);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double span = hi_ - lo_;
+    auto idx = static_cast<std::size_t>(
+        (x - lo_) / span * static_cast<double>(counts_.size()));
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double span = hi_ - lo_;
+    return lo_ + span * static_cast<double>(i) /
+           static_cast<double>(counts_.size());
+}
+
+} // namespace pud::stats

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Statistical summaries used by the characterization harness.
+ *
+ * The paper reports HC_first populations as boxplots (min, quartiles,
+ * median, mean, max), sorted percent-change curves (Figs. 4 and 13
+ * left), and averaged bitflip counts with ranges (Fig. 24).  These
+ * helpers compute those exact summaries from sample vectors.
+ */
+
+#ifndef PUD_STATS_SUMMARY_H
+#define PUD_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pud::stats {
+
+/** Streaming accumulator for count/mean/min/max without storing samples. */
+class Accumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Five-number summary plus mean: what one boxplot in the paper shows. */
+struct BoxStats
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+
+    /** Render as "min / q1 / med / q3 / max (mean)" for bench output. */
+    std::string str(int precision = 0) const;
+};
+
+/**
+ * Compute a BoxStats from samples.  The input is copied and sorted;
+ * quartiles use linear interpolation (type-7, the numpy default).
+ */
+BoxStats boxStats(std::vector<double> samples);
+
+/** Quantile of a *sorted* sample vector with linear interpolation. */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+/**
+ * Sorted percent-change curve: for paired samples (base, variant),
+ * computes 100 * (variant - base) / base for each pair and sorts from
+ * most positive to most negative -- the x-axis convention of the
+ * paper's Figs. 4 and 13 (left plots).
+ */
+std::vector<double> changeCurve(const std::vector<double> &base,
+                                const std::vector<double> &variant);
+
+/** Fraction of entries in v that are strictly below the threshold. */
+double fractionBelow(const std::vector<double> &v, double threshold);
+
+/** Geometric mean; all samples must be positive. */
+double geomean(const std::vector<double> &v);
+
+/** Fixed-bin histogram for distribution-shape reporting. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t binCount(std::size_t i) const { return counts_[i]; }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const { return binLow(i + 1); }
+    std::size_t total() const { return total_; }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+};
+
+} // namespace pud::stats
+
+#endif // PUD_STATS_SUMMARY_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tiny command-line option parser for bench/example binaries.
+ *
+ * Supports --key=value and --flag forms; anything else is positional.
+ * Bench binaries use it for scale knobs (--rows, --modules, --seed)
+ * so users can trade fidelity for runtime.
+ */
+
+#ifndef PUD_UTIL_ARGS_H
+#define PUD_UTIL_ARGS_H
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pud {
+
+/** Parsed command-line options. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                auto eq = arg.find('=');
+                if (eq == std::string::npos)
+                    options_[arg.substr(2)] = "1";
+                else
+                    options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return options_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback
+                                    : std::strtol(it->second.c_str(),
+                                                  nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback
+                                    : std::strtod(it->second.c_str(),
+                                                  nullptr);
+    }
+
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace pud
+
+#endif // PUD_UTIL_ARGS_H

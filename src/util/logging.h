@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal status/error reporting in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- unrecoverable condition that is the *user's* fault
+ *             (bad configuration, impossible experiment parameters);
+ *             prints and exits with status 1.
+ * panic()  -- a library bug: a condition that must never happen
+ *             regardless of input; prints and aborts.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- normal progress messages (suppressed when quiet).
+ */
+
+#ifndef PUD_UTIL_LOGGING_H
+#define PUD_UTIL_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pud {
+
+namespace detail {
+
+/** Global verbosity switch for inform(); warn/fatal/panic always print. */
+inline bool &
+verboseFlag()
+{
+    static bool verbose = true;
+    return verbose;
+}
+
+} // namespace detail
+
+/** Enable or disable inform() output. */
+inline void setVerbose(bool on) { detail::verboseFlag() = on; }
+
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "fatal: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "panic: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+[[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "warn: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+}
+
+inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if (!detail::verboseFlag())
+        return;
+    std::fprintf(stderr, "info: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+}
+
+inline void
+inform(const char *msg)
+{
+    if (!detail::verboseFlag())
+        return;
+    std::fprintf(stderr, "info: %s\n", msg);
+}
+
+} // namespace pud
+
+#endif // PUD_UTIL_LOGGING_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for bench output.
+ *
+ * The bench binaries print paper-style rows; Table collects cells and
+ * renders them with aligned columns so the output is directly
+ * comparable with the paper's tables and figure series.
+ */
+
+#ifndef PUD_UTIL_TABLE_H
+#define PUD_UTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pud {
+
+/** A simple column-aligned text table with an optional CSV dump. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append a row; it must have as many cells as the header. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Format an integer-valued count. */
+    static std::string
+    count(long long v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", v);
+        return buf;
+    }
+
+    /** Render with aligned columns to the given stream. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < width.size(); ++c) {
+                const std::string &cell = c < row.size() ? row[c] : empty_;
+                std::fprintf(out, "%-*s", static_cast<int>(width[c] + 2),
+                             cell.c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+
+        print_row(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        std::string rule(total, '-');
+        std::fprintf(out, "%s\n", rule.c_str());
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+    /** Dump as CSV (for downstream plotting). */
+    void
+    printCsv(std::FILE *out) const
+    {
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                std::fprintf(out, "%s%s", c ? "," : "", row[c].c_str());
+            std::fprintf(out, "\n");
+        };
+        emit(header_);
+        for (const auto &row : rows_)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string empty_;
+};
+
+} // namespace pud
+
+#endif // PUD_UTIL_TABLE_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Time units used throughout the library.
+ *
+ * All DRAM command timestamps and timing parameters are expressed in
+ * picoseconds held in a 64-bit signed integer, which covers ~106 days
+ * of simulated time -- far beyond any refresh window.  Picosecond
+ * resolution represents every DDR4 timing parameter in the paper
+ * (including the violated 1.5 ns / 3 ns SiMRA delays) exactly.
+ */
+
+#ifndef PUD_UTIL_UNITS_H
+#define PUD_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace pud {
+
+/** Simulated time in picoseconds. */
+using Time = std::int64_t;
+
+namespace units {
+
+constexpr Time ps = 1;
+constexpr Time ns = 1000 * ps;
+constexpr Time us = 1000 * ns;
+constexpr Time ms = 1000 * us;
+
+/** Convert a floating-point nanosecond figure to Time. */
+constexpr Time
+fromNs(double nanoseconds)
+{
+    return static_cast<Time>(nanoseconds * static_cast<double>(ns));
+}
+
+/** Convert Time to floating-point nanoseconds (for reporting). */
+constexpr double
+toNs(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(ns);
+}
+
+/** Convert Time to floating-point microseconds (for reporting). */
+constexpr double
+toUs(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(us);
+}
+
+} // namespace units
+
+/** DRAM chip temperature in degrees Celsius. */
+using Celsius = double;
+
+} // namespace pud
+
+#endif // PUD_UTIL_UNITS_H

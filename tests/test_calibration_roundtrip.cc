@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Calibration round-trip property: for every Table 2 family, a
+ * measured victim population's average HC_first must land near the
+ * paper's anchors, and the technique ordering (SiMRA < CoMRA < RH on
+ * minima) must hold.  This is the end-to-end guarantee behind every
+ * bench binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hammer/experiment.h"
+#include "stats/summary.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::hammer;
+
+class CalibrationRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CalibrationRoundTrip, AveragesTrackTable2Anchors)
+{
+    const auto &family = dram::table2Families()[GetParam()];
+
+    PopulationConfig cfg;
+    cfg.moduleId = family.moduleId;
+    cfg.modules = 1;
+    cfg.victimsPerSubarray = 6;
+    cfg.oddOnly = family.supportsSimra;
+    cfg.rowsPerSubarray = 128;
+    cfg.seed = 7;
+
+    ModuleTester::Options opt;
+    opt.searchWcdp = true;
+
+    std::vector<MeasureFn> measures = {
+        [&](ModuleTester &t, dram::RowId v) {
+            return t.rhDouble(v, opt);
+        },
+        [&](ModuleTester &t, dram::RowId v) {
+            return t.comraDouble(v, opt);
+        }};
+    if (family.supportsSimra) {
+        measures.push_back([&](ModuleTester &t, dram::RowId v) {
+            return t.simraDouble(v, 4, opt);
+        });
+    }
+
+    auto series = measurePopulation(cfg, measures);
+    series = dropIncomplete(series);
+    ASSERT_GT(series[0].size(), 20u);
+
+    const auto rh = stats::boxStats(series[0]);
+    const auto comra = stats::boxStats(series[1]);
+
+    // Averages within 2x of the paper's anchors at this small
+    // population (they converge with more rows).
+    EXPECT_GT(rh.mean, family.rhAvg / 2.0) << family.moduleId;
+    EXPECT_LT(rh.mean, family.rhAvg * 2.0) << family.moduleId;
+    EXPECT_GT(comra.mean, family.comraAvg / 2.5) << family.moduleId;
+    EXPECT_LT(comra.mean, family.comraAvg * 2.5) << family.moduleId;
+
+    // Technique ordering on population minima (Obs. 1, Table 2).
+    EXPECT_LT(comra.min, rh.min) << family.moduleId;
+    if (family.supportsSimra) {
+        const auto simra = stats::boxStats(series[2]);
+        EXPECT_LT(simra.min, comra.min) << family.moduleId;
+        // SiMRA minima sit orders of magnitude below RowHammer.
+        EXPECT_LT(simra.min, rh.min / 10.0) << family.moduleId;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CalibrationRoundTrip,
+                         ::testing::Range(0, 14));
+
+} // namespace

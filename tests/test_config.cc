@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the module-family calibration profiles and the
+ * analytic distribution fit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dram/config.h"
+
+namespace {
+
+using namespace pud::dram;
+
+TEST(Table2, PopulationMatchesPaper)
+{
+    const auto &families = table2Families();
+    EXPECT_EQ(families.size(), 14u);
+
+    int modules = 0, chips = 0;
+    for (const auto &f : families) {
+        modules += f.numModules;
+        chips += f.numChips;
+    }
+    EXPECT_EQ(modules, 40);  // paper: 40 modules
+    EXPECT_EQ(chips, 316);   // paper: 316 chips
+}
+
+TEST(Table2, ManufacturerCounts)
+{
+    int by_mfr[4] = {0, 0, 0, 0};
+    for (const auto &f : table2Families())
+        by_mfr[static_cast<int>(f.mfr)] += f.numModules;
+    EXPECT_EQ(by_mfr[static_cast<int>(Manufacturer::SKHynix)], 17);
+    EXPECT_EQ(by_mfr[static_cast<int>(Manufacturer::Micron)], 11);
+    EXPECT_EQ(by_mfr[static_cast<int>(Manufacturer::Samsung)], 9);
+    EXPECT_EQ(by_mfr[static_cast<int>(Manufacturer::Nanya)], 3);
+}
+
+TEST(Table2, OnlySkHynixSupportsSimra)
+{
+    for (const auto &f : table2Families()) {
+        EXPECT_EQ(f.supportsSimra, f.mfr == Manufacturer::SKHynix)
+            << f.moduleId;
+        if (f.supportsSimra) {
+            EXPECT_GT(f.simraMin, 0.0);
+        }
+    }
+}
+
+TEST(Table2, AnchorsAreOrdered)
+{
+    for (const auto &f : table2Families()) {
+        EXPECT_LT(f.rhMin, f.rhAvg) << f.moduleId;
+        EXPECT_LT(f.comraMin, f.comraAvg) << f.moduleId;
+        // CoMRA is at least as effective as RowHammer (Obs. 1).
+        EXPECT_LE(f.comraMin, f.rhMin) << f.moduleId;
+        EXPECT_LE(f.comraAvg, f.rhAvg) << f.moduleId;
+    }
+}
+
+TEST(Table2, HeadlineAnchors)
+{
+    const auto &f = findFamily("HMA81GU7AFR8N-UH");
+    EXPECT_DOUBLE_EQ(f.simraMin, 26.0);  // the paper's headline HC_first
+    EXPECT_DOUBLE_EQ(f.rhMin, 25000.0);
+    EXPECT_DOUBLE_EQ(f.comraMin, 1885.0);
+}
+
+TEST(FindFamily, UnknownIsFatal)
+{
+    EXPECT_DEATH(findFamily("NOPE-123"), "unknown module family");
+}
+
+TEST(InverseNormalCdf, KnownValues)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-8);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.001), -3.090232, 1e-4);
+}
+
+TEST(InverseNormalCdf, RejectsOutOfRange)
+{
+    EXPECT_DEATH(inverseNormalCdf(0.0), "out of");
+    EXPECT_DEATH(inverseNormalCdf(1.0), "out of");
+}
+
+TEST(Calibrate, MedianBelowMean)
+{
+    for (const auto &f : table2Families()) {
+        const auto cal = calibrate(f);
+        EXPECT_GT(cal.rhSigma, 0.0) << f.moduleId;
+        EXPECT_LT(cal.rhMedian, f.rhAvg) << f.moduleId;
+        // Lognormal mean identity: median * exp(sigma^2 / 2) == avg.
+        EXPECT_NEAR(cal.rhMedian * std::exp(0.5 * cal.rhSigma *
+                                            cal.rhSigma),
+                    f.rhAvg, 1e-6 * f.rhAvg)
+            << f.moduleId;
+    }
+}
+
+TEST(Calibrate, ComraFactorReflectsAnchors)
+{
+    // Families with a deep CoMRA min (SK Hynix A 8Gb: 25K -> 1885)
+    // need a wider factor spread than ones with a shallow min
+    // (Micron R: 3.84K -> 3.67K).
+    const auto deep = calibrate(findFamily("HMA81GU7AFR8N-UH"));
+    const auto shallow = calibrate(findFamily("KSM32ES8/8MR"));
+    EXPECT_GT(deep.comraFactorSigma, shallow.comraFactorSigma);
+    EXPECT_GE(deep.comraFactorMedian, 1.0);
+}
+
+TEST(Calibrate, SimraExtremeTailPinned)
+{
+    const auto &f = findFamily("HMA81GU7AFR8N-UH");
+    const auto cal = calibrate(f);
+    EXPECT_GT(cal.simraExtremeMedian, cal.simraRegularMedian);
+    EXPECT_GT(cal.simraExtremeFraction, 0.2);  // >= 25% of victim rows
+                                               // show >99% reduction
+}
+
+TEST(MakeConfig, DefaultsAreSane)
+{
+    const DeviceConfig cfg = makeConfig("KVR24N17S8/8", 7);
+    EXPECT_EQ(cfg.profile.mfr, Manufacturer::Nanya);
+    EXPECT_TRUE(cfg.profile.trueAntiCells);
+    EXPECT_EQ(cfg.seed, 7u);
+    EXPECT_GT(cfg.rowsPerBank(), 0u);
+    EXPECT_EQ(cfg.rowsPerBank(),
+              cfg.subarraysPerBank * cfg.rowsPerSubarray);
+}
+
+class FamilySweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FamilySweep, CalibrationIsFinitePositive)
+{
+    const auto &f = table2Families()[GetParam()];
+    const auto cal = calibrate(f);
+    EXPECT_TRUE(std::isfinite(cal.rhMedian));
+    EXPECT_GT(cal.rhMedian, 0.0);
+    EXPECT_TRUE(std::isfinite(cal.comraFactorMedian));
+    EXPECT_GT(cal.comraFactorMedian, 0.99);
+    if (f.supportsSimra) {
+        EXPECT_TRUE(std::isfinite(cal.simraExtremeMedian));
+        EXPECT_TRUE(std::isfinite(cal.simraRegularMedian));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Range(0, 14));
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for data patterns and RowData.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/datapattern.h"
+
+namespace {
+
+using namespace pud::dram;
+
+TEST(DataPattern, Negation)
+{
+    EXPECT_EQ(negate(DataPattern::P00), DataPattern::PFF);
+    EXPECT_EQ(negate(DataPattern::PFF), DataPattern::P00);
+    EXPECT_EQ(negate(DataPattern::PAA), DataPattern::P55);
+    EXPECT_EQ(negate(DataPattern::P55), DataPattern::PAA);
+}
+
+TEST(DataPattern, Checkerboard)
+{
+    EXPECT_TRUE(isCheckerboard(DataPattern::PAA));
+    EXPECT_TRUE(isCheckerboard(DataPattern::P55));
+    EXPECT_FALSE(isCheckerboard(DataPattern::P00));
+    EXPECT_FALSE(isCheckerboard(DataPattern::PFF));
+}
+
+TEST(RowData, FillPatterns)
+{
+    RowData zeros(128, DataPattern::P00);
+    RowData ones(128, DataPattern::PFF);
+    RowData alt(128, DataPattern::P55);
+    for (ColId c = 0; c < 128; ++c) {
+        EXPECT_FALSE(zeros.get(c));
+        EXPECT_TRUE(ones.get(c));
+        // 0x55 = 0b01010101 LSB-first: even bit positions are 1.
+        EXPECT_EQ(alt.get(c), c % 2 == 0);
+    }
+}
+
+TEST(RowData, SetGetToggle)
+{
+    RowData d(100);
+    EXPECT_FALSE(d.get(63));
+    d.set(63, true);
+    EXPECT_TRUE(d.get(63));
+    d.toggle(63);
+    EXPECT_FALSE(d.get(63));
+    d.set(64, true);  // crosses word boundary
+    EXPECT_TRUE(d.get(64));
+    EXPECT_FALSE(d.get(65));
+}
+
+TEST(RowData, Equality)
+{
+    RowData a(96, DataPattern::PAA);
+    RowData b(96, DataPattern::PAA);
+    EXPECT_EQ(a, b);
+    b.toggle(95);
+    EXPECT_NE(a, b);
+}
+
+TEST(RowData, DiffCount)
+{
+    RowData a(256, DataPattern::P00);
+    RowData b(256, DataPattern::P00);
+    EXPECT_EQ(a.diffCount(b), 0u);
+    b.toggle(0);
+    b.toggle(100);
+    b.toggle(255);
+    EXPECT_EQ(a.diffCount(b), 3u);
+
+    const RowData x(256, DataPattern::P00);
+    const RowData y(256, DataPattern::PFF);
+    EXPECT_EQ(x.diffCount(y), 256u);
+}
+
+TEST(RowData, NonWordMultipleTailMasked)
+{
+    // 70 bits: filling 0xFF must not set bits past 70, so diff with an
+    // explicit 70-bit all-ones row is zero.
+    RowData filled(70, DataPattern::PFF);
+    RowData manual(70);
+    for (ColId c = 0; c < 70; ++c)
+        manual.set(c, true);
+    EXPECT_EQ(filled, manual);
+    EXPECT_EQ(filled.diffCount(manual), 0u);
+}
+
+class PatternSweep : public ::testing::TestWithParam<DataPattern>
+{};
+
+TEST_P(PatternSweep, FillMatchesByteDefinition)
+{
+    const DataPattern p = GetParam();
+    const auto byte = static_cast<std::uint8_t>(p);
+    RowData d(512, p);
+    for (ColId c = 0; c < 512; ++c)
+        EXPECT_EQ(d.get(c), ((byte >> (c % 8)) & 1) != 0) << "col " << c;
+}
+
+TEST_P(PatternSweep, DoubleNegationIsIdentity)
+{
+    EXPECT_EQ(negate(negate(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternSweep,
+                         ::testing::ValuesIn(kAllPatterns));
+
+} // namespace

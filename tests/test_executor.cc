@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the bender program builder and executor, including
+ * the exactness of the loop fast-path against naive execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "hammer/patterns.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::bender;
+using namespace pud::dram;
+
+DeviceConfig
+smallConfig(std::uint64_t seed = 1)
+{
+    DeviceConfig cfg = makeConfig("HMA81GU7AFR8N-UH", seed);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 256;
+    return cfg;
+}
+
+TEST(Program, BuilderTracksLoopBalance)
+{
+    Program p;
+    EXPECT_TRUE(p.balanced());
+    p.loopBegin(10);
+    EXPECT_FALSE(p.balanced());
+    p.act(0, 1, 100).pre(0, 100);
+    p.loopEnd();
+    EXPECT_TRUE(p.balanced());
+}
+
+TEST(Program, LoopEndWithoutBeginIsFatal)
+{
+    Program p;
+    EXPECT_DEATH(p.loopEnd(), "loopEnd without loopBegin");
+}
+
+TEST(Program, SetLoopCountPatchesTheRightLoop)
+{
+    Program p;
+    p.loopBegin(1).act(0, 1, 10).loopEnd();
+    p.loopBegin(2).act(0, 2, 10).loopEnd();
+    p.setLoopCount(1, 99);
+    int seen = 0;
+    for (const auto &inst : p.insts()) {
+        if (inst.op == Op::LoopBegin) {
+            EXPECT_EQ(inst.count, ++seen == 1 ? 1u : 99u);
+        }
+    }
+    EXPECT_DEATH(p.setLoopCount(5, 1), "no loop");
+}
+
+TEST(Executor, UnbalancedProgramIsFatal)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program p;
+    p.loopBegin(3).act(0, 1, 100);
+    EXPECT_DEATH(ex.run(p), "unbalanced");
+}
+
+TEST(Executor, CollectsReads)
+{
+    TestBench bench(smallConfig());
+    const RowData d(256, DataPattern::PAA);
+    bench.writeRow(0, 5, d);
+    Program p;
+    p.act(0, 5, units::fromNs(15)).rd(0, units::fromNs(15))
+        .pre(0, units::fromNs(36));
+    const auto result = bench.run(p);
+    ASSERT_EQ(result.reads.size(), 1u);
+    EXPECT_EQ(result.reads[0], d);
+}
+
+TEST(Executor, TimeAdvancesByGapSum)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program p;
+    p.act(0, 1, units::fromNs(100)).pre(0, units::fromNs(50));
+    const auto r = ex.run(p);
+    EXPECT_EQ(r.endTime - r.startTime, units::fromNs(150));
+}
+
+TEST(Executor, LoopTimeScalesWithTripCount)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program p;
+    p.loopBegin(1000)
+        .act(0, 1, units::fromNs(15))
+        .pre(0, units::fromNs(36))
+        .loopEnd();
+    const auto r = ex.run(p);
+    EXPECT_EQ(r.endTime - r.startTime, 1000 * units::fromNs(51));
+    EXPECT_GT(r.fastPathIterations, 0u);
+}
+
+TEST(Executor, FastPathSkipsRefLoops)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program p;
+    p.loopBegin(20).ref(units::fromNs(7800)).loopEnd();
+    const auto r = ex.run(p);
+    EXPECT_EQ(r.fastPathIterations, 0u);
+    EXPECT_EQ(dev.counters().refs, 20u);
+}
+
+TEST(Executor, NestedLoopsExecute)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program p;
+    p.loopBegin(3);
+    p.loopBegin(4)
+        .act(0, 1, units::fromNs(15))
+        .pre(0, units::fromNs(36))
+        .loopEnd();
+    p.loopEnd();
+    ex.run(p);
+    EXPECT_EQ(dev.counters().acts, 12u);
+}
+
+/**
+ * The critical property: fast-path execution must produce the same
+ * victim bitflips as naive execution for every pattern class.
+ */
+class FastPathEquivalence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FastPathEquivalence, MatchesNaiveExecution)
+{
+    const int pattern_kind = GetParam();
+    constexpr std::uint64_t kHammers = 4000;
+
+    auto run = [&](bool fast) {
+        TestBench bench(smallConfig(7));
+        bench.executor().setFastPath(fast);
+        dram::Device &dev = bench.device();
+
+        const RowId victim = 33;
+        const RowData aggr(256, DataPattern::P55);
+        const RowData vict(256, DataPattern::PAA);
+        for (RowId r = 28; r <= 38; ++r)
+            bench.writeRow(0, dev.toLogical(r),
+                           r == victim ? vict : aggr);
+
+        hammer::PatternTimings t;
+        Program p;
+        switch (pattern_kind) {
+          case 0:
+            p = hammer::doubleSidedRowHammer(
+                0, dev.toLogical(32), dev.toLogical(34), kHammers, t);
+            break;
+          case 1:
+            p = hammer::singleSidedRowHammer(0, dev.toLogical(32),
+                                             kHammers, t);
+            break;
+          case 2:
+            p = hammer::comraHammer(0, dev.toLogical(32),
+                                    dev.toLogical(34), kHammers, t);
+            break;
+          case 3:
+            p = hammer::simraHammer(0, dev.toLogical(32),
+                                    dev.toLogical(38), kHammers, t);
+            break;
+          default:
+            t.tAggOn = units::fromNs(7800);
+            p = hammer::doubleSidedRowHammer(
+                0, dev.toLogical(32), dev.toLogical(34), kHammers, t);
+        }
+        bench.run(p);
+
+        // Compare the damage of every cell in the neighbourhood.
+        std::vector<float> damage;
+        for (RowId r = 28; r <= 38; ++r)
+            for (const auto &cell :
+                 dev.weakCells(0, dev.toLogical(r)))
+                damage.push_back(cell.totalDamage());
+        return damage;
+    };
+
+    const auto fast = run(true);
+    const auto naive = run(false);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_NEAR(fast[i], naive[i],
+                    1e-4f + 0.002f * std::abs(naive[i]))
+            << "cell " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, FastPathEquivalence,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the population runners and the TRR experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hammer/experiment.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::hammer;
+
+PopulationConfig
+tinyPopulation()
+{
+    PopulationConfig cfg;
+    cfg.moduleId = "HMA81GU7AFR8N-UH";
+    cfg.modules = 1;
+    cfg.victimsPerSubarray = 4;
+    cfg.rowsPerSubarray = 128;
+    return cfg;
+}
+
+TEST(Population, SeriesAlignedAcrossMeasures)
+{
+    ModuleTester::Options opt;
+    const auto series = measurePopulation(
+        tinyPopulation(),
+        {[&](ModuleTester &t, dram::RowId v) {
+             return t.rhDouble(v, opt);
+         },
+         [&](ModuleTester &t, dram::RowId v) {
+             return t.comraDouble(v, opt);
+         }});
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_EQ(series[0].size(), series[1].size());
+    EXPECT_GT(series[0].size(), 10u);
+}
+
+TEST(Population, ModulesMultiplyVictims)
+{
+    PopulationConfig one = tinyPopulation();
+    PopulationConfig two = tinyPopulation();
+    two.modules = 2;
+    ModuleTester::Options opt;
+    const MeasureFn fn = [&](ModuleTester &t, dram::RowId v) {
+        return t.rhDouble(v, opt);
+    };
+    const auto s1 = measurePopulation(one, {fn});
+    const auto s2 = measurePopulation(two, {fn});
+    EXPECT_EQ(s2[0].size(), 2 * s1[0].size());
+}
+
+TEST(DropIncomplete, RemovesNanPairsKeepingAlignment)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<std::vector<double>> in{{1, nan, 3, 4},
+                                              {10, 20, nan, 40}};
+    const auto out = dropIncomplete(in);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (std::vector<double>{1, 4}));
+    EXPECT_EQ(out[1], (std::vector<double>{10, 40}));
+}
+
+TEST(DropIncomplete, RaggedInputPanics)
+{
+    EXPECT_DEATH(dropIncomplete({{1.0}, {1.0, 2.0}}), "ragged");
+}
+
+class TrrExperimentTest : public ::testing::Test
+{
+  protected:
+    static dram::DeviceConfig
+    config(std::uint64_t seed = 21)
+    {
+        dram::DeviceConfig cfg =
+            dram::makeConfig("HMA81GU7AFR8N-UH", seed);
+        cfg.banks = 1;
+        cfg.subarraysPerBank = 4;
+        cfg.rowsPerSubarray = 128;
+        cfg.cols = 256;
+        return cfg;
+    }
+
+    static TrrConfig
+    trrConfig()
+    {
+        TrrConfig cfg;
+        cfg.simraN = 16;  // spaced group: victims invisible to TRR
+        cfg.hammersPerAggressor = 150000;
+        return cfg;
+    }
+};
+
+TEST_F(TrrExperimentTest, RowHammerFlipsWithoutTrr)
+{
+    ModuleTester t(config());
+    const auto flips = runTrrExperiment(t, TrrTechnique::RowHammer,
+                                        trrConfig(), false);
+    EXPECT_GT(flips, 0u);
+}
+
+TEST_F(TrrExperimentTest, TrrSuppressesRowHammer)
+{
+    ModuleTester without(config());
+    const auto flips_without = runTrrExperiment(
+        without, TrrTechnique::RowHammer, trrConfig(), false);
+    ModuleTester with(config());
+    const auto flips_with = runTrrExperiment(
+        with, TrrTechnique::RowHammer, trrConfig(), true);
+    ASSERT_GT(flips_without, 0u);
+    // Obs. 25/26: TRR reduces RowHammer bitflips greatly (99.89%).
+    EXPECT_LT(static_cast<double>(flips_with),
+              0.2 * static_cast<double>(flips_without));
+}
+
+TEST_F(TrrExperimentTest, SimraBypassesTrr)
+{
+    ModuleTester without(config());
+    const auto flips_without = runTrrExperiment(
+        without, TrrTechnique::Simra, trrConfig(), false);
+    ModuleTester with(config());
+    const auto flips_with = runTrrExperiment(
+        with, TrrTechnique::Simra, trrConfig(), true);
+    ASSERT_GT(flips_without, 0u);
+    // Obs. 26: only ~15% average reduction with TRR.
+    EXPECT_GT(static_cast<double>(flips_with),
+              0.5 * static_cast<double>(flips_without));
+}
+
+TEST_F(TrrExperimentTest, SimraBeatsRowHammerUnderTrr)
+{
+    ModuleTester rh(config());
+    const auto rh_flips = runTrrExperiment(
+        rh, TrrTechnique::RowHammer, trrConfig(), true);
+    ModuleTester si(config());
+    const auto si_flips = runTrrExperiment(
+        si, TrrTechnique::Simra, trrConfig(), true);
+    // Obs. 25: SiMRA induces orders of magnitude more bitflips than
+    // RowHammer in the presence of TRR.
+    EXPECT_GT(si_flips, 50 * std::max<std::uint64_t>(1, rh_flips));
+}
+
+TEST_F(TrrExperimentTest, ComraFlipsUnderTrrExperiment)
+{
+    ModuleTester t(config());
+    const auto flips = runTrrExperiment(t, TrrTechnique::Comra,
+                                        trrConfig(), false);
+    EXPECT_GT(flips, 0u);
+}
+
+TEST_F(TrrExperimentTest, TrrDisabledAfterRun)
+{
+    ModuleTester t(config());
+    runTrrExperiment(t, TrrTechnique::RowHammer, trrConfig(), true);
+    EXPECT_FALSE(t.device().trrEnabled());
+}
+
+} // namespace

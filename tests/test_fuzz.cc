@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Randomized property tests: the executor fast-path, the device
+ * protocol, and the data plane are exercised with generated inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "bender/host.h"
+#include "hammer/experiment.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::bender;
+using dram::DataPattern;
+using dram::DeviceConfig;
+using dram::RowData;
+using dram::RowId;
+
+DeviceConfig
+fuzzConfig(std::uint64_t seed)
+{
+    DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", seed);
+    cfg.banks = 2;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 128;
+    return cfg;
+}
+
+/**
+ * Generate a random but protocol-correct program: per bank we track
+ * open/closed state so ACT/PRE/RD/WR sequences are always legal, with
+ * gaps spanning nominal and violated timings.
+ */
+Program
+randomProgram(Rng &rng, const DeviceConfig &cfg, int length)
+{
+    Program p;
+    std::vector<bool> open(cfg.banks, false);
+    const Time gaps[] = {units::fromNs(3),    units::fromNs(7.5),
+                         units::fromNs(13.75), units::fromNs(36),
+                         units::fromNs(100)};
+    const int marker = p.addData(RowData(cfg.cols, DataPattern::PFF));
+
+    for (int i = 0; i < length; ++i) {
+        const auto bank =
+            static_cast<dram::BankId>(rng.below(cfg.banks));
+        const Time gap = gaps[rng.below(5)];
+        if (!open[bank]) {
+            if (rng.chance(0.1)) {
+                // Hammering loop (always legal: act/pre pairs).
+                const auto row = static_cast<RowId>(
+                    rng.below(cfg.rowsPerBank()));
+                p.loopBegin(1 + rng.below(64));
+                p.act(bank, row, gap).pre(bank, units::fromNs(36));
+                p.loopEnd();
+            } else {
+                p.act(bank,
+                      static_cast<RowId>(rng.below(cfg.rowsPerBank())),
+                      gap);
+                open[bank] = true;
+            }
+        } else {
+            switch (rng.below(4)) {
+              case 0:
+                p.pre(bank, gap);
+                open[bank] = false;
+                break;
+              case 1:
+                p.rd(bank, gap);
+                break;
+              case 2:
+                p.wr(bank, marker, gap);
+                break;
+              default:
+                p.nop(gap);
+                break;
+            }
+        }
+    }
+    for (dram::BankId b = 0; b < cfg.banks; ++b)
+        if (open[b])
+            p.pre(b, units::fromNs(36));
+    return p;
+}
+
+class ProgramFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ProgramFuzz, DeviceSurvivesAndStaysConsistent)
+{
+    const DeviceConfig cfg = fuzzConfig(GetParam());
+    Rng rng(GetParam() * 77 + 5);
+    TestBench bench(cfg);
+    for (RowId r = 0; r < cfg.rowsPerBank(); ++r)
+        bench.fillRow(0, r, DataPattern::PAA);
+
+    const Program p = randomProgram(rng, cfg, 200);
+    const auto result = bench.run(p);
+    EXPECT_GE(result.endTime, result.startTime);
+
+    // Every row remains readable and well-formed.
+    for (RowId r = 0; r < cfg.rowsPerBank(); ++r)
+        EXPECT_EQ(bench.readRow(0, r).bits(), cfg.cols);
+}
+
+TEST_P(ProgramFuzz, FastPathMatchesNaiveOnRandomPrograms)
+{
+    auto run = [&](bool fast) {
+        const DeviceConfig cfg = fuzzConfig(GetParam());
+        Rng rng(GetParam() * 31 + 1);
+        TestBench bench(cfg);
+        bench.executor().setFastPath(fast);
+        for (dram::BankId b = 0; b < cfg.banks; ++b)
+            for (RowId r = 0; r < cfg.rowsPerBank(); ++r)
+                bench.device().writeRowDirect(
+                    b, r, RowData(cfg.cols, DataPattern::PAA));
+
+        bench.run(randomProgram(rng, cfg, 300));
+
+        // Collect the full damage state and the full data state.
+        std::vector<float> damage;
+        std::vector<RowData> data;
+        for (dram::BankId b = 0; b < cfg.banks; ++b) {
+            for (RowId r = 0; r < cfg.rowsPerBank(); ++r) {
+                data.push_back(bench.device().readRowDirect(b, r));
+                for (const auto &cell :
+                     bench.device().weakCells(b, r))
+                    damage.push_back(cell.totalDamage());
+            }
+        }
+        return std::make_pair(damage, data);
+    };
+
+    const auto fast = run(true);
+    const auto naive = run(false);
+    ASSERT_EQ(fast.first.size(), naive.first.size());
+    for (std::size_t i = 0; i < fast.first.size(); ++i) {
+        EXPECT_NEAR(fast.first[i], naive.first[i],
+                    1e-4f + 0.01f * std::abs(naive.first[i]))
+            << "cell " << i;
+    }
+    EXPECT_EQ(fast.second, naive.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DataFuzz, RowDataMatchesBitsetReference)
+{
+    Rng rng(404);
+    RowData d(300);
+    std::bitset<300> ref;
+    for (int op = 0; op < 5000; ++op) {
+        const auto col = static_cast<dram::ColId>(rng.below(300));
+        switch (rng.below(3)) {
+          case 0:
+            d.set(col, true);
+            ref.set(col);
+            break;
+          case 1:
+            d.set(col, false);
+            ref.reset(col);
+            break;
+          default:
+            d.toggle(col);
+            ref.flip(col);
+            break;
+        }
+        ASSERT_EQ(d.get(col), ref.test(col)) << "op " << op;
+    }
+    std::size_t ones = 0;
+    for (dram::ColId c = 0; c < 300; ++c)
+        ones += d.get(c);
+    EXPECT_EQ(ones, ref.count());
+}
+
+TEST(DeterminismFuzz, PopulationRunsAreBitStable)
+{
+    hammer::PopulationConfig cfg;
+    cfg.moduleId = "M391A2G43BB2-CWE";
+    cfg.victimsPerSubarray = 3;
+    cfg.rowsPerSubarray = 64;
+    cfg.seed = 2024;
+
+    hammer::ModuleTester::Options opt;
+    const hammer::MeasureFn fn = [&](hammer::ModuleTester &t,
+                                     RowId v) {
+        return t.rhDouble(v, opt);
+    };
+    const auto a = hammer::measurePopulation(cfg, {fn});
+    const auto b = hammer::measurePopulation(cfg, {fn});
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        EXPECT_EQ(a[0][i], b[0][i]);
+}
+
+TEST(DeterminismFuzz, DifferentSeedsGiveDifferentModules)
+{
+    const DeviceConfig a_cfg = fuzzConfig(1);
+    const DeviceConfig b_cfg = fuzzConfig(2);
+    dram::Device a(a_cfg), b(b_cfg);
+    int identical = 0, total = 0;
+    for (RowId r = 0; r < 32; ++r) {
+        const auto &ca = a.weakCells(0, r);
+        const auto &cb = b.weakCells(0, r);
+        for (std::size_t i = 0; i < ca.size(); ++i) {
+            ++total;
+            identical += ca[i].baseHc == cb[i].baseHc;
+        }
+    }
+    EXPECT_LT(identical, total / 10);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the HC_first bisection search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hammer/hcfirst.h"
+
+namespace {
+
+using namespace pud::hammer;
+
+TEST(HcFirst, FindsExactThresholdWithinConvergence)
+{
+    HcSearchConfig cfg;
+    const std::uint64_t threshold = 12345;
+    int trials = 0;
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        ++trials;
+        return n >= threshold;
+    });
+    // The result brackets the true threshold from above within 1%.
+    EXPECT_GE(hc, threshold);
+    EXPECT_LE(hc, threshold + threshold / 100 + 1);
+    EXPECT_LT(trials, 60);
+}
+
+TEST(HcFirst, NoFlipWithinBudget)
+{
+    HcSearchConfig cfg;
+    cfg.maxHammers = 1000;
+    const std::uint64_t hc =
+        findHcFirst(cfg, [](std::uint64_t) { return false; });
+    EXPECT_EQ(hc, kNoFlip);
+}
+
+TEST(HcFirst, ThresholdOfOne)
+{
+    HcSearchConfig cfg;
+    const std::uint64_t hc =
+        findHcFirst(cfg, [](std::uint64_t n) { return n >= 1; });
+    EXPECT_EQ(hc, 1u);
+}
+
+TEST(HcFirst, ThresholdAtBudgetBoundary)
+{
+    HcSearchConfig cfg;
+    cfg.maxHammers = 5000;
+    const std::uint64_t hc =
+        findHcFirst(cfg, [&](std::uint64_t n) { return n >= 5000; });
+    EXPECT_GE(hc, 5000u);
+    EXPECT_LE(hc, 5000u);
+}
+
+TEST(HcFirst, ThresholdJustAboveBudgetIsNoFlip)
+{
+    HcSearchConfig cfg;
+    cfg.maxHammers = 5000;
+    const std::uint64_t hc =
+        findHcFirst(cfg, [&](std::uint64_t n) { return n >= 5001; });
+    EXPECT_EQ(hc, kNoFlip);
+}
+
+TEST(HcFirst, RepeatsReportMinimum)
+{
+    HcSearchConfig cfg;
+    cfg.repeats = 5;
+    // A trial whose threshold drops after the first search: the
+    // minimum across repeats must win.
+    int search_probes = 0;
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        ++search_probes;
+        const std::uint64_t threshold = search_probes < 15 ? 40000 : 20000;
+        return n >= threshold;
+    });
+    EXPECT_LE(hc, 20000u + 200u);
+}
+
+TEST(HcFirst, ZeroBudgetIsFatal)
+{
+    HcSearchConfig cfg;
+    cfg.maxHammers = 0;
+    EXPECT_DEATH(findHcFirst(cfg, [](std::uint64_t) { return true; }),
+                 "budget");
+}
+
+class ThresholdSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ThresholdSweep, BracketsWithinOnePercent)
+{
+    HcSearchConfig cfg;
+    const std::uint64_t threshold = GetParam();
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        return n >= threshold;
+    });
+    EXPECT_GE(hc, threshold);
+    EXPECT_LE(static_cast<double>(hc - threshold),
+              0.011 * static_cast<double>(threshold) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1, 2, 26, 447, 1885, 4123,
+                                           25000, 126000, 699999));
+
+} // namespace

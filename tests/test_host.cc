@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the testbench host layer (paper Fig. 2's rig).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::bender;
+using dram::DataPattern;
+using dram::DeviceConfig;
+using dram::RowData;
+
+DeviceConfig
+smallConfig()
+{
+    DeviceConfig cfg = dram::makeConfig("M391A2G43BB2-CWE", 2);
+    cfg.banks = 2;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 128;
+    return cfg;
+}
+
+TEST(TemperatureController, SetsDeviceTemperature)
+{
+    TestBench bench(smallConfig());
+    EXPECT_DOUBLE_EQ(bench.thermo().current(), 80.0);
+    bench.thermo().setTarget(50.0);
+    EXPECT_DOUBLE_EQ(bench.thermo().current(), 50.0);
+    EXPECT_DOUBLE_EQ(bench.device().temperature(), 50.0);
+}
+
+TEST(TemperatureController, RejectsOutOfRangeTargets)
+{
+    TestBench bench(smallConfig());
+    EXPECT_DEATH(bench.thermo().setTarget(10.0), "rig range");
+    EXPECT_DEATH(bench.thermo().setTarget(120.0), "rig range");
+}
+
+TEST(TestBench, FillAndCountBitflips)
+{
+    TestBench bench(smallConfig());
+    bench.fillRow(0, 5, DataPattern::PAA);
+    const RowData expected(128, DataPattern::PAA);
+    EXPECT_EQ(bench.countBitflips(0, 5, expected), 0u);
+
+    RowData corrupted = expected;
+    corrupted.toggle(3);
+    corrupted.toggle(77);
+    bench.writeRow(0, 5, corrupted);
+    EXPECT_EQ(bench.countBitflips(0, 5, expected), 2u);
+}
+
+TEST(TestBench, WriteReadAcrossBanks)
+{
+    TestBench bench(smallConfig());
+    const RowData a(128, DataPattern::P55);
+    const RowData b(128, DataPattern::P00);
+    bench.writeRow(0, 9, a);
+    bench.writeRow(1, 9, b);
+    EXPECT_EQ(bench.readRow(0, 9), a);
+    EXPECT_EQ(bench.readRow(1, 9), b);
+}
+
+TEST(TestBench, RunReturnsMonotonicTimes)
+{
+    TestBench bench(smallConfig());
+    Program p;
+    p.act(0, 1, units::fromNs(15)).pre(0, units::fromNs(36));
+    const auto r1 = bench.run(p);
+    const auto r2 = bench.run(p);
+    EXPECT_GT(r2.startTime, r1.endTime);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for logical-to-physical row mapping schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/mapping.h"
+
+namespace {
+
+using namespace pud::dram;
+
+class MappingSweep : public ::testing::TestWithParam<MappingScheme>
+{};
+
+TEST_P(MappingSweep, RoundTripExhaustive)
+{
+    const RowMapping m(GetParam());
+    for (RowId r = 0; r < 4096; ++r)
+        ASSERT_EQ(m.toLogical(m.toPhysical(r)), r) << "row " << r;
+}
+
+TEST_P(MappingSweep, IsPermutation)
+{
+    const RowMapping m(GetParam());
+    std::set<RowId> image;
+    for (RowId r = 0; r < 1024; ++r)
+        image.insert(m.toPhysical(r));
+    EXPECT_EQ(image.size(), 1024u);
+    EXPECT_EQ(*image.begin(), 0u);
+    EXPECT_EQ(*image.rbegin(), 1023u);
+}
+
+TEST_P(MappingSweep, LocalWithinEightRowBlocks)
+{
+    // All modeled schemes scramble only within aligned 8-row groups,
+    // so subarray boundaries (multiples of >= 8) are preserved.
+    const RowMapping m(GetParam());
+    for (RowId r = 0; r < 4096; ++r)
+        ASSERT_EQ(m.toPhysical(r) / 8, r / 8) << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MappingSweep,
+                         ::testing::Values(MappingScheme::Sequential,
+                                           MappingScheme::MirroredPairs,
+                                           MappingScheme::XorFold));
+
+TEST(Mapping, SequentialIsIdentity)
+{
+    const RowMapping m(MappingScheme::Sequential);
+    for (RowId r = 0; r < 100; ++r)
+        EXPECT_EQ(m.toPhysical(r), r);
+}
+
+TEST(Mapping, MirroredPairsSwapsMiddle)
+{
+    const RowMapping m(MappingScheme::MirroredPairs);
+    EXPECT_EQ(m.toPhysical(0), 0u);
+    EXPECT_EQ(m.toPhysical(1), 1u);
+    EXPECT_EQ(m.toPhysical(2), 3u);
+    EXPECT_EQ(m.toPhysical(3), 2u);
+    EXPECT_EQ(m.toPhysical(4), 5u);
+    EXPECT_EQ(m.toPhysical(5), 4u);
+    EXPECT_EQ(m.toPhysical(6), 6u);
+    EXPECT_EQ(m.toPhysical(7), 7u);
+    EXPECT_EQ(m.toPhysical(10), 11u);  // repeats per 8-row group
+}
+
+TEST(Mapping, XorFoldScramblesUpperHalfOfBlock)
+{
+    const RowMapping m(MappingScheme::XorFold);
+    // Rows with bit 3 clear are untouched.
+    for (RowId r = 0; r < 8; ++r)
+        EXPECT_EQ(m.toPhysical(r), r);
+    // Rows with bit 3 set have bits 2..1 flipped.
+    EXPECT_EQ(m.toPhysical(8), 8u ^ 0b110u);
+    EXPECT_EQ(m.toPhysical(15), 15u ^ 0b110u);
+}
+
+TEST(Mapping, SchemesAreDistinct)
+{
+    const RowMapping a(MappingScheme::Sequential);
+    const RowMapping b(MappingScheme::MirroredPairs);
+    const RowMapping c(MappingScheme::XorFold);
+    bool ab = false, ac = false, bc = false;
+    for (RowId r = 0; r < 64; ++r) {
+        ab |= a.toPhysical(r) != b.toPhysical(r);
+        ac |= a.toPhysical(r) != c.toPhysical(r);
+        bc |= b.toPhysical(r) != c.toPhysical(r);
+    }
+    EXPECT_TRUE(ab);
+    EXPECT_TRUE(ac);
+    EXPECT_TRUE(bc);
+}
+
+} // namespace

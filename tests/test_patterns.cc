@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the access-pattern builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "hammer/patterns.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::hammer;
+using bender::Op;
+
+std::uint64_t
+countOps(const Program &p, Op op)
+{
+    std::uint64_t n = 0;
+    for (const auto &inst : p.insts())
+        n += inst.op == op;
+    return n;
+}
+
+TEST(Patterns, ZeroHammersYieldEmptyPrograms)
+{
+    PatternTimings t;
+    EXPECT_TRUE(doubleSidedRowHammer(0, 1, 3, 0, t).insts().empty());
+    EXPECT_TRUE(comraHammer(0, 1, 3, 0, t).insts().empty());
+    EXPECT_TRUE(simraHammer(0, 1, 3, 0, t).insts().empty());
+}
+
+TEST(Patterns, DoubleSidedStructure)
+{
+    PatternTimings t;
+    const Program p = doubleSidedRowHammer(0, 10, 12, 5, t);
+    EXPECT_TRUE(p.balanced());
+    EXPECT_EQ(countOps(p, Op::Act), 2u);  // per iteration
+    EXPECT_EQ(countOps(p, Op::Pre), 2u);
+    EXPECT_EQ(p.insts().front().op, Op::LoopBegin);
+    EXPECT_EQ(p.insts().front().count, 5u);
+}
+
+TEST(Patterns, ComraUsesViolatedGap)
+{
+    PatternTimings t;
+    t.comraPreToAct = units::fromNs(9.0);
+    const Program p = comraHammer(0, 10, 12, 3, t);
+    // The dst activation's gap carries the violated tRP.
+    bool found = false;
+    for (const auto &inst : p.insts())
+        if (inst.op == Op::Act && inst.row == 12)
+            found = inst.gap == units::fromNs(9.0);
+    EXPECT_TRUE(found);
+}
+
+TEST(Patterns, SimraUsesBothViolatedGaps)
+{
+    PatternTimings t;
+    t.simraActToPre = units::fromNs(1.5);
+    t.simraPreToAct = units::fromNs(4.5);
+    const Program p = simraHammer(0, 20, 22, 3, t);
+    bool pre_ok = false, act_ok = false;
+    for (const auto &inst : p.insts()) {
+        if (inst.op == Op::Pre && inst.gap == units::fromNs(1.5))
+            pre_ok = true;
+        if (inst.op == Op::Act && inst.row == 22 &&
+            inst.gap == units::fromNs(4.5))
+            act_ok = true;
+    }
+    EXPECT_TRUE(pre_ok);
+    EXPECT_TRUE(act_ok);
+}
+
+TEST(Patterns, RowPressHoldsAggressorOpen)
+{
+    PatternTimings t;
+    t.tAggOn = units::fromNs(7800);
+    const Program p = doubleSidedRowHammer(0, 1, 3, 2, t);
+    for (const auto &inst : p.insts()) {
+        if (inst.op == Op::Pre) {
+            EXPECT_EQ(inst.gap, units::fromNs(7800));
+        }
+    }
+}
+
+TEST(Patterns, CombinedOrdersPhases)
+{
+    PatternTimings t;
+    CombinedCounts counts;
+    counts.comra = 10;
+    counts.simra = 20;
+    counts.rowHammer = 30;
+    const Program p =
+        combinedPattern(0, 5, 7, 4, 8, 4, 12, counts, t);
+    std::vector<std::uint64_t> loop_counts;
+    for (const auto &inst : p.insts())
+        if (inst.op == Op::LoopBegin)
+            loop_counts.push_back(inst.count);
+    ASSERT_EQ(loop_counts.size(), 3u);
+    EXPECT_EQ(loop_counts[0], 10u);  // CoMRA phase first
+    EXPECT_EQ(loop_counts[1], 20u);  // then SiMRA
+    EXPECT_EQ(loop_counts[2], 30u);  // then RowHammer
+}
+
+TEST(Patterns, CombinedSkipsEmptyPhases)
+{
+    PatternTimings t;
+    CombinedCounts counts;
+    counts.rowHammer = 7;
+    const Program p =
+        combinedPattern(0, 5, 7, 4, 8, 4, 12, counts, t);
+    std::uint64_t loops = 0;
+    for (const auto &inst : p.insts())
+        loops += inst.op == Op::LoopBegin;
+    EXPECT_EQ(loops, 1u);
+}
+
+TEST(Patterns, TrrBypassPacing)
+{
+    PatternTimings t;
+    const Program p =
+        trrBypassPattern(0, {10, 12}, 40, false, 2, t, 156);
+    // One cycle: 156 aggressor ACTs + 3 * 156 dummy ACTs + 4 REFs.
+    EXPECT_EQ(countOps(p, Op::Act), 4u * 156u);
+    EXPECT_EQ(countOps(p, Op::Ref), 4u);
+
+    // Each tREFI segment must fit within tREFI.
+    Time seg = 0;
+    std::vector<Time> segments;
+    for (const auto &inst : p.insts()) {
+        if (inst.op == Op::LoopBegin || inst.op == Op::LoopEnd)
+            continue;
+        seg += inst.gap;
+        if (inst.op == Op::Ref) {
+            segments.push_back(seg);
+            seg = 0;
+        }
+    }
+    ASSERT_EQ(segments.size(), 4u);
+    for (Time s : segments)
+        EXPECT_LE(s, t.base.tREFI + t.base.tRP + t.base.tRAS);
+}
+
+TEST(Patterns, TrrBypassComraNeedsPairs)
+{
+    PatternTimings t;
+    EXPECT_DEATH(trrBypassPattern(0, {1, 2, 3}, 9, true, 1, t),
+                 "pairs");
+    EXPECT_DEATH(trrBypassPattern(0, {}, 9, false, 1, t),
+                 "no aggressors");
+}
+
+TEST(Patterns, TrrSimraOpsPerTrefi)
+{
+    PatternTimings t;
+    const Program p = trrSimraPattern(0, 16, 18, 3, t, 156);
+    // 78 ops per cycle, 2 ACTs each, one REF per cycle.
+    EXPECT_EQ(countOps(p, Op::Act), 2u * 78u);
+    EXPECT_EQ(countOps(p, Op::Ref), 1u);
+    EXPECT_EQ(p.insts().front().count, 3u);
+}
+
+class HammerCountSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(HammerCountSweep, LoopCountMatchesRequested)
+{
+    PatternTimings t;
+    for (const Program &p :
+         {doubleSidedRowHammer(0, 1, 3, GetParam(), t),
+          comraHammer(0, 1, 3, GetParam(), t),
+          simraHammer(0, 1, 3, GetParam(), t)}) {
+        ASSERT_FALSE(p.insts().empty());
+        EXPECT_EQ(p.insts().front().count, GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, HammerCountSweep,
+                         ::testing::Values(1, 2, 100, 65536, 700000));
+
+} // namespace

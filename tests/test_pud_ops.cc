@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the Processing-using-DRAM operations library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pud/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::ops;
+
+dram::DeviceConfig
+hynixConfig(std::uint64_t seed = 31)
+{
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", seed);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 128;
+    cfg.cols = 256;
+    return cfg;
+}
+
+RowData
+randomRow(Rng &rng, dram::ColId cols)
+{
+    RowData d(cols);
+    for (dram::ColId c = 0; c < cols; ++c)
+        d.set(c, rng.chance(0.5));
+    return d;
+}
+
+class PudOpsTest : public ::testing::Test
+{
+  protected:
+    PudOpsTest() : bench(hynixConfig()), engine(bench, 0) {}
+
+    bender::TestBench bench;
+    PudEngine engine;
+    Rng rng{99};
+};
+
+TEST_F(PudOpsTest, CopyMovesArbitraryData)
+{
+    const RowData payload = randomRow(rng, 256);
+    bench.writeRow(0, 10, payload);
+    EXPECT_TRUE(engine.copy(10, 20));
+    EXPECT_EQ(bench.readRow(0, 20), payload);
+    EXPECT_EQ(engine.stats().copies, 1u);
+}
+
+TEST_F(PudOpsTest, CopyRejectsCrossSubarray)
+{
+    EXPECT_FALSE(engine.copy(10, 200));  // other subarray
+    EXPECT_FALSE(engine.copy(10, 10));   // same row
+}
+
+TEST_F(PudOpsTest, BroadcastWritesWholeBlock)
+{
+    const RowData payload = randomRow(rng, 256);
+    bench.writeRow(0, 70, payload);
+    ASSERT_TRUE(engine.broadcast(70, 32, 16));
+    dram::Device &dev = bench.device();
+    for (dram::RowId p = 32; p < 48; ++p)
+        EXPECT_EQ(bench.readRow(0, dev.toLogical(p)), payload)
+            << "row " << p;
+    EXPECT_EQ(engine.stats().simraOps, 1u);
+}
+
+TEST_F(PudOpsTest, BroadcastRejectsBadSizes)
+{
+    EXPECT_FALSE(engine.broadcast(70, 32, 3));
+    EXPECT_FALSE(engine.broadcast(70, 32, 64));
+}
+
+TEST_F(PudOpsTest, Maj3TruthOnRandomData)
+{
+    const RowData a = randomRow(rng, 256);
+    const RowData b = randomRow(rng, 256);
+    const RowData c = randomRow(rng, 256);
+    bench.writeRow(0, 100, a);
+    bench.writeRow(0, 101, b);
+    bench.writeRow(0, 102, c);
+
+    const auto out = engine.maj3(100, 101, 102, /*scratch=*/48);
+    ASSERT_TRUE(out.has_value());
+    for (dram::ColId col = 0; col < 256; ++col) {
+        const int ones = a.get(col) + b.get(col) + c.get(col);
+        EXPECT_EQ(out->get(col), ones >= 2) << "col " << col;
+    }
+    // 8 staging copies + 1 SiMRA op.
+    EXPECT_EQ(engine.stats().copies, 8u);
+    EXPECT_EQ(engine.stats().simraOps, 1u);
+}
+
+TEST_F(PudOpsTest, Maj5TruthOnRandomData)
+{
+    RowData in[5] = {randomRow(rng, 256), randomRow(rng, 256),
+                     randomRow(rng, 256), randomRow(rng, 256),
+                     randomRow(rng, 256)};
+    for (int i = 0; i < 5; ++i)
+        bench.writeRow(0, 100 + static_cast<dram::RowId>(i), in[i]);
+
+    const auto out =
+        engine.maj5(100, 101, 102, 103, 104, /*scratch=*/64);
+    ASSERT_TRUE(out.has_value());
+    for (dram::ColId col = 0; col < 256; ++col) {
+        int ones = 0;
+        for (const auto &row : in)
+            ones += row.get(col);
+        EXPECT_EQ(out->get(col), ones >= 3) << "col " << col;
+    }
+}
+
+TEST_F(PudOpsTest, AndOrTruth)
+{
+    const RowData a = randomRow(rng, 256);
+    const RowData b = randomRow(rng, 256);
+    bench.writeRow(0, 100, a);
+    bench.writeRow(0, 101, b);
+
+    const auto band = engine.bitAnd(100, 101, /*scratch=*/48);
+    ASSERT_TRUE(band.has_value());
+    const auto bor = engine.bitOr(100, 101, /*scratch=*/48);
+    ASSERT_TRUE(bor.has_value());
+    for (dram::ColId col = 0; col < 256; ++col) {
+        EXPECT_EQ(band->get(col), a.get(col) && b.get(col));
+        EXPECT_EQ(bor->get(col), a.get(col) || b.get(col));
+    }
+}
+
+TEST_F(PudOpsTest, NonSimraChipCannotCompute)
+{
+    bender::TestBench micron(
+        [] {
+            dram::DeviceConfig cfg =
+                dram::makeConfig("MTA18ASF4G72HZ-3G2F1", 5);
+            cfg.banks = 1;
+            cfg.subarraysPerBank = 2;
+            cfg.rowsPerSubarray = 128;
+            cfg.cols = 256;
+            return cfg;
+        }());
+    PudEngine eng(micron, 0);
+    // Copy (CoMRA) works on all four manufacturers...
+    micron.fillRow(0, 10, dram::DataPattern::PAA);
+    EXPECT_TRUE(eng.copy(10, 20));
+    // ... but SiMRA-based ops do not.
+    EXPECT_FALSE(eng.maj3(100, 101, 102, 48).has_value());
+    EXPECT_FALSE(eng.broadcast(70, 32, 16));
+}
+
+TEST_F(PudOpsTest, PolicyBlocksStorageRegionSimra)
+{
+    mitigation::ComputeRegionPolicy policy(128, 32, 4);
+    engine.setPolicy(&policy, 0);
+
+    // Scratch block inside the compute region: allowed.
+    bench.writeRow(0, 1, randomRow(rng, 256));
+    bench.writeRow(0, 2, randomRow(rng, 256));
+    bench.writeRow(0, 3, randomRow(rng, 256));
+    EXPECT_TRUE(engine.maj3(1, 2, 3, /*scratch=*/16).has_value());
+
+    // Scratch block in the storage region: rejected.
+    EXPECT_FALSE(engine.maj3(1, 2, 3, /*scratch=*/64).has_value());
+    EXPECT_GT(engine.stats().rejected, 0u);
+}
+
+TEST_F(PudOpsTest, PolicyInjectsComputeRowRefreshes)
+{
+    mitigation::ComputeRegionPolicy policy(128, 32, 1);
+    engine.setPolicy(&policy, 0);
+    bench.writeRow(0, 1, randomRow(rng, 256));
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(engine.broadcast(1, 8, 8));
+    EXPECT_EQ(engine.stats().policyRefreshes, 4u);
+}
+
+TEST_F(PudOpsTest, PolicyAllowsOneStorageOperandCopies)
+{
+    mitigation::ComputeRegionPolicy policy(128, 32, 4);
+    engine.setPolicy(&policy, 0);
+    bench.writeRow(0, 100, randomRow(rng, 256));
+    EXPECT_TRUE(engine.copy(100, 5));   // storage -> compute
+    EXPECT_TRUE(engine.copy(5, 100));   // compute -> storage
+    EXPECT_FALSE(engine.copy(100, 110));  // storage -> storage
+}
+
+/** Property sweep: MAJ3 is correct for every constant input pattern. */
+class Maj3PatternSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(Maj3PatternSweep, ConstantInputs)
+{
+    bender::TestBench bench(hynixConfig(77));
+    PudEngine engine(bench, 0);
+    const auto [va, vb, vc] = GetParam();
+    engine.fill(100, va);
+    engine.fill(101, vb);
+    engine.fill(102, vc);
+    const auto out = engine.maj3(100, 101, 102, 48);
+    ASSERT_TRUE(out.has_value());
+    const bool expect = va + vb + vc >= 2;
+    for (dram::ColId col = 0; col < 256; ++col)
+        ASSERT_EQ(out->get(col), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, Maj3PatternSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1)));
+
+} // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the blind reverse-engineering algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hammer/reveng.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::hammer;
+using dram::DeviceConfig;
+using dram::MappingScheme;
+
+DeviceConfig
+smallConfig(const std::string &family, std::uint64_t seed = 11)
+{
+    DeviceConfig cfg = dram::makeConfig(family, seed);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 4;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 256;
+    return cfg;
+}
+
+TEST(RevEng, DisturbanceNeighborsArePhysicalNeighbors)
+{
+    ModuleTester t(smallConfig("HMA81GU7AFR8N-UH"));
+    dram::Device &dev = t.device();
+    const dram::RowId aggr_logical = 40;
+    const auto flipped =
+        findDisturbanceNeighbors(t, 0, aggr_logical);
+    ASSERT_FALSE(flipped.empty());
+
+    // Every flipped row must be within physical distance 2.
+    const dram::RowId phys = dev.toPhysical(aggr_logical);
+    for (dram::RowId f : flipped) {
+        const auto d = static_cast<std::int64_t>(dev.toPhysical(f)) -
+                       static_cast<std::int64_t>(phys);
+        EXPECT_LE(std::abs(d), 2) << "logical " << f;
+    }
+    // And both physical distance-1 neighbours must appear.
+    for (int d : {-1, 1}) {
+        const dram::RowId n = dev.toLogical(phys + d);
+        EXPECT_TRUE(std::find(flipped.begin(), flipped.end(), n) !=
+                    flipped.end());
+    }
+}
+
+class SchemeRecovery
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(SchemeRecovery, IdentifiesConfiguredScheme)
+{
+    ModuleTester t(smallConfig(GetParam()));
+    const MappingScheme truth =
+        t.device().config().profile.mapping;
+    EXPECT_EQ(identifyMappingScheme(t, 0), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SchemeRecovery,
+    ::testing::Values("HMA81GU7AFR8N-UH",     // XorFold
+                      "M391A2G43BB2-CWE",     // MirroredPairs
+                      "MTA18ASF4G72HZ-3G2F1"  // Sequential
+                      ));
+
+TEST(RevEng, RowCloneWorksWithinSubarrayOnly)
+{
+    ModuleTester t(smallConfig("HMA81GU7AFR8N-UH"));
+    EXPECT_TRUE(rowCloneWorks(t, 0, 10, 20));
+    EXPECT_TRUE(rowCloneWorks(t, 0, 20, 10));
+    // Across the subarray boundary at row 64: no copy.
+    EXPECT_FALSE(rowCloneWorks(t, 0, 60, 70));
+}
+
+TEST(RevEng, SubarrayBoundariesRecovered)
+{
+    ModuleTester t(smallConfig("M391A2G43BB2-CWE"));
+    const auto starts = findSubarrayBoundaries(t, 0);
+    EXPECT_EQ(starts,
+              (std::vector<dram::RowId>{0, 64, 128, 192}));
+}
+
+TEST(RevEng, SimraGroupDiscoveryMatchesDecoder)
+{
+    ModuleTester t(smallConfig("HMA81GU7AFR8N-UH"));
+    dram::Device &dev = t.device();
+    // Physical rows 16 and 22: group {16, 18, 20, 22}.
+    const auto group =
+        discoverSimraGroup(t, 0, dev.toLogical(16), dev.toLogical(22));
+    std::vector<dram::RowId> phys;
+    for (auto g : group)
+        phys.push_back(dev.toPhysical(g));
+    std::sort(phys.begin(), phys.end());
+    EXPECT_EQ(phys, (std::vector<dram::RowId>{16, 18, 20, 22}));
+}
+
+TEST(RevEng, SimraGroupEmptyOnNonSimraChip)
+{
+    ModuleTester t(smallConfig("MTA18ASF4G72HZ-3G2F1"));
+    dram::Device &dev = t.device();
+    const auto group =
+        discoverSimraGroup(t, 0, dev.toLogical(16), dev.toLogical(22));
+    // The chip ignored the sequence: only the first row stayed open
+    // and received the marker.
+    EXPECT_LE(group.size(), 1u);
+}
+
+TEST(RevEng, ThirtyTwoRowGroupDiscovered)
+{
+    ModuleTester t(smallConfig("HMA81GU7AFR8N-UH"));
+    dram::Device &dev = t.device();
+    const auto group =
+        discoverSimraGroup(t, 0, dev.toLogical(0), dev.toLogical(31));
+    EXPECT_EQ(group.size(), 32u);
+}
+
+TEST(RevEng, DetectTrrPresence)
+{
+    {
+        ModuleTester with_trr(smallConfig("HMA81GU7AFR8N-UH", 13));
+        with_trr.device().setTrrEnabled(true);
+        EXPECT_TRUE(detectTrr(with_trr, 0));
+    }
+    {
+        ModuleTester without(smallConfig("HMA81GU7AFR8N-UH", 13));
+        EXPECT_FALSE(detectTrr(without, 0));
+    }
+}
+
+TEST(RevEng, DetectTrrOnOtherManufacturers)
+{
+    // TRR presence detection is technique-agnostic: it works on any
+    // module the probe can flip.
+    ModuleTester samsung(smallConfig("M391A2G43BB2-CWE", 17));
+    EXPECT_FALSE(detectTrr(samsung, 0));
+    samsung.device().setTrrEnabled(true);
+    EXPECT_TRUE(detectTrr(samsung, 0));
+}
+
+} // namespace

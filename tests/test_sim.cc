@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the cycle-level system simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/system.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::sim;
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig cfg;
+    cfg.instructionsPerCore = 60000;
+    return cfg;
+}
+
+TEST(Workload, FivePresets)
+{
+    EXPECT_EQ(suitePresets().size(), 5u);
+    for (const auto &w : suitePresets()) {
+        EXPECT_GT(w.mpki, 0.0);
+        EXPECT_GT(w.rowHitProb, 0.0);
+        EXPECT_LT(w.rowHitProb, 1.0);
+    }
+}
+
+TEST(Workload, SixtyDistinctMixes)
+{
+    std::set<std::string> signatures;
+    for (int m = 0; m < 60; ++m) {
+        const auto mix = makeMix(m);
+        ASSERT_EQ(mix.size(), 4u);
+        std::string sig;
+        for (const auto &w : mix)
+            sig += std::to_string(w.mpki) + "/";
+        signatures.insert(sig);
+    }
+    EXPECT_EQ(signatures.size(), 60u);
+}
+
+TEST(Workload, MixIsDeterministic)
+{
+    const auto a = makeMix(7);
+    const auto b = makeMix(7);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].mpki, b[i].mpki);
+        EXPECT_DOUBLE_EQ(a[i].rowHitProb, b[i].rowHitProb);
+    }
+}
+
+TEST(TraceCore, RetiresAllInstructions)
+{
+    TraceCore core(0, suitePresets()[0], 5000, 8, 128, 1);
+    dram::BankId bank;
+    dram::RowId row;
+    Time t = 0;
+    while (!core.done()) {
+        t = core.nextIssueTime(t);
+        core.next(bank, row);
+        EXPECT_LT(bank, 8u);
+        EXPECT_LT(row, 128u);
+        t += units::fromNs(50);  // pretend memory latency
+        core.onComplete();
+    }
+    EXPECT_EQ(core.instructionsDone(), 5000u);
+}
+
+TEST(Trace, SynthesizeSaveLoadRoundTrip)
+{
+    const auto trace =
+        synthesizeTrace(suitePresets()[0], 20000, 8, 128, 5);
+    ASSERT_FALSE(trace.empty());
+    std::uint64_t total = 0;
+    for (const auto &e : trace) {
+        EXPECT_LT(e.bank, 8u);
+        EXPECT_LT(e.row, 128u);
+        total += e.gap;
+    }
+    EXPECT_EQ(total, 20000u);
+
+    const std::string path = "/tmp/pudhammer_trace_test.txt";
+    saveTrace(path, trace);
+    const auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].gap, trace[i].gap);
+        EXPECT_EQ(loaded[i].bank, trace[i].bank);
+        EXPECT_EQ(loaded[i].row, trace[i].row);
+    }
+}
+
+TEST(Trace, LoadMissingFileIsFatal)
+{
+    EXPECT_DEATH(loadTrace("/nonexistent/trace.txt"), "cannot open");
+}
+
+TEST(Trace, FileDrivenCoreRetiresBudget)
+{
+    std::vector<TraceEntry> trace{{10, 0, 1}, {5, 1, 2}, {20, 0, 3}};
+    TraceCore core(0, trace, 0.4, 100);
+    dram::BankId bank;
+    dram::RowId row;
+    Time t = 0;
+    std::vector<dram::RowId> rows_seen;
+    while (!core.done()) {
+        t = core.nextIssueTime(t);
+        core.next(bank, row);
+        rows_seen.push_back(row);
+        t += units::fromNs(50);
+        core.onComplete();
+    }
+    EXPECT_EQ(core.instructionsDone(), 100u);
+    // The trace replays cyclically: 1, 2, 3, 1, 2, 3, ...
+    ASSERT_GE(rows_seen.size(), 6u);
+    EXPECT_EQ(rows_seen[0], 1u);
+    EXPECT_EQ(rows_seen[1], 2u);
+    EXPECT_EQ(rows_seen[2], 3u);
+    EXPECT_EQ(rows_seen[3], 1u);
+}
+
+TEST(RunSystem, CompletesAndReportsIpc)
+{
+    const auto mix = makeMix(0);
+    const RunResult r = runSystem(fastConfig(), mix);
+    ASSERT_EQ(r.coreIpc.size(), 4u);
+    for (double ipc : r.coreIpc) {
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LT(ipc, 3.0);
+    }
+    EXPECT_GT(r.endTime, 0);
+    EXPECT_GT(r.requests, 0u);
+}
+
+TEST(RunSystem, PudCoreIssuesOps)
+{
+    SystemConfig cfg = fastConfig();
+    cfg.pudPeriod = units::fromNs(1000);
+    const RunResult r = runSystem(cfg, makeMix(1));
+    EXPECT_GT(r.pudOps, 0u);
+}
+
+TEST(RunSystem, NoPudNoPracMeansNoAlerts)
+{
+    const RunResult r = runSystem(fastConfig(), makeMix(2));
+    EXPECT_EQ(r.alerts, 0u);
+    EXPECT_EQ(r.pudOps, 0u);
+}
+
+TEST(RunSystem, NaivePracAlertsOnPud)
+{
+    SystemConfig cfg = fastConfig();
+    cfg.pudPeriod = units::fromNs(500);
+    cfg.pracEnabled = true;
+    cfg.prac.rdt = 20;
+    const RunResult r = runSystem(cfg, makeMix(3));
+    EXPECT_GT(r.alerts, 0u);
+    EXPECT_GT(r.rfms, 0u);
+}
+
+TEST(RunSystem, MitigationSlowsSystemDown)
+{
+    SystemConfig base = fastConfig();
+    base.pudPeriod = units::fromNs(500);
+    const auto mix = makeMix(4);
+    const double ws_base = weightedSpeedup(base, mix);
+
+    SystemConfig naive = base;
+    naive.pracEnabled = true;
+    naive.prac.rdt = 20;
+    const double ws_naive = weightedSpeedup(naive, mix);
+
+    EXPECT_GT(ws_base, 0.0);
+    EXPECT_LT(ws_naive, ws_base);
+}
+
+TEST(RunSystem, WeightedCountingBeatsNaive)
+{
+    SystemConfig base = fastConfig();
+    base.pudPeriod = units::fromNs(2000);
+    const auto mix = makeMix(5);
+
+    SystemConfig naive = base;
+    naive.pracEnabled = true;
+    naive.prac.rdt = 20;
+
+    SystemConfig wc = base;
+    wc.pracEnabled = true;
+    wc.prac.rdt = 4096;
+    wc.prac.weighted = true;
+
+    EXPECT_GT(weightedSpeedup(wc, mix), weightedSpeedup(naive, mix));
+}
+
+TEST(RunSystem, OverheadShrinksWithPudPeriod)
+{
+    const auto mix = makeMix(6);
+    auto overhead = [&](double period_ns) {
+        SystemConfig base = fastConfig();
+        base.pudPeriod = units::fromNs(period_ns);
+        SystemConfig wc = base;
+        wc.pracEnabled = true;
+        wc.prac.rdt = 4096;
+        wc.prac.weighted = true;
+        return 1.0 - weightedSpeedup(wc, mix) /
+                         weightedSpeedup(base, mix);
+    };
+    EXPECT_GT(overhead(250), overhead(16000));
+}
+
+TEST(RunSystem, DeterministicAcrossRuns)
+{
+    SystemConfig cfg = fastConfig();
+    cfg.pudPeriod = units::fromNs(1000);
+    cfg.pracEnabled = true;
+    cfg.prac.rdt = 4096;
+    cfg.prac.weighted = true;
+    const auto mix = makeMix(8);
+    const RunResult a = runSystem(cfg, mix);
+    const RunResult b = runSystem(cfg, mix);
+    EXPECT_EQ(a.endTime, b.endTime);
+    EXPECT_EQ(a.alerts, b.alerts);
+    for (std::size_t c = 0; c < a.coreIpc.size(); ++c)
+        EXPECT_DOUBLE_EQ(a.coreIpc[c], b.coreIpc[c]);
+}
+
+class PudPeriodSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PudPeriodSweep, SystemAlwaysCompletes)
+{
+    SystemConfig cfg = fastConfig();
+    cfg.pudPeriod = units::fromNs(GetParam());
+    cfg.pracEnabled = true;
+    cfg.prac.rdt = 20;
+    const RunResult r = runSystem(cfg, makeMix(9));
+    for (double ipc : r.coreIpc)
+        EXPECT_GT(ipc, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PudPeriodSweep,
+                         ::testing::Values(125.0, 250.0, 1000.0,
+                                           4000.0, 16000.0));
+
+} // namespace

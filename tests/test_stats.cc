@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for statistical summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+
+namespace {
+
+using namespace pud::stats;
+
+TEST(Accumulator, Basics)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    acc.add(3.0);
+    acc.add(-1.0);
+    acc.add(10.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+}
+
+TEST(BoxStats, Empty)
+{
+    const BoxStats bs = boxStats({});
+    EXPECT_EQ(bs.count, 0u);
+}
+
+TEST(BoxStats, SingleSample)
+{
+    const BoxStats bs = boxStats({7.0});
+    EXPECT_DOUBLE_EQ(bs.min, 7.0);
+    EXPECT_DOUBLE_EQ(bs.median, 7.0);
+    EXPECT_DOUBLE_EQ(bs.max, 7.0);
+    EXPECT_DOUBLE_EQ(bs.mean, 7.0);
+}
+
+TEST(BoxStats, KnownQuartiles)
+{
+    // 1..5: q1 = 2, med = 3, q3 = 4 under type-7 interpolation.
+    const BoxStats bs = boxStats({5, 3, 1, 4, 2});
+    EXPECT_DOUBLE_EQ(bs.min, 1.0);
+    EXPECT_DOUBLE_EQ(bs.q1, 2.0);
+    EXPECT_DOUBLE_EQ(bs.median, 3.0);
+    EXPECT_DOUBLE_EQ(bs.q3, 4.0);
+    EXPECT_DOUBLE_EQ(bs.max, 5.0);
+    EXPECT_DOUBLE_EQ(bs.mean, 3.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    const std::vector<double> sorted{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 10.0);
+}
+
+TEST(ChangeCurve, SortedMostPositiveFirst)
+{
+    const std::vector<double> base{100, 100, 100};
+    const std::vector<double> variant{150, 50, 100};
+    const auto curve = changeCurve(base, variant);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(curve[0], 50.0);
+    EXPECT_DOUBLE_EQ(curve[1], 0.0);
+    EXPECT_DOUBLE_EQ(curve[2], -50.0);
+}
+
+TEST(ChangeCurve, SkipsZeroBase)
+{
+    const auto curve = changeCurve({0.0, 100.0}, {5.0, 120.0});
+    ASSERT_EQ(curve.size(), 1u);
+    EXPECT_DOUBLE_EQ(curve[0], 20.0);
+}
+
+TEST(FractionBelow, Basics)
+{
+    const std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(fractionBelow(v, 3.0), 0.5);
+    EXPECT_DOUBLE_EQ(fractionBelow(v, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(fractionBelow(v, 100.0), 1.0);
+    EXPECT_DOUBLE_EQ(fractionBelow({}, 1.0), 0.0);
+}
+
+TEST(Geomean, Known)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);   // underflow
+    h.add(0.0);    // bin 0
+    h.add(1.9);    // bin 0
+    h.add(5.0);    // bin 2
+    h.add(9.999);  // bin 4
+    h.add(10.0);   // overflow
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+/** Property sweep: quantiles of a uniform grid match closed form. */
+class QuantileSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(QuantileSweep, GridQuantile)
+{
+    std::vector<double> grid;
+    for (int i = 0; i <= 100; ++i)
+        grid.push_back(i);
+    const double q = GetParam();
+    EXPECT_NEAR(quantileSorted(grid, q), 100.0 * q, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.99, 1.0));
+
+} // namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the ModuleTester characterization front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hammer/tester.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::hammer;
+using dram::DeviceConfig;
+using dram::RowId;
+
+DeviceConfig
+smallConfig(const std::string &family = "HMA81GU7AFR8N-UH",
+            std::uint64_t seed = 5)
+{
+    DeviceConfig cfg = dram::makeConfig(family, seed);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 6;
+    cfg.rowsPerSubarray = 128;
+    cfg.cols = 512;
+    return cfg;
+}
+
+TEST(ModuleTester, SampleVictimsInteriorAndStrided)
+{
+    ModuleTester t(smallConfig());
+    const auto victims = t.sampleVictims(8);
+    EXPECT_FALSE(victims.empty());
+    const RowId rps = t.rowsPerSubarray();
+    for (RowId v : victims) {
+        const RowId off = v % rps;
+        EXPECT_GE(off, 2u);
+        EXPECT_LE(off, rps - 3);
+    }
+    // Strictly increasing (no duplicates).
+    EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+    EXPECT_TRUE(std::adjacent_find(victims.begin(), victims.end()) ==
+                victims.end());
+}
+
+TEST(ModuleTester, SampleVictimsOddOnlyMod4)
+{
+    ModuleTester t(smallConfig());
+    for (RowId v : t.sampleVictims(8, /*odd_only=*/true))
+        EXPECT_EQ(v % 4, 1u) << v;
+}
+
+TEST(ModuleTester, TestedSubarraysSpreadAcrossBank)
+{
+    ModuleTester t(smallConfig());
+    const auto subs = t.testedSubarrays(6);
+    ASSERT_EQ(subs.size(), 6u);  // config has exactly 6 subarrays
+    EXPECT_EQ(subs.front(), 0u);
+    EXPECT_EQ(subs.back(), 5u);
+}
+
+TEST(ModuleTester, RhDoubleFindsFiniteHcFirst)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    opt.searchWcdp = true;
+    const auto hc = t.rhDouble(301, opt);
+    EXPECT_NE(hc, kNoFlip);
+    EXPECT_GT(hc, 1000u);  // far above SiMRA-class thresholds
+}
+
+TEST(ModuleTester, SingleSidedWeakerThanDoubleSided)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    int weaker = 0, total = 0;
+    for (RowId v : t.sampleVictims(3)) {
+        const auto ds = t.rhDouble(v, opt);
+        const auto ss = t.rhSingle(v, opt);
+        if (ds == kNoFlip)
+            continue;
+        ++total;
+        weaker += (ss == kNoFlip || ss > ds);
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_EQ(weaker, total);
+}
+
+TEST(ModuleTester, ComraDoubleBeatsRowHammerForMostRows)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    int lower = 0, total = 0;
+    for (RowId v : t.sampleVictims(4)) {
+        const auto rh = t.rhDouble(v, opt);
+        const auto co = t.comraDouble(v, opt);
+        if (rh == kNoFlip || co == kNoFlip)
+            continue;
+        ++total;
+        lower += co < rh;
+    }
+    ASSERT_GT(total, 10);
+    // Obs. 2: 99% of rows see a reduction; allow slack at this scale.
+    EXPECT_GT(static_cast<double>(lower) / total, 0.9);
+}
+
+TEST(ModuleTester, PlanSimraDoubleGeometry)
+{
+    ModuleTester t(smallConfig());
+    for (int n : {2, 4, 8, 16}) {
+        const auto plan = t.planSimraDouble(33, n);
+        ASSERT_TRUE(plan.has_value()) << "N=" << n;
+        EXPECT_EQ(plan->n, n);
+        EXPECT_EQ(static_cast<int>(plan->group.size()), n);
+        // Sandwich: victim +- 1 in the group, victim not.
+        auto has = [&](RowId r) {
+            return std::find(plan->group.begin(), plan->group.end(),
+                             r) != plan->group.end();
+        };
+        EXPECT_TRUE(has(32));
+        EXPECT_TRUE(has(34));
+        EXPECT_FALSE(has(33));
+    }
+}
+
+TEST(ModuleTester, PlanSimraDoubleRejectsEvenVictims)
+{
+    ModuleTester t(smallConfig());
+    EXPECT_FALSE(t.planSimraDouble(32, 4).has_value());
+    EXPECT_FALSE(t.planSimraDouble(33, 32).has_value());  // no ds-32
+    EXPECT_FALSE(t.planSimraDouble(33, 3).has_value());
+}
+
+TEST(ModuleTester, PlanSimraSingleBlockAlignment)
+{
+    ModuleTester t(smallConfig());
+    const auto plan = t.planSimraSingle(31, 16);  // block 32..47
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->group.size(), 16u);
+    EXPECT_EQ(plan->group.front(), 32u);
+    EXPECT_EQ(plan->group.back(), 47u);
+    // Misaligned base rejected.
+    EXPECT_FALSE(t.planSimraSingle(30, 16).has_value());
+}
+
+TEST(ModuleTester, SimraDoubleMuchStrongerThanRowHammer)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    opt.pattern = dram::DataPattern::P00;  // 1 -> 0 friendly victims
+    std::uint64_t best_ratio_num = 0, best_ratio_den = 1;
+    for (RowId v : t.sampleVictims(4, /*odd_only=*/true)) {
+        const auto rh = t.rhDouble(v, opt);
+        const auto si = t.simraDouble(v, 4, opt);
+        if (rh == kNoFlip || si == kNoFlip)
+            continue;
+        if (best_ratio_num == 0 ||
+            rh * best_ratio_den > si * best_ratio_num) {
+            best_ratio_num = rh;
+            best_ratio_den = si;
+        }
+    }
+    ASSERT_GT(best_ratio_num, 0u);
+    // At least one victim with a large reduction (paper: up to 158x).
+    EXPECT_GT(static_cast<double>(best_ratio_num) /
+                  static_cast<double>(best_ratio_den),
+              10.0);
+}
+
+TEST(ModuleTester, WcdpNoWorseThanAnyFixedPattern)
+{
+    ModuleTester t(smallConfig());
+    const RowId victim = 205;
+    ModuleTester::Options wcdp;
+    wcdp.searchWcdp = true;
+    const auto hc_wcdp = t.rhDouble(victim, wcdp);
+    for (dram::DataPattern p : dram::kAllPatterns) {
+        ModuleTester::Options fixed;
+        fixed.pattern = p;
+        EXPECT_LE(hc_wcdp, t.rhDouble(victim, fixed))
+            << dram::name(p);
+    }
+}
+
+TEST(ModuleTester, CombinedReducesRowHammerRequirement)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    int reduced = 0, total = 0;
+    for (RowId v : t.sampleVictims(3, /*odd_only=*/true)) {
+        const auto rh = t.rhDouble(v, opt);
+        ModuleTester::CombinedSpec spec;
+        spec.comraFraction = 0.9;
+        const auto combined = t.combinedRh(v, spec, opt);
+        if (rh == kNoFlip || combined == kNoFlip)
+            continue;
+        ++total;
+        reduced += combined < rh;
+    }
+    ASSERT_GT(total, 5);
+    EXPECT_GT(static_cast<double>(reduced) / total, 0.8);
+}
+
+TEST(ModuleTester, RepeatsWithTrialNoiseTakeMinimum)
+{
+    dram::DeviceConfig cfg = smallConfig();
+    cfg.trialNoiseSigma = 0.15;
+    ModuleTester tester(cfg);
+
+    ModuleTester::Options once;
+    once.search.repeats = 1;
+    ModuleTester::Options five;
+    five.search.repeats = 5;
+
+    // With run-to-run variation, the minimum of five searches is
+    // statistically no larger than a single search across victims.
+    int not_larger = 0, total = 0;
+    for (dram::RowId v : tester.sampleVictims(3)) {
+        const auto hc1 = tester.rhDouble(v, once);
+        const auto hc5 = tester.rhDouble(v, five);
+        if (hc1 == kNoFlip || hc5 == kNoFlip)
+            continue;
+        ++total;
+        not_larger += hc5 <= hc1 * 105 / 100;  // 5% bisection slack
+    }
+    ASSERT_GT(total, 10);
+    EXPECT_GT(static_cast<double>(not_larger) / total, 0.85);
+}
+
+TEST(ModuleTester, RhDoubleAtBoundaryIsFatal)
+{
+    ModuleTester t(smallConfig());
+    ModuleTester::Options opt;
+    EXPECT_DEATH(t.rhDouble(0, opt), "neighbours");
+}
+
+} // namespace

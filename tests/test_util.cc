@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the util layer: CLI parsing, table rendering, and
+ * time units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/args.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace pud;
+
+Args
+makeArgs(std::initializer_list<const char *> argv)
+{
+    static std::vector<char *> storage;
+    storage.clear();
+    storage.push_back(const_cast<char *>("prog"));
+    for (const char *a : argv)
+        storage.push_back(const_cast<char *>(a));
+    return Args(static_cast<int>(storage.size()), storage.data());
+}
+
+TEST(Args, KeyValueAndFlags)
+{
+    const Args args =
+        makeArgs({"--victims=16", "--full", "run", "--seed=7"});
+    EXPECT_TRUE(args.has("full"));
+    EXPECT_FALSE(args.has("fast"));
+    EXPECT_EQ(args.getInt("victims", 0), 16);
+    EXPECT_EQ(args.getInt("seed", 0), 7);
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional().front(), "run");
+}
+
+TEST(Args, StringsAndDoubles)
+{
+    const Args args = makeArgs({"--module=KVR24N17S8/8", "--temp=62.5"});
+    EXPECT_EQ(args.get("module", ""), "KVR24N17S8/8");
+    EXPECT_DOUBLE_EQ(args.getDouble("temp", 0.0), 62.5);
+    EXPECT_EQ(args.get("other", "dflt"), "dflt");
+}
+
+TEST(Args, FlagValueIsTruthyOne)
+{
+    const Args args = makeArgs({"--trr"});
+    EXPECT_EQ(args.get("trr", ""), "1");
+    EXPECT_EQ(args.getInt("trr", 0), 1);
+}
+
+TEST(Table, AlignedRendering)
+{
+    Table t({"col", "value"});
+    t.addRow({"x", Table::num(1.5, 2)});
+    t.addRow({"longer-label", Table::count(42)});
+
+    char buf[512] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(mem, nullptr);
+    t.print(mem);
+    std::fclose(mem);
+
+    const std::string out(buf);
+    EXPECT_NE(out.find("col"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("longer-label"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    char buf[256] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf) - 1, "w");
+    t.printCsv(mem);
+    std::fclose(mem);
+    EXPECT_STREQ(buf, "a,b\n1,2\n");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(units::fromNs(1.0), units::ns);
+    EXPECT_EQ(units::fromNs(7.5), 7500);
+    EXPECT_DOUBLE_EQ(units::toNs(units::fromNs(36.0)), 36.0);
+    EXPECT_DOUBLE_EQ(units::toUs(7800 * units::ns), 7.8);
+    EXPECT_EQ(units::ms, 1000 * units::us);
+    EXPECT_EQ(units::us, 1000 * units::ns);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * pudhammer — command-line front-end over the characterization
+ * library, for exploring simulated modules without writing C++.
+ *
+ *   pudhammer modules
+ *       list the Table 2 module families
+ *   pudhammer reveng   --module=ID [--seed=N]
+ *       recover mapping scheme, subarray bounds, SiMRA support, TRR
+ *   pudhammer hcfirst  --module=ID --technique=rh|comra|simra
+ *                      [--n=4] [--victims=K] [--temp=C] [--seed=N]
+ *                      [--pattern=0x55|0xAA|0x00|0xFF|wcdp]
+ *       HC_first distribution for a victim population
+ *   pudhammer attack   --module=ID --technique=rh|comra|simra
+ *                      [--trr] [--hammers=N] [--seed=N]
+ *       run the §7 bitflip-count experiment
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hammer/experiment.h"
+#include "hammer/reveng.h"
+#include "stats/summary.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace pud;
+using namespace pud::hammer;
+
+namespace {
+
+int
+cmdModules()
+{
+    Table table({"module", "mfr", "density", "die", "org", "#mods",
+                 "#chips", "SiMRA"});
+    for (const auto &f : dram::table2Families()) {
+        table.addRow({f.moduleId, dram::name(f.mfr), f.density,
+                      f.dieRev, f.org, Table::count(f.numModules),
+                      Table::count(f.numChips),
+                      f.supportsSimra ? "yes" : "no"});
+    }
+    table.print();
+    return 0;
+}
+
+dram::DeviceConfig
+configFrom(const Args &args)
+{
+    const std::string module =
+        args.get("module", "HMA81GU7AFR8N-UH");
+    dram::DeviceConfig cfg = dram::makeConfig(
+        module, static_cast<std::uint64_t>(args.getInt("seed", 1)));
+    cfg.rowsPerSubarray = static_cast<dram::RowId>(
+        args.getInt("rows", 128));
+    return cfg;
+}
+
+int
+cmdReveng(const Args &args)
+{
+    ModuleTester tester(configFrom(args));
+    std::printf("module          : %s\n",
+                tester.device().config().profile.moduleId.c_str());
+    std::printf("mapping scheme  : %s\n",
+                dram::name(identifyMappingScheme(tester, 0)));
+    const auto bounds = findSubarrayBoundaries(tester, 0);
+    std::printf("subarrays       : %zu (first boundary at row %u)\n",
+                bounds.size(),
+                bounds.size() > 1 ? bounds[1]
+                                  : tester.device().rowsPerBank());
+    const auto group = discoverSimraGroup(
+        tester, 0, tester.device().toLogical(64),
+        tester.device().toLogical(70));
+    std::printf("SiMRA support   : %s (ACT(64)-PRE-ACT(70) activates "
+                "%zu rows)\n",
+                group.size() > 1 ? "yes" : "no", group.size());
+    std::printf("TRR (as shipped): %s\n",
+                detectTrr(tester, 0) ? "present" : "not detected");
+    tester.device().setTrrEnabled(true);
+    std::printf("TRR (enabled)   : %s\n",
+                detectTrr(tester, 0) ? "present" : "not detected");
+    return 0;
+}
+
+int
+cmdHcFirst(const Args &args)
+{
+    const std::string technique = args.get("technique", "rh");
+    const int n = static_cast<int>(args.getInt("n", 4));
+
+    ModuleTester tester(configFrom(args));
+    tester.bench().thermo().setTarget(args.getDouble("temp", 80.0));
+
+    ModuleTester::Options opt;
+    const std::string pattern = args.get("pattern", "wcdp");
+    if (pattern == "wcdp") {
+        opt.searchWcdp = true;
+    } else if (pattern == "0x55") {
+        opt.pattern = dram::DataPattern::P55;
+    } else if (pattern == "0xAA") {
+        opt.pattern = dram::DataPattern::PAA;
+    } else if (pattern == "0x00") {
+        opt.pattern = dram::DataPattern::P00;
+    } else if (pattern == "0xFF") {
+        opt.pattern = dram::DataPattern::PFF;
+    } else {
+        fatal("unknown --pattern=%s", pattern.c_str());
+    }
+
+    const auto victims = tester.sampleVictims(
+        static_cast<dram::RowId>(args.getInt("victims", 8)),
+        technique == "simra");
+
+    std::vector<double> hcs;
+    std::size_t noflip = 0;
+    for (dram::RowId v : victims) {
+        std::uint64_t hc;
+        if (technique == "rh")
+            hc = tester.rhDouble(v, opt);
+        else if (technique == "comra")
+            hc = tester.comraDouble(v, opt);
+        else if (technique == "simra")
+            hc = tester.simraDouble(v, n, opt);
+        else
+            fatal("unknown --technique=%s (rh|comra|simra)",
+                  technique.c_str());
+        if (hc == kNoFlip)
+            ++noflip;
+        else
+            hcs.push_back(static_cast<double>(hc));
+    }
+
+    const auto bs = stats::boxStats(hcs);
+    std::printf("technique %s%s, %zu victims (%zu without flips in "
+                "budget)\n",
+                technique.c_str(),
+                technique == "simra"
+                    ? ("-" + std::to_string(n)).c_str()
+                    : "",
+                victims.size(), noflip);
+    std::printf("HC_first min/q1/median/q3/max: %s\n",
+                bs.str().c_str());
+    return 0;
+}
+
+int
+cmdAttack(const Args &args)
+{
+    const std::string technique = args.get("technique", "simra");
+    TrrTechnique tech;
+    if (technique == "rh")
+        tech = TrrTechnique::RowHammer;
+    else if (technique == "comra")
+        tech = TrrTechnique::Comra;
+    else if (technique == "simra")
+        tech = TrrTechnique::Simra;
+    else
+        fatal("unknown --technique=%s", technique.c_str());
+
+    TrrConfig cfg;
+    cfg.nSided = static_cast<int>(args.getInt("n", 2));
+    cfg.simraN = static_cast<int>(args.getInt("n", 16));
+    cfg.hammersPerAggressor = static_cast<std::uint64_t>(
+        args.getInt("hammers", 150000));
+
+    ModuleTester tester(configFrom(args));
+    const bool trr = args.has("trr");
+    const auto flips = runTrrExperiment(tester, tech, cfg, trr);
+    std::printf("%s attack, %llu hammers/aggressor, TRR %s: "
+                "%llu bitflips\n",
+                name(tech),
+                static_cast<unsigned long long>(
+                    cfg.hammersPerAggressor),
+                trr ? "on" : "off",
+                static_cast<unsigned long long>(flips));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: pudhammer <command> [options]\n"
+        "  modules                      list Table 2 module families\n"
+        "  reveng  --module=ID          reverse engineer a module\n"
+        "  hcfirst --module=ID --technique=rh|comra|simra [--n=4]\n"
+        "          [--victims=K] [--temp=C] [--pattern=...|wcdp]\n"
+        "  attack  --module=ID --technique=rh|comra|simra [--trr]\n"
+        "          [--hammers=N]\n"
+        "common: --seed=N --rows=N (rows per subarray)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    if (args.positional().empty()) {
+        usage();
+        return 2;
+    }
+    const std::string &cmd = args.positional().front();
+    if (cmd == "modules")
+        return cmdModules();
+    if (cmd == "reveng")
+        return cmdReveng(args);
+    if (cmd == "hcfirst")
+        return cmdHcFirst(args);
+    if (cmd == "attack")
+        return cmdAttack(args);
+    usage();
+    return 2;
+}
