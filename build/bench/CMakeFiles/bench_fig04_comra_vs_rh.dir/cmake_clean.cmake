@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_comra_vs_rh.dir/bench_fig04_comra_vs_rh.cc.o"
+  "CMakeFiles/bench_fig04_comra_vs_rh.dir/bench_fig04_comra_vs_rh.cc.o.d"
+  "bench_fig04_comra_vs_rh"
+  "bench_fig04_comra_vs_rh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_comra_vs_rh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_comra_datapattern.dir/bench_fig05_comra_datapattern.cc.o"
+  "CMakeFiles/bench_fig05_comra_datapattern.dir/bench_fig05_comra_datapattern.cc.o.d"
+  "bench_fig05_comra_datapattern"
+  "bench_fig05_comra_datapattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_comra_datapattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

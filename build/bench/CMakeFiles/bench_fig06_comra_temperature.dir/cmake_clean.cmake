@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_comra_temperature.dir/bench_fig06_comra_temperature.cc.o"
+  "CMakeFiles/bench_fig06_comra_temperature.dir/bench_fig06_comra_temperature.cc.o.d"
+  "bench_fig06_comra_temperature"
+  "bench_fig06_comra_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_comra_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_comra_single_sided.dir/bench_fig07_comra_single_sided.cc.o"
+  "CMakeFiles/bench_fig07_comra_single_sided.dir/bench_fig07_comra_single_sided.cc.o.d"
+  "bench_fig07_comra_single_sided"
+  "bench_fig07_comra_single_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_comra_single_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_comra_single_sided.
+# This may be replaced when dependencies are built.

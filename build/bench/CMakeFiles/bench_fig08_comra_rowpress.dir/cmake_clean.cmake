@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_comra_rowpress.dir/bench_fig08_comra_rowpress.cc.o"
+  "CMakeFiles/bench_fig08_comra_rowpress.dir/bench_fig08_comra_rowpress.cc.o.d"
+  "bench_fig08_comra_rowpress"
+  "bench_fig08_comra_rowpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_comra_rowpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

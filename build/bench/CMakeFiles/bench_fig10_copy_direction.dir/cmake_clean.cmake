@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_copy_direction.dir/bench_fig10_copy_direction.cc.o"
+  "CMakeFiles/bench_fig10_copy_direction.dir/bench_fig10_copy_direction.cc.o.d"
+  "bench_fig10_copy_direction"
+  "bench_fig10_copy_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_copy_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

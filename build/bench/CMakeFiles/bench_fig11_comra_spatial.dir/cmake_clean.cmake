@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_comra_spatial.dir/bench_fig11_comra_spatial.cc.o"
+  "CMakeFiles/bench_fig11_comra_spatial.dir/bench_fig11_comra_spatial.cc.o.d"
+  "bench_fig11_comra_spatial"
+  "bench_fig11_comra_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_comra_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

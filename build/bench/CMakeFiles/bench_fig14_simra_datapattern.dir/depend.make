@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_simra_datapattern.
+# This may be replaced when dependencies are built.

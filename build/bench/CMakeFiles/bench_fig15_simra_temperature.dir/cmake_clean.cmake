@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_simra_temperature.dir/bench_fig15_simra_temperature.cc.o"
+  "CMakeFiles/bench_fig15_simra_temperature.dir/bench_fig15_simra_temperature.cc.o.d"
+  "bench_fig15_simra_temperature"
+  "bench_fig15_simra_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_simra_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

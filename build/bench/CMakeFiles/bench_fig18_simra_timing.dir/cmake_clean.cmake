@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_simra_timing.dir/bench_fig18_simra_timing.cc.o"
+  "CMakeFiles/bench_fig18_simra_timing.dir/bench_fig18_simra_timing.cc.o.d"
+  "bench_fig18_simra_timing"
+  "bench_fig18_simra_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_simra_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

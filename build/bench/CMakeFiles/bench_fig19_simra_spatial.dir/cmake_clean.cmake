@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_simra_spatial.dir/bench_fig19_simra_spatial.cc.o"
+  "CMakeFiles/bench_fig19_simra_spatial.dir/bench_fig19_simra_spatial.cc.o.d"
+  "bench_fig19_simra_spatial"
+  "bench_fig19_simra_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_simra_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_combined_comra.dir/bench_fig21_combined_comra.cc.o"
+  "CMakeFiles/bench_fig21_combined_comra.dir/bench_fig21_combined_comra.cc.o.d"
+  "bench_fig21_combined_comra"
+  "bench_fig21_combined_comra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_combined_comra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

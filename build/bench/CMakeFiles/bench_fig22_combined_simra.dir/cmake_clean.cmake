@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_combined_simra.dir/bench_fig22_combined_simra.cc.o"
+  "CMakeFiles/bench_fig22_combined_simra.dir/bench_fig22_combined_simra.cc.o.d"
+  "bench_fig22_combined_simra"
+  "bench_fig22_combined_simra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_combined_simra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

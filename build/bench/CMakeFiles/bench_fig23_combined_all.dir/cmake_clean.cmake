@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_combined_all.dir/bench_fig23_combined_all.cc.o"
+  "CMakeFiles/bench_fig23_combined_all.dir/bench_fig23_combined_all.cc.o.d"
+  "bench_fig23_combined_all"
+  "bench_fig23_combined_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_combined_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_trr_bypass.dir/bench_fig24_trr_bypass.cc.o"
+  "CMakeFiles/bench_fig24_trr_bypass.dir/bench_fig24_trr_bypass.cc.o.d"
+  "bench_fig24_trr_bypass"
+  "bench_fig24_trr_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_trr_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

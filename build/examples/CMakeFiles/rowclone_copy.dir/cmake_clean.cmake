@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowclone_copy.dir/rowclone_copy.cpp.o"
+  "CMakeFiles/rowclone_copy.dir/rowclone_copy.cpp.o.d"
+  "rowclone_copy"
+  "rowclone_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowclone_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

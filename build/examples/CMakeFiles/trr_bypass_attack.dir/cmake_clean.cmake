@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trr_bypass_attack.dir/trr_bypass_attack.cpp.o"
+  "CMakeFiles/trr_bypass_attack.dir/trr_bypass_attack.cpp.o.d"
+  "trr_bypass_attack"
+  "trr_bypass_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trr_bypass_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_bender.dir/executor.cc.o"
+  "CMakeFiles/pud_bender.dir/executor.cc.o.d"
+  "libpud_bender.a"
+  "libpud_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

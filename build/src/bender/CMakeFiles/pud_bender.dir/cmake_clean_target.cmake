@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpud_bender.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_dram.dir/config.cc.o"
+  "CMakeFiles/pud_dram.dir/config.cc.o.d"
+  "CMakeFiles/pud_dram.dir/device.cc.o"
+  "CMakeFiles/pud_dram.dir/device.cc.o.d"
+  "CMakeFiles/pud_dram.dir/disturb.cc.o"
+  "CMakeFiles/pud_dram.dir/disturb.cc.o.d"
+  "libpud_dram.a"
+  "libpud_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

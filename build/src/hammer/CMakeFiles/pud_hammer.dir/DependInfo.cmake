@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hammer/experiment.cc" "src/hammer/CMakeFiles/pud_hammer.dir/experiment.cc.o" "gcc" "src/hammer/CMakeFiles/pud_hammer.dir/experiment.cc.o.d"
+  "/root/repo/src/hammer/hcfirst.cc" "src/hammer/CMakeFiles/pud_hammer.dir/hcfirst.cc.o" "gcc" "src/hammer/CMakeFiles/pud_hammer.dir/hcfirst.cc.o.d"
+  "/root/repo/src/hammer/patterns.cc" "src/hammer/CMakeFiles/pud_hammer.dir/patterns.cc.o" "gcc" "src/hammer/CMakeFiles/pud_hammer.dir/patterns.cc.o.d"
+  "/root/repo/src/hammer/reveng.cc" "src/hammer/CMakeFiles/pud_hammer.dir/reveng.cc.o" "gcc" "src/hammer/CMakeFiles/pud_hammer.dir/reveng.cc.o.d"
+  "/root/repo/src/hammer/tester.cc" "src/hammer/CMakeFiles/pud_hammer.dir/tester.cc.o" "gcc" "src/hammer/CMakeFiles/pud_hammer.dir/tester.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bender/CMakeFiles/pud_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pud_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_hammer.dir/experiment.cc.o"
+  "CMakeFiles/pud_hammer.dir/experiment.cc.o.d"
+  "CMakeFiles/pud_hammer.dir/hcfirst.cc.o"
+  "CMakeFiles/pud_hammer.dir/hcfirst.cc.o.d"
+  "CMakeFiles/pud_hammer.dir/patterns.cc.o"
+  "CMakeFiles/pud_hammer.dir/patterns.cc.o.d"
+  "CMakeFiles/pud_hammer.dir/reveng.cc.o"
+  "CMakeFiles/pud_hammer.dir/reveng.cc.o.d"
+  "CMakeFiles/pud_hammer.dir/tester.cc.o"
+  "CMakeFiles/pud_hammer.dir/tester.cc.o.d"
+  "libpud_hammer.a"
+  "libpud_hammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

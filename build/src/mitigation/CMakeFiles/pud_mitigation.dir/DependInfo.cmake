@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/countermeasures.cc" "src/mitigation/CMakeFiles/pud_mitigation.dir/countermeasures.cc.o" "gcc" "src/mitigation/CMakeFiles/pud_mitigation.dir/countermeasures.cc.o.d"
+  "/root/repo/src/mitigation/prac.cc" "src/mitigation/CMakeFiles/pud_mitigation.dir/prac.cc.o" "gcc" "src/mitigation/CMakeFiles/pud_mitigation.dir/prac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/pud_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pud_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

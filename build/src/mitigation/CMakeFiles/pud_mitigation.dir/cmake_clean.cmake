@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_mitigation.dir/countermeasures.cc.o"
+  "CMakeFiles/pud_mitigation.dir/countermeasures.cc.o.d"
+  "CMakeFiles/pud_mitigation.dir/prac.cc.o"
+  "CMakeFiles/pud_mitigation.dir/prac.cc.o.d"
+  "libpud_mitigation.a"
+  "libpud_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

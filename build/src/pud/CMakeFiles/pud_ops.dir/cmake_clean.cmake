@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_ops.dir/engine.cc.o"
+  "CMakeFiles/pud_ops.dir/engine.cc.o.d"
+  "libpud_ops.a"
+  "libpud_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

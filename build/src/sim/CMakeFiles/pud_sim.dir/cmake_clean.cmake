@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_sim.dir/system.cc.o"
+  "CMakeFiles/pud_sim.dir/system.cc.o.d"
+  "CMakeFiles/pud_sim.dir/workload.cc.o"
+  "CMakeFiles/pud_sim.dir/workload.cc.o.d"
+  "libpud_sim.a"
+  "libpud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

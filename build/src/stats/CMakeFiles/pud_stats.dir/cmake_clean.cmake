@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_stats.dir/summary.cc.o"
+  "CMakeFiles/pud_stats.dir/summary.cc.o.d"
+  "libpud_stats.a"
+  "libpud_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_roundtrip.dir/test_calibration_roundtrip.cc.o"
+  "CMakeFiles/test_calibration_roundtrip.dir/test_calibration_roundtrip.cc.o.d"
+  "test_calibration_roundtrip"
+  "test_calibration_roundtrip.pdb"
+  "test_calibration_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/test_config.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/test_config.dir/test_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hammer/CMakeFiles/pud_hammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/pud_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/pud/CMakeFiles/pud_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/pud_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pud_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pud_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

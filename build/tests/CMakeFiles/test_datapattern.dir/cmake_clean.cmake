@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapattern.dir/test_datapattern.cc.o"
+  "CMakeFiles/test_datapattern.dir/test_datapattern.cc.o.d"
+  "test_datapattern"
+  "test_datapattern.pdb"
+  "test_datapattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

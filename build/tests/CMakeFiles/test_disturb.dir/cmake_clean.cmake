@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disturb.dir/test_disturb.cc.o"
+  "CMakeFiles/test_disturb.dir/test_disturb.cc.o.d"
+  "test_disturb"
+  "test_disturb.pdb"
+  "test_disturb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hcfirst.dir/test_hcfirst.cc.o"
+  "CMakeFiles/test_hcfirst.dir/test_hcfirst.cc.o.d"
+  "test_hcfirst"
+  "test_hcfirst.pdb"
+  "test_hcfirst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hcfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pud_ops.dir/test_pud_ops.cc.o"
+  "CMakeFiles/test_pud_ops.dir/test_pud_ops.cc.o.d"
+  "test_pud_ops"
+  "test_pud_ops.pdb"
+  "test_pud_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pud_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

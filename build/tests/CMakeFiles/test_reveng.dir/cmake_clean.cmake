@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reveng.dir/test_reveng.cc.o"
+  "CMakeFiles/test_reveng.dir/test_reveng.cc.o.d"
+  "test_reveng"
+  "test_reveng.pdb"
+  "test_reveng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

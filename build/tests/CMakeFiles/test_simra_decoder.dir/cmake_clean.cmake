@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simra_decoder.dir/test_simra_decoder.cc.o"
+  "CMakeFiles/test_simra_decoder.dir/test_simra_decoder.cc.o.d"
+  "test_simra_decoder"
+  "test_simra_decoder.pdb"
+  "test_simra_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simra_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

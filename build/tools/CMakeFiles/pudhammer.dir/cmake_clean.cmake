@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pudhammer.dir/pudhammer_cli.cpp.o"
+  "CMakeFiles/pudhammer.dir/pudhammer_cli.cpp.o.d"
+  "pudhammer"
+  "pudhammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pudhammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

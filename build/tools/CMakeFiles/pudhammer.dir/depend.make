@@ -1,0 +1,2 @@
+# Empty dependencies file for pudhammer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_modules "/root/repo/build/tools/pudhammer" "modules")
+set_tests_properties(cli_modules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hcfirst "/root/repo/build/tools/pudhammer" "hcfirst" "--module=HMA81GU7AFR8N-UH" "--technique=comra" "--victims=3")
+set_tests_properties(cli_hcfirst PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reveng "/root/repo/build/tools/pudhammer" "reveng" "--module=M391A2G43BB2-CWE" "--rows=64")
+set_tests_properties(cli_reveng PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_attack "/root/repo/build/tools/pudhammer" "attack" "--technique=simra" "--n=8" "--hammers=50000" "--trr")
+set_tests_properties(cli_attack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/pudhammer")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
