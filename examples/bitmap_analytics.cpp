@@ -35,6 +35,10 @@ main(int argc, char **argv)
     cfg.subarraysPerBank = 2;
     cfg.rowsPerSubarray = 128;
     bender::TestBench bench(cfg);
+    // Pre-flight lint every program the engine issues (on by default
+    // only in debug builds): the example stays protocol-clean by
+    // construction even as it is edited.
+    bench.executor().setPreflight(true);
     PudEngine engine(bench, 0);
     Rng rng(seed);
 
@@ -118,6 +122,7 @@ main(int argc, char **argv)
     std::printf("\n[fix] rerunning with the paper's compute-region "
                 "countermeasure (32-row region, refresh every op):\n");
     bender::TestBench bench2(cfg);
+    bench2.executor().setPreflight(true);
     PudEngine engine2(bench2, 0);
     mitigation::ComputeRegionPolicy policy(cfg.rowsPerSubarray, 64, 1);
     engine2.setPolicy(&policy, 0);

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include "hammer/patterns.h"
+#include "lint/linter.h"
 #include "mitigation/prac.h"
 #include "sim/system.h"
 #include "util/args.h"
@@ -30,6 +32,26 @@ main(int argc, char **argv)
     // The paper's observed worst-case thresholds.
     const double hc_rowhammer = 4000;  // ~4K
     const double hc_simra = 20;        // ~20
+
+    // The attack PRAC is sized against: the canonical SiMRA hammer at
+    // the paper's worst-case HC_first (~20 operations).  Statically
+    // validate it so the threat model this sweep defends against is a
+    // protocol-correct program, not an artifact of a malformed one.
+    {
+        const dram::DeviceConfig dev_cfg =
+            dram::makeConfig("HMA81GU7AFR8N-UH");
+        const dram::RowMapping mapping(dev_cfg.profile.mapping);
+        const auto attack = hammer::simraHammer(
+            0, mapping.toLogical(64), mapping.toLogical(70),
+            static_cast<std::uint64_t>(hc_simra), {});
+        const auto report = lint::requireClean(
+            attack, dev_cfg, "mitigation_explorer");
+        std::printf("Worst-case SiMRA attack program lint-clean: "
+                    "%zu insts, %zu warnings, duration %.2f us\n\n",
+                    attack.insts().size(),
+                    report.count(lint::Severity::Warning),
+                    units::toUs(report.duration));
+    }
 
     const auto mix = makeMix(mix_index);
     SystemConfig base;

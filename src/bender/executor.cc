@@ -1,5 +1,6 @@
 #include "bender/executor.h"
 
+#include "lint/linter.h"
 #include "util/logging.h"
 
 namespace pud::bender {
@@ -148,6 +149,13 @@ Executor::run(const Program &program)
 {
     if (!program.balanced())
         fatal("Executor: program has unbalanced loops");
+
+    // Pre-flight static analysis (debug builds): refuse programs the
+    // device would fatal on, with a pointer at the bad instruction.
+    // Warnings (deliberately violated timings that match no PuD idiom)
+    // are the caller's business -- see lint::lintProgram.
+    if (preflight_)
+        lint::requireClean(program, device_->config(), "Executor");
 
     ExecResult result;
     // Leave a bus-turnaround gap after whatever ran before.

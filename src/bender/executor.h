@@ -49,6 +49,18 @@ class Executor
     void setFastPath(bool on) { fastPath_ = on; }
     bool fastPath() const { return fastPath_; }
 
+    /**
+     * Enable/disable the pre-flight lint check: before running, the
+     * program is statically analyzed (pud::lint) and error-severity
+     * findings -- protocol violations the device would fatal on, bad
+     * data indices -- abort the run with a diagnostic instead of
+     * failing deep inside the device model.  Defaults to on in debug
+     * builds and off in release builds (the analysis walks the whole
+     * program and would tax hot characterization loops).
+     */
+    void setPreflight(bool on) { preflight_ = on; }
+    bool preflight() const { return preflight_; }
+
     /** Minimum trip count before the fast-path engages. */
     static constexpr std::uint64_t kFastPathThreshold = 8;
 
@@ -78,6 +90,11 @@ class Executor
 
     dram::Device *device_;
     bool fastPath_ = true;
+#ifdef NDEBUG
+    bool preflight_ = false;
+#else
+    bool preflight_ = true;
+#endif
 };
 
 } // namespace pud::bender

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "lint/linter.h"
 #include "util/logging.h"
 
 namespace pud::hammer {
@@ -167,6 +168,13 @@ runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
         dev.writeRowDirect(cfg.bank, dev.toLogical(p),
                            is_aggr(p) ? aggr_data : victim_data);
     }
+
+    // Pre-flight: TRR bypass patterns are intricate (per-tREFI phase
+    // structure, dummy-row flooding) and easy to get protocol-wrong
+    // when the geometry parameters change; refuse to run a program the
+    // device would fatal on.  Timing warnings (the model's REF issues
+    // faster than tRFC) are expected and not reported here.
+    lint::requireClean(program, dev.config(), "runTrrExperiment");
 
     tester.bench().run(program);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/linter.h"
 #include "util/logging.h"
 
 namespace pud::hammer {
@@ -78,6 +79,23 @@ ModuleTester::measureWithPattern(
     const BankId bank = opt.bank;
 
     const RowId victim_logical = dev.toLogical(victim);
+
+    // Validate the pattern's shape once per measurement (not per
+    // trial: only the trip counts change with n).  Errors would fatal
+    // deep inside the device model; suspicious timing violations would
+    // silently skew the HC_first search, so surface them once.
+    {
+        const lint::LintResult pre = lint::requireClean(
+            build(2), dev.config(), "ModuleTester");
+        if (pre.count(lint::Severity::Warning) > 0 && !warnedLint_) {
+            warnedLint_ = true;
+            for (const lint::Diag &d : pre.diags) {
+                if (d.severity == lint::Severity::Warning)
+                    warn("lint [%s]: %s", name(d.code),
+                         d.message.c_str());
+            }
+        }
+    }
 
     auto trial = [&](std::uint64_t n) -> bool {
         for (RowId a : aggressors)

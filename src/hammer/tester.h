@@ -160,6 +160,7 @@ class ModuleTester
 
     bender::TestBench bench_;
     bool warnedWindow_ = false;
+    bool warnedLint_ = false;  //!< lint warnings reported once per tester
 };
 
 } // namespace pud::hammer

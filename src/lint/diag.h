@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Diagnostic vocabulary of the bender-program static analyzer.
+ *
+ * Every finding is a Diag: a stable machine-readable code, a fixed
+ * severity, the instruction it anchors to, and a human-readable
+ * message.  The severity taxonomy is deliberate:
+ *
+ *  - Error:   the program will fatal() inside the executor or device,
+ *             or silently read garbage (protocol violations, bad data
+ *             indices, unbalanced loops).  Pre-flight checks refuse to
+ *             run these.
+ *  - Warning: the program runs, but something is *suspicious* -- most
+ *             importantly a timing-parameter violation that matches no
+ *             PuD idiom (an accidental sub-tRP gap corrupts HC_first
+ *             sweeps without any error at execution time).
+ *  - Note:    explanatory findings: a violated timing that matches the
+ *             CoMRA/SiMRA signature (i.e. is *intended*), or why a hot
+ *             loop will / will not take the executor fast-path.
+ */
+
+#ifndef PUD_LINT_DIAG_H
+#define PUD_LINT_DIAG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace pud::lint {
+
+/** Diagnostic severity; fixed per code (see severityOf). */
+enum class Severity : std::uint8_t
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Stable diagnostic codes (names are part of the CLI/JSON surface). */
+enum class Code : std::uint8_t
+{
+    // ---- loop structure --------------------------------------------------
+    UnbalancedLoop,       //!< LoopBegin without a matching LoopEnd
+    EmptyLoop,            //!< loop body contains no instructions
+    ZeroTripLoop,         //!< trip count 0: the body never executes
+    FastPathEligible,     //!< hot loop will be replayed arithmetically
+    FastPathIneligible,   //!< hot loop must run naively (with reason)
+
+    // ---- per-bank DDR protocol -------------------------------------------
+    BankOutOfRange,       //!< command targets a nonexistent bank
+    RowOutOfRange,        //!< ACT targets a nonexistent row
+    ActWhileOpen,         //!< ACT on a bank with an open row (no PRE)
+    RdOnClosedBank,       //!< RD with no open row
+    WrOnClosedBank,       //!< WR with no open row
+    PreOnIdleBank,        //!< PRE on an already-precharged bank (no-op)
+    RefWithOpenBank,      //!< REF while a bank has an open row
+    NegativeGap,          //!< command time would go backwards
+    OpenBankAtEnd,        //!< program ends with a row still open
+
+    // ---- data table -------------------------------------------------------
+    WrBadDataIndex,       //!< Wr.dataIndex outside the data table
+    WrWidthMismatch,      //!< data entry width != device row width
+
+    // ---- timing classifier -------------------------------------------------
+    IntendedComra,        //!< violated tRP matching the CoMRA signature
+    IntendedSimra,        //!< violated tRAS+tRP matching SiMRA
+    SimraUnsupported,     //!< SiMRA signature on a chip that ignores it
+    SuspiciousPreToAct,   //!< sub-tRP gap matching no PuD idiom
+    SuspiciousActToPre,   //!< sub-tRAS on-time matching no PuD idiom
+    SuspiciousActToAct,   //!< sub-tRC ACT spacing (custom timing sets)
+    ColumnBeforeTrcd,     //!< RD/WR earlier than tRCD after ACT
+    RefRecoveryShort,     //!< command earlier than tRFC after REF
+    RefreshWindowExceeded,//!< runs past tREFW without a single REF
+};
+
+/** Machine-readable name of a code (stable CLI/JSON surface). */
+const char *name(Code code);
+
+/** Lowercase severity name. */
+const char *name(Severity severity);
+
+/** The fixed severity of a code. */
+Severity severityOf(Code code);
+
+/** One finding of the analyzer. */
+struct Diag
+{
+    Code code;
+    Severity severity;
+    std::size_t instIndex;  //!< anchor instruction in Program::insts()
+    std::string message;
+};
+
+/** Everything one lint pass produces. */
+struct LintResult
+{
+    std::vector<Diag> diags;
+
+    /** Exact program duration, loop trip counts included. */
+    Time duration = 0;
+
+    std::size_t
+    count(Severity severity) const
+    {
+        std::size_t n = 0;
+        for (const Diag &d : diags)
+            n += d.severity == severity;
+        return n;
+    }
+
+    /** No error-severity findings (warnings/notes allowed). */
+    bool clean() const { return count(Severity::Error) == 0; }
+};
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_DIAG_H

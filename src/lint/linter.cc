@@ -1,0 +1,647 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "bender/executor.h"
+#include "dram/mapping.h"
+#include "util/logging.h"
+
+namespace pud::lint {
+
+const char *
+name(Code code)
+{
+    switch (code) {
+      case Code::UnbalancedLoop:        return "unbalanced-loop";
+      case Code::EmptyLoop:             return "empty-loop";
+      case Code::ZeroTripLoop:          return "zero-trip-loop";
+      case Code::FastPathEligible:      return "fast-path-eligible";
+      case Code::FastPathIneligible:    return "fast-path-ineligible";
+      case Code::BankOutOfRange:        return "bank-out-of-range";
+      case Code::RowOutOfRange:         return "row-out-of-range";
+      case Code::ActWhileOpen:          return "act-while-open";
+      case Code::RdOnClosedBank:        return "rd-on-closed-bank";
+      case Code::WrOnClosedBank:        return "wr-on-closed-bank";
+      case Code::PreOnIdleBank:         return "pre-on-idle-bank";
+      case Code::RefWithOpenBank:       return "ref-with-open-bank";
+      case Code::NegativeGap:           return "negative-gap";
+      case Code::OpenBankAtEnd:         return "open-bank-at-end";
+      case Code::WrBadDataIndex:        return "wr-bad-data-index";
+      case Code::WrWidthMismatch:       return "wr-width-mismatch";
+      case Code::IntendedComra:         return "intended-comra";
+      case Code::IntendedSimra:         return "intended-simra";
+      case Code::SimraUnsupported:      return "simra-unsupported";
+      case Code::SuspiciousPreToAct:    return "suspicious-pre-to-act";
+      case Code::SuspiciousActToPre:    return "suspicious-act-to-pre";
+      case Code::SuspiciousActToAct:    return "suspicious-act-to-act";
+      case Code::ColumnBeforeTrcd:      return "column-before-trcd";
+      case Code::RefRecoveryShort:      return "ref-recovery-short";
+      case Code::RefreshWindowExceeded: return "refresh-window-exceeded";
+    }
+    return "?";
+}
+
+const char *
+name(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+Severity
+severityOf(Code code)
+{
+    switch (code) {
+      case Code::UnbalancedLoop:
+      case Code::BankOutOfRange:
+      case Code::RowOutOfRange:
+      case Code::ActWhileOpen:
+      case Code::RdOnClosedBank:
+      case Code::WrOnClosedBank:
+      case Code::RefWithOpenBank:
+      case Code::NegativeGap:
+      case Code::WrBadDataIndex:
+      case Code::WrWidthMismatch:
+        return Severity::Error;
+
+      case Code::EmptyLoop:
+      case Code::ZeroTripLoop:
+      case Code::PreOnIdleBank:
+      case Code::OpenBankAtEnd:
+      case Code::SimraUnsupported:
+      case Code::SuspiciousPreToAct:
+      case Code::SuspiciousActToPre:
+      case Code::SuspiciousActToAct:
+      case Code::ColumnBeforeTrcd:
+      case Code::RefRecoveryShort:
+      case Code::RefreshWindowExceeded:
+        return Severity::Warning;
+
+      case Code::FastPathEligible:
+      case Code::FastPathIneligible:
+      case Code::IntendedComra:
+      case Code::IntendedSimra:
+        return Severity::Note;
+    }
+    return Severity::Error;
+}
+
+namespace {
+
+using bender::Inst;
+using bender::Op;
+using bender::Program;
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+/** The analyzer's walk state and diagnostic sink. */
+class Walker
+{
+  public:
+    Walker(const Program &program, const dram::DeviceConfig &cfg,
+           LintResult &out)
+        : program_(program),
+          cfg_(cfg),
+          mapping_(cfg.profile.mapping),
+          out_(out),
+          banks_(cfg.banks)
+    {}
+
+    void
+    run()
+    {
+        const auto &insts = program_.insts();
+        walkRange(0, insts.size());
+        finish();
+        out_.duration = exactDuration(0, insts.size());
+        checkRefreshWindow();
+        std::sort(out_.diags.begin(), out_.diags.end(),
+                  [](const Diag &a, const Diag &b) {
+                      return a.instIndex < b.instIndex;
+                  });
+    }
+
+  private:
+    struct BankSt
+    {
+        enum class St { Idle, Open, Closed };
+
+        St st = St::Idle;
+        Time openedAt = 0;
+        dram::RowId openPhys = 0;
+
+        // The most recent close, pending classification against the
+        // next ACT (mirrors Device::BankState::pending).
+        bool pendingValid = false;
+        Time pendingTOn = 0;
+        Time pendingClosedAt = 0;
+        dram::RowId pendingPhys = 0;
+        std::size_t pendingPreIndex = 0;
+    };
+
+    template <typename... Args>
+    void
+    add(Code code, std::size_t inst, const char *fmt, Args... args)
+    {
+        if (!seen_.insert({static_cast<int>(code), inst}).second)
+            return;
+        out_.diags.push_back({code, severityOf(code), inst,
+                              format(fmt, args...)});
+    }
+
+    /** Find the LoopEnd matching the LoopBegin at `begin` (or npos). */
+    std::size_t
+    matchEnd(std::size_t begin) const
+    {
+        const auto &insts = program_.insts();
+        int depth = 0;
+        for (std::size_t i = begin; i < insts.size(); ++i) {
+            if (insts[i].op == Op::LoopBegin)
+                ++depth;
+            else if (insts[i].op == Op::LoopEnd && --depth == 0)
+                return i;
+        }
+        return npos;
+    }
+
+    /** Exact duration of [begin, end) with real trip counts. */
+    Time
+    exactDuration(std::size_t begin, std::size_t end) const
+    {
+        const auto &insts = program_.insts();
+        Time d = 0;
+        std::size_t i = begin;
+        while (i < end) {
+            const Inst &inst = insts[i];
+            if (inst.op == Op::LoopBegin) {
+                std::size_t close = matchEnd(i);
+                if (close == npos || close > end)
+                    close = end;  // unbalanced: treat the tail as body
+                const Time body = exactDuration(i + 1, close);
+                if (body > 0 && inst.count >
+                        static_cast<std::uint64_t>(
+                            std::numeric_limits<Time>::max() / body))
+                    return std::numeric_limits<Time>::max();
+                d += static_cast<Time>(inst.count) * body;
+                i = close + 1;
+            } else {
+                d += std::max<Time>(inst.gap, 0);
+                ++i;
+            }
+        }
+        return d;
+    }
+
+    void
+    walkRange(std::size_t begin, std::size_t end)
+    {
+        const auto &insts = program_.insts();
+        std::size_t i = begin;
+        while (i < end) {
+            const Inst &inst = insts[i];
+            if (inst.op == Op::LoopBegin) {
+                std::size_t close = matchEnd(i);
+                if (close == npos || close > end) {
+                    add(Code::UnbalancedLoop, i,
+                        "LoopBegin (count %llu) has no matching "
+                        "LoopEnd; the executor refuses to run "
+                        "unbalanced programs",
+                        static_cast<unsigned long long>(inst.count));
+                    close = end;  // analyze the tail as the body, once
+                    walkRange(i + 1, close);
+                    return;
+                }
+                checkLoop(i, close, inst.count);
+                // Two passes: the second observes back-edge gaps
+                // (e.g. the PRE->ACT spacing across iterations).
+                const int passes =
+                    inst.count == 0 ? 1
+                                    : static_cast<int>(
+                                          std::min<std::uint64_t>(
+                                              inst.count, 2));
+                for (int p = 0; p < passes; ++p)
+                    walkRange(i + 1, close);
+                i = close + 1;
+            } else if (inst.op == Op::LoopEnd) {
+                // Builder-made programs cannot produce a stray
+                // LoopEnd (Program::loopEnd fatals); be defensive.
+                ++i;
+            } else {
+                step(i);
+                ++i;
+            }
+        }
+    }
+
+    void
+    checkLoop(std::size_t begin, std::size_t close, std::uint64_t count)
+    {
+        const auto &insts = program_.insts();
+        if (close == begin + 1)
+            add(Code::EmptyLoop, begin,
+                "loop body is empty; %llu iterations do nothing",
+                static_cast<unsigned long long>(count));
+        if (count == 0)
+            add(Code::ZeroTripLoop, begin,
+                "trip count is 0: the body never executes (forgot "
+                "Program::setLoopCount?)");
+
+        if (count < bender::Executor::kFastPathThreshold)
+            return;
+
+        // Fast-path eligibility, with the executor's exact rules.
+        bool has_ref = false, has_rd = false, has_nested = false;
+        for (std::size_t k = begin + 1; k < close; ++k) {
+            has_ref |= insts[k].op == Op::Ref;
+            has_rd |= insts[k].op == Op::Rd;
+            has_nested |= insts[k].op == Op::LoopBegin;
+        }
+        if (!has_ref && !has_rd && !has_nested) {
+            add(Code::FastPathEligible, begin,
+                "hot loop (%llu iterations) is fast-path eligible: "
+                "the executor replays one recorded iteration "
+                "arithmetically",
+                static_cast<unsigned long long>(count));
+            return;
+        }
+        std::string reasons;
+        if (has_ref)
+            reasons += "REF (stripe refresh and TRR sampling are "
+                       "iteration-dependent)";
+        if (has_rd)
+            reasons += format("%sRD (results are collected per "
+                              "iteration)",
+                              reasons.empty() ? "" : ", ");
+        if (has_nested)
+            reasons += format("%sa nested loop",
+                              reasons.empty() ? "" : ", ");
+        add(Code::FastPathIneligible, begin,
+            "hot loop (%llu iterations) runs naively: body contains "
+            "%s",
+            static_cast<unsigned long long>(count), reasons.c_str());
+    }
+
+    /** Flush a bank's pending close without a consuming ACT. */
+    void
+    dropPending(BankSt &bank)
+    {
+        if (!bank.pendingValid)
+            return;
+        bank.pendingValid = false;
+        if (bank.pendingTOn < cfg_.timings.tRAS) {
+            add(Code::SuspiciousActToPre, bank.pendingPreIndex,
+                "row held open only %.2f ns, violating nominal tRAS "
+                "(%.2f ns) with no SiMRA-completing ACT following: "
+                "the row is left with a partial charge restore",
+                units::toNs(bank.pendingTOn),
+                units::toNs(cfg_.timings.tRAS));
+        }
+    }
+
+    /**
+     * Classify the PRE->ACT transition on one bank: intended CoMRA,
+     * intended SiMRA, or a suspicious timing violation (paper §4.1,
+     * §5.1; windows from the device model).
+     */
+    void
+    classifyReopen(BankSt &bank, std::size_t act_index,
+                   dram::RowId act_phys)
+    {
+        const dram::TimingParams &t = cfg_.timings;
+        const Time t_on = bank.pendingTOn;
+        const Time gap = cursor_ - bank.pendingClosedAt;
+        const bool same_subarray =
+            bank.pendingPhys / cfg_.rowsPerSubarray ==
+            act_phys / cfg_.rowsPerSubarray;
+        bank.pendingValid = false;
+
+        if (t_on <= t.simraMaxActToPre && gap <= t.simraMaxPreToAct) {
+            if (!same_subarray) {
+                add(Code::SuspiciousActToPre, bank.pendingPreIndex,
+                    "ACT-PRE-ACT with SiMRA-grade violations "
+                    "(t_AggOn %.2f ns, PRE->ACT %.2f ns) but the two "
+                    "rows are in different subarrays: no group "
+                    "activates",
+                    units::toNs(t_on), units::toNs(gap));
+                return;
+            }
+            if (!cfg_.profile.supportsSimra) {
+                add(Code::SimraUnsupported, act_index,
+                    "ACT-PRE-ACT matches the SiMRA signature, but "
+                    "module %s ignores grossly violating commands "
+                    "(no SiMRA support): the quick PRE and this ACT "
+                    "have no effect",
+                    cfg_.profile.moduleId.c_str());
+                return;
+            }
+            add(Code::IntendedSimra, act_index,
+                "ACT-PRE-ACT with t_AggOn %.2f ns (<= %.2f ns) and "
+                "PRE->ACT %.2f ns (<= %.2f ns): intended SiMRA "
+                "multi-row activation",
+                units::toNs(t_on), units::toNs(t.simraMaxActToPre),
+                units::toNs(gap), units::toNs(t.simraMaxPreToAct));
+            return;
+        }
+
+        if (t_on >= t.tRAS - units::ns && gap <= t.comraMaxPreToAct &&
+            bank.pendingPhys != act_phys) {
+            if (!same_subarray) {
+                add(Code::SuspiciousPreToAct, act_index,
+                    "PRE->ACT gap %.2f ns is in the CoMRA window "
+                    "(<= %.2f ns) but source and destination are in "
+                    "different subarrays: no copy occurs, only an "
+                    "accidental tRP violation",
+                    units::toNs(gap),
+                    units::toNs(t.comraMaxPreToAct));
+                return;
+            }
+            add(Code::IntendedComra, act_index,
+                "full tRAS restore then PRE->ACT %.2f ns (nominal "
+                "tRP %.2f ns, CoMRA window <= %.2f ns): intended "
+                "in-DRAM RowClone copy",
+                units::toNs(gap), units::toNs(t.tRP),
+                units::toNs(t.comraMaxPreToAct));
+            return;
+        }
+
+        bool flagged = false;
+        if (t_on < t.tRAS) {
+            add(Code::SuspiciousActToPre, bank.pendingPreIndex,
+                "ACT->PRE gap %.2f ns violates nominal tRAS "
+                "(%.2f ns) but matches no PuD idiom (SiMRA needs "
+                "<= %.2f ns followed by an ACT within %.2f ns)",
+                units::toNs(t_on), units::toNs(t.tRAS),
+                units::toNs(t.simraMaxActToPre),
+                units::toNs(t.simraMaxPreToAct));
+            flagged = true;
+        }
+        if (gap < t.tRP) {
+            add(Code::SuspiciousPreToAct, act_index,
+                "PRE->ACT gap %.2f ns violates nominal tRP (%.2f ns) "
+                "but matches no PuD idiom (CoMRA needs <= %.2f ns "
+                "after a full tRAS restore, same subarray)",
+                units::toNs(gap), units::toNs(t.tRP),
+                units::toNs(t.comraMaxPreToAct));
+            flagged = true;
+        }
+        if (!flagged && t_on + gap < t.tRC) {
+            add(Code::SuspiciousActToAct, act_index,
+                "ACT->ACT spacing %.2f ns violates nominal tRC "
+                "(%.2f ns)",
+                units::toNs(t_on + gap), units::toNs(t.tRC));
+        }
+    }
+
+    void
+    closeBank(BankSt &bank, std::size_t pre_index)
+    {
+        dropPending(bank);
+        bank.pendingValid = true;
+        bank.pendingTOn = cursor_ - bank.openedAt;
+        bank.pendingClosedAt = cursor_;
+        bank.pendingPhys = bank.openPhys;
+        bank.pendingPreIndex = pre_index;
+        bank.st = BankSt::St::Closed;
+    }
+
+    void
+    checkColumnTiming(const BankSt &bank, std::size_t i, const char *op)
+    {
+        if (cursor_ - bank.openedAt < cfg_.timings.tRCD) {
+            add(Code::ColumnBeforeTrcd, i,
+                "%s %.2f ns after ACT violates nominal tRCD "
+                "(%.2f ns): the row is not yet sensed",
+                op, units::toNs(cursor_ - bank.openedAt),
+                units::toNs(cfg_.timings.tRCD));
+        }
+    }
+
+    void
+    checkRefRecovery(std::size_t i)
+    {
+        if (!afterRef_)
+            return;
+        afterRef_ = false;
+        if (cursor_ - lastRefAt_ < cfg_.timings.tRFC) {
+            add(Code::RefRecoveryShort, i,
+                "command issued %.2f ns after REF violates nominal "
+                "tRFC (%.2f ns)",
+                units::toNs(cursor_ - lastRefAt_),
+                units::toNs(cfg_.timings.tRFC));
+        }
+    }
+
+    void
+    step(std::size_t i)
+    {
+        const Inst &inst = program_.insts()[i];
+        if (inst.gap < 0) {
+            add(Code::NegativeGap, i,
+                "gap %lld ps is negative: command time would go "
+                "backwards",
+                static_cast<long long>(inst.gap));
+        }
+        cursor_ += std::max<Time>(inst.gap, 0);
+        if (inst.op == Op::Nop)
+            return;
+        checkRefRecovery(i);
+
+        const bool banked = inst.op == Op::Act || inst.op == Op::Pre ||
+                            inst.op == Op::Rd || inst.op == Op::Wr;
+        if (banked && inst.bank >= cfg_.banks) {
+            add(Code::BankOutOfRange, i,
+                "command targets bank %u (device has %u banks)",
+                inst.bank, cfg_.banks);
+            return;
+        }
+
+        switch (inst.op) {
+          case Op::Act: {
+            if (inst.row >= cfg_.rowsPerBank()) {
+                add(Code::RowOutOfRange, i,
+                    "ACT targets row %u (bank has %u rows)", inst.row,
+                    cfg_.rowsPerBank());
+                return;
+            }
+            BankSt &bank = banks_[inst.bank];
+            const dram::RowId phys = mapping_.toPhysical(inst.row);
+            if (bank.st == BankSt::St::Open) {
+                add(Code::ActWhileOpen, i,
+                    "ACT to bank %u while row %u is open (missing "
+                    "PRE): the device fatals here",
+                    inst.bank, bank.openPhys);
+            } else if (bank.pendingValid) {
+                classifyReopen(bank, i, phys);
+            }
+            bank.st = BankSt::St::Open;
+            bank.openedAt = cursor_;
+            bank.openPhys = phys;
+            bank.pendingValid = false;
+            break;
+          }
+          case Op::Pre: {
+            BankSt &bank = banks_[inst.bank];
+            if (bank.st == BankSt::St::Open)
+                closeBank(bank, i);
+            else
+                add(Code::PreOnIdleBank, i,
+                    "PRE on bank %u with no open row is a no-op "
+                    "(duplicate PRE or wrong bank?)",
+                    inst.bank);
+            break;
+          }
+          case Op::PreAll: {
+            for (BankSt &bank : banks_)
+                if (bank.st == BankSt::St::Open)
+                    closeBank(bank, i);
+            break;
+          }
+          case Op::Rd: {
+            BankSt &bank = banks_[inst.bank];
+            if (bank.st != BankSt::St::Open)
+                add(Code::RdOnClosedBank, i,
+                    "RD on bank %u with no open row: the device "
+                    "fatals here",
+                    inst.bank);
+            else
+                checkColumnTiming(bank, i, "RD");
+            break;
+          }
+          case Op::Wr: {
+            BankSt &bank = banks_[inst.bank];
+            if (bank.st != BankSt::St::Open)
+                add(Code::WrOnClosedBank, i,
+                    "WR on bank %u with no open row: the device "
+                    "fatals here",
+                    inst.bank);
+            else
+                checkColumnTiming(bank, i, "WR");
+            const auto &table = program_.dataTable();
+            if (inst.dataIndex < 0 ||
+                inst.dataIndex >= static_cast<int>(table.size())) {
+                add(Code::WrBadDataIndex, i,
+                    "WR data index %d is outside the program data "
+                    "table (%zu entries)",
+                    inst.dataIndex, table.size());
+            } else if (table[static_cast<std::size_t>(inst.dataIndex)]
+                           .bits() != cfg_.cols) {
+                add(Code::WrWidthMismatch, i,
+                    "WR data entry %d is %u bits wide, device rows "
+                    "are %u bits",
+                    inst.dataIndex,
+                    table[static_cast<std::size_t>(inst.dataIndex)]
+                        .bits(),
+                    cfg_.cols);
+            }
+            break;
+          }
+          case Op::Ref: {
+            for (dram::BankId b = 0; b < cfg_.banks; ++b) {
+                BankSt &bank = banks_[b];
+                if (bank.st == BankSt::St::Open)
+                    add(Code::RefWithOpenBank, i,
+                        "REF issued while bank %u has an open row: "
+                        "the device fatals here",
+                        b);
+                dropPending(bank);
+            }
+            refSeen_ = true;
+            lastRefAt_ = cursor_;
+            afterRef_ = true;
+            break;
+          }
+          case Op::Nop:
+          case Op::LoopBegin:
+          case Op::LoopEnd:
+            break;
+        }
+    }
+
+    void
+    finish()
+    {
+        const std::size_t last =
+            program_.insts().empty() ? 0 : program_.insts().size() - 1;
+        for (dram::BankId b = 0; b < cfg_.banks; ++b) {
+            BankSt &bank = banks_[b];
+            if (bank.st == BankSt::St::Open)
+                add(Code::OpenBankAtEnd, last,
+                    "program ends with a row open on bank %u: the "
+                    "next program's ACT to this bank will fatal",
+                    b);
+            dropPending(bank);
+        }
+    }
+
+    void
+    checkRefreshWindow()
+    {
+        if (refSeen_ || out_.duration <= cfg_.timings.tREFW)
+            return;
+        add(Code::RefreshWindowExceeded, 0,
+            "program runs %.1f ms, beyond the %.0f ms refresh window, "
+            "without a single REF: retention failures will pollute "
+            "bitflip counts",
+            static_cast<double>(out_.duration) / units::ms,
+            static_cast<double>(cfg_.timings.tREFW) / units::ms);
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    const Program &program_;
+    const dram::DeviceConfig &cfg_;
+    dram::RowMapping mapping_;
+    LintResult &out_;
+    std::vector<BankSt> banks_;
+    std::set<std::pair<int, std::size_t>> seen_;
+    Time cursor_ = 0;
+    Time lastRefAt_ = 0;
+    bool afterRef_ = false;
+    bool refSeen_ = false;
+};
+
+} // namespace
+
+LintResult
+lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg)
+{
+    LintResult result;
+    Walker(program, cfg, result).run();
+    return result;
+}
+
+LintResult
+requireClean(const bender::Program &program,
+             const dram::DeviceConfig &cfg, const char *context)
+{
+    LintResult result = lintProgram(program, cfg);
+    for (const Diag &d : result.diags) {
+        if (d.severity == Severity::Error) {
+            fatal("%s: pre-flight lint failed: [%s] %s "
+                  "(instruction %zu; %zu error(s) total)",
+                  context, name(d.code), d.message.c_str(),
+                  d.instIndex, result.count(Severity::Error));
+        }
+    }
+    return result;
+}
+
+} // namespace pud::lint

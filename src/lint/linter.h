@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Static protocol and timing analyzer for bender test programs.
+ *
+ * lintProgram() walks a Program without executing it and reports every
+ * condition that would make the run fatal (protocol violations, bad
+ * data indices, unbalanced loops), silently wrong (a timing violation
+ * that matches no PuD idiom and therefore corrupts a characterization
+ * sweep), or slow (a hot loop that defeats the executor fast-path).
+ *
+ * PuDHammer's methodology is built on *deliberate* timing violations:
+ * a PRE->ACT gap below tRP is exactly how CoMRA copies and an
+ * ACT-PRE-ACT with both gaps grossly violated is exactly how SiMRA
+ * opens a row group.  The analyzer therefore never treats a violated
+ * nominal parameter as an error; instead it classifies each violation
+ * against the device model's CoMRA/SiMRA windows and labels it
+ * *intended* (Note) or *suspicious* (Warning).
+ *
+ * The walk mirrors the executor: loop bodies are traversed twice (the
+ * second pass observes cross-iteration gaps at the back edge) with
+ * diagnostics deduplicated per (code, instruction), and the exact
+ * duration is computed arithmetically from the trip counts.
+ */
+
+#ifndef PUD_LINT_LINTER_H
+#define PUD_LINT_LINTER_H
+
+#include "bender/program.h"
+#include "dram/config.h"
+#include "lint/diag.h"
+
+namespace pud::lint {
+
+/** Statically analyze `program` against a device configuration. */
+LintResult lintProgram(const bender::Program &program,
+                       const dram::DeviceConfig &cfg);
+
+/**
+ * Lint and fatal() on the first error-severity finding; returns the
+ * result so callers can additionally surface warnings.  `context`
+ * names the caller in the fatal message.
+ */
+LintResult requireClean(const bender::Program &program,
+                        const dram::DeviceConfig &cfg,
+                        const char *context);
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_LINTER_H

@@ -1,0 +1,140 @@
+#include "lint/report.h"
+
+#include <cinttypes>
+#include <string>
+
+#include "util/table.h"
+
+namespace pud::lint {
+
+namespace {
+
+using bender::Op;
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Act:       return "ACT";
+      case Op::Pre:       return "PRE";
+      case Op::PreAll:    return "PREA";
+      case Op::Rd:        return "RD";
+      case Op::Wr:        return "WR";
+      case Op::Ref:       return "REF";
+      case Op::Nop:       return "NOP";
+      case Op::LoopBegin: return "LOOP";
+      case Op::LoopEnd:   return "ENDL";
+    }
+    return "?";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+describeInst(const bender::Program &program, std::size_t index)
+{
+    if (index >= program.insts().size())
+        return "<end>";
+    const bender::Inst &inst = program.insts()[index];
+    char buf[96];
+    switch (inst.op) {
+      case Op::Act:
+        std::snprintf(buf, sizeof(buf), "ACT b%u r%u @+%.2fns", inst.bank,
+                      inst.row, units::toNs(inst.gap));
+        break;
+      case Op::Pre:
+      case Op::Rd:
+        std::snprintf(buf, sizeof(buf), "%s b%u @+%.2fns", opName(inst.op),
+                      inst.bank, units::toNs(inst.gap));
+        break;
+      case Op::Wr:
+        std::snprintf(buf, sizeof(buf), "WR b%u d%d @+%.2fns", inst.bank,
+                      inst.dataIndex, units::toNs(inst.gap));
+        break;
+      case Op::LoopBegin:
+        std::snprintf(buf, sizeof(buf), "LOOP x%" PRIu64, inst.count);
+        break;
+      case Op::LoopEnd:
+        std::snprintf(buf, sizeof(buf), "ENDL");
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s @+%.2fns", opName(inst.op),
+                      units::toNs(inst.gap));
+        break;
+    }
+    return buf;
+}
+
+void
+printReport(const LintResult &result, const bender::Program &program,
+            std::FILE *out)
+{
+    if (!result.diags.empty()) {
+        Table table({"#", "severity", "code", "instruction", "message"});
+        for (const Diag &d : result.diags) {
+            table.addRow({Table::count(static_cast<long long>(d.instIndex)),
+                          name(d.severity), name(d.code),
+                          describeInst(program, d.instIndex), d.message});
+        }
+        table.print(out);
+        std::fprintf(out, "\n");
+    }
+    std::fprintf(out,
+                 "%zu instruction(s), duration %.3f us: "
+                 "%zu error(s), %zu warning(s), %zu note(s)\n",
+                 program.insts().size(), units::toUs(result.duration),
+                 result.count(Severity::Error),
+                 result.count(Severity::Warning),
+                 result.count(Severity::Note));
+}
+
+void
+printJson(const LintResult &result, const bender::Program &program,
+          std::FILE *out)
+{
+    std::fprintf(out,
+                 "{\"instructions\":%zu,\"duration_ps\":%" PRId64
+                 ",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
+                 "\"diagnostics\":[",
+                 program.insts().size(), result.duration,
+                 result.count(Severity::Error),
+                 result.count(Severity::Warning),
+                 result.count(Severity::Note));
+    for (std::size_t i = 0; i < result.diags.size(); ++i) {
+        const Diag &d = result.diags[i];
+        std::fprintf(out,
+                     "%s{\"code\":\"%s\",\"severity\":\"%s\","
+                     "\"inst\":%zu,\"op\":\"%s\",\"message\":\"%s\"}",
+                     i ? "," : "", name(d.code), name(d.severity),
+                     d.instIndex,
+                     jsonEscape(describeInst(program, d.instIndex)).c_str(),
+                     jsonEscape(d.message).c_str());
+    }
+    std::fprintf(out, "]}\n");
+}
+
+} // namespace pud::lint

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Rendering of lint results: a column-aligned human table (the CLI
+ * default) and a stable JSON document (`--json`) for tooling.
+ */
+
+#ifndef PUD_LINT_REPORT_H
+#define PUD_LINT_REPORT_H
+
+#include <cstdio>
+
+#include "bender/program.h"
+#include "lint/diag.h"
+
+namespace pud::lint {
+
+/** Print a human-readable diagnostic table plus a summary line. */
+void printReport(const LintResult &result, const bender::Program &program,
+                 std::FILE *out = stdout);
+
+/**
+ * Print the result as one JSON object:
+ * {"duration_ps":..., "errors":N, "warnings":N, "notes":N,
+ *  "diagnostics":[{"code":..., "severity":..., "inst":...,
+ *                  "op":..., "message":...}, ...]}
+ */
+void printJson(const LintResult &result, const bender::Program &program,
+               std::FILE *out = stdout);
+
+/** Short mnemonic of an instruction, e.g. "ACT b0 r123 @+13.75ns". */
+std::string describeInst(const bender::Program &program, std::size_t index);
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_REPORT_H

@@ -27,8 +27,11 @@ class Args
             std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
                 auto eq = arg.find('=');
+                // Move-assign (not const char* assign): works around a
+                // GCC 12 -Wrestrict false positive (PR 105329) that
+                // breaks -Werror builds.
                 if (eq == std::string::npos)
-                    options_[arg.substr(2)] = "1";
+                    options_[arg.substr(2)] = std::string("1");
                 else
                     options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
             } else {

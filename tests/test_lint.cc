@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Unit tests for the bender-program static analyzer: one fixture per
+ * diagnostic code, golden clean canonical patterns, and the executor
+ * pre-flight integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bender/host.h"
+#include "hammer/patterns.h"
+#include "lint/linter.h"
+#include "lint/report.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::bender;
+using namespace pud::lint;
+
+dram::DeviceConfig
+smallConfig(const std::string &module = "HMA81GU7AFR8N-UH")
+{
+    dram::DeviceConfig cfg = dram::makeConfig(module);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 256;
+    // Identity mapping so tests can reason about physical adjacency
+    // directly in the row numbers they pass to the builders.
+    cfg.profile.mapping = dram::MappingScheme::Sequential;
+    return cfg;
+}
+
+bool
+has(const LintResult &r, Code code)
+{
+    return std::any_of(r.diags.begin(), r.diags.end(),
+                       [&](const Diag &d) { return d.code == code; });
+}
+
+std::size_t
+countCode(const LintResult &r, Code code)
+{
+    return static_cast<std::size_t>(
+        std::count_if(r.diags.begin(), r.diags.end(),
+                      [&](const Diag &d) { return d.code == code; }));
+}
+
+const dram::TimingParams kT{};
+
+// ---- loop structure ----------------------------------------------------
+
+TEST(Lint, UnbalancedLoop)
+{
+    Program p;
+    p.loopBegin(3).act(0, 1, kT.tRP).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::UnbalancedLoop));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, EmptyLoop)
+{
+    Program p;
+    p.loopBegin(5).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::EmptyLoop));
+    EXPECT_TRUE(r.clean());  // warning, not error
+}
+
+TEST(Lint, ZeroTripLoop)
+{
+    Program p;
+    p.loopBegin(0).act(0, 1, kT.tRP).pre(0, kT.tRAS).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::ZeroTripLoop));
+    EXPECT_EQ(r.duration, 0);  // body never executes
+}
+
+TEST(Lint, FastPathEligible)
+{
+    Program p;
+    p.loopBegin(1000).act(0, 1, kT.tRP).pre(0, kT.tRAS).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::FastPathEligible));
+    EXPECT_FALSE(has(r, Code::FastPathIneligible));
+}
+
+TEST(Lint, FastPathIneligibleExplainsWhy)
+{
+    Program p;
+    p.loopBegin(1000)
+        .act(0, 1, kT.tRP)
+        .rd(0, kT.tRCD)
+        .pre(0, kT.tRAS)
+        .loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    ASSERT_TRUE(has(r, Code::FastPathIneligible));
+    for (const Diag &d : r.diags) {
+        if (d.code == Code::FastPathIneligible) {
+            EXPECT_NE(d.message.find("RD"), std::string::npos);
+        }
+    }
+}
+
+TEST(Lint, ShortLoopGetsNoFastPathNote)
+{
+    Program p;
+    p.loopBegin(2).act(0, 1, kT.tRP).pre(0, kT.tRAS).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_FALSE(has(r, Code::FastPathEligible));
+    EXPECT_FALSE(has(r, Code::FastPathIneligible));
+}
+
+// ---- per-bank DDR protocol ---------------------------------------------
+
+TEST(Lint, BankOutOfRange)
+{
+    Program p;
+    p.act(5, 1, kT.tRP);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::BankOutOfRange));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, RowOutOfRange)
+{
+    Program p;
+    p.act(0, 500, kT.tRP).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::RowOutOfRange));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, ActWhileOpen)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).act(0, 2, kT.tRC).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::ActWhileOpen));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, RdOnClosedBank)
+{
+    Program p;
+    p.rd(0, kT.tRCD);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::RdOnClosedBank));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, WrOnClosedBank)
+{
+    Program p;
+    const int d = p.addData(dram::RowData(256, dram::DataPattern::P55));
+    p.wr(0, d, kT.tRCD);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::WrOnClosedBank));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, PreOnIdleBank)
+{
+    Program p;
+    p.pre(0, kT.tRP);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::PreOnIdleBank));
+    EXPECT_TRUE(r.clean());  // a no-op, not an error
+}
+
+TEST(Lint, PreAllIsNotPreOnIdle)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).preAll(kT.tRAS).preAll(kT.tRP);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_FALSE(has(r, Code::PreOnIdleBank));
+}
+
+TEST(Lint, RefWithOpenBank)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).ref(kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::RefWithOpenBank));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, NegativeGap)
+{
+    Program p;
+    p.act(0, 1, -5).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::NegativeGap));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, OpenBankAtEnd)
+{
+    Program p;
+    p.act(0, 1, kT.tRP);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::OpenBankAtEnd));
+    EXPECT_TRUE(r.clean());  // warning: the *next* program fatals
+}
+
+// ---- data table --------------------------------------------------------
+
+TEST(Lint, WrBadDataIndex)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::WrBadDataIndex));
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, WrWidthMismatch)
+{
+    Program p;
+    const int d = p.addData(dram::RowData(128, dram::DataPattern::P55));
+    p.act(0, 1, kT.tRP).wr(0, d, kT.tRCD).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::WrWidthMismatch));
+    EXPECT_FALSE(r.clean());
+}
+
+// ---- timing classifier -------------------------------------------------
+
+TEST(Lint, IntendedComra)
+{
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, kT.tRAS)
+        .act(0, 34, units::fromNs(7.5))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::IntendedComra));
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+TEST(Lint, IntendedSimra)
+{
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, units::fromNs(3))
+        .act(0, 38, units::fromNs(3))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::IntendedSimra));
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+TEST(Lint, SimraUnsupportedModule)
+{
+    // KVR21S15S8/4 (Micron) ignores grossly violating commands.
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, units::fromNs(3))
+        .act(0, 38, units::fromNs(3))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig("KVR21S15S8/4"));
+    EXPECT_TRUE(has(r, Code::SimraUnsupported));
+    EXPECT_FALSE(has(r, Code::IntendedSimra));
+}
+
+TEST(Lint, SuspiciousPreToAct)
+{
+    // Between the CoMRA window (13.0 ns) and nominal tRP (13.75 ns):
+    // an accidental violation that neither copies nor is nominal.
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, kT.tRAS)
+        .act(0, 34, units::fromNs(13.4))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::SuspiciousPreToAct));
+    EXPECT_FALSE(has(r, Code::IntendedComra));
+}
+
+TEST(Lint, ComraAcrossSubarraysIsSuspicious)
+{
+    // Rows 32 and 96 are in different subarrays (64 rows each): the
+    // gap is in the CoMRA window but no copy can occur.
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, kT.tRAS)
+        .act(0, 96, units::fromNs(7.5))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::SuspiciousPreToAct));
+    EXPECT_FALSE(has(r, Code::IntendedComra));
+}
+
+TEST(Lint, SuspiciousActToPre)
+{
+    // 20 ns on-time: violates tRAS but is far above the SiMRA window.
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, units::fromNs(20))
+        .act(0, 34, kT.tRP)
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::SuspiciousActToPre));
+    EXPECT_FALSE(has(r, Code::IntendedSimra));
+}
+
+TEST(Lint, SuspiciousActToActWithCustomTrc)
+{
+    // With the default set any tRC violation implies a tRAS or tRP
+    // violation (tRAS + tRP > tRC); a custom tRC = 60 ns exposes the
+    // pure ACT->ACT check.
+    dram::DeviceConfig cfg = smallConfig();
+    cfg.timings.tRC = units::fromNs(60);
+    Program p;
+    p.act(0, 32, kT.tRP)
+        .pre(0, kT.tRAS)
+        .act(0, 34, units::fromNs(14))
+        .pre(0, kT.tRAS);
+    const auto r = lintProgram(p, cfg);
+    EXPECT_TRUE(has(r, Code::SuspiciousActToAct));
+}
+
+TEST(Lint, ColumnBeforeTrcd)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).rd(0, units::fromNs(5)).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::ColumnBeforeTrcd));
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, RefRecoveryShort)
+{
+    Program p;
+    p.ref(kT.tRP).act(0, 1, units::fromNs(100)).pre(0, kT.tRAS);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::RefRecoveryShort));
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, RefreshWindowExceeded)
+{
+    // 2M iterations x ~50 ns = ~100 ms > tREFW (64 ms), no REF.
+    Program p;
+    p.loopBegin(2000000)
+        .act(0, 1, kT.tRP)
+        .pre(0, kT.tRAS)
+        .loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::RefreshWindowExceeded));
+    EXPECT_GT(r.duration, smallConfig().timings.tREFW);
+}
+
+TEST(Lint, RefSuppressesWindowWarning)
+{
+    Program p;
+    p.loopBegin(2000000)
+        .act(0, 1, kT.tRP)
+        .pre(0, kT.tRAS)
+        .ref(kT.tRP)
+        .loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_FALSE(has(r, Code::RefreshWindowExceeded));
+}
+
+// ---- golden clean programs ---------------------------------------------
+
+TEST(LintGolden, DoubleSidedRowHammerIsClean)
+{
+    hammer::PatternTimings t;
+    const auto p = hammer::doubleSidedRowHammer(0, 32, 34, 50000, t);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(r.count(Severity::Error), 0u);
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+TEST(LintGolden, ComraHammerIsClean)
+{
+    hammer::PatternTimings t;
+    const auto p = hammer::comraHammer(0, 32, 34, 50000, t);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(r.count(Severity::Error), 0u);
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+    EXPECT_TRUE(has(r, Code::IntendedComra));
+}
+
+TEST(LintGolden, SimraHammerIsClean)
+{
+    hammer::PatternTimings t;
+    const auto p = hammer::simraHammer(0, 32, 38, 50000, t);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(r.count(Severity::Error), 0u);
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+    EXPECT_TRUE(has(r, Code::IntendedSimra));
+}
+
+TEST(LintGolden, CombinedPatternIsClean)
+{
+    hammer::PatternTimings t;
+    hammer::CombinedCounts counts;
+    counts.comra = 1000;
+    counts.simra = 1000;
+    counts.rowHammer = 50000;
+    const auto p =
+        hammer::combinedPattern(0, 32, 34, 32, 34, 32, 38, counts, t);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(r.count(Severity::Error), 0u);
+    EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+// ---- walk mechanics ----------------------------------------------------
+
+TEST(Lint, DiagnosticsDedupAcrossLoopIterations)
+{
+    Program p;
+    p.loopBegin(1000).pre(0, kT.tRP).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(countCode(r, Code::PreOnIdleBank), 1u);
+}
+
+TEST(Lint, DurationMatchesExecutor)
+{
+    Program p;
+    p.loopBegin(1000)
+        .act(0, 1, units::fromNs(15))
+        .pre(0, units::fromNs(36))
+        .loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+
+    dram::Device dev(smallConfig());
+    Executor ex(dev);
+    ex.setPreflight(false);
+    const auto exec = ex.run(p);
+    EXPECT_EQ(r.duration, exec.endTime - exec.startTime);
+}
+
+TEST(Lint, NamesAreStable)
+{
+    for (int c = 0; c <= static_cast<int>(Code::RefreshWindowExceeded);
+         ++c) {
+        EXPECT_STRNE(name(static_cast<Code>(c)), "?");
+    }
+    EXPECT_STREQ(name(Severity::Error), "error");
+    EXPECT_STREQ(name(Severity::Warning), "warning");
+    EXPECT_STREQ(name(Severity::Note), "note");
+}
+
+TEST(Lint, DescribeInst)
+{
+    Program p;
+    p.act(0, 5, units::fromNs(13.75));
+    EXPECT_EQ(describeInst(p, 0), "ACT b0 r5 @+13.75ns");
+    EXPECT_EQ(describeInst(p, 9), "<end>");
+}
+
+// ---- integration -------------------------------------------------------
+
+TEST(LintPreflight, RequireCleanIsFatalOnErrors)
+{
+    Program p;
+    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    EXPECT_DEATH(requireClean(p, smallConfig(), "test"),
+                 "pre-flight lint failed");
+}
+
+TEST(LintPreflight, ExecutorRefusesBadProgramWhenEnabled)
+{
+    dram::Device dev(smallConfig());
+    Executor ex(dev);
+    ex.setPreflight(true);
+    Program p;
+    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    EXPECT_DEATH(ex.run(p), "pre-flight lint failed");
+}
+
+TEST(LintPreflight, ExecutorWithoutPreflightDiesInExecOne)
+{
+    dram::Device dev(smallConfig());
+    Executor ex(dev);
+    ex.setPreflight(false);
+    Program p;
+    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    EXPECT_DEATH(ex.run(p), "invalid data index");
+}
+
+TEST(LintPreflight, ExecutorRunsCleanProgramWithPreflight)
+{
+    dram::Device dev(smallConfig());
+    Executor ex(dev);
+    ex.setPreflight(true);
+    hammer::PatternTimings t;
+    const auto p = hammer::comraHammer(0, 32, 34, 1000, t);
+    const auto r = ex.run(p);
+    EXPECT_GT(r.endTime, r.startTime);
+}
+
+} // namespace

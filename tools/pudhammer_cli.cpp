@@ -14,6 +14,9 @@
  *   pudhammer attack   --module=ID --technique=rh|comra|simra
  *                      [--trr] [--hammers=N] [--seed=N]
  *       run the §7 bitflip-count experiment
+ *   pudhammer lint     --program=NAME [--module=ID] [--hammers=N]
+ *                      [--json]
+ *       statically analyze a canonical or demo test program
  */
 
 #include <cstdio>
@@ -22,6 +25,8 @@
 
 #include "hammer/experiment.h"
 #include "hammer/reveng.h"
+#include "lint/linter.h"
+#include "lint/report.h"
 #include "stats/summary.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -179,6 +184,105 @@ cmdAttack(const Args &args)
     return 0;
 }
 
+/**
+ * Build the named program for `lint`.  Canonical patterns use the
+ * same geometry the characterization front-end uses (mid-subarray
+ * physical rows, translated through the module's mapping); the demo-*
+ * programs exhibit the bug classes the analyzer exists to catch.
+ */
+bender::Program
+lintProgramByName(const std::string &name, const dram::DeviceConfig &cfg,
+                  std::uint64_t hammers)
+{
+    const dram::RowMapping mapping(cfg.profile.mapping);
+    // Physical rows in the middle of subarray 0: victim v (odd),
+    // sandwiched by v-1 / v+1; the SiMRA pair (v-1, v-1 ^ 0b110)
+    // bit-combines to a 4-row group (see planSimraDouble).
+    const dram::RowId v = (cfg.rowsPerSubarray / 2) | 1;
+    const dram::RowId lo = mapping.toLogical(v - 1);
+    const dram::RowId hi = mapping.toLogical(v + 1);
+    const dram::RowId simra2 = mapping.toLogical((v - 1) ^ 0b110);
+    const PatternTimings t;
+    const dram::TimingParams &nominal = t.base;
+
+    if (name == "rh")
+        return doubleSidedRowHammer(0, lo, hi, hammers, t);
+    if (name == "comra")
+        return comraHammer(0, lo, hi, hammers, t);
+    if (name == "simra")
+        return simraHammer(0, lo, simra2, hammers, t);
+    if (name == "combined") {
+        CombinedCounts counts;
+        counts.comra = hammers / 4;
+        counts.simra = hammers / 4;
+        counts.rowHammer = hammers;
+        return combinedPattern(0, lo, hi, lo, hi, lo, simra2, counts, t);
+    }
+    if (name == "trr-rh")
+        return trrBypassPattern(0, {lo, hi}, mapping.toLogical(4), false,
+                                hammers / 156 + 1, t);
+    if (name == "trr-simra")
+        return trrSimraPattern(0, lo, simra2, hammers / 78 + 1, t);
+
+    if (name == "demo-unbalanced") {
+        bender::Program p;
+        p.loopBegin(hammers).act(0, lo, nominal.tRP).pre(0, nominal.tRAS);
+        return p;  // missing loopEnd
+    }
+    if (name == "demo-bad-wr") {
+        bender::Program p;
+        p.act(0, lo, nominal.tRP)
+            .wr(0, 7, nominal.tRCD)  // index 7 into an empty data table
+            .pre(0, nominal.tRAS);
+        return p;
+    }
+    if (name == "demo-subtrp") {
+        // A PRE->ACT gap between the CoMRA window (13.0 ns) and
+        // nominal tRP (13.75 ns): violates tRP without copying --
+        // exactly the accidental violation that corrupts sweeps.
+        bender::Program p;
+        p.act(0, lo, nominal.tRP)
+            .pre(0, nominal.tRAS)
+            .act(0, hi, units::fromNs(13.4))
+            .pre(0, nominal.tRAS);
+        return p;
+    }
+    if (name == "demo-broken") {
+        // All three bug classes at once (the acceptance showcase).
+        bender::Program p;
+        p.act(0, lo, nominal.tRP)
+            .pre(0, nominal.tRAS)
+            .act(0, hi, units::fromNs(13.4))  // accidental sub-tRP
+            .wr(0, 7, nominal.tRCD)           // out-of-range data index
+            .pre(0, nominal.tRAS)
+            .loopBegin(hammers)               // never closed
+            .act(0, lo, nominal.tRP)
+            .pre(0, nominal.tRAS);
+        return p;
+    }
+    fatal("unknown --program=%s (rh|comra|simra|combined|trr-rh|"
+          "trr-simra|demo-unbalanced|demo-bad-wr|demo-subtrp|"
+          "demo-broken)",
+          name.c_str());
+}
+
+int
+cmdLint(const Args &args)
+{
+    const dram::DeviceConfig cfg = configFrom(args);
+    const std::string program_name = args.get("program", "demo-broken");
+    const bender::Program program = lintProgramByName(
+        program_name, cfg,
+        static_cast<std::uint64_t>(args.getInt("hammers", 100000)));
+
+    const lint::LintResult result = lint::lintProgram(program, cfg);
+    if (args.has("json"))
+        lint::printJson(result, program);
+    else
+        lint::printReport(result, program);
+    return result.clean() ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -190,6 +294,9 @@ usage()
         "          [--victims=K] [--temp=C] [--pattern=...|wcdp]\n"
         "  attack  --module=ID --technique=rh|comra|simra [--trr]\n"
         "          [--hammers=N]\n"
+        "  lint    --program=rh|comra|simra|combined|trr-rh|trr-simra\n"
+        "          |demo-unbalanced|demo-bad-wr|demo-subtrp|demo-broken\n"
+        "          [--module=ID] [--hammers=N] [--json]\n"
         "common: --seed=N --rows=N (rows per subarray)\n");
 }
 
@@ -212,6 +319,8 @@ main(int argc, char **argv)
         return cmdHcFirst(args);
     if (cmd == "attack")
         return cmdAttack(args);
+    if (cmd == "lint")
+        return cmdLint(args);
     usage();
     return 2;
 }
