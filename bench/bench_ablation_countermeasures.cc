@@ -90,7 +90,7 @@ main(int argc, char **argv)
         ModuleTester::Options opt;
         opt.searchWcdp = true;
         opt.search.maxHammers = 2000000;
-        auto series = measurePopulation(
+        auto series = runPopulation(
             populationFor(family, scale),
             {[&](ModuleTester &t, dram::RowId v) {
                  return t.rhSingle(v, opt);

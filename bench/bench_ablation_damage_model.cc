@@ -28,7 +28,7 @@ main(int argc, char **argv)
     const auto &family = representative(dram::Manufacturer::SKHynix);
     ModuleTester::Options opt;
 
-    auto series = measurePopulation(
+    auto series = runPopulation(
         populationFor(family, scale, /*odd_only=*/true),
         {[&](ModuleTester &t, dram::RowId v) {
              return t.rhDouble(v, opt);

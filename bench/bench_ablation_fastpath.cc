@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bender/host.h"
+#include "exec/pool.h"
 #include "hammer/patterns.h"
 
 namespace {
@@ -73,6 +76,31 @@ BM_RawCommandRate(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 256 * 4);
 }
 
+/**
+ * Dispatch overhead of exec::parallelFor: per-index cost of fanning a
+ * batch of cheap work units across a pool, vs the jobs=1 inline loop.
+ * The per-shard work in the population runner is orders of magnitude
+ * heavier, so this bounds the scheduling tax, not the speedup.
+ */
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    const int jobs = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+
+    for (auto _ : state) {
+        std::atomic<std::uint64_t> sum{0};
+        exec::parallelFor(jobs, n, [&](std::size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        benchmark::DoNotOptimize(
+            sum.load(std::memory_order_relaxed));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+
 } // namespace
 
 // {fast-path?, hammer count}
@@ -84,5 +112,12 @@ BENCHMARK(BM_HammerProbe)
     ->Args({1, 700000});
 
 BENCHMARK(BM_RawCommandRate);
+
+// {jobs, batch size}
+BENCHMARK(BM_ParallelForDispatch)
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({4, 1024});
 
 BENCHMARK_MAIN();

@@ -29,7 +29,7 @@ main(int argc, char **argv)
                 continue;
             ModuleTester::Options opt;
             opt.searchWcdp = true;
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale),
                 {[&](ModuleTester &t, dram::RowId v) {
                      return t.rhDouble(v, opt);

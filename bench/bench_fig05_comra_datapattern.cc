@@ -22,7 +22,7 @@ main(int argc, char **argv)
         for (dram::DataPattern pattern : dram::kAllPatterns) {
             ModuleTester::Options opt;
             opt.pattern = pattern;
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale),
                 {[&](ModuleTester &t, dram::RowId v) {
                     return t.comraDouble(v, opt);

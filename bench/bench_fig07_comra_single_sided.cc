@@ -24,7 +24,7 @@ main(int argc, char **argv)
         opt.searchWcdp = true;
         opt.search.maxHammers = 2000000;  // single-sided needs more
 
-        auto series = measurePopulation(
+        auto series = runPopulation(
             populationFor(family, scale),
             {[&](ModuleTester &t, dram::RowId v) {
                  return t.comraSingle(v, opt);

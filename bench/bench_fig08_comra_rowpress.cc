@@ -29,7 +29,7 @@ main(int argc, char **argv)
             ModuleTester::Options opt;
             opt.searchWcdp = true;
             opt.timings.tAggOn = units::fromNs(t_on_ns[i]);
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale),
                 {[&](ModuleTester &t, dram::RowId v) {
                      return t.comraDouble(v, opt);

@@ -24,7 +24,7 @@ main(int argc, char **argv)
             ModuleTester::Options opt;
             opt.searchWcdp = true;
             opt.timings.comraPreToAct = units::fromNs(gap_ns);
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale),
                 {[&](ModuleTester &t, dram::RowId v) {
                     return t.comraDouble(v, opt);

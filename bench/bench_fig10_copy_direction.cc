@@ -27,7 +27,7 @@ main(int argc, char **argv)
         opt.search.maxHammers = 2000000;
 
         for (bool double_sided : {true, false}) {
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale),
                 {[&](ModuleTester &t, dram::RowId v) {
                      return double_sided

@@ -4,6 +4,8 @@
  * location in the subarray (five regions).
  */
 
+#include <array>
+
 #include "common.h"
 
 using namespace pud;
@@ -16,13 +18,20 @@ main(int argc, char **argv)
     const Scale scale = Scale::parse(args);
     banner("CoMRA spatial variation", "paper Fig. 11, Obs. 10-11");
 
-    for (auto mfr : kAllMfrs) {
-        const auto &family = representative(mfr);
+    // Each manufacturer's sweep owns its tester, so the four sweeps
+    // run in parallel under --jobs; results land in per-mfr slots and
+    // are printed in the fixed manufacturer order below, keeping
+    // stdout byte-identical for every --jobs value.
+    constexpr std::size_t kMfrs = std::size(kAllMfrs);
+    std::array<std::array<std::vector<double>, dram::kNumRegions>,
+               kMfrs>
+        results;
+    exec::parallelFor(scale.jobs, kMfrs, [&](std::size_t mi) {
+        const auto &family = representative(kAllMfrs[mi]);
         ModuleTester::Options opt;
         opt.searchWcdp = true;
 
         // Collect HC_first together with each victim's region.
-        std::vector<double> by_region[dram::kNumRegions];
         dram::DeviceConfig cfg =
             dram::makeConfig(family.moduleId, scale.seed);
         cfg.rowsPerSubarray = scale.rowsPerSubarray;
@@ -32,9 +41,16 @@ main(int argc, char **argv)
             const auto hc = tester.comraDouble(v, opt);
             if (hc == kNoFlip)
                 continue;
-            by_region[static_cast<int>(model.regionOf(v))].push_back(
-                static_cast<double>(hc));
+            results[mi][static_cast<std::size_t>(
+                            model.regionOf(v))]
+                .push_back(static_cast<double>(hc));
         }
+    });
+
+    for (std::size_t mi = 0; mi < kMfrs; ++mi) {
+        const auto mfr = kAllMfrs[mi];
+        const auto &family = representative(mfr);
+        const auto &by_region = results[mi];
 
         Table table(boxHeader("region"));
         double lo_mean = 1e18, hi_mean = 0;

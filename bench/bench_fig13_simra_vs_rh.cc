@@ -38,7 +38,7 @@ main(int argc, char **argv)
                 return t.simraDouble(v, n, opt);
             });
         }
-        auto series = measurePopulation(
+        auto series = runPopulation(
             populationFor(family, scale, /*odd_only=*/true), measures);
         series = hammer::dropIncomplete(series);
         rh_all.insert(rh_all.end(), series[0].begin(),

@@ -27,7 +27,7 @@ main(int argc, char **argv)
         for (dram::DataPattern pattern : dram::kAllPatterns) {
             ModuleTester::Options opt;
             opt.pattern = pattern;
-            const auto series = measurePopulation(
+            const auto series = runPopulation(
                 populationFor(family, scale, /*odd_only=*/true),
                 {[&](ModuleTester &t, dram::RowId v) {
                     return t.simraDouble(v, n, opt);

@@ -27,7 +27,7 @@ main(int argc, char **argv)
         for (double temp : {50.0, 60.0, 70.0, 80.0}) {
             ModuleTester::Options opt;
             opt.pattern = dram::DataPattern::P00;
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale, /*odd_only=*/true),
                 {[&](ModuleTester &t, dram::RowId v) {
                     t.bench().thermo().setTarget(temp);

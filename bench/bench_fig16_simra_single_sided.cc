@@ -4,6 +4,8 @@
  * single-sided RowHammer.
  */
 
+#include <array>
+
 #include "common.h"
 
 using namespace pud;
@@ -26,41 +28,49 @@ main(int argc, char **argv)
         dram::makeConfig(family.moduleId, scale.seed);
     cfg.rowsPerSubarray = std::max<dram::RowId>(scale.rowsPerSubarray,
                                                 128);
-    ModuleTester tester(cfg);
     std::vector<dram::RowId> victims;
     const dram::RowId rps = cfg.rowsPerSubarray;
-    for (dram::SubarrayId s : tester.testedSubarrays()) {
-        for (dram::RowId block = 32; block + 32 <= rps; block += 32)
-            victims.push_back(s * rps + block - 1);
+    {
+        const ModuleTester probe(cfg);
+        for (dram::SubarrayId s : probe.testedSubarrays()) {
+            for (dram::RowId block = 32; block + 32 <= rps;
+                 block += 32)
+                victims.push_back(s * rps + block - 1);
+        }
     }
+
+    // Six independent sweeps (five SiMRA-N plus ss-RowHammer), each
+    // on its own identically-seeded tester so they parallelize under
+    // --jobs; rows are rendered afterwards in fixed sweep order.
+    const int ns[5] = {2, 4, 8, 16, 32};
+    std::array<std::vector<double>, 6> hcs_of;
+    exec::parallelFor(scale.jobs, 6, [&](std::size_t i) {
+        ModuleTester tester(cfg);
+        std::vector<double> &hcs = hcs_of[i];
+        for (dram::RowId v : victims) {
+            std::uint64_t hc;
+            if (i < 5) {
+                if (!tester.planSimraSingle(v, ns[i]))
+                    continue;
+                hc = tester.simraSingle(v, ns[i], opt);
+            } else {
+                hc = tester.rhSingle(v, opt);
+            }
+            if (hc != kNoFlip)
+                hcs.push_back(static_cast<double>(hc));
+        }
+    });
 
     Table table(boxHeader("technique"));
     double mean_n[6] = {};
-    const int ns[5] = {2, 4, 8, 16, 32};
     for (int i = 0; i < 5; ++i) {
-        std::vector<double> hcs;
-        for (dram::RowId v : victims) {
-            if (!tester.planSimraSingle(v, ns[i]))
-                continue;
-            const auto hc = tester.simraSingle(v, ns[i], opt);
-            if (hc != kNoFlip)
-                hcs.push_back(static_cast<double>(hc));
-        }
         char label[24];
         std::snprintf(label, sizeof(label), "ss-SiMRA-%d", ns[i]);
-        table.addRow(boxRow(label, hcs));
-        mean_n[i] = stats::boxStats(hcs).mean;
+        table.addRow(boxRow(label, hcs_of[i]));
+        mean_n[i] = stats::boxStats(hcs_of[i]).mean;
     }
-    {
-        std::vector<double> hcs;
-        for (dram::RowId v : victims) {
-            const auto hc = tester.rhSingle(v, opt);
-            if (hc != kNoFlip)
-                hcs.push_back(static_cast<double>(hc));
-        }
-        table.addRow(boxRow("ss-RowHammer", hcs));
-        mean_n[5] = stats::boxStats(hcs).mean;
-    }
+    table.addRow(boxRow("ss-RowHammer", hcs_of[5]));
+    mean_n[5] = stats::boxStats(hcs_of[5]).mean;
     table.print();
     std::printf("\nmean HC_first SiMRA-2 / SiMRA-32: %.2fx "
                 "(paper: 1.47x); ss-RowHammer / ss-SiMRA-32: %.2fx "

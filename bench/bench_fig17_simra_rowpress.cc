@@ -27,7 +27,7 @@ main(int argc, char **argv)
             ModuleTester::Options opt;
             opt.pattern = dram::DataPattern::P00;
             opt.timings.tAggOn = units::fromNs(t_on_ns[i]);
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale, /*odd_only=*/true),
                 {[&](ModuleTester &t, dram::RowId v) {
                     return t.simraDouble(v, n, opt);

@@ -29,7 +29,7 @@ main(int argc, char **argv)
             opt.pattern = dram::DataPattern::P00;
             opt.timings.simraActToPre = units::fromNs(gaps[a]);
             opt.timings.simraPreToAct = units::fromNs(gaps[p]);
-            auto series = measurePopulation(
+            auto series = runPopulation(
                 populationFor(family, scale, /*odd_only=*/true),
                 {[&](ModuleTester &t, dram::RowId v) {
                     return t.simraDouble(v, n, opt);

@@ -4,6 +4,8 @@
  * subarray region, per number of simultaneously activated rows.
  */
 
+#include <array>
+
 #include "common.h"
 
 using namespace pud;
@@ -21,21 +23,34 @@ main(int argc, char **argv)
         dram::makeConfig(family.moduleId, scale.seed);
     cfg.rowsPerSubarray = scale.rowsPerSubarray;
 
-    for (int n : {2, 4, 8, 16}) {
+    // One shard per group size N, each with its own identically-seeded
+    // tester (exactly the serial per-N loop body); output is rendered
+    // afterwards in fixed N order, so --jobs never changes stdout.
+    const int ns[] = {2, 4, 8, 16};
+    constexpr std::size_t kSweeps = std::size(ns);
+    std::array<std::array<std::vector<double>, dram::kNumRegions>,
+               kSweeps>
+        results;
+    exec::parallelFor(scale.jobs, kSweeps, [&](std::size_t ni) {
         ModuleTester tester(cfg);
         const auto &model = tester.device().disturbModel();
         ModuleTester::Options opt;
         opt.pattern = dram::DataPattern::P00;
 
-        std::vector<double> by_region[dram::kNumRegions];
         for (dram::RowId v :
              tester.sampleVictims(scale.victims * 2, true)) {
-            const auto hc = tester.simraDouble(v, n, opt);
+            const auto hc = tester.simraDouble(v, ns[ni], opt);
             if (hc == kNoFlip)
                 continue;
-            by_region[static_cast<int>(model.regionOf(v))].push_back(
-                static_cast<double>(hc));
+            results[ni][static_cast<std::size_t>(
+                            model.regionOf(v))]
+                .push_back(static_cast<double>(hc));
         }
+    });
+
+    for (std::size_t ni = 0; ni < kSweeps; ++ni) {
+        const int n = ns[ni];
+        const auto &by_region = results[ni];
 
         Table table(boxHeader("region"));
         int lowest_region = 0, highest_region = 0;

@@ -35,7 +35,7 @@ main(int argc, char **argv)
         });
     }
     auto series =
-        measurePopulation(populationFor(family, scale), measures);
+        runPopulation(populationFor(family, scale), measures);
     series = hammer::dropIncomplete(series);
 
     Table table({"CoMRA pre-hammer", "victims", "%lower",

@@ -36,7 +36,7 @@ main(int argc, char **argv)
             return t.combinedRh(v, spec, opt);
         });
     }
-    auto series = measurePopulation(
+    auto series = runPopulation(
         populationFor(family, scale, /*odd_only=*/true), measures);
     series = hammer::dropIncomplete(series);
 

@@ -63,8 +63,16 @@ main(int argc, char **argv)
     double rh_with_trr = 0.0, best_simra_with_trr = 0.0,
            comra_with_trr = 0.0;
 
-    for (const Config &c : configs) {
+    // Every (config, iteration, trr) cell builds a fresh tester, so
+    // the configs are independent shards under --jobs; accumulators
+    // land in per-config slots and rows render in fixed order below.
+    struct ConfigResult
+    {
         stats::Accumulator without, with;
+    };
+    std::vector<ConfigResult> results(configs.size());
+    exec::parallelFor(scale.jobs, configs.size(), [&](std::size_t ci) {
+        const Config &c = configs[ci];
         for (int it = 0; it < iterations; ++it) {
             TrrConfig cfg;
             cfg.nSided = c.param;
@@ -77,10 +85,16 @@ main(int argc, char **argv)
                 ModuleTester tester(dev_cfg);
                 const auto flips = runTrrExperiment(
                     tester, c.tech, cfg, trr);
-                (trr ? with : without)
+                (trr ? results[ci].with : results[ci].without)
                     .add(static_cast<double>(flips));
             }
         }
+    });
+
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const Config &c = configs[ci];
+        const stats::Accumulator &without = results[ci].without;
+        const stats::Accumulator &with = results[ci].with;
         char a[64], b[64];
         std::snprintf(a, sizeof(a), "%.1f [%.0f, %.0f]",
                       without.mean(), without.min(), without.max());

@@ -42,7 +42,7 @@ main(int argc, char **argv)
 
         // SiMRA needs sandwichable victims; use the same odd victim
         // population for every technique so the comparison is paired.
-        auto series = measurePopulation(
+        auto series = runPopulation(
             populationFor(family, scale, family.supportsSimra),
             measures);
         series = hammer::dropIncomplete(series);

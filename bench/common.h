@@ -9,8 +9,18 @@
  *   --modules=N   cap on module instances per family (default 2)
  *   --rows=N      rows per subarray (default 128, power of two)
  *   --seed=N      master seed (default 1)
+ *   --jobs=N      worker threads for population sweeps (default: all
+ *                 hardware threads; --jobs=1 is the legacy serial path)
  *   --fast        minimal population for smoke runs
  *   --full        paper-scale population (slow)
+ *
+ * Determinism guarantee: --jobs only changes wall-clock time, never
+ * results.  Population sweeps shard at module granularity (each shard
+ * owns its identically-seeded ModuleTester, replaying the serial
+ * per-module loop verbatim) and every measurement lands in a pre-sized
+ * slot keyed by (module, victim, measure), so stdout is byte-identical
+ * for every --jobs value.  Per-shard wall time and work-unit counts
+ * are reported on stderr at bench exit.
  */
 
 #ifndef PUD_BENCH_COMMON_H
@@ -18,9 +28,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "exec/pool.h"
 #include "hammer/experiment.h"
 #include "stats/summary.h"
 #include "util/args.h"
@@ -40,6 +52,9 @@ struct Scale
     int modulesCap = 2;
     dram::RowId rowsPerSubarray = 128;
     std::uint64_t seed = 1;
+
+    /** Worker threads; resolved (<=0 means hardware concurrency). */
+    int jobs = 1;
 
     static Scale
     parse(const Args &args)
@@ -61,9 +76,95 @@ struct Scale
         s.rowsPerSubarray = static_cast<dram::RowId>(
             args.getInt("rows", static_cast<long>(s.rowsPerSubarray)));
         s.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+        s.jobs = exec::resolveJobs(
+            static_cast<int>(args.getInt("jobs", 0)));
         return s;
     }
 };
+
+/**
+ * Collects PopulationTelemetry across a bench run and prints the
+ * per-shard wall-time / work-unit summary at process exit.  Printing
+ * goes to stderr so stdout (the tables) stays byte-identical across
+ * --jobs values.
+ */
+class JobsSummary
+{
+  public:
+    static JobsSummary &
+    instance()
+    {
+        static JobsSummary s;
+        return s;
+    }
+
+    void
+    add(const hammer::PopulationTelemetry &t)
+    {
+        if (runs_.empty())
+            std::atexit([] { JobsSummary::instance().print(); });
+        runs_.push_back(t);
+    }
+
+    void
+    print() const
+    {
+        if (runs_.empty())
+            return;
+        double wall = 0.0, busy = 0.0;
+        std::size_t units = 0;
+        for (const auto &t : runs_) {
+            wall += t.wallSeconds;
+            busy += t.busySeconds();
+            units += t.workUnits();
+        }
+        std::fprintf(stderr,
+                     "--- pud::exec summary: %zu population sweep(s), "
+                     "jobs=%d ---\n",
+                     runs_.size(), runs_.front().jobs);
+        for (std::size_t r = 0; r < runs_.size(); ++r) {
+            const auto &t = runs_[r];
+            std::fprintf(stderr,
+                         "sweep %2zu: %3zu shard(s), %5zu work units, "
+                         "wall %7.2f s, busy %7.2f s (%.2fx)\n",
+                         r + 1, t.shards.size(), t.workUnits(),
+                         t.wallSeconds, t.busySeconds(),
+                         t.wallSeconds > 0.0
+                             ? t.busySeconds() / t.wallSeconds
+                             : 0.0);
+            for (const auto &s : t.shards) {
+                std::fprintf(stderr,
+                             "  shard module=%-3d slots=[%zu,%zu) "
+                             "units=%-4zu %.3f s\n",
+                             s.module, s.firstSlot,
+                             s.firstSlot + s.victims, s.workUnits,
+                             s.seconds);
+            }
+        }
+        std::fprintf(stderr,
+                     "total: %zu work units, wall %.2f s, busy %.2f s "
+                     "(parallel speedup %.2fx)\n",
+                     units, wall, busy, wall > 0.0 ? busy / wall : 0.0);
+    }
+
+  private:
+    std::vector<hammer::PopulationTelemetry> runs_;
+};
+
+/**
+ * measurePopulation with bench telemetry: shard timings feed the
+ * exit-time pud::exec summary.  All benches route their population
+ * sweeps through this wrapper.
+ */
+inline std::vector<std::vector<double>>
+runPopulation(const PopulationConfig &cfg,
+              const std::vector<MeasureFn> &measures)
+{
+    hammer::PopulationTelemetry telemetry;
+    auto series = hammer::measurePopulation(cfg, measures, &telemetry);
+    JobsSummary::instance().add(telemetry);
+    return series;
+}
 
 /** Population config for one Table 2 family under the scale knobs. */
 inline PopulationConfig
@@ -77,6 +178,7 @@ populationFor(const dram::FamilyProfile &family, const Scale &scale,
     cfg.oddOnly = odd_only;
     cfg.seed = scale.seed;
     cfg.rowsPerSubarray = scale.rowsPerSubarray;
+    cfg.jobs = scale.jobs;
     return cfg;
 }
 

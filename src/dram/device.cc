@@ -215,6 +215,16 @@ Device::trrRecord(BankState &bank, RowId physical)
 }
 
 void
+Device::resetTrrSampler()
+{
+    for (BankState &bank : banks_) {
+        std::fill(bank.trrRing.begin(), bank.trrRing.end(), kNoRow);
+        bank.trrPos = 0;
+        bank.trrFill = 0;
+    }
+}
+
+void
 Device::refreshRow(BankState &bank, RowId physical)
 {
     restoreRow(bank.rows[physical]);

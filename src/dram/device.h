@@ -76,6 +76,21 @@ class Device
     void setTrrEnabled(bool on) { trrEnabled_ = on; }
     bool trrEnabled() const { return trrEnabled_; }
 
+    /**
+     * Clear every bank's TRR sampler ring.  Experiments use this to
+     * isolate a measured pattern from preceding setup/profiling ACTs,
+     * which would otherwise occupy the sampler window and distort the
+     * first TRR decisions of the run.
+     */
+    void resetTrrSampler();
+
+    /** Sampled ACT addresses currently held by a bank's TRR ring. */
+    std::size_t
+    trrSamplerFill(BankId bank) const
+    {
+        return banks_[bank].trrFill;
+    }
+
     // ---- testbench (host-DMA) helpers ------------------------------------
     /** Write a row directly, restoring full charge (resets damage). */
     void writeRowDirect(BankId bank, RowId logical_row, const RowData &data);

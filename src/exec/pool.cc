@@ -1,0 +1,133 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+
+namespace pud::exec {
+
+int
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+resolveJobs(int requested)
+{
+    return requested <= 0 ? defaultJobs() : requested;
+}
+
+Pool::Pool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+Pool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        ++joined_;
+        ++active_;
+        const std::size_t n = batchSize_;
+        const std::function<void(std::size_t)> *fn = batchFn_;
+        lock.unlock();
+
+        for (;;) {
+            const std::size_t i =
+                cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(errorMu_);
+                if (!error_)
+                    error_ = std::current_exception();
+                // Stop handing out further indices; units already
+                // running drain normally.
+                cursor_.store(n, std::memory_order_relaxed);
+            }
+        }
+
+        lock.lock();
+        if (--active_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+Pool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // One batch at a time; concurrent callers queue up here.
+    std::lock_guard<std::mutex> batch_lock(batchMu_);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    batchSize_ = n;
+    batchFn_ = &fn;
+    cursor_.store(0, std::memory_order_relaxed);
+    joined_ = 0;
+    {
+        std::lock_guard<std::mutex> elock(errorMu_);
+        error_ = nullptr;
+    }
+    ++generation_;
+    wake_.notify_all();
+
+    // The batch is drained once every worker has picked it up and
+    // every one of them has left the work loop again.  Workers that
+    // arrive after the cursor ran out join and leave immediately, so
+    // this terminates even when n < threads().
+    done_.wait(lock, [&] {
+        return joined_ == workers_.size() && active_ == 0;
+    });
+    batchFn_ = nullptr;
+
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> elock(errorMu_);
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(int jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        // Legacy serial path: inline, no threads, exceptions propagate
+        // directly.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    Pool pool(static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs), n)));
+    pool.forEach(n, fn);
+}
+
+} // namespace pud::exec

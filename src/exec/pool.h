@@ -1,0 +1,119 @@
+/**
+ * @file
+ * pud::exec -- a deterministic, work-stealing-free thread pool for the
+ * embarrassingly-parallel population sweeps of the characterization
+ * harness.
+ *
+ * Design constraints (and why):
+ *
+ *  - *Determinism*: the harness guarantees bit-identical results
+ *    regardless of the number of worker threads.  The pool therefore
+ *    never reorders or merges results itself: callers enumerate work
+ *    units up front and write each unit's result into a pre-sized slot
+ *    keyed by the unit index, so scheduling can only affect wall-clock
+ *    time, never output.
+ *  - *No work stealing*: indices are handed out from a single shared
+ *    cursor in submission order.  Which worker runs which index is
+ *    scheduler-dependent, but since results are slot-addressed this is
+ *    invisible; the simple cursor keeps the pool auditable.
+ *  - *Exception safety*: the first exception thrown by a work unit
+ *    stops the hand-out of further indices and is rethrown on the
+ *    calling thread once the batch drains, so `parallelFor` fails the
+ *    same way a serial loop would (modulo which unit fails first).
+ *
+ * `parallelFor(jobs, n, fn)` is the main entry point; `jobs <= 1` runs
+ * the loop inline on the calling thread (the legacy serial path, no
+ * threads are created at all).
+ */
+
+#ifndef PUD_EXEC_POOL_H
+#define PUD_EXEC_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pud::exec {
+
+/** Worker count used for jobs=0 ("auto"): the hardware concurrency. */
+int defaultJobs();
+
+/** Clamp a --jobs request: <= 0 means auto, otherwise the request. */
+int resolveJobs(int requested);
+
+/**
+ * Fixed-size thread pool executing indexed batches.
+ *
+ * Workers are started in the constructor and joined in the destructor.
+ * `forEach` blocks until the whole batch has drained; the pool can be
+ * reused for any number of batches, but batches are serialized (only
+ * one runs at a time).
+ */
+class Pool
+{
+  public:
+    /** Start `threads` workers (clamped to at least one). */
+    explicit Pool(int threads);
+
+    /** Drains any running batch and joins all workers. */
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run `fn(i)` for every `i` in `[0, n)` across the workers and
+     * block until all of them finished.  The first exception thrown by
+     * any unit stops the hand-out of further indices and is rethrown
+     * here after the batch drains.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+
+    // Current batch, guarded by mu_ except for the atomic cursor.
+    std::uint64_t generation_ = 0;
+    std::size_t batchSize_ = 0;
+    const std::function<void(std::size_t)> *batchFn_ = nullptr;
+    std::atomic<std::size_t> cursor_{0};
+    std::size_t joined_ = 0;  //!< workers that picked up this batch
+    std::size_t active_ = 0;  //!< workers currently inside the batch
+
+    std::mutex errorMu_;
+    std::exception_ptr error_;
+
+    std::mutex batchMu_;  //!< serializes concurrent forEach callers
+};
+
+/**
+ * Run `fn(i)` for `i` in `[0, n)` with up to `jobs` worker threads.
+ *
+ * `jobs <= 1` (or `n <= 1`) executes the loop inline on the calling
+ * thread without creating a pool -- byte-for-byte the legacy serial
+ * path.  Otherwise a transient pool of `min(jobs, n)` workers drains
+ * the index range.  Callers must make units independent and write
+ * results into slot `i` of a pre-sized container so that the output is
+ * identical for every `jobs` value.
+ */
+void parallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace pud::exec
+
+#endif // PUD_EXEC_POOL_H

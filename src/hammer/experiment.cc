@@ -1,37 +1,138 @@
 #include "hammer/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
+#include "exec/pool.h"
 #include "lint/linter.h"
 #include "util/logging.h"
 
 namespace pud::hammer {
 
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One parallel work unit: a module (or a victim chunk of one). */
+struct Shard
+{
+    int module = 0;
+    std::size_t victimBegin = 0;  //!< index into the module victim list
+    std::size_t victimEnd = 0;
+    std::size_t slotBase = 0;     //!< global slot of victimBegin
+};
+
+dram::DeviceConfig
+deviceConfigFor(const PopulationConfig &cfg, int module)
+{
+    dram::DeviceConfig dev_cfg =
+        dram::makeConfig(cfg.moduleId, cfg.seed + module);
+    if (cfg.rowsPerSubarray)
+        dev_cfg.rowsPerSubarray = cfg.rowsPerSubarray;
+    return dev_cfg;
+}
+
+} // namespace
+
 std::vector<std::vector<double>>
 measurePopulation(const PopulationConfig &cfg,
-                  const std::vector<MeasureFn> &measures)
+                  const std::vector<MeasureFn> &measures,
+                  PopulationTelemetry *telemetry)
 {
-    std::vector<std::vector<double>> series(measures.size());
+    const auto wall_start = std::chrono::steady_clock::now();
+    const int jobs = exec::resolveJobs(cfg.jobs);
 
+    // Enumerate the victim population up front so every measurement
+    // has a pre-sized result slot: slot order is (module, victim,
+    // measure), exactly the serial iteration order, so the output can
+    // never depend on how shards are scheduled.  The victim list is a
+    // pure function of the geometry, so the probe testers here are
+    // cheap compared to one HC_first search.
+    std::vector<std::vector<RowId>> victims_of(
+        static_cast<std::size_t>(std::max(0, cfg.modules)));
+    std::vector<std::size_t> slot_base(victims_of.size() + 1, 0);
     for (int m = 0; m < cfg.modules; ++m) {
-        dram::DeviceConfig dev_cfg =
-            dram::makeConfig(cfg.moduleId, cfg.seed + m);
-        if (cfg.rowsPerSubarray)
-            dev_cfg.rowsPerSubarray = cfg.rowsPerSubarray;
-        ModuleTester tester(dev_cfg);
+        const ModuleTester probe(deviceConfigFor(cfg, m));
+        victims_of[m] =
+            probe.sampleVictims(cfg.victimsPerSubarray, cfg.oddOnly);
+        slot_base[m + 1] = slot_base[m] + victims_of[m].size();
+    }
+    const std::size_t total_victims = slot_base.back();
 
-        const auto victims =
-            tester.sampleVictims(cfg.victimsPerSubarray, cfg.oddOnly);
-        for (RowId v : victims) {
+    // Shard at module granularity by default; opt-in victim chunks cut
+    // each module's list into fixed-size pieces (independent of jobs).
+    std::vector<Shard> shards;
+    for (int m = 0; m < cfg.modules; ++m) {
+        const std::size_t n = victims_of[m].size();
+        const std::size_t chunk =
+            cfg.perVictimChunks
+                ? std::max<std::size_t>(1, cfg.victimChunk)
+                : std::max<std::size_t>(1, n);
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            Shard s;
+            s.module = m;
+            s.victimBegin = begin;
+            s.victimEnd = std::min(n, begin + chunk);
+            s.slotBase = slot_base[m] + begin;
+            shards.push_back(s);
+        }
+        if (n == 0) {
+            // Keep one (empty) shard per module so telemetry still
+            // reports every module instance.
+            shards.push_back(Shard{m, 0, 0, slot_base[m]});
+        }
+    }
+
+    std::vector<std::vector<double>> series(
+        measures.size(), std::vector<double>(total_victims, 0.0));
+    std::vector<ShardReport> reports(shards.size());
+
+    exec::parallelFor(jobs, shards.size(), [&](std::size_t si) {
+        const Shard &shard = shards[si];
+        const auto shard_start = std::chrono::steady_clock::now();
+
+        // Each shard owns a private tester seeded exactly like the
+        // serial loop's per-module tester, so module shards replay the
+        // serial path verbatim and chunk shards are reproducible.
+        ModuleTester tester(deviceConfigFor(cfg, shard.module));
+        if (cfg.setup)
+            cfg.setup(tester);
+
+        const std::vector<RowId> &victims = victims_of[shard.module];
+        for (std::size_t v = shard.victimBegin; v < shard.victimEnd;
+             ++v) {
+            const std::size_t slot =
+                shard.slotBase + (v - shard.victimBegin);
             for (std::size_t i = 0; i < measures.size(); ++i) {
-                const std::uint64_t hc = measures[i](tester, v);
-                series[i].push_back(
+                const std::uint64_t hc =
+                    measures[i](tester, victims[v]);
+                series[i][slot] =
                     hc == kNoFlip
                         ? std::numeric_limits<double>::quiet_NaN()
-                        : static_cast<double>(hc));
+                        : static_cast<double>(hc);
             }
         }
+
+        ShardReport &r = reports[si];
+        r.module = shard.module;
+        r.firstSlot = shard.slotBase;
+        r.victims = shard.victimEnd - shard.victimBegin;
+        r.workUnits = r.victims * measures.size();
+        r.seconds = secondsSince(shard_start);
+    });
+
+    if (telemetry) {
+        telemetry->jobs = jobs;
+        telemetry->perVictimChunks = cfg.perVictimChunks;
+        telemetry->shards = std::move(reports);
+        telemetry->wallSeconds = secondsSince(wall_start);
     }
     return series;
 }
@@ -70,7 +171,10 @@ runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
     const dram::SubarrayId sub = dev.config().subarraysPerBank / 2;
     const RowId base = sub * rps;
 
-    dev.setTrrEnabled(trr_enabled);
+    // Profiling (below) must observe the chip's *intrinsic*
+    // vulnerability, exactly as the U-TRR methodology does on real
+    // chips: TRR stays off until the measured pattern runs.
+    dev.setTrrEnabled(false);
 
     // SiMRA is most effective with 1 -> 0 flips (Obs. 14): an all-ones
     // victim (all-zeros aggressor) pattern.  RowHammer and CoMRA use
@@ -157,6 +261,13 @@ runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
         break;
       }
     }
+
+    // Enable the mechanism under test only now, with a clean sampler:
+    // the profiling sweep above issued thousands of ACTs that would
+    // otherwise still sit in the sampler ring and soak up the measured
+    // run's first TRR decisions.
+    dev.setTrrEnabled(trr_enabled);
+    dev.resetTrrSampler();
 
     // Initialize the whole subarray: aggressors with the pattern,
     // everything else as a victim.

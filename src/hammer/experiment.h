@@ -35,6 +35,74 @@ struct PopulationConfig
 
     /** Geometry override hook (0 = default). */
     RowId rowsPerSubarray = 0;
+
+    // ---- parallel execution (pud::exec) ------------------------------
+
+    /**
+     * Worker threads for the population sweep; 1 is the legacy serial
+     * path (no threads created), <= 0 means hardware concurrency.
+     * Results are bit-identical for every value: work is sharded at
+     * module granularity (each shard owns its ModuleTester, exactly
+     * the serial per-module loop body) and every measurement is
+     * written into a pre-sized slot keyed by (module, victim,
+     * measure), so scheduling never affects output.
+     */
+    int jobs = 1;
+
+    /**
+     * Opt-in finer sharding: split each module's victim list into
+     * chunks of `victimChunk` and give every chunk a *fresh*
+     * identically-seeded tester.  Chunk boundaries depend only on
+     * `victimChunk`, never on `jobs`, so output is still bit-identical
+     * across jobs values -- but chunked results can differ from
+     * module-granularity results because each chunk starts from a
+     * pristine device instead of inheriting intra-module history.
+     */
+    bool perVictimChunks = false;
+
+    /** Victims per chunk when perVictimChunks is set. */
+    RowId victimChunk = 8;
+
+    /** Optional per-tester setup (e.g. temperature), run per shard. */
+    std::function<void(ModuleTester &)> setup;
+};
+
+/** Wall-time and size of one parallel shard, for bench telemetry. */
+struct ShardReport
+{
+    int module = 0;             //!< module instance index
+    std::size_t firstSlot = 0;  //!< global victim slot of first unit
+    std::size_t victims = 0;    //!< victims measured by this shard
+    std::size_t workUnits = 0;  //!< victims * measures
+    double seconds = 0.0;       //!< shard wall time
+};
+
+/** What one measurePopulation call did, shard by shard. */
+struct PopulationTelemetry
+{
+    int jobs = 1;
+    bool perVictimChunks = false;
+    double wallSeconds = 0.0;
+    std::vector<ShardReport> shards;
+
+    std::size_t
+    workUnits() const
+    {
+        std::size_t n = 0;
+        for (const ShardReport &s : shards)
+            n += s.workUnits;
+        return n;
+    }
+
+    /** Summed per-shard busy time (serial-equivalent wall time). */
+    double
+    busySeconds() const
+    {
+        double t = 0.0;
+        for (const ShardReport &s : shards)
+            t += s.seconds;
+        return t;
+    }
 };
 
 /** HC_first measurement as a function of (tester, victim). */
@@ -44,12 +112,19 @@ using MeasureFn =
 /**
  * Run several measurements over the same victim population.
  *
+ * With `cfg.jobs > 1` the (module, victim, measure) work units run in
+ * parallel on a pud::exec pool; the output is guaranteed bit-identical
+ * to the serial path (see PopulationConfig::jobs).
+ *
+ * @param telemetry optional out-param receiving per-shard wall time
+ *                  and work-unit counts
  * @return one vector per MeasureFn, aligned per victim; kNoFlip maps
  *         to NaN so downstream stats can filter pairs consistently.
  */
 std::vector<std::vector<double>>
 measurePopulation(const PopulationConfig &cfg,
-                  const std::vector<MeasureFn> &measures);
+                  const std::vector<MeasureFn> &measures,
+                  PopulationTelemetry *telemetry = nullptr);
 
 /** Drop victim entries where any series is NaN; keeps pairing. */
 std::vector<std::vector<double>>

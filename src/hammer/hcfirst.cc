@@ -28,11 +28,16 @@ searchOnce(const HcSearchConfig &cfg,
         hi *= 2;
     }
 
-    // Bisect until the bracket width is within the convergence bound.
+    // Bisect until the bracket width is within the convergence bound:
+    // a fraction of the *lower* bound, per the header contract (using
+    // the upper bound would let the search stop with a bracket wider
+    // than the promised fraction of the reported threshold).  lo == 0
+    // (threshold below the initial ramp point) degenerates to a bound
+    // of one hammer via the max().
     while (hi - lo > std::max<std::uint64_t>(
                          1, static_cast<std::uint64_t>(
                                 cfg.convergence *
-                                static_cast<double>(hi)))) {
+                                static_cast<double>(lo)))) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
         if (flips_at(mid))
             hi = mid;

@@ -38,6 +38,12 @@ BoxStats
 boxStats(std::vector<double> samples)
 {
     BoxStats out;
+    const auto finite_end = std::remove_if(
+        samples.begin(), samples.end(),
+        [](double x) { return std::isnan(x); });
+    out.dropped =
+        static_cast<std::size_t>(samples.end() - finite_end);
+    samples.erase(finite_end, samples.end());
     out.count = samples.size();
     if (samples.empty())
         return out;

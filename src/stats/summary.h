@@ -49,7 +49,8 @@ class Accumulator
 /** Five-number summary plus mean: what one boxplot in the paper shows. */
 struct BoxStats
 {
-    std::size_t count = 0;
+    std::size_t count = 0;    //!< finite samples the summary is over
+    std::size_t dropped = 0;  //!< NaN samples excluded from the summary
     double min = 0.0;
     double q1 = 0.0;
     double median = 0.0;
@@ -64,6 +65,10 @@ struct BoxStats
 /**
  * Compute a BoxStats from samples.  The input is copied and sorted;
  * quartiles use linear interpolation (type-7, the numpy default).
+ * NaN entries (e.g. kNoFlip victims from measurePopulation summarized
+ * without dropIncomplete) are excluded and reported via `dropped`;
+ * sorting them instead would poison min/max/quantiles, since NaN
+ * breaks the comparator's strict weak ordering.
  */
 BoxStats boxStats(std::vector<double> samples);
 

@@ -10,10 +10,13 @@
 #ifndef PUD_UTIL_ARGS_H
 #define PUD_UTIL_ARGS_H
 
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace pud {
 
@@ -49,22 +52,40 @@ class Args
         return it == options_.end() ? fallback : it->second;
     }
 
+    /**
+     * Integer value of --key=N.  Non-numeric or trailing-garbage
+     * values ("--victims=abc", "--jobs=4x") are a fatal diagnostic,
+     * not a silent 0 / truncation.
+     */
     long
     getInt(const std::string &key, long fallback) const
     {
         auto it = options_.find(key);
-        return it == options_.end() ? fallback
-                                    : std::strtol(it->second.c_str(),
-                                                  nullptr, 10);
+        if (it == options_.end())
+            return fallback;
+        const char *s = it->second.c_str();
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE)
+            fatal("--%s=%s: expected an integer", key.c_str(), s);
+        return v;
     }
 
+    /** Like getInt, for real-valued knobs ("--temp=82.5"). */
     double
     getDouble(const std::string &key, double fallback) const
     {
         auto it = options_.find(key);
-        return it == options_.end() ? fallback
-                                    : std::strtod(it->second.c_str(),
-                                                  nullptr);
+        if (it == options_.end())
+            return fallback;
+        const char *s = it->second.c_str();
+        char *end = nullptr;
+        errno = 0;
+        const double v = std::strtod(s, &end);
+        if (end == s || *end != '\0' || errno == ERANGE)
+            fatal("--%s=%s: expected a number", key.c_str(), s);
+        return v;
     }
 
     const std::vector<std::string> &positional() const { return positional_; }

@@ -266,6 +266,25 @@ TEST(Device, RefreshCoversAllRowsOncePerWindow)
               static_cast<std::uint64_t>(cfg.timings.refsPerWindow));
 }
 
+TEST(Device, ResetTrrSamplerClearsHistory)
+{
+    Device dev(smallConfig());
+    Cmd c(dev);
+    c.act(0, 1).pre(0).act(0, 2).pre(0).act(0, 3).pre(0);
+    dev.flush();
+    // The sampler records every ACT, whether or not TRR is enabled.
+    EXPECT_EQ(dev.trrSamplerFill(0), 3u);
+
+    dev.resetTrrSampler();
+    EXPECT_EQ(dev.trrSamplerFill(0), 0u);
+
+    // With an empty sampler there is no aggressor to act on: REF must
+    // not issue TRR victim refreshes even with the mechanism enabled.
+    dev.setTrrEnabled(true);
+    dev.ref(dev.now() + units::fromNs(100));
+    EXPECT_EQ(dev.counters().trrRefreshes, 0u);
+}
+
 TEST(Device, WrWrongWidthIsFatal)
 {
     Device dev(smallConfig());

@@ -153,6 +153,29 @@ TEST_F(TrrExperimentTest, ComraFlipsUnderTrrExperiment)
     EXPECT_GT(flips, 0u);
 }
 
+/**
+ * Regression: runTrrExperiment used to enable TRR *before* the U-TRR
+ * profiling sweep, so (a) profiling measured the mechanism instead of
+ * the chip's intrinsic vulnerability and (b) thousands of profiling
+ * ACTs were still sitting in the sampler ring when the measured
+ * pattern started, soaking up its first TRR decisions.  With a
+ * deliberately tiny measured pattern (far fewer ACTs than the
+ * 450-entry sampler window) the sampler must end well below full;
+ * the old ordering left it saturated by the profiling sweep.
+ */
+TEST_F(TrrExperimentTest, ProfilingActsDoNotLeakIntoMeasuredSampler)
+{
+    ModuleTester t(config());
+    TrrConfig cfg;
+    cfg.nSided = 2;
+    cfg.actsPerTrefi = 30;
+    cfg.hammersPerAggressor = 15;  // one paced tREFI cycle
+    runTrrExperiment(t, TrrTechnique::RowHammer, cfg, true);
+    const std::size_t fill = t.device().trrSamplerFill(0);
+    EXPECT_GT(fill, 0u);    // the measured pattern itself was sampled
+    EXPECT_LT(fill, 450u);  // profiling ACTs were cleared first
+}
+
 TEST_F(TrrExperimentTest, TrrDisabledAfterRun)
 {
     ModuleTester t(config());

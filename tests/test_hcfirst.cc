@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hammer/hcfirst.h"
 
 namespace {
@@ -83,6 +85,56 @@ TEST(HcFirst, ZeroBudgetIsFatal)
     cfg.maxHammers = 0;
     EXPECT_DEATH(findHcFirst(cfg, [](std::uint64_t) { return true; }),
                  "budget");
+}
+
+/**
+ * Regression: the bisection used to stop when the bracket width fell
+ * below `convergence * hi`.  With a coarse convergence that terminates
+ * with a bracket wider than the promised fraction of the *reported*
+ * threshold (which the bracket's lower bound approximates from below).
+ * With convergence = 0.25 and a true threshold of 1000, the hi-based
+ * bound stopped at bracket [768, 1024] (width 256 > 0.25 * 768); the
+ * lo-based bound must keep bisecting to [896, 1024].
+ */
+TEST(HcFirst, ConvergenceBoundUsesLowerBound)
+{
+    HcSearchConfig cfg;
+    cfg.convergence = 0.25;
+    const std::uint64_t threshold = 1000;
+
+    // Track the largest probed count that did NOT flip: the search's
+    // final lower bound is at least this, so the bracket-width
+    // contract can be checked from outside.
+    std::uint64_t largest_below = 0;
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        const bool flips = n >= threshold;
+        if (!flips)
+            largest_below = std::max(largest_below, n);
+        return flips;
+    });
+
+    EXPECT_GE(hc, threshold);
+    EXPECT_LE(static_cast<double>(hc - largest_below),
+              std::max(1.0, cfg.convergence *
+                                static_cast<double>(largest_below)))
+        << "bracket [" << largest_below << ", " << hc
+        << "] wider than convergence * lower bound";
+}
+
+/** lo == 0 (threshold below the ramp start) must not spin: the bound
+ *  degenerates to one hammer until the lower bound rises, and the
+ *  result still honors the fraction-of-lower-bound contract. */
+TEST(HcFirst, CoarseConvergenceBelowRampStart)
+{
+    HcSearchConfig cfg;
+    cfg.convergence = 0.5;
+    const std::uint64_t threshold = 37;  // < rampStart = 512
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        return n >= threshold;
+    });
+    EXPECT_GE(hc, threshold);
+    // hi <= lo * (1 + convergence) + 1 with lo < threshold.
+    EXPECT_LE(hc, threshold + threshold / 2 + 1);
 }
 
 class ThresholdSweep

@@ -53,6 +53,41 @@ TEST(BoxStats, KnownQuartiles)
     EXPECT_DOUBLE_EQ(bs.mean, 3.0);
 }
 
+/**
+ * Regression: NaN samples (the population runner's no-flip marker)
+ * used to poison boxStats -- std::sort with NaNs is not a strict weak
+ * ordering, and any NaN in the kept range turns every quantile NaN.
+ * They must be filtered out and counted in `dropped`.
+ */
+TEST(BoxStats, DropsNaNs)
+{
+    const double nan = std::nan("");
+    const BoxStats bs = boxStats({5, nan, 3, 1, nan, 4, 2});
+    EXPECT_EQ(bs.count, 5u);
+    EXPECT_EQ(bs.dropped, 2u);
+    EXPECT_DOUBLE_EQ(bs.min, 1.0);
+    EXPECT_DOUBLE_EQ(bs.q1, 2.0);
+    EXPECT_DOUBLE_EQ(bs.median, 3.0);
+    EXPECT_DOUBLE_EQ(bs.q3, 4.0);
+    EXPECT_DOUBLE_EQ(bs.max, 5.0);
+    EXPECT_DOUBLE_EQ(bs.mean, 3.0);
+}
+
+TEST(BoxStats, AllNaN)
+{
+    const double nan = std::nan("");
+    const BoxStats bs = boxStats({nan, nan, nan});
+    EXPECT_EQ(bs.count, 0u);
+    EXPECT_EQ(bs.dropped, 3u);
+}
+
+TEST(BoxStats, NoNaNsMeansNoDrops)
+{
+    const BoxStats bs = boxStats({2.0, 1.0});
+    EXPECT_EQ(bs.count, 2u);
+    EXPECT_EQ(bs.dropped, 0u);
+}
+
 TEST(Quantile, Interpolates)
 {
     const std::vector<double> sorted{0.0, 10.0};

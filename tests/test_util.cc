@@ -55,6 +55,46 @@ TEST(Args, FlagValueIsTruthyOne)
     EXPECT_EQ(args.getInt("trr", 0), 1);
 }
 
+/**
+ * Regression: getInt used to be atoi-style -- `--victims=abc` parsed
+ * as 0 and `--jobs=4x` as 4, silently running the wrong experiment.
+ * Malformed numerics must die with a diagnostic naming the flag.
+ */
+TEST(ArgsDeath, GetIntRejectsNonNumeric)
+{
+    const Args args = makeArgs({"--victims=abc"});
+    EXPECT_DEATH(args.getInt("victims", 0),
+                 "--victims=abc.*expected an integer");
+}
+
+TEST(ArgsDeath, GetIntRejectsTrailingGarbage)
+{
+    const Args args = makeArgs({"--jobs=4x"});
+    EXPECT_DEATH(args.getInt("jobs", 0),
+                 "--jobs=4x.*expected an integer");
+}
+
+TEST(ArgsDeath, GetDoubleRejectsGarbage)
+{
+    const Args args = makeArgs({"--temp=warm"});
+    EXPECT_DEATH(args.getDouble("temp", 0.0),
+                 "--temp=warm.*expected a number");
+}
+
+TEST(ArgsDeath, GetDoubleRejectsTrailingGarbage)
+{
+    const Args args = makeArgs({"--temp=62.5C"});
+    EXPECT_DEATH(args.getDouble("temp", 0.0),
+                 "--temp=62.5C.*expected a number");
+}
+
+TEST(Args, NegativeAndWhitespaceFreeNumericsStillParse)
+{
+    const Args args = makeArgs({"--delta=-3", "--scale=2.5e2"});
+    EXPECT_EQ(args.getInt("delta", 0), -3);
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 0.0), 250.0);
+}
+
 TEST(Table, AlignedRendering)
 {
     Table t({"col", "value"});

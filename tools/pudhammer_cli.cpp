@@ -9,7 +9,7 @@
  *       recover mapping scheme, subarray bounds, SiMRA support, TRR
  *   pudhammer hcfirst  --module=ID --technique=rh|comra|simra
  *                      [--n=4] [--victims=K] [--temp=C] [--seed=N]
- *                      [--pattern=0x55|0xAA|0x00|0xFF|wcdp]
+ *                      [--pattern=0x55|0xAA|0x00|0xFF|wcdp] [--jobs=N]
  *       HC_first distribution for a victim population
  *   pudhammer attack   --module=ID --technique=rh|comra|simra
  *                      [--trr] [--hammers=N] [--seed=N]
@@ -19,10 +19,12 @@
  *       statically analyze a canonical or demo test program
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "exec/pool.h"
 #include "hammer/experiment.h"
 #include "hammer/reveng.h"
 #include "lint/linter.h"
@@ -95,9 +97,7 @@ cmdHcFirst(const Args &args)
 {
     const std::string technique = args.get("technique", "rh");
     const int n = static_cast<int>(args.getInt("n", 4));
-
-    ModuleTester tester(configFrom(args));
-    tester.bench().thermo().setTarget(args.getDouble("temp", 80.0));
+    const double temp = args.getDouble("temp", 80.0);
 
     ModuleTester::Options opt;
     const std::string pattern = args.get("pattern", "wcdp");
@@ -115,27 +115,53 @@ cmdHcFirst(const Args &args)
         fatal("unknown --pattern=%s", pattern.c_str());
     }
 
-    const auto victims = tester.sampleVictims(
-        static_cast<dram::RowId>(args.getInt("victims", 8)),
-        technique == "simra");
+    MeasureFn measure;
+    if (technique == "rh")
+        measure = [opt](ModuleTester &t, dram::RowId v) {
+            return t.rhDouble(v, opt);
+        };
+    else if (technique == "comra")
+        measure = [opt](ModuleTester &t, dram::RowId v) {
+            return t.comraDouble(v, opt);
+        };
+    else if (technique == "simra")
+        measure = [opt, n](ModuleTester &t, dram::RowId v) {
+            return t.simraDouble(v, n, opt);
+        };
+    else
+        fatal("unknown --technique=%s (rh|comra|simra)",
+              technique.c_str());
+
+    // Route through the population runner so the sweep parallelizes
+    // under --jobs.  With jobs > 1 the victim list is cut into fixed
+    // chunks (independent of the jobs value), so any --jobs=N output
+    // matches any other --jobs=M > 1 bit for bit; --jobs=1 is the
+    // legacy serial path on one tester.
+    PopulationConfig pop;
+    pop.moduleId = args.get("module", "HMA81GU7AFR8N-UH");
+    pop.modules = 1;
+    pop.victimsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("victims", 8));
+    pop.oddOnly = technique == "simra";
+    pop.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    pop.rowsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("rows", 128));
+    pop.jobs = exec::resolveJobs(
+        static_cast<int>(args.getInt("jobs", 1)));
+    pop.perVictimChunks = pop.jobs > 1;
+    pop.setup = [temp](ModuleTester &t) {
+        t.bench().thermo().setTarget(temp);
+    };
+
+    const auto series = measurePopulation(pop, {measure});
 
     std::vector<double> hcs;
     std::size_t noflip = 0;
-    for (dram::RowId v : victims) {
-        std::uint64_t hc;
-        if (technique == "rh")
-            hc = tester.rhDouble(v, opt);
-        else if (technique == "comra")
-            hc = tester.comraDouble(v, opt);
-        else if (technique == "simra")
-            hc = tester.simraDouble(v, n, opt);
-        else
-            fatal("unknown --technique=%s (rh|comra|simra)",
-                  technique.c_str());
-        if (hc == kNoFlip)
+    for (double hc : series[0]) {
+        if (std::isnan(hc))
             ++noflip;
         else
-            hcs.push_back(static_cast<double>(hc));
+            hcs.push_back(hc);
     }
 
     const auto bs = stats::boxStats(hcs);
@@ -145,7 +171,7 @@ cmdHcFirst(const Args &args)
                 technique == "simra"
                     ? ("-" + std::to_string(n)).c_str()
                     : "",
-                victims.size(), noflip);
+                series[0].size(), noflip);
     std::printf("HC_first min/q1/median/q3/max: %s\n",
                 bs.str().c_str());
     return 0;
@@ -292,6 +318,8 @@ usage()
         "  reveng  --module=ID          reverse engineer a module\n"
         "  hcfirst --module=ID --technique=rh|comra|simra [--n=4]\n"
         "          [--victims=K] [--temp=C] [--pattern=...|wcdp]\n"
+        "          [--jobs=N]  (N threads; 0 = all cores, 1 = serial;\n"
+        "           results are identical for every N > 1)\n"
         "  attack  --module=ID --technique=rh|comra|simra [--trr]\n"
         "          [--hammers=N]\n"
         "  lint    --program=rh|comra|simra|combined|trr-rh|trr-simra\n"
