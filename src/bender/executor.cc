@@ -154,8 +154,19 @@ Executor::run(const Program &program)
     // device would fatal on, with a pointer at the bad instruction.
     // Warnings (deliberately violated timings that match no PuD idiom)
     // are the caller's business -- see lint::lintProgram.
-    if (preflight_)
-        lint::requireClean(program, device_->config(), "Executor");
+    if (preflight_) {
+        lint::LintOptions opts;
+        opts.effects = preflightEffects_;
+        const lint::LintResult pre = lint::requireClean(
+            program, device_->config(), "Executor", opts);
+        if (preflightEffects_) {
+            for (const lint::Diag &d : pre.diags) {
+                if (d.code == lint::Code::DisturbanceImpossible)
+                    warn("Executor pre-flight: [%s] %s",
+                         lint::name(d.code), d.message.c_str());
+            }
+        }
+    }
 
     ExecResult result;
     // Leave a bus-turnaround gap after whatever ran before.

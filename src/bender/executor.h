@@ -61,6 +61,18 @@ class Executor
     void setPreflight(bool on) { preflight_ = on; }
     bool preflight() const { return preflight_; }
 
+    /**
+     * Additionally run the static disturbance-effect predictor during
+     * the pre-flight and warn() on its warning-severity findings (a
+     * hammer-grade program that cannot flip bits on the configured
+     * module).  Off by default: the predictor's verdicts depend on
+     * sweep intent, so harnesses opt in where a full-budget program
+     * is known to be checked.  Implies nothing unless the pre-flight
+     * itself is enabled.
+     */
+    void setPreflightEffects(bool on) { preflightEffects_ = on; }
+    bool preflightEffects() const { return preflightEffects_; }
+
     /** Minimum trip count before the fast-path engages. */
     static constexpr std::uint64_t kFastPathThreshold = 8;
 
@@ -95,6 +107,7 @@ class Executor
 #else
     bool preflight_ = true;
 #endif
+    bool preflightEffects_ = false;
 };
 
 } // namespace pud::bender

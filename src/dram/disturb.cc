@@ -312,6 +312,36 @@ DisturbanceModel::regionOf(RowId physical_row) const
     return static_cast<Region>(r);
 }
 
+double
+foldThreshold(const DeviceConfig &cfg, const AggregateExposure &e,
+              double base_hc)
+{
+    if (base_hc <= 0.0 || e.weightedCloses <= 0.0)
+        return 0.0;
+    const DisturbanceModel model(cfg);
+    // Population-neutral cell: tempSlopeConv 0 (no conventional
+    // temperature trend at the population level), majority flip
+    // direction, upperShare 0.5 -- so dist_w at distance 1 is exactly
+    // 1.0 and minorityScale/dataGain stay out of the fold (the anchors
+    // were measured at the worst-case data pattern, i.e. dataGain 1).
+    const WeakCell neutral;
+    const double side = e.doubleSided ? 1.0 : cfg.singleSidedScale;
+    double gain = side * model.pressGain(e.cls, e.simraN, e.tOn) *
+                  model.regionGain(e.cls, e.simraN, e.region) *
+                  model.tempGain(e.cls, e.simraN, e.temperature, neutral);
+    switch (e.cls) {
+      case TechClass::Comra:
+        gain *= model.comraDelayGain(e.comraDelay);
+        break;
+      case TechClass::Simra:
+        gain *= model.simraTimingGain(e.simraActToPre, e.simraPreToAct);
+        break;
+      case TechClass::Conventional:
+        break;
+    }
+    return e.weightedCloses * gain / (2.0 * base_hc);
+}
+
 void
 DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
                              Celsius temperature)

@@ -73,6 +73,64 @@ struct CloseEvent
     Time simraPreToAct = 0;
 };
 
+/**
+ * Aggregate exposure of one victim row, for static prediction.
+ *
+ * Where CloseEvent describes one concrete close, AggregateExposure
+ * describes the *sum* of a program's closes as seen by one victim:
+ * adjacency-weighted event count plus the representative condition
+ * factors (sidedness, on-time, timing-delay) shared by those events.
+ */
+struct AggregateExposure
+{
+    TechClass cls = TechClass::Conventional;
+
+    /** Number of simultaneously activated rows (SiMRA only). */
+    int simraN = 2;
+
+    /**
+     * Aggressor close events weighted by distance (1.0 at distance 1,
+     * DeviceConfig::distance2Weight at distance 2) summed over the
+     * program.
+     */
+    double weightedCloses = 0;
+
+    /** Representative per-close aggressor on-time. */
+    Time tOn = 0;
+
+    /** CoMRA PRE->ACT copy delay (Comra class only). */
+    Time comraDelay = 0;
+
+    /** SiMRA ACT->PRE / PRE->ACT gaps (Simra class only). */
+    Time simraActToPre = 0;
+    Time simraPreToAct = 0;
+
+    /** Aggressors on both sides (sandwich) vs one side only. */
+    bool doubleSided = true;
+
+    /** Victim's spatial region within its subarray. */
+    Region region = Region::Middle;
+
+    Celsius temperature = 80.0;
+};
+
+/**
+ * Pure threshold fold: the fractional damage a victim cell whose
+ * double-sided reference HC_first is `base_hc` accrues under an
+ * aggregate exposure -- the same multiplicative factor chain
+ * DisturbanceModel::applyClose walks, evaluated population-neutrally
+ * (zero temperature slope, majority flip direction, unit data gain,
+ * mean distance-1 split).  The cell reads flipped once the returned
+ * value reaches 1.0.
+ *
+ * This is what the static effect predictor (pud::lint) folds a
+ * program's per-row activation totals through, using the family's
+ * Table 2 anchors as `base_hc`, so the prediction and the device agree
+ * by construction.
+ */
+double foldThreshold(const DeviceConfig &cfg, const AggregateExposure &e,
+                     double base_hc);
+
 /** One recorded damage event, for the executor's loop fast-path. */
 struct DamageDelta
 {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lint/absint.h"
+#include "lint/effects.h"
 #include "lint/linter.h"
 #include "util/logging.h"
 
@@ -94,6 +96,30 @@ ModuleTester::measureWithPattern(
                     warn("lint [%s]: %s", name(d.code),
                          d.message.c_str());
             }
+        }
+    }
+
+    // Static reachability (once per tester): fold the full-budget
+    // program through the effect predictor; if even a worst-case weak
+    // cell stays below the flip threshold, the search is guaranteed to
+    // burn its whole hammer budget and report no-flip.
+    if (!checkedReach_) {
+        checkedReach_ = true;
+        const lint::ProgramEffects fx = lint::summarizeEffects(
+            build(opt.search.maxHammers), dev.config());
+        const lint::EffectReport rep =
+            lint::predictEffects(fx, dev.config());
+        if (!rep.anyLikely &&
+            rep.hottestCloses >= lint::kHammerIntentCloses) {
+            warn("HC_first sweep is statically unreachable on %s: at "
+                 "the %llu-hammer budget the best-case predicted "
+                 "damage is %.3g of the flip threshold; the search "
+                 "will report no-flip",
+                 dev.config().profile.moduleId.c_str(),
+                 static_cast<unsigned long long>(opt.search.maxHammers),
+                 rep.victims.empty()
+                     ? 0.0
+                     : rep.victims.front().optimisticDamage);
         }
     }
 

@@ -161,6 +161,7 @@ class ModuleTester
     bender::TestBench bench_;
     bool warnedWindow_ = false;
     bool warnedLint_ = false;  //!< lint warnings reported once per tester
+    bool checkedReach_ = false;  //!< static reachability checked once
 };
 
 } // namespace pud::hammer

@@ -1,0 +1,521 @@
+#include "lint/absint.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dram/mapping.h"
+#include "dram/simra_decoder.h"
+
+namespace pud::lint {
+
+namespace {
+
+using bender::Inst;
+using bender::Op;
+using bender::Program;
+using dram::BankId;
+using dram::OpenKind;
+using dram::RowId;
+using dram::TechClass;
+
+constexpr Time kMaxTime = std::numeric_limits<Time>::max();
+constexpr std::uint64_t kMaxU64 =
+    std::numeric_limits<std::uint64_t>::max();
+
+Time
+satAddT(Time a, Time b)
+{
+    if (b > 0 && a > kMaxTime - b)
+        return kMaxTime;
+    return a + b;
+}
+
+Time
+satMulT(Time a, std::uint64_t n)
+{
+    if (a <= 0 || n == 0)
+        return 0;
+    if (static_cast<std::uint64_t>(a) > static_cast<std::uint64_t>(
+                                            kMaxTime) / n)
+        return kMaxTime;
+    return a * static_cast<Time>(n);
+}
+
+std::uint64_t
+satAddU(std::uint64_t a, std::uint64_t b)
+{
+    return a > kMaxU64 - b ? kMaxU64 : a + b;
+}
+
+std::uint64_t
+satMulU(std::uint64_t a, std::uint64_t n)
+{
+    if (a == 0 || n == 0)
+        return 0;
+    return a > kMaxU64 / n ? kMaxU64 : a * n;
+}
+
+/**
+ * The abstract walk: a per-bank open/pending machine mirroring
+ * Device::act/pre classification, with loop bodies walked at most
+ * twice and the remaining iterations replayed arithmetically.
+ */
+class AbsWalker
+{
+  public:
+    AbsWalker(const Program &program, const dram::DeviceConfig &cfg,
+              ProgramEffects &out)
+        : program_(program),
+          cfg_(cfg),
+          mapping_(cfg.profile.mapping),
+          decoder_(cfg.rowsPerSubarray),
+          out_(out),
+          banks_(cfg.banks)
+    {}
+
+    void
+    run()
+    {
+        walkRange(0, program_.insts().size());
+        finish();
+        out_.duration = cursor_;
+        out_.lastRefAt = lastRefAt_;
+    }
+
+  private:
+    struct BankSt
+    {
+        bool open = false;
+        std::vector<RowId> openRows;  //!< physical; > 1 for SiMRA
+        OpenKind kind = OpenKind::Normal;
+        Time openedAt = 0;
+        Time comraDelay = 0;  //!< of a ComraDst open
+        Time simraActToPre = 0, simraPreToAct = 0;
+
+        bool pendingValid = false;
+        bool pendingRecorded = false;  //!< close already counted
+        std::vector<RowId> pendingRows;
+        Time pendingTOn = 0;
+        Time pendingClosedAt = 0;
+        Time pendingOpenedAt = 0;
+        OpenKind pendingKind = OpenKind::Normal;
+        Time pendingComraDelay = 0;
+    };
+
+    /** Additive state captured before a steady-state pass. */
+    struct Snapshot
+    {
+        std::uint64_t totalActs, totalRefs;
+        std::map<std::uint64_t, RowActivity> rows;
+    };
+
+    RowActivity &
+    rowOf(BankId b, RowId phys)
+    {
+        return out_.rows[rowKey(b, phys)];
+    }
+
+    std::size_t
+    matchEnd(std::size_t begin) const
+    {
+        const auto &insts = program_.insts();
+        int depth = 0;
+        for (std::size_t i = begin; i < insts.size(); ++i) {
+            if (insts[i].op == Op::LoopBegin)
+                ++depth;
+            else if (insts[i].op == Op::LoopEnd && --depth == 0)
+                return i;
+        }
+        return npos;
+    }
+
+    void
+    walkRange(std::size_t begin, std::size_t end)
+    {
+        const auto &insts = program_.insts();
+        std::size_t i = begin;
+        while (i < end) {
+            const Inst &inst = insts[i];
+            ++out_.steps;
+            if (inst.op == Op::LoopBegin) {
+                std::size_t close = matchEnd(i);
+                if (close == npos || close > end) {
+                    // Unbalanced (an error elsewhere): analyze the
+                    // tail once; counts become a lower bound.
+                    out_.exact = false;
+                    walkRange(i + 1, end);
+                    return;
+                }
+                if (inst.count == 0) {
+                    i = close + 1;
+                    continue;
+                }
+                walkRange(i + 1, close);  // warm-up pass
+                if (inst.count >= 2) {
+                    const Snapshot snap{out_.totalActs, out_.totalRefs,
+                                        out_.rows};
+                    const Time loop_start = cursor_;
+                    walkRange(i + 1, close);  // steady-state pass
+                    if (inst.count > 2)
+                        replayTail(snap, loop_start, inst.count - 2);
+                }
+                i = close + 1;
+            } else if (inst.op == Op::LoopEnd) {
+                ++i;
+            } else {
+                step(i);
+                ++i;
+            }
+        }
+    }
+
+    /**
+     * Account for the (reps) iterations beyond the two walked passes:
+     * additive fields grow by (reps) times the steady-state delta,
+     * min/max fields are already fixed points, and every live
+     * timestamp shifts forward by the skipped wall-clock time.
+     */
+    void
+    replayTail(const Snapshot &snap, Time loop_start, std::uint64_t reps)
+    {
+        const Time body = cursor_ - loop_start;
+
+        out_.totalActs = satAddU(
+            out_.totalActs,
+            satMulU(out_.totalActs - snap.totalActs, reps));
+        out_.totalRefs = satAddU(
+            out_.totalRefs,
+            satMulU(out_.totalRefs - snap.totalRefs, reps));
+
+        static const RowActivity kZero{};
+        for (auto &[key, cur] : out_.rows) {
+            const auto it = snap.rows.find(key);
+            const RowActivity &old =
+                it == snap.rows.end() ? kZero : it->second;
+            cur.acts = satAddU(cur.acts,
+                               satMulU(cur.acts - old.acts, reps));
+            for (int c = 0; c < 3; ++c) {
+                cur.closes[c] = satAddU(
+                    cur.closes[c],
+                    satMulU(cur.closes[c] - old.closes[c], reps));
+                cur.onTime[c] = satAddT(
+                    cur.onTime[c],
+                    satMulT(cur.onTime[c] - old.onTime[c], reps));
+            }
+            cur.comraDelaySum = satAddT(
+                cur.comraDelaySum,
+                satMulT(cur.comraDelaySum - old.comraDelaySum, reps));
+            cur.simraActToPreSum = satAddT(
+                cur.simraActToPreSum,
+                satMulT(cur.simraActToPreSum - old.simraActToPreSum,
+                        reps));
+            cur.simraPreToActSum = satAddT(
+                cur.simraPreToActSum,
+                satMulT(cur.simraPreToActSum - old.simraPreToActSum,
+                        reps));
+        }
+
+        const Time skipped = satMulT(body, reps);
+        shiftTimes(loop_start, skipped);
+        cursor_ = satAddT(cursor_, skipped);
+    }
+
+    /** Shift every timestamp set during the steady-state pass. */
+    void
+    shiftTimes(Time from, Time delta)
+    {
+        if (delta <= 0)
+            return;
+        auto shift = [&](Time &t) {
+            if (t >= from)
+                t = satAddT(t, delta);
+        };
+        for (auto &[key, t] : lastActAt_)
+            shift(t);
+        if (lastRefAt_ >= 0)
+            shift(lastRefAt_);
+        for (BankSt &bank : banks_) {
+            shift(bank.openedAt);
+            shift(bank.pendingClosedAt);
+            shift(bank.pendingOpenedAt);
+        }
+    }
+
+    void
+    recordAct(BankId b, RowId phys, std::size_t i)
+    {
+        RowActivity &ra = rowOf(b, phys);
+        if (ra.acts == 0)
+            ra.firstActIndex = i;
+        ra.acts = satAddU(ra.acts, 1);
+        out_.totalActs = satAddU(out_.totalActs, 1);
+
+        const std::uint64_t key = rowKey(b, phys);
+        const auto it = lastActAt_.find(key);
+        if (it != lastActAt_.end()) {
+            const Time gap = cursor_ - it->second;
+            if (ra.minInterAct == 0 || gap < ra.minInterAct)
+                ra.minInterAct = gap;
+            ra.maxInterAct = std::max(ra.maxInterAct, gap);
+            it->second = cursor_;
+        } else {
+            lastActAt_[key] = cursor_;
+        }
+    }
+
+    void
+    recordClose(BankId b, const BankSt &bank, TechClass cls, RowId phys,
+                Time t_on)
+    {
+        RowActivity &ra = rowOf(b, phys);
+        const int c = static_cast<int>(cls);
+        ra.closes[c] = satAddU(ra.closes[c], 1);
+        ra.onTime[c] = satAddT(ra.onTime[c], std::max<Time>(t_on, 0));
+        switch (cls) {
+          case TechClass::Comra:
+            ra.comraDelaySum =
+                satAddT(ra.comraDelaySum, bank.comraDelay);
+            break;
+          case TechClass::Simra:
+            ra.simraActToPreSum =
+                satAddT(ra.simraActToPreSum, bank.simraActToPre);
+            ra.simraPreToActSum =
+                satAddT(ra.simraPreToActSum, bank.simraPreToAct);
+            ra.simraN = std::max(
+                ra.simraN, static_cast<int>(bank.openRows.size()));
+            break;
+          case TechClass::Conventional:
+            break;
+        }
+    }
+
+    /** Record the close(s) of an open row (group), classified by kind. */
+    void
+    recordOpenClose(BankId b, BankSt &bank, Time t_on)
+    {
+        TechClass cls = TechClass::Conventional;
+        if (bank.kind == OpenKind::ComraDst)
+            cls = TechClass::Comra;
+        else if (bank.kind == OpenKind::Simra)
+            cls = TechClass::Simra;
+        for (RowId r : bank.openRows)
+            recordClose(b, bank, cls, r, t_on);
+    }
+
+    /** Resolve an unconsumed pending close as conventional. */
+    void
+    dropPending(BankId b, BankSt &bank)
+    {
+        if (!bank.pendingValid)
+            return;
+        bank.pendingValid = false;
+        if (bank.pendingRecorded)
+            return;
+        for (RowId r : bank.pendingRows) {
+            RowActivity &ra = rowOf(b, r);
+            ra.closes[0] = satAddU(ra.closes[0], 1);
+            ra.onTime[0] = satAddT(ra.onTime[0],
+                                   std::max<Time>(bank.pendingTOn, 0));
+        }
+    }
+
+    void
+    act(std::size_t i, const Inst &inst)
+    {
+        if (inst.bank >= cfg_.banks || inst.row >= cfg_.rowsPerBank())
+            return;  // protocol errors are the Walker's business
+        BankSt &bank = banks_[inst.bank];
+        const RowId phys = mapping_.toPhysical(inst.row);
+        if (bank.open)
+            return;  // ACT-while-open fatals at execution time
+
+        if (bank.pendingValid) {
+            const dram::TimingParams &t = cfg_.timings;
+            const Time gap = cursor_ - bank.pendingClosedAt;
+            const bool single = bank.pendingRows.size() == 1;
+            const bool same_sub =
+                single && bank.pendingRows.front() /
+                                  cfg_.rowsPerSubarray ==
+                              phys / cfg_.rowsPerSubarray;
+
+            // SiMRA: ACT-PRE-ACT with both gaps grossly violated.
+            if (single && same_sub &&
+                bank.pendingTOn <= t.simraMaxActToPre &&
+                gap <= t.simraMaxPreToAct) {
+                if (!cfg_.profile.supportsSimra) {
+                    // Chip ignores both commands; the first row stays
+                    // open with its original activation time.
+                    bank.open = true;
+                    bank.openRows = bank.pendingRows;
+                    bank.kind = bank.pendingKind;
+                    bank.openedAt = bank.pendingOpenedAt;
+                    bank.comraDelay = bank.pendingComraDelay;
+                    bank.pendingValid = false;
+                    return;
+                }
+                auto group = decoder_.activatedSet(
+                    bank.pendingRows.front(), phys);
+                if (group.size() > 1) {
+                    // The blip is part of this op, not a real close.
+                    bank.pendingValid = false;
+                    bank.open = true;
+                    bank.openRows.assign(group.begin(), group.end());
+                    bank.kind = OpenKind::Simra;
+                    bank.openedAt = cursor_;
+                    bank.simraActToPre = bank.pendingTOn;
+                    bank.simraPreToAct = gap;
+                    recordAct(inst.bank, phys, i);
+                    return;
+                }
+                // Degenerate pair: fall through to normal handling.
+            }
+
+            // CoMRA: full restore, then reopen below tRP.
+            if (single && same_sub && bank.pendingRows.front() != phys &&
+                bank.pendingTOn >= t.tRAS - units::ns &&
+                gap <= t.comraMaxPreToAct) {
+                if (!bank.pendingRecorded) {
+                    // Retro-tag the source close as the copy cycle's
+                    // first half.
+                    RowActivity &src =
+                        rowOf(inst.bank, bank.pendingRows.front());
+                    src.closes[1] = satAddU(src.closes[1], 1);
+                    src.onTime[1] = satAddT(
+                        src.onTime[1],
+                        std::max<Time>(bank.pendingTOn, 0));
+                    src.comraDelaySum = satAddT(src.comraDelaySum, gap);
+                }
+                bank.pendingValid = false;
+                bank.open = true;
+                bank.openRows.assign(1, phys);
+                bank.kind = OpenKind::ComraDst;
+                bank.openedAt = cursor_;
+                bank.comraDelay = gap;
+                recordAct(inst.bank, phys, i);
+                return;
+            }
+
+            dropPending(inst.bank, bank);
+        }
+
+        bank.open = true;
+        bank.openRows.assign(1, phys);
+        bank.kind = OpenKind::Normal;
+        bank.openedAt = cursor_;
+        recordAct(inst.bank, phys, i);
+    }
+
+    void
+    pre(BankId b)
+    {
+        BankSt &bank = banks_[b];
+        if (!bank.open)
+            return;
+        dropPending(b, bank);
+        const Time t_on = cursor_ - bank.openedAt;
+        bank.pendingValid = true;
+        bank.pendingRows = bank.openRows;
+        bank.pendingTOn = t_on;
+        bank.pendingClosedAt = cursor_;
+        bank.pendingOpenedAt = bank.openedAt;
+        bank.pendingKind = bank.kind;
+        bank.pendingComraDelay = bank.comraDelay;
+        // Non-conventional closes can never reclassify (a SiMRA group
+        // pending is multi-row; a CoMRA dst pending re-copying is
+        // still one Comra close), so count them immediately.
+        bank.pendingRecorded = bank.kind != OpenKind::Normal;
+        if (bank.pendingRecorded)
+            recordOpenClose(b, bank, t_on);
+        bank.open = false;
+    }
+
+    void
+    step(std::size_t i)
+    {
+        const Inst &inst = program_.insts()[i];
+        cursor_ = satAddT(cursor_, std::max<Time>(inst.gap, 0));
+        switch (inst.op) {
+          case Op::Act:
+            act(i, inst);
+            break;
+          case Op::Pre:
+            if (inst.bank < cfg_.banks)
+                pre(inst.bank);
+            break;
+          case Op::PreAll:
+            for (BankId b = 0; b < cfg_.banks; ++b)
+                pre(b);
+            break;
+          case Op::Ref: {
+            out_.totalRefs = satAddU(out_.totalRefs, 1);
+            if (lastRefAt_ >= 0) {
+                const Time gap = cursor_ - lastRefAt_;
+                if (gap > out_.maxRefGap) {
+                    out_.maxRefGap = gap;
+                    out_.maxRefGapIndex = i;
+                }
+            }
+            if (out_.firstRefAt < 0)
+                out_.firstRefAt = cursor_;
+            lastRefAt_ = cursor_;
+            for (BankId b = 0; b < cfg_.banks; ++b)
+                dropPending(b, banks_[b]);
+            break;
+          }
+          case Op::Rd:
+          case Op::Wr:
+          case Op::Nop:
+          case Op::LoopBegin:
+          case Op::LoopEnd:
+            break;
+        }
+    }
+
+    void
+    finish()
+    {
+        for (BankId b = 0; b < cfg_.banks; ++b) {
+            BankSt &bank = banks_[b];
+            if (bank.open) {
+                // The row will disturb its neighbours whenever it is
+                // eventually closed; count that close now.
+                recordOpenClose(b, bank, cursor_ - bank.openedAt);
+                bank.open = false;
+            }
+            dropPending(b, bank);
+        }
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    const Program &program_;
+    const dram::DeviceConfig &cfg_;
+    dram::RowMapping mapping_;
+    dram::SimraDecoder decoder_;
+    ProgramEffects &out_;
+    std::vector<BankSt> banks_;
+    std::map<std::uint64_t, Time> lastActAt_;
+    Time cursor_ = 0;
+    Time lastRefAt_ = -1;
+};
+
+} // namespace
+
+const RowActivity *
+findRow(const ProgramEffects &fx, dram::BankId bank, dram::RowId phys)
+{
+    const auto it = fx.rows.find(rowKey(bank, phys));
+    return it == fx.rows.end() ? nullptr : &it->second;
+}
+
+ProgramEffects
+summarizeEffects(const bender::Program &program,
+                 const dram::DeviceConfig &cfg)
+{
+    ProgramEffects fx;
+    AbsWalker(program, cfg, fx).run();
+    return fx;
+}
+
+} // namespace pud::lint

@@ -74,6 +74,12 @@ enum class Code : std::uint8_t
     ColumnBeforeTrcd,     //!< RD/WR earlier than tRCD after ACT
     RefRecoveryShort,     //!< command earlier than tRFC after REF
     RefreshWindowExceeded,//!< runs past tREFW without a single REF
+    RefreshCadenceSparse, //!< REFs present but too sparse for tREFW
+
+    // ---- static effect prediction (absint + effects) ----------------------
+    DisturbanceLikely,    //!< a victim row can plausibly flip
+    DisturbanceImpossible,//!< a hammer-grade sweep that cannot flip bits
+    DiagFlood,            //!< repeats of one code capped ("and N more")
 };
 
 /** Machine-readable name of a code (stable CLI/JSON surface). */
@@ -101,6 +107,12 @@ struct LintResult
 
     /** Exact program duration, loop trip counts included. */
     Time duration = 0;
+
+    /**
+     * Diagnostics hidden by the per-code flood cap (each capped code
+     * carries one DiagFlood note naming its suppressed count).
+     */
+    std::size_t suppressed = 0;
 
     std::size_t
     count(Severity severity) const

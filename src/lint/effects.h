@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Static disturbance-effect prediction on top of the loop summary.
+ *
+ * predictEffects() takes a ProgramEffects summary (absint.h) and a
+ * calibration profile, identifies every potential victim row (the
+ * distance-1/2 same-subarray neighbours of each aggressor), and folds
+ * the adjacency-weighted close totals and condition factors through
+ * dram::foldThreshold -- the same multiplicative threshold chain the
+ * device model applies at execution time.  Two damage figures come
+ * out per victim:
+ *
+ *  - optimisticDamage: against a hypothetical cell twice as weak as
+ *    the family's Table 2 *minimum* anchor.  Below 1.0 here, no cell
+ *    the calibration can draw flips: the sweep is statically
+ *    unreachable (DisturbanceImpossible).
+ *  - typicalDamage: against the family's *average* anchor -- roughly
+ *    the damage a median row accrues.
+ *
+ * Victims whose optimistic damage crosses 1.0 are reported as
+ * DisturbanceLikely notes; a hammer-grade program (any aggressor with
+ * >= kHammerIntentCloses close events) in which *no* victim crosses
+ * earns one DisturbanceImpossible warning.
+ */
+
+#ifndef PUD_LINT_EFFECTS_H
+#define PUD_LINT_EFFECTS_H
+
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/types.h"
+#include "lint/absint.h"
+#include "lint/diag.h"
+
+namespace pud::lint {
+
+/** A program below this many closes per row is not trying to hammer. */
+constexpr std::uint64_t kHammerIntentCloses = 256;
+
+/** Predicted outcome for one potential victim row. */
+enum class Verdict : std::uint8_t
+{
+    Impossible,  //!< even a worst-case weak cell stays below threshold
+    Likely,      //!< a plausibly-weak cell crosses the flip threshold
+};
+
+/** Predicted disturbance on one victim row. */
+struct VictimPrediction
+{
+    dram::BankId bank = 0;
+    dram::RowId victimPhys = 0;
+
+    /** Damage vs a cell 2x weaker than the family minimum anchor. */
+    double optimisticDamage = 0;
+
+    /** Damage vs the family average anchor. */
+    double typicalDamage = 0;
+
+    /** Class contributing the most optimistic damage. */
+    dram::TechClass dominantClass = dram::TechClass::Conventional;
+
+    /** Adjacency-weighted aggressor closes (all classes). */
+    double weightedCloses = 0;
+
+    /** Aggressors on both sides of the victim. */
+    bool doubleSided = false;
+
+    Verdict verdict = Verdict::Impossible;
+
+    /** Instruction anchoring diagnostics (hottest aggressor's ACT). */
+    std::size_t anchorIndex = 0;
+};
+
+/** Everything the predictor derives from one summary. */
+struct EffectReport
+{
+    /** Per-victim predictions, strongest (most damage) first. */
+    std::vector<VictimPrediction> victims;
+
+    /** DisturbanceLikely / DisturbanceImpossible diagnostics. */
+    std::vector<Diag> diags;
+
+    /** Any victim crossed the optimistic threshold. */
+    bool anyLikely = false;
+
+    /** Largest per-row close count seen (hammer-intent detector). */
+    std::uint64_t hottestCloses = 0;
+};
+
+/** Run the static effect predictor over a program summary. */
+EffectReport predictEffects(const ProgramEffects &fx,
+                            const dram::DeviceConfig &cfg);
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_EFFECTS_H

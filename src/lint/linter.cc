@@ -4,11 +4,14 @@
 #include <cstdarg>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <set>
 #include <utility>
 
 #include "bender/executor.h"
 #include "dram/mapping.h"
+#include "lint/absint.h"
+#include "lint/effects.h"
 #include "util/logging.h"
 
 namespace pud::lint {
@@ -42,6 +45,10 @@ name(Code code)
       case Code::ColumnBeforeTrcd:      return "column-before-trcd";
       case Code::RefRecoveryShort:      return "ref-recovery-short";
       case Code::RefreshWindowExceeded: return "refresh-window-exceeded";
+      case Code::RefreshCadenceSparse:  return "refresh-cadence-sparse";
+      case Code::DisturbanceLikely:     return "disturbance-likely";
+      case Code::DisturbanceImpossible: return "disturbance-impossible";
+      case Code::DiagFlood:             return "diag-flood";
     }
     return "?";
 }
@@ -84,12 +91,16 @@ severityOf(Code code)
       case Code::ColumnBeforeTrcd:
       case Code::RefRecoveryShort:
       case Code::RefreshWindowExceeded:
+      case Code::RefreshCadenceSparse:
+      case Code::DisturbanceImpossible:
         return Severity::Warning;
 
       case Code::FastPathEligible:
       case Code::FastPathIneligible:
       case Code::IntendedComra:
       case Code::IntendedSimra:
+      case Code::DisturbanceLikely:
+      case Code::DiagFlood:
         return Severity::Note;
     }
     return Severity::Error;
@@ -132,11 +143,6 @@ class Walker
         walkRange(0, insts.size());
         finish();
         out_.duration = exactDuration(0, insts.size());
-        checkRefreshWindow();
-        std::sort(out_.diags.begin(), out_.diags.end(),
-                  [](const Diag &a, const Diag &b) {
-                      return a.instIndex < b.instIndex;
-                  });
     }
 
   private:
@@ -563,7 +569,6 @@ class Walker
                         b);
                 dropPending(bank);
             }
-            refSeen_ = true;
             lastRefAt_ = cursor_;
             afterRef_ = true;
             break;
@@ -591,19 +596,6 @@ class Walker
         }
     }
 
-    void
-    checkRefreshWindow()
-    {
-        if (refSeen_ || out_.duration <= cfg_.timings.tREFW)
-            return;
-        add(Code::RefreshWindowExceeded, 0,
-            "program runs %.1f ms, beyond the %.0f ms refresh window, "
-            "without a single REF: retention failures will pollute "
-            "bitflip counts",
-            static_cast<double>(out_.duration) / units::ms,
-            static_cast<double>(cfg_.timings.tREFW) / units::ms);
-    }
-
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     const Program &program_;
@@ -615,24 +607,144 @@ class Walker
     Time cursor_ = 0;
     Time lastRefAt_ = 0;
     bool afterRef_ = false;
-    bool refSeen_ = false;
 };
+
+/**
+ * Refresh-cadence analysis over the loop summary (the Walker cannot
+ * see replayed iterations, so REF density comes from absint).  A
+ * program shorter than tREFW needs no REF at all; past tREFW, zero
+ * REFs is the classic retention hazard, and REFs that *are* present
+ * but clustered leave some refresh stripes unserved: the nominal
+ * schedule spreads 8192 REFs evenly over the window, so any
+ * unrefreshed span above ~1.25x tREFW / 8192-per-gap means some rows
+ * go longer than their retention budget.
+ */
+void
+checkRefreshCadence(const ProgramEffects &fx, const bender::Program &program,
+                    const dram::DeviceConfig &cfg, LintResult &result)
+{
+    const dram::TimingParams &t = cfg.timings;
+    if (fx.duration <= t.tREFW)
+        return;
+    if (fx.totalRefs == 0) {
+        result.diags.push_back(
+            {Code::RefreshWindowExceeded,
+             severityOf(Code::RefreshWindowExceeded), 0,
+             format("program runs %.1f ms, beyond the %.0f ms refresh "
+                    "window, without a single REF: retention failures "
+                    "will pollute bitflip counts",
+                    static_cast<double>(fx.duration) / units::ms,
+                    static_cast<double>(t.tREFW) / units::ms)});
+        return;
+    }
+
+    // Worst unrefreshed span: the largest interior REF-to-REF gap or
+    // the trailing run from the last REF to the program end.
+    Time worst = fx.maxRefGap;
+    std::size_t anchor = fx.maxRefGapIndex;
+    const Time trailing = fx.duration - fx.lastRefAt;
+    if (trailing > worst) {
+        worst = trailing;
+        anchor = program.insts().empty() ? 0 : program.insts().size() - 1;
+    }
+
+    const double nominal_gap =
+        static_cast<double>(t.tREFW) / t.refsPerWindow;
+    // 25% slack: canonical patterns pace REFs at tREFI, which already
+    // sits just under the nominal budget.
+    if (static_cast<double>(worst) <= nominal_gap * 1.25)
+        return;
+    result.diags.push_back(
+        {Code::RefreshCadenceSparse,
+         severityOf(Code::RefreshCadenceSparse), anchor,
+         format("program runs %.1f ms with %llu REFs, but the worst "
+                "unrefreshed span is %.2f us -- %.1fx the nominal "
+                "%.2f us cadence (%u REFs per %.0f ms window): rows "
+                "whose refresh stripe lands in the gap risk retention "
+                "failures",
+                static_cast<double>(fx.duration) / units::ms,
+                static_cast<unsigned long long>(fx.totalRefs),
+                units::toUs(worst),
+                static_cast<double>(worst) / nominal_gap,
+                nominal_gap / units::us, t.refsPerWindow,
+                static_cast<double>(t.tREFW) / units::ms)});
+}
+
+/**
+ * Collapse diagnostic floods: keep the first `cap` sites per code and
+ * fold the rest into one DiagFlood note per capped code.
+ */
+void
+capDiagFloods(LintResult &result, std::size_t cap)
+{
+    if (cap == 0)
+        return;
+    std::map<Code, std::size_t> kept;
+    std::map<Code, std::size_t> lastKeptAt;
+    std::map<Code, std::size_t> flooded;
+    std::vector<Diag> out;
+    out.reserve(result.diags.size());
+    for (Diag &d : result.diags) {
+        if (++kept[d.code] <= cap) {
+            lastKeptAt[d.code] = d.instIndex;
+            out.push_back(std::move(d));
+        } else {
+            ++flooded[d.code];
+            ++result.suppressed;
+        }
+    }
+    for (const auto &[code, n] : flooded) {
+        out.push_back(
+            {Code::DiagFlood, severityOf(Code::DiagFlood),
+             lastKeptAt[code],
+             format("and %zu more '%s' diagnostic(s) suppressed "
+                    "(first %zu sites shown)",
+                    n, name(code), cap)});
+    }
+    result.diags = std::move(out);
+}
 
 } // namespace
 
 LintResult
 lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg)
 {
+    return lintProgram(program, cfg, LintOptions{});
+}
+
+LintResult
+lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg,
+            const LintOptions &opts, EffectReport *report_out)
+{
     LintResult result;
     Walker(program, cfg, result).run();
+
+    const ProgramEffects fx = summarizeEffects(program, cfg);
+    checkRefreshCadence(fx, program, cfg, result);
+
+    if (opts.effects || report_out != nullptr) {
+        EffectReport report = predictEffects(fx, cfg);
+        if (opts.effects)
+            result.diags.insert(result.diags.end(),
+                                report.diags.begin(), report.diags.end());
+        if (report_out != nullptr)
+            *report_out = std::move(report);
+    }
+
+    std::stable_sort(result.diags.begin(), result.diags.end(),
+                     [](const Diag &a, const Diag &b) {
+                         return a.instIndex < b.instIndex;
+                     });
+    capDiagFloods(result, opts.maxRepeatsPerCode);
     return result;
 }
 
 LintResult
 requireClean(const bender::Program &program,
-             const dram::DeviceConfig &cfg, const char *context)
+             const dram::DeviceConfig &cfg, const char *context,
+             const LintOptions &opts)
 {
-    LintResult result = lintProgram(program, cfg);
+    LintResult result = lintProgram(program, cfg, opts);
     for (const Diag &d : result.diags) {
         if (d.severity == Severity::Error) {
             fatal("%s: pre-flight lint failed: [%s] %s "

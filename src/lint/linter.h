@@ -31,9 +31,42 @@
 
 namespace pud::lint {
 
+struct EffectReport;  // effects.h
+
+/** Optional analyses and rendering knobs of one lint pass. */
+struct LintOptions
+{
+    /**
+     * Run the static disturbance-effect predictor (absint + effects)
+     * and merge its DisturbanceLikely / DisturbanceImpossible
+     * diagnostics into the result.  Off by default: the predictor's
+     * verdicts depend on the sweep's intent (a deliberately-below-
+     * threshold bisection step is not a bug), so only callers that
+     * know they want a full-budget program checked opt in.
+     */
+    bool effects = false;
+
+    /**
+     * Keep at most this many diagnostics per code; the rest collapse
+     * into one DiagFlood note ("and N more").  0 disables the cap.
+     */
+    std::size_t maxRepeatsPerCode = 8;
+};
+
 /** Statically analyze `program` against a device configuration. */
 LintResult lintProgram(const bender::Program &program,
                        const dram::DeviceConfig &cfg);
+
+/**
+ * As above with explicit options.  When `report_out` is non-null the
+ * effect predictor runs regardless of `opts.effects` and its full
+ * per-victim report is stored there (diagnostics are merged only when
+ * `opts.effects` is set).
+ */
+LintResult lintProgram(const bender::Program &program,
+                       const dram::DeviceConfig &cfg,
+                       const LintOptions &opts,
+                       EffectReport *report_out = nullptr);
 
 /**
  * Lint and fatal() on the first error-severity finding; returns the
@@ -42,7 +75,8 @@ LintResult lintProgram(const bender::Program &program,
  */
 LintResult requireClean(const bender::Program &program,
                         const dram::DeviceConfig &cfg,
-                        const char *context);
+                        const char *context,
+                        const LintOptions &opts = {});
 
 } // namespace pud::lint
 

@@ -137,4 +137,69 @@ printJson(const LintResult &result, const bender::Program &program,
     std::fprintf(out, "]}\n");
 }
 
+void
+printSarif(const LintResult &result, const bender::Program &program,
+           std::FILE *out)
+{
+    // SARIF "level" vocabulary: error / warning / note.
+    const auto level = [](Severity s) {
+        switch (s) {
+          case Severity::Error:   return "error";
+          case Severity::Warning: return "warning";
+          case Severity::Note:    return "note";
+        }
+        return "none";
+    };
+
+    // One reporting descriptor per code that appears, in first-use
+    // order; results reference them by index.
+    std::vector<Code> rules;
+    const auto ruleIndex = [&rules](Code code) {
+        for (std::size_t i = 0; i < rules.size(); ++i)
+            if (rules[i] == code)
+                return i;
+        rules.push_back(code);
+        return rules.size() - 1;
+    };
+    std::vector<std::size_t> indices;
+    indices.reserve(result.diags.size());
+    for (const Diag &d : result.diags)
+        indices.push_back(ruleIndex(d.code));
+
+    std::fprintf(out,
+                 "{\"$schema\":\"https://raw.githubusercontent.com/"
+                 "oasis-tcs/sarif-spec/master/Schemata/"
+                 "sarif-schema-2.1.0.json\","
+                 "\"version\":\"2.1.0\",\"runs\":[{"
+                 "\"tool\":{\"driver\":{\"name\":\"pud-lint\","
+                 "\"informationUri\":"
+                 "\"https://github.com/pudhammer/pudhammer\","
+                 "\"rules\":[");
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        std::fprintf(out,
+                     "%s{\"id\":\"%s\",\"shortDescription\":"
+                     "{\"text\":\"%s\"},\"defaultConfiguration\":"
+                     "{\"level\":\"%s\"}}",
+                     i ? "," : "", name(rules[i]), name(rules[i]),
+                     level(severityOf(rules[i])));
+    }
+    std::fprintf(out, "]}},\"results\":[");
+    for (std::size_t i = 0; i < result.diags.size(); ++i) {
+        const Diag &d = result.diags[i];
+        std::fprintf(
+            out,
+            "%s{\"ruleId\":\"%s\",\"ruleIndex\":%zu,"
+            "\"level\":\"%s\",\"message\":{\"text\":\"%s\"},"
+            "\"locations\":[{\"physicalLocation\":"
+            "{\"artifactLocation\":{\"uri\":\"bender:///program\"},"
+            "\"region\":{\"startLine\":%zu}}}],"
+            "\"properties\":{\"instruction\":\"%s\"}}",
+            i ? "," : "", name(d.code), indices[i],
+            level(d.severity), jsonEscape(d.message).c_str(),
+            d.instIndex + 1,
+            jsonEscape(describeInst(program, d.instIndex)).c_str());
+    }
+    std::fprintf(out, "]}]}\n");
+}
+
 } // namespace pud::lint

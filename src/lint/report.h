@@ -27,6 +27,16 @@ void printReport(const LintResult &result, const bender::Program &program,
 void printJson(const LintResult &result, const bender::Program &program,
                std::FILE *out = stdout);
 
+/**
+ * Print the result as a SARIF 2.1.0 document (the static-analysis
+ * interchange format GitHub code scanning ingests): one run with a
+ * "pud-lint" tool driver, one reporting descriptor per code that
+ * appears, and one result per diagnostic.  Instruction indices map to
+ * 1-based "lines" of a synthetic bender:///program artifact.
+ */
+void printSarif(const LintResult &result, const bender::Program &program,
+                std::FILE *out = stdout);
+
 /** Short mnemonic of an instruction, e.g. "ACT b0 r123 @+13.75ns". */
 std::string describeInst(const bender::Program &program, std::size_t index);
 

@@ -331,4 +331,67 @@ TEST(ApplyClose, RecordingReplaysExactly)
                 1e-3 * per_iter);
 }
 
+TEST(FoldThreshold, AnchorBudgetHitsRegionGain)
+{
+    const DeviceConfig cfg = hynixConfig();
+    const DisturbanceModel m(cfg);
+    const double base = cfg.profile.rhMin;
+
+    AggregateExposure e;
+    e.cls = TechClass::Conventional;
+    e.tOn = cfg.timings.tRAS;
+    e.doubleSided = true;
+    e.region = Region::Middle;
+    e.temperature = 80.0;
+    // Exactly the double-sided HC_first budget: 2 * base closes split
+    // across both aggressors.  At the anchor conditions (tRAS on-time,
+    // 80C) every gain except the spatial one is 1.0, so the fold must
+    // return precisely the family's Middle-region factor.
+    e.weightedCloses = 2.0 * base;
+    const double d = foldThreshold(cfg, e, base);
+    EXPECT_NEAR(
+        d, m.regionGain(TechClass::Conventional, 2, Region::Middle),
+        1e-9);
+
+    // Linear in the close total.
+    e.weightedCloses *= 3.0;
+    EXPECT_NEAR(foldThreshold(cfg, e, base), 3.0 * d, 1e-9);
+}
+
+TEST(FoldThreshold, SideAndDelayFactors)
+{
+    const DeviceConfig cfg = hynixConfig();
+    const double base = cfg.profile.rhMin;
+
+    AggregateExposure e;
+    e.cls = TechClass::Conventional;
+    e.tOn = cfg.timings.tRAS;
+    e.weightedCloses = 2.0 * base;
+    const double both = foldThreshold(cfg, e, base);
+    e.doubleSided = false;
+    EXPECT_NEAR(foldThreshold(cfg, e, base),
+                both * cfg.singleSidedScale, 1e-9);
+    e.doubleSided = true;
+
+    // CoMRA damage decays as the violated PRE -> ACT delay grows
+    // toward nominal tRP (Fig. 9).
+    e.cls = TechClass::Comra;
+    e.comraDelay = units::fromNs(7.5);
+    const double fast = foldThreshold(cfg, e, base);
+    e.comraDelay = units::fromNs(12.0);
+    const double slow = foldThreshold(cfg, e, base);
+    EXPECT_GT(fast, slow);
+    EXPECT_GT(slow, 0.0);
+}
+
+TEST(FoldThreshold, DegenerateInputsAreZero)
+{
+    const DeviceConfig cfg = hynixConfig();
+    AggregateExposure e;
+    e.weightedCloses = 1000.0;
+    EXPECT_EQ(foldThreshold(cfg, e, 0.0), 0.0);
+    e.weightedCloses = 0.0;
+    EXPECT_EQ(foldThreshold(cfg, e, 25000.0), 0.0);
+}
+
 } // namespace

@@ -8,9 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bender/host.h"
 #include "hammer/patterns.h"
+#include "lint/absint.h"
+#include "lint/effects.h"
 #include "lint/linter.h"
 #include "lint/report.h"
 
@@ -440,8 +445,7 @@ TEST(Lint, DurationMatchesExecutor)
 
 TEST(Lint, NamesAreStable)
 {
-    for (int c = 0; c <= static_cast<int>(Code::RefreshWindowExceeded);
-         ++c) {
+    for (int c = 0; c <= static_cast<int>(Code::DiagFlood); ++c) {
         EXPECT_STRNE(name(static_cast<Code>(c)), "?");
     }
     EXPECT_STREQ(name(Severity::Error), "error");
@@ -496,6 +500,338 @@ TEST(LintPreflight, ExecutorRunsCleanProgramWithPreflight)
     const auto p = hammer::comraHammer(0, 32, 34, 1000, t);
     const auto r = ex.run(p);
     EXPECT_GT(r.endTime, r.startTime);
+}
+
+TEST(LintPreflight, ExecutorEffectsPreflightStillRuns)
+{
+    dram::Device dev(smallConfig());
+    Executor ex(dev);
+    ex.setPreflight(true);
+    ex.setPreflightEffects(true);
+    hammer::PatternTimings t;
+    // Hammer-grade (>= kHammerIntentCloses) but hopeless: the
+    // pre-flight reports DisturbanceImpossible yet must not refuse.
+    const auto p = hammer::doubleSidedRowHammer(0, 32, 34, 300, t);
+    const auto r = ex.run(p);
+    EXPECT_GT(r.endTime, r.startTime);
+}
+
+// ---- loop summaries (absint) -------------------------------------------
+
+constexpr int kConv = static_cast<int>(dram::TechClass::Conventional);
+constexpr int kComra = static_cast<int>(dram::TechClass::Comra);
+constexpr int kSimra = static_cast<int>(dram::TechClass::Simra);
+
+TEST(AbsInt, TripCountIndependence)
+{
+    hammer::PatternTimings t;
+    const auto cfg = smallConfig();
+    const auto s1 = summarizeEffects(
+        hammer::doubleSidedRowHammer(0, 32, 34, 1000, t), cfg);
+    const auto s2 = summarizeEffects(
+        hammer::doubleSidedRowHammer(0, 32, 34, 2000, t), cfg);
+    const auto big = summarizeEffects(
+        hammer::doubleSidedRowHammer(0, 32, 34, 1000000, t), cfg);
+
+    // The no-unrolling guarantee: analysis work is identical at a
+    // thousand and a million iterations.
+    EXPECT_EQ(big.steps, s1.steps);
+    EXPECT_TRUE(big.exact);
+
+    // Additive fields are closed-form in the trip count ...
+    EXPECT_EQ(big.totalActs, 1000 * s1.totalActs);
+    const RowActivity *row = findRow(big, 0, 32);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->acts, 1000000u);
+    EXPECT_EQ(row->closes[kConv], 1000000u);
+    EXPECT_EQ(row->closes[kComra], 0u);
+
+    // ... and so is the duration: extrapolating the two small runs
+    // linearly must land exactly on the million-iteration result.
+    EXPECT_EQ(big.duration,
+              s1.duration + (s2.duration - s1.duration) * 999);
+
+    // A steady-state loop pins min == max inter-ACT spacing.
+    EXPECT_GT(row->minInterAct, 0);
+    EXPECT_EQ(row->minInterAct, row->maxInterAct);
+}
+
+TEST(AbsInt, ClassifiesComraCloses)
+{
+    hammer::PatternTimings t;
+    const auto fx = summarizeEffects(
+        hammer::comraHammer(0, 32, 34, 5000, t), smallConfig());
+    const RowActivity *src = findRow(fx, 0, 32);
+    const RowActivity *dst = findRow(fx, 0, 34);
+    ASSERT_NE(src, nullptr);
+    ASSERT_NE(dst, nullptr);
+    // One copy cycle = two Comra-class closes (src + dst).
+    EXPECT_EQ(src->closes[kComra], 5000u);
+    EXPECT_EQ(dst->closes[kComra], 5000u);
+    EXPECT_EQ(src->closes[kConv], 0u);
+    EXPECT_EQ(dst->closes[kConv], 0u);
+    // The copy delay is the violated PRE -> ACT gap, per close.
+    EXPECT_EQ(src->comraDelaySum, 5000 * t.comraPreToAct);
+}
+
+TEST(AbsInt, ClassifiesSimraGroupCloses)
+{
+    hammer::PatternTimings t;
+    const auto fx = summarizeEffects(
+        hammer::simraHammer(0, 32, 38, 4000, t), smallConfig());
+    // Rows 32 and 38 differ in bits 1-2: the bit-combination group is
+    // {32, 34, 36, 38}, and every member takes each close.
+    for (RowId r : {32u, 34u, 36u, 38u}) {
+        const RowActivity *ra = findRow(fx, 0, r);
+        ASSERT_NE(ra, nullptr) << "row " << r;
+        EXPECT_EQ(ra->closes[kSimra], 4000u) << "row " << r;
+        EXPECT_EQ(ra->simraN, 4) << "row " << r;
+    }
+    // Only the two issued addresses accrue ACT commands.
+    EXPECT_EQ(findRow(fx, 0, 32)->acts, 4000u);
+    EXPECT_EQ(findRow(fx, 0, 34)->acts, 0u);
+}
+
+TEST(AbsInt, NestedLoopsMultiply)
+{
+    Program p;
+    p.loopBegin(10);
+    p.loopBegin(100).act(0, 1, kT.tRP).pre(0, kT.tRAS).loopEnd();
+    p.loopEnd();
+    const auto fx = summarizeEffects(p, smallConfig());
+    EXPECT_TRUE(fx.exact);
+    EXPECT_EQ(fx.totalActs, 1000u);
+    const RowActivity *row = findRow(fx, 0, 1);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->acts, 1000u);
+}
+
+TEST(AbsInt, UnbalancedLoopIsLowerBound)
+{
+    Program p;
+    p.loopBegin(1000).act(0, 1, kT.tRP).pre(0, kT.tRAS);
+    const auto fx = summarizeEffects(p, smallConfig());
+    EXPECT_FALSE(fx.exact);
+    EXPECT_EQ(fx.totalActs, 1u);  // tail analyzed once
+}
+
+// ---- static disturbance-effect prediction ------------------------------
+
+class EffectsFamily : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EffectsFamily, HammerAboveThresholdIsLikely)
+{
+    const auto cfg = smallConfig(GetParam());
+    const auto hc = static_cast<std::uint64_t>(cfg.profile.rhMin);
+    hammer::PatternTimings t;
+    const auto p = hammer::doubleSidedRowHammer(0, 32, 34, 4 * hc, t);
+
+    LintOptions opts;
+    opts.effects = true;
+    EffectReport report;
+    const auto r = lintProgram(p, cfg, opts, &report);
+
+    EXPECT_TRUE(has(r, Code::DisturbanceLikely));
+    EXPECT_FALSE(has(r, Code::DisturbanceImpossible));
+    EXPECT_TRUE(report.anyLikely);
+    ASSERT_FALSE(report.victims.empty());
+    // The sandwiched row takes the most damage.
+    const VictimPrediction &top = report.victims.front();
+    EXPECT_EQ(top.victimPhys, 33u);
+    EXPECT_TRUE(top.doubleSided);
+    EXPECT_EQ(top.verdict, Verdict::Likely);
+    EXPECT_GT(top.optimisticDamage, 1.0);
+    EXPECT_EQ(top.dominantClass, dram::TechClass::Conventional);
+}
+
+TEST_P(EffectsFamily, HammerFarBelowThresholdIsImpossible)
+{
+    const auto cfg = smallConfig(GetParam());
+    const auto hc = static_cast<std::uint64_t>(cfg.profile.rhMin);
+    // ~1% of HC_first, kept above the hammer-intent floor so the
+    // predictor treats the program as a (doomed) attack.
+    const std::uint64_t h =
+        std::max<std::uint64_t>(hc / 100, kHammerIntentCloses);
+    hammer::PatternTimings t;
+    const auto p = hammer::doubleSidedRowHammer(0, 32, 34, h, t);
+
+    LintOptions opts;
+    opts.effects = true;
+    EffectReport report;
+    const auto r = lintProgram(p, cfg, opts, &report);
+
+    EXPECT_FALSE(has(r, Code::DisturbanceLikely));
+    EXPECT_TRUE(has(r, Code::DisturbanceImpossible));
+    EXPECT_FALSE(report.anyLikely);
+    EXPECT_GE(report.hottestCloses, kHammerIntentCloses);
+    for (const VictimPrediction &v : report.victims) {
+        EXPECT_EQ(v.verdict, Verdict::Impossible);
+        EXPECT_LT(v.optimisticDamage, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CalibratedFamilies, EffectsFamily,
+                         ::testing::Values("HMA81GU7AFR8N-UH",
+                                           "75TT21NUS1R8-4"));
+
+TEST(Effects, DefaultLintLeavesPredictorOff)
+{
+    hammer::PatternTimings t;
+    const auto p = hammer::doubleSidedRowHammer(0, 32, 34, 200000, t);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_FALSE(has(r, Code::DisturbanceLikely));
+    EXPECT_FALSE(has(r, Code::DisturbanceImpossible));
+}
+
+// ---- refresh cadence ---------------------------------------------------
+
+TEST(Lint, RefreshCadenceSparseOnClusteredRefs)
+{
+    Program p;
+    p.ref(kT.tRFC).ref(kT.tRFC).ref(kT.tRFC);
+    p.loopBegin(2000000).act(0, 1, kT.tRP).pre(0, kT.tRAS).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    // REFs exist, so the window diagnostic steps aside for the
+    // cadence one: all the refresh happens up front, leaving a
+    // ~100 ms unrefreshed tail.
+    EXPECT_TRUE(has(r, Code::RefreshCadenceSparse));
+    EXPECT_FALSE(has(r, Code::RefreshWindowExceeded));
+}
+
+TEST(Lint, EvenRefCadenceIsNotSparse)
+{
+    Program p;
+    p.loopBegin(10000).ref(kT.tREFI).loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    // 78 ms of runtime, but REFs paced at tREFI stay inside the
+    // nominal 8192-per-tREFW budget (plus slack).
+    EXPECT_FALSE(has(r, Code::RefreshCadenceSparse));
+    EXPECT_FALSE(has(r, Code::RefreshWindowExceeded));
+}
+
+// ---- diagnostic flood cap ----------------------------------------------
+
+TEST(Lint, DiagFloodCapsRepeatedCodes)
+{
+    Program p;
+    for (int i = 0; i < 100; ++i)
+        p.pre(0, kT.tRP);
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_EQ(countCode(r, Code::PreOnIdleBank), 8u);
+    EXPECT_EQ(countCode(r, Code::DiagFlood), 1u);
+    EXPECT_EQ(r.suppressed, 92u);
+    const auto it = std::find_if(
+        r.diags.begin(), r.diags.end(),
+        [](const Diag &d) { return d.code == Code::DiagFlood; });
+    ASSERT_NE(it, r.diags.end());
+    EXPECT_NE(it->message.find("92 more"), std::string::npos);
+
+    // Cap 0 disables the limiter entirely.
+    LintOptions opts;
+    opts.maxRepeatsPerCode = 0;
+    const auto all = lintProgram(p, smallConfig(), opts);
+    EXPECT_EQ(countCode(all, Code::PreOnIdleBank), 100u);
+    EXPECT_EQ(countCode(all, Code::DiagFlood), 0u);
+    EXPECT_EQ(all.suppressed, 0u);
+}
+
+// ---- reporters ---------------------------------------------------------
+
+std::string
+renderWith(void (*fn)(const LintResult &, const Program &, std::FILE *),
+           const LintResult &r, const Program &p)
+{
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    fn(r, p, f);
+    std::fclose(f);
+    std::string out(buf, len);
+    std::free(buf);
+    return out;
+}
+
+LintResult
+sampleResult()
+{
+    LintResult r;
+    r.duration = units::fromNs(100);
+    r.diags.push_back({Code::PreOnIdleBank, Severity::Warning, 0,
+                       "say \"no\"\nto stray PREs"});
+    r.diags.push_back({Code::DisturbanceLikely, Severity::Note, 1,
+                       "backslash \\ and tab\t"});
+    return r;
+}
+
+Program
+sampleProgram()
+{
+    Program p;
+    p.act(0, 5, kT.tRP).pre(0, kT.tRAS);
+    return p;
+}
+
+TEST(LintReport, TableGolden)
+{
+    const std::string out =
+        renderWith(printReport, sampleResult(), sampleProgram());
+    EXPECT_NE(out.find("pre-on-idle-bank"), std::string::npos);
+    EXPECT_NE(out.find("disturbance-likely"), std::string::npos);
+    EXPECT_NE(out.find("ACT b0 r5"), std::string::npos);
+    EXPECT_NE(out.find("2 instruction(s), duration 0.100 us: "
+                       "0 error(s), 1 warning(s), 1 note(s)"),
+              std::string::npos);
+}
+
+TEST(LintReport, JsonEscapesQuotesAndNewlines)
+{
+    const std::string out =
+        renderWith(printJson, sampleResult(), sampleProgram());
+    EXPECT_NE(out.find("\"warnings\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"notes\":1"), std::string::npos);
+    EXPECT_NE(out.find("say \\\"no\\\"\\nto stray PREs"),
+              std::string::npos);
+    EXPECT_NE(out.find("backslash \\\\ and tab\\t"), std::string::npos);
+    // Raw control characters must never reach the document.
+    EXPECT_EQ(out.find('\t'), std::string::npos);
+}
+
+TEST(LintReport, SarifShape)
+{
+    const std::string out =
+        renderWith(printSarif, sampleResult(), sampleProgram());
+
+    // SARIF 2.1.0 envelope.
+    EXPECT_NE(out.find("sarif-schema-2.1.0.json"), std::string::npos);
+    EXPECT_NE(out.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"pud-lint\""), std::string::npos);
+
+    // Rules in first-use order, referenced by index.
+    EXPECT_NE(out.find("\"id\":\"pre-on-idle-bank\""), std::string::npos);
+    EXPECT_NE(out.find("\"id\":\"disturbance-likely\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"ruleId\":\"pre-on-idle-bank\",\"ruleIndex\":0"),
+              std::string::npos);
+    EXPECT_NE(
+        out.find("\"ruleId\":\"disturbance-likely\",\"ruleIndex\":1"),
+        std::string::npos);
+    EXPECT_NE(out.find("\"defaultConfiguration\":{\"level\":\"warning\"}"),
+              std::string::npos);
+
+    // Results: levels, escaped message, synthetic artifact location.
+    EXPECT_NE(out.find("\"level\":\"warning\""), std::string::npos);
+    EXPECT_NE(out.find("say \\\"no\\\"\\nto stray PREs"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"uri\":\"bender:///program\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"startLine\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"startLine\":2"), std::string::npos);
+
+    // The document is at least brace-balanced.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
 }
 
 } // namespace

@@ -14,8 +14,9 @@
  *   pudhammer attack   --module=ID --technique=rh|comra|simra
  *                      [--trr] [--hammers=N] [--seed=N]
  *       run the §7 bitflip-count experiment
- *   pudhammer lint     --program=NAME [--module=ID] [--hammers=N]
- *                      [--json]
+ *   pudhammer lint     --program=NAME [--module=ID|--profile=ID]
+ *                      [--hammers=N] [--effects] [--json|--sarif]
+ *                      [--werror]
  *       statically analyze a canonical or demo test program
  */
 
@@ -27,6 +28,7 @@
 #include "exec/pool.h"
 #include "hammer/experiment.h"
 #include "hammer/reveng.h"
+#include "lint/effects.h"
 #include "lint/linter.h"
 #include "lint/report.h"
 #include "stats/summary.h"
@@ -56,8 +58,11 @@ cmdModules()
 dram::DeviceConfig
 configFrom(const Args &args)
 {
+    // --profile is the lint-facing alias: "lint this program as if it
+    // ran on family X" reads better than --module there, but both
+    // select the same Table 2 calibration profile everywhere.
     const std::string module =
-        args.get("module", "HMA81GU7AFR8N-UH");
+        args.get("profile", args.get("module", "HMA81GU7AFR8N-UH"));
     dram::DeviceConfig cfg = dram::makeConfig(
         module, static_cast<std::uint64_t>(args.getInt("seed", 1)));
     cfg.rowsPerSubarray = static_cast<dram::RowId>(
@@ -301,12 +306,43 @@ cmdLint(const Args &args)
         program_name, cfg,
         static_cast<std::uint64_t>(args.getInt("hammers", 100000)));
 
-    const lint::LintResult result = lint::lintProgram(program, cfg);
-    if (args.has("json"))
+    lint::LintOptions opts;
+    opts.effects = args.has("effects");
+    lint::EffectReport report;
+    const lint::LintResult result =
+        lint::lintProgram(program, cfg, opts,
+                          opts.effects ? &report : nullptr);
+
+    if (args.has("sarif")) {
+        lint::printSarif(result, program);
+    } else if (args.has("json")) {
         lint::printJson(result, program);
-    else
+    } else {
         lint::printReport(result, program);
-    return result.clean() ? 0 : 1;
+        if (opts.effects && !report.victims.empty()) {
+            std::printf("\npredicted victims on %s "
+                        "(damage as a fraction of the flip threshold):\n",
+                        cfg.profile.moduleId.c_str());
+            Table table({"bank", "phys row", "weighted closes",
+                         "optimistic", "typical", "verdict"});
+            for (const auto &v : report.victims) {
+                table.addRow(
+                    {Table::count(v.bank), Table::count(v.victimPhys),
+                     Table::num(v.weightedCloses),
+                     Table::num(v.optimisticDamage, 3),
+                     Table::num(v.typicalDamage, 3),
+                     v.verdict == lint::Verdict::Likely ? "likely"
+                                                        : "impossible"});
+            }
+            table.print(stdout);
+        }
+    }
+
+    if (!result.clean())
+        return 1;
+    if (args.has("werror") && result.count(lint::Severity::Warning) > 0)
+        return 1;
+    return 0;
 }
 
 void
@@ -324,7 +360,10 @@ usage()
         "          [--hammers=N]\n"
         "  lint    --program=rh|comra|simra|combined|trr-rh|trr-simra\n"
         "          |demo-unbalanced|demo-bad-wr|demo-subtrp|demo-broken\n"
-        "          [--module=ID] [--hammers=N] [--json]\n"
+        "          [--module=ID | --profile=ID] [--hammers=N]\n"
+        "          [--effects] [--json | --sarif] [--werror]\n"
+        "          (--effects: static disturbance prediction;\n"
+        "           --werror: warnings also exit nonzero)\n"
         "common: --seed=N --rows=N (rows per subarray)\n");
 }
 
