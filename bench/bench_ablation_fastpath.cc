@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "bender/host.h"
@@ -44,6 +45,132 @@ BM_HammerProbe(benchmark::State &state)
     hammer::PatternTimings t;
     const auto program = hammer::doubleSidedRowHammer(
         0, dev.toLogical(32), dev.toLogical(34), hammers, t);
+
+    for (auto _ : state) {
+        bench.writeRow(0, dev.toLogical(32), aggr);
+        bench.writeRow(0, dev.toLogical(34), aggr);
+        bench.writeRow(0, dev.toLogical(33), vict);
+        bench.run(program);
+        benchmark::DoNotOptimize(
+            bench.countBitflips(0, dev.toLogical(33), vict));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(hammers));
+}
+
+/**
+ * REF-interleaved CoMRA probe: the tREFI-cadence refresh stream means
+ * every hot loop carries a REF, which the generalized fast-path
+ * replays iteration-by-iteration (stripe refresh + TRR bookkeeping
+ * advance closed-form) instead of falling back to naive execution.
+ */
+void
+BM_RefProbe(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const auto hammers = static_cast<std::uint64_t>(state.range(1));
+
+    bender::TestBench bench(benchConfig());
+    bench.executor().setFastPath(fast);
+    dram::Device &dev = bench.device();
+    const dram::RowData aggr(512, dram::DataPattern::P55);
+    const dram::RowData vict(512, dram::DataPattern::PAA);
+
+    hammer::PatternTimings t;
+    const auto program = hammer::withRefInterleave(
+        hammer::comraHammer(0, dev.toLogical(32), dev.toLogical(34),
+                            hammers, t),
+        t.base);
+
+    for (auto _ : state) {
+        bench.writeRow(0, dev.toLogical(32), aggr);
+        bench.writeRow(0, dev.toLogical(34), aggr);
+        bench.writeRow(0, dev.toLogical(33), vict);
+        bench.run(program);
+        benchmark::DoNotOptimize(
+            bench.countBitflips(0, dev.toLogical(33), vict));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(hammers));
+}
+
+/**
+ * REF-interleaved *combined* probe (the acceptance workload): a
+ * CoMRA phase, a SiMRA phase, and a RowHammer phase, each carrying
+ * the tREFI refresh stream -- the HC_first probe shape of the §6
+ * combined-pattern sweeps with host refresh on.
+ */
+void
+BM_CombinedRefProbe(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const auto hammers = static_cast<std::uint64_t>(state.range(1));
+
+    bender::TestBench bench(benchConfig());
+    bench.executor().setFastPath(fast);
+    dram::Device &dev = bench.device();
+    const dram::RowData aggr(512, dram::DataPattern::P55);
+    const dram::RowData vict(512, dram::DataPattern::PAA);
+
+    hammer::PatternTimings t;
+    hammer::CombinedCounts counts;
+    counts.comra = hammers / 4;
+    counts.simra = hammers / 4;
+    counts.rowHammer = hammers;
+    const auto program = hammer::withRefInterleave(
+        hammer::combinedPattern(0, dev.toLogical(32), dev.toLogical(34),
+                                dev.toLogical(32), dev.toLogical(34),
+                                dev.toLogical(40), dev.toLogical(46),
+                                counts, t),
+        t.base);
+
+    for (auto _ : state) {
+        bench.writeRow(0, dev.toLogical(32), aggr);
+        bench.writeRow(0, dev.toLogical(34), aggr);
+        bench.writeRow(0, dev.toLogical(33), vict);
+        bench.run(program);
+        benchmark::DoNotOptimize(
+            bench.countBitflips(0, dev.toLogical(33), vict));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(hammers));
+}
+
+/**
+ * Nested-loop probe: an outer sweep re-running a hot double-sided
+ * loop.  The inner loop fast-paths inside each outer iteration; with
+ * the cost model's consent the outer loop records across it.
+ */
+void
+BM_NestedProbe(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const auto hammers = static_cast<std::uint64_t>(state.range(1));
+
+    bender::TestBench bench(benchConfig());
+    bench.executor().setFastPath(fast);
+    dram::Device &dev = bench.device();
+    const dram::RowData aggr(512, dram::DataPattern::P55);
+    const dram::RowData vict(512, dram::DataPattern::PAA);
+
+    hammer::PatternTimings t;
+    const std::uint64_t inner = 64;
+    const std::uint64_t outer =
+        std::max<std::uint64_t>(1, hammers / inner);
+    bender::Program program;
+    program.loopBegin(outer);
+    program.loopBegin(inner)
+        .act(0, dev.toLogical(32), t.base.tRP)
+        .pre(0, t.aggOn())
+        .act(0, dev.toLogical(34), t.base.tRP)
+        .pre(0, t.aggOn())
+        .loopEnd();
+    program.act(0, dev.toLogical(36), t.base.tRP)
+        .pre(0, t.aggOn())
+        .loopEnd();
 
     for (auto _ : state) {
         bench.writeRow(0, dev.toLogical(32), aggr);
@@ -105,6 +232,30 @@ BM_ParallelForDispatch(benchmark::State &state)
 
 // {fast-path?, hammer count}
 BENCHMARK(BM_HammerProbe)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({1, 700000});
+
+// {fast-path?, hammer count}
+BENCHMARK(BM_RefProbe)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({1, 700000});
+
+// {fast-path?, hammer count}
+BENCHMARK(BM_CombinedRefProbe)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Args({1, 700000});
+
+// {fast-path?, hammer count}
+BENCHMARK(BM_NestedProbe)
     ->Args({0, 1000})
     ->Args({1, 1000})
     ->Args({0, 100000})

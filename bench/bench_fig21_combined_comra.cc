@@ -21,6 +21,9 @@ main(int argc, char **argv)
     const auto &family = representative(dram::Manufacturer::SKHynix);
     ModuleTester::Options opt;
     opt.searchWcdp = !args.has("no-wcdp");
+    // --refresh interleaves nominal REFs at the tREFI cadence into
+    // every probe; the generalized fast-path keeps this cheap.
+    opt.refreshInterleave = args.has("refresh");
 
     std::vector<MeasureFn> measures = {
         [&](ModuleTester &t, dram::RowId v) {

@@ -4,6 +4,12 @@
  * with and without the in-DRAM TRR mechanism on the SK Hynix 8Gb
  * A-die module, using the U-TRR N-sided bypass pattern for
  * RowHammer/CoMRA and paced SiMRA ops for SiMRA.
+ *
+ * The measured patterns are REF-dense (a refresh per tREFI of
+ * hammering), which the generalized executor fast-path now replays
+ * arithmetically whenever the refresh stream stays clear of the
+ * hammered rows; the TRR-off arms and profiling sweeps in particular
+ * run orders of magnitude faster than naive execution.
  */
 
 #include "common.h"

@@ -5,6 +5,11 @@
  * counting, SiMRA = 200 / CoMRA = 10 per op against the RowHammer
  * RDT) across PuD operation periods, over five-core multiprogrammed
  * mixes.
+ *
+ * This bench is analytic (sim::weightedSpeedup over per-mix traces);
+ * it issues no device commands itself, but its companion figure
+ * benches (21-24) now run their HC_first probes with the executor
+ * loop fast-path on by default -- see EXPERIMENTS.md.
  */
 
 #include <array>

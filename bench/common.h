@@ -145,6 +145,18 @@ class JobsSummary
                      "total: %zu work units, wall %.2f s, busy %.2f s "
                      "(parallel speedup %.2fx)\n",
                      units, wall, busy, wall > 0.0 ? busy / wall : 0.0);
+        std::uint64_t fast_iters = 0, hits = 0, misses = 0;
+        for (const auto &t : runs_) {
+            fast_iters += t.fastPathIterations();
+            hits += t.planCacheHits();
+            misses += t.planCacheMisses();
+        }
+        std::fprintf(stderr,
+                     "executor: %llu fastPathIterations, "
+                     "%llu planCacheHits, %llu planCacheMisses\n",
+                     static_cast<unsigned long long>(fast_iters),
+                     static_cast<unsigned long long>(hits),
+                     static_cast<unsigned long long>(misses));
     }
 
   private:

@@ -1,47 +1,21 @@
 #include "bender/executor.h"
 
+#include <algorithm>
+
 #include "lint/linter.h"
 #include "util/logging.h"
 
 namespace pud::bender {
 
-std::size_t
-Executor::matchEnd(const Program &program, std::size_t begin_index)
-{
-    const auto &insts = program.insts();
-    int depth = 0;
-    for (std::size_t i = begin_index; i < insts.size(); ++i) {
-        if (insts[i].op == Op::LoopBegin)
-            ++depth;
-        else if (insts[i].op == Op::LoopEnd && --depth == 0)
-            return i;
-    }
-    fatal("Executor: unbalanced loop at instruction %zu", begin_index);
-}
+namespace {
 
-bool
-Executor::bodyEligible(const Program &program, std::size_t begin,
-                       std::size_t end)
-{
-    for (std::size_t i = begin; i < end; ++i) {
-        const Op op = program.insts()[i].op;
-        if (op == Op::Ref || op == Op::Rd || op == Op::LoopBegin ||
-            op == Op::LoopEnd) {
-            return false;
-        }
-    }
-    return true;
-}
+/** Cap on up-front ExecResult::reads reservation (entries). */
+constexpr std::uint64_t kReadReserveCap = 1ULL << 20;
 
-Time
-Executor::bodyDuration(const Program &program, std::size_t begin,
-                       std::size_t end)
-{
-    Time d = 0;
-    for (std::size_t i = begin; i < end; ++i)
-        d += program.insts()[i].gap;
-    return d;
-}
+/** Plan-cache entries kept before the cache is dropped wholesale. */
+constexpr std::size_t kPlanCacheCap = 64;
+
+} // namespace
 
 void
 Executor::execOne(const Program &program, const Inst &inst, Time &cursor,
@@ -82,8 +56,96 @@ Executor::execOne(const Program &program, const Inst &inst, Time &cursor,
     }
 }
 
+void
+Executor::execLoop(const Program &program, const ExecPlan &plan,
+                   const RunCosts &costs, std::size_t loop_index,
+                   std::uint64_t n, Time &cursor, ExecResult &result)
+{
+    const PlanLoop &loop = plan.loops()[loop_index];
+    const std::size_t body_begin = loop.begin + 1;
+    const std::size_t body_end = loop.end;
+
+    auto body = [&] {
+        execRange(program, plan, costs, body_begin, body_end, cursor,
+                  result);
+    };
+
+    // Recording an outer loop runs its body fully naively once, so it
+    // only pays off when that beats letting the inner loops fast-path
+    // across (n - 2) live iterations.  For flat bodies the inequality
+    // is trivially true.
+    const bool eligible =
+        fastPath_ && !recording_ && loop.cls != BodyClass::Naive &&
+        n >= kFastPathThreshold &&
+        costs.naiveCost[loop_index] <=
+            satMul(costs.fastCost[loop_index], n - 2);
+
+    if (!eligible) {
+        for (std::uint64_t it = 0; it < n; ++it)
+            body();
+        return;
+    }
+
+    std::uint64_t it = 0;
+    int strikes = 0;
+
+    // Each chunk: two warm-up iterations reach steady state (CoMRA
+    // copies settle, side-alternation state stabilizes), one recorded
+    // iteration captures the periodic deltas, then the remainder
+    // replays arithmetically.  A REF-free body replays to completion
+    // in one chunk; a REF-bearing body replays until a refresh is
+    // about to land on a loop-damaged row (phase break), executes that
+    // iteration live, and re-records.  A body whose refreshes keep
+    // colliding with its own rows never settles -- after two fruitless
+    // chunks we stop re-recording and finish naively.
+    while (n - it >= kFastPathThreshold && strikes < 2) {
+        const Time chunk_start = cursor;
+        body();
+        body();
+        device_->beginLoopRecording();
+        recording_ = true;
+        body();
+        recording_ = false;
+        const dram::Device::LoopRecord rec =
+            device_->endLoopRecording();
+        it += 3;
+
+        if (!rec.quiescent) {
+            ++strikes;
+            continue;
+        }
+
+        const std::uint64_t replayed =
+            device_->replayLoopIterations(rec, n - it);
+        if (replayed > 0) {
+            const Time skipped = static_cast<Time>(replayed) *
+                                 costs.duration[loop_index];
+            device_->shiftLoopTimestamps(chunk_start, skipped);
+            cursor += skipped;
+            it += replayed;
+            result.fastPathIterations += replayed;
+            stats_.fastPathIterations += replayed;
+        }
+        if (it >= n)
+            return;
+
+        // Phase break: run the refresh-colliding iteration live, then
+        // try another chunk if enough trip count remains.
+        ++stats_.phaseBreaks;
+        body();
+        ++it;
+        strikes = replayed >= kFastPathThreshold ? 0 : strikes + 1;
+    }
+
+    while (it < n) {
+        body();
+        ++it;
+    }
+}
+
 std::size_t
-Executor::execRange(const Program &program, std::size_t begin,
+Executor::execRange(const Program &program, const ExecPlan &plan,
+                    const RunCosts &costs, std::size_t begin,
                     std::size_t end, Time &cursor, ExecResult &result)
 {
     const auto &insts = program.insts();
@@ -93,49 +155,10 @@ Executor::execRange(const Program &program, std::size_t begin,
         if (inst.op == Op::LoopEnd) {
             panic("Executor: stray LoopEnd at %zu", i);
         } else if (inst.op == Op::LoopBegin) {
-            const std::size_t close = matchEnd(program, i);
-            const std::size_t body_begin = i + 1;
-            const std::uint64_t n = inst.count;
-
-            const bool use_fast =
-                fastPath_ && n >= kFastPathThreshold &&
-                bodyEligible(program, body_begin, close);
-
-            if (use_fast) {
-                const Time loop_start = cursor;
-
-                // Two warm-up iterations reach steady state (CoMRA
-                // copies settle, side-alternation state stabilizes).
-                for (int w = 0; w < 2; ++w)
-                    for (std::size_t k = body_begin; k < close; ++k)
-                        execOne(program, insts[k], cursor, result);
-
-                // One recorded steady-state iteration.
-                device_->beginRecording();
-                for (std::size_t k = body_begin; k < close; ++k)
-                    execOne(program, insts[k], cursor, result);
-                const dram::DamageRecord record =
-                    device_->endRecording();
-
-                // Replay the remaining trip count arithmetically, and
-                // shift loop-era timestamps so commands after the loop
-                // see the state of the virtual final iteration.
-                const std::uint64_t remaining = n - 3;
-                device_->replayRecord(record, remaining);
-                const Time skipped =
-                    static_cast<Time>(remaining) *
-                    bodyDuration(program, body_begin, close);
-                device_->shiftLoopTimestamps(loop_start, skipped);
-                cursor += skipped;
-                result.fastPathIterations += remaining;
-            } else {
-                for (std::uint64_t it = 0; it < n; ++it) {
-                    Time c = cursor;
-                    execRange(program, body_begin, close, c, result);
-                    cursor = c;
-                }
-            }
-            i = close + 1;
+            const std::int32_t li = plan.loopAt(i);
+            execLoop(program, plan, costs, static_cast<std::size_t>(li),
+                     inst.count, cursor, result);
+            i = plan.loops()[li].end + 1;
         } else {
             execOne(program, inst, cursor, result);
             ++i;
@@ -144,35 +167,72 @@ Executor::execRange(const Program &program, std::size_t begin,
     return i;
 }
 
+void
+Executor::preflightCheck(const Program &program)
+{
+    // Refuse programs the device would fatal on, with a pointer at the
+    // bad instruction.  Warnings (deliberately violated timings that
+    // match no PuD idiom) are the caller's business -- see
+    // lint::lintProgram.
+    lint::LintOptions opts;
+    opts.effects = preflightEffects_;
+    const lint::LintResult pre = lint::requireClean(
+        program, device_->config(), "Executor", opts);
+    if (preflightEffects_) {
+        for (const lint::Diag &d : pre.diags) {
+            if (d.code == lint::Code::DisturbanceImpossible)
+                warn("Executor pre-flight: [%s] %s", lint::name(d.code),
+                     d.message.c_str());
+        }
+    }
+}
+
+const ExecPlan &
+Executor::planFor(const Program &program)
+{
+    const std::uint64_t hash = shapeHashOf(program);
+    auto &bucket = planCache_[hash];
+    for (CachedPlan &entry : bucket) {
+        if (entry.plan->matchesShape(program)) {
+            ++stats_.planCacheHits;
+            if (preflight_ && !entry.linted) {
+                preflightCheck(program);
+                entry.linted = true;
+            }
+            return *entry.plan;
+        }
+    }
+
+    ++stats_.planCacheMisses;
+    if (planCache_.size() > kPlanCacheCap)
+        planCache_.clear();
+
+    auto plan = std::make_shared<const ExecPlan>(
+        ExecPlan::compile(program));
+    if (preflight_)
+        preflightCheck(program);
+    auto &fresh = planCache_[hash];
+    fresh.push_back(CachedPlan{plan, preflight_});
+    return *fresh.back().plan;
+}
+
 ExecResult
 Executor::run(const Program &program)
 {
     if (!program.balanced())
         fatal("Executor: program has unbalanced loops");
 
-    // Pre-flight static analysis (debug builds): refuse programs the
-    // device would fatal on, with a pointer at the bad instruction.
-    // Warnings (deliberately violated timings that match no PuD idiom)
-    // are the caller's business -- see lint::lintProgram.
-    if (preflight_) {
-        lint::LintOptions opts;
-        opts.effects = preflightEffects_;
-        const lint::LintResult pre = lint::requireClean(
-            program, device_->config(), "Executor", opts);
-        if (preflightEffects_) {
-            for (const lint::Diag &d : pre.diags) {
-                if (d.code == lint::Code::DisturbanceImpossible)
-                    warn("Executor pre-flight: [%s] %s",
-                         lint::name(d.code), d.message.c_str());
-            }
-        }
-    }
+    const ExecPlan &plan = planFor(program);
+    const RunCosts costs = RunCosts::compute(plan, program);
 
     ExecResult result;
+    result.reads.reserve(static_cast<std::size_t>(
+        std::min(costs.totalRds, kReadReserveCap)));
     // Leave a bus-turnaround gap after whatever ran before.
     Time cursor = device_->now() + units::fromNs(100);
     result.startTime = cursor;
-    execRange(program, 0, program.insts().size(), cursor, result);
+    execRange(program, plan, costs, 0, program.insts().size(), cursor,
+              result);
     device_->flush();
     result.endTime = cursor;
     return result;

@@ -2,26 +2,37 @@
  * @file
  * Interpreter for bender test programs against the DRAM device model.
  *
- * The executor issues each instruction at its scheduled time.  For hot
- * hammering loops it uses an exact *loop fast-path*: the body is
- * executed normally for a few warm-up iterations, one steady-state
- * iteration is executed with damage recording enabled, and the
- * recorded per-iteration damage deltas are replayed arithmetically for
- * the remaining trip count.  This is exact under the linear damage-
- * accrual model (verified against naive execution in the tests) and
- * turns multi-hundred-thousand-hammer probes into microsecond work.
+ * The executor issues each instruction at its scheduled time.  Hot
+ * loops take an exact *fast-path*: the body runs live for two warm-up
+ * iterations, one steady-state iteration is recorded (damage deltas,
+ * TRR sampler pushes, REF anchors, touched rows), and the remaining
+ * trip count is replayed arithmetically.  Loop bodies containing REF
+ * replay iteration by iteration -- TRR RNG draws and refresh counters
+ * advance exactly as live execution would, with a *phase break* back
+ * to live execution whenever a refresh is about to land on a
+ * loop-damaged row -- while REF-free bodies commit the whole remaining
+ * count in one step.  Nested loops fast-path inside naive outer
+ * iterations, and an outer loop records across its inner loops when
+ * the cost model says that wins.  Only RD in the body forces fully
+ * naive execution (results are collected per iteration).  All of this
+ * is exact under the linear damage-accrual model and verified
+ * bit-identical against naive execution in the tests, TRR included.
  *
- * The fast-path is disabled for loop bodies containing REF (stripe
- * refresh and TRR sampling are iteration-dependent), RD (results must
- * be collected per iteration), or nested loops.
+ * Programs are compiled to an ExecPlan (bender/plan.h) and cached by
+ * *shape* -- trip counts excluded -- so an HC_first bisection's dozens
+ * of near-identical probes pay compilation and the pre-flight lint
+ * once.  Cumulative counters are exposed via stats() for telemetry.
  */
 
 #ifndef PUD_BENDER_EXECUTOR_H
 #define PUD_BENDER_EXECUTOR_H
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "bender/plan.h"
 #include "bender/program.h"
 #include "dram/device.h"
 
@@ -34,6 +45,15 @@ struct ExecResult
     Time endTime = 0;
     std::vector<RowData> reads;  //!< one entry per executed Rd
     std::uint64_t fastPathIterations = 0;  //!< iterations skipped via replay
+};
+
+/** Cumulative per-executor counters (telemetry). */
+struct ExecStats
+{
+    std::uint64_t fastPathIterations = 0;  //!< replayed, never executed
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+    std::uint64_t phaseBreaks = 0;  //!< replays interrupted by a refresh
 };
 
 /** Executes programs against a Device. */
@@ -56,7 +76,9 @@ class Executor
      * data indices -- abort the run with a diagnostic instead of
      * failing deep inside the device model.  Defaults to on in debug
      * builds and off in release builds (the analysis walks the whole
-     * program and would tax hot characterization loops).
+     * program and would tax hot characterization loops).  The verdict
+     * is cached with the compiled plan, so a given program *shape* is
+     * analyzed once, at the trip counts it is first run with.
      */
     void setPreflight(bool on) { preflight_ = on; }
     bool preflight() const { return preflight_; }
@@ -73,41 +95,57 @@ class Executor
     void setPreflightEffects(bool on) { preflightEffects_ = on; }
     bool preflightEffects() const { return preflightEffects_; }
 
+    /** Cumulative fast-path / plan-cache counters. */
+    const ExecStats &stats() const { return stats_; }
+
     /** Minimum trip count before the fast-path engages. */
-    static constexpr std::uint64_t kFastPathThreshold = 8;
+    static constexpr std::uint64_t kFastPathThreshold =
+        bender::kFastPathThreshold;
 
   private:
+    /** Look up (or compile + pre-flight) the program's cached plan. */
+    const ExecPlan &planFor(const Program &program);
+
+    void preflightCheck(const Program &program);
+
     /**
      * Execute instructions in [begin, end); returns one past the last
      * consumed instruction index.  `cursor` is the running issue time.
      */
-    std::size_t execRange(const Program &program, std::size_t begin,
+    std::size_t execRange(const Program &program, const ExecPlan &plan,
+                          const RunCosts &costs, std::size_t begin,
                           std::size_t end, Time &cursor,
                           ExecResult &result);
+
+    /** Run one counted loop (fast-path or naive). */
+    void execLoop(const Program &program, const ExecPlan &plan,
+                  const RunCosts &costs, std::size_t loop_index,
+                  std::uint64_t n, Time &cursor, ExecResult &result);
 
     void execOne(const Program &program, const Inst &inst, Time &cursor,
                  ExecResult &result);
 
-    /** Whether [begin, end) is fast-path eligible (no Ref/Rd/loops). */
-    static bool bodyEligible(const Program &program, std::size_t begin,
-                             std::size_t end);
-
-    /** Sum of gaps over [begin, end). */
-    static Time bodyDuration(const Program &program, std::size_t begin,
-                             std::size_t end);
-
-    /** Find the LoopEnd matching the LoopBegin at `begin_index`. */
-    static std::size_t matchEnd(const Program &program,
-                                std::size_t begin_index);
+    struct CachedPlan
+    {
+        std::shared_ptr<const ExecPlan> plan;
+        bool linted = false;
+    };
 
     dram::Device *device_;
     bool fastPath_ = true;
+    /** True while the steady-state iteration of an enclosing loop is
+     *  being recorded: nested fast-paths must not engage (replayed
+     *  deposits would bypass the recording). */
+    bool recording_ = false;
 #ifdef NDEBUG
     bool preflight_ = false;
 #else
     bool preflight_ = true;
 #endif
     bool preflightEffects_ = false;
+    ExecStats stats_;
+    std::unordered_map<std::uint64_t, std::vector<CachedPlan>>
+        planCache_;
 };
 
 } // namespace pud::bender

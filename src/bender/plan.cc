@@ -1,0 +1,198 @@
+#include "bender/plan.h"
+
+#include "util/logging.h"
+
+namespace pud::bender {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    h ^= v;
+    h *= kFnvPrime;
+}
+
+void
+mixInstShape(std::uint64_t &h, const Inst &inst)
+{
+    mix(h, static_cast<std::uint64_t>(inst.op));
+    mix(h, static_cast<std::uint64_t>(inst.gap));
+    mix(h, inst.bank);
+    mix(h, inst.row);
+    mix(h, static_cast<std::uint64_t>(inst.dataIndex) + 1);
+    // The trip count is deliberately excluded for LoopBegin: an
+    // HC_first bisection's probes differ only there and must share one
+    // plan (and one pre-flight lint).
+    if (inst.op != Op::LoopBegin)
+        mix(h, inst.count);
+}
+
+} // namespace
+
+std::uint64_t
+shapeHashOf(const Program &program)
+{
+    std::uint64_t h = kFnvOffset;
+    mix(h, program.insts().size());
+    for (const Inst &inst : program.insts())
+        mixInstShape(h, inst);
+    mix(h, program.dataTable().size());
+    for (const RowData &data : program.dataTable())
+        mix(h, data.bits());
+    return h;
+}
+
+ExecPlan
+ExecPlan::compile(const Program &program)
+{
+    const auto &insts = program.insts();
+
+    ExecPlan plan;
+    plan.loopAt_.assign(insts.size(), -1);
+
+    // Open-loop stack; -1 marks top level.
+    std::vector<std::int32_t> stack;
+
+    auto flat_gap_of = [&](std::int32_t li) -> Time & {
+        return li < 0 ? plan.topFlatGap_ : plan.loops_[li].flatGap;
+    };
+
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const Inst &inst = insts[i];
+        const std::int32_t owner = stack.empty() ? -1 : stack.back();
+        switch (inst.op) {
+          case Op::LoopBegin: {
+            const auto li =
+                static_cast<std::int32_t>(plan.loops_.size());
+            plan.loops_.emplace_back();
+            plan.loops_.back().begin = i;
+            plan.loopAt_[i] = li;
+            if (owner < 0)
+                plan.topLoops_.push_back(
+                    static_cast<std::uint32_t>(li));
+            else
+                plan.loops_[owner].children.push_back(
+                    static_cast<std::uint32_t>(li));
+            stack.push_back(li);
+            break;
+          }
+          case Op::LoopEnd: {
+            if (stack.empty())
+                fatal("ExecPlan: stray LoopEnd at instruction %zu", i);
+            PlanLoop &loop = plan.loops_[stack.back()];
+            loop.end = i;
+            loop.cls = classifyBody(insts, loop.begin + 1, i);
+            stack.pop_back();
+            break;
+          }
+          default: {
+            flat_gap_of(owner) += inst.gap;
+            if (owner < 0) {
+                if (inst.op == Op::Rd)
+                    ++plan.topFlatRds_;
+            } else {
+                PlanLoop &loop = plan.loops_[owner];
+                if (inst.op == Op::Rd)
+                    ++loop.flatRds;
+                ++loop.flatInsts;
+            }
+            break;
+          }
+        }
+    }
+    if (!stack.empty())
+        fatal("ExecPlan: unbalanced loop at instruction %zu",
+              plan.loops_[stack.back()].begin);
+
+    plan.shapeHash_ = shapeHashOf(program);
+    plan.shapeInsts_ = insts;
+    for (Inst &inst : plan.shapeInsts_)
+        if (inst.op == Op::LoopBegin)
+            inst.count = 0;
+    plan.dataBits_.reserve(program.dataTable().size());
+    for (const RowData &data : program.dataTable())
+        plan.dataBits_.push_back(data.bits());
+    return plan;
+}
+
+bool
+ExecPlan::matchesShape(const Program &program) const
+{
+    const auto &insts = program.insts();
+    if (insts.size() != shapeInsts_.size() ||
+        program.dataTable().size() != dataBits_.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const Inst &a = insts[i];
+        const Inst &b = shapeInsts_[i];
+        if (a.op != b.op || a.gap != b.gap || a.bank != b.bank ||
+            a.row != b.row || a.dataIndex != b.dataIndex) {
+            return false;
+        }
+        if (a.op != Op::LoopBegin && a.count != b.count)
+            return false;
+    }
+    for (std::size_t i = 0; i < dataBits_.size(); ++i)
+        if (program.dataTable()[i].bits() != dataBits_[i])
+            return false;
+    return true;
+}
+
+RunCosts
+RunCosts::compute(const ExecPlan &plan, const Program &program)
+{
+    const auto &loops = plan.loops();
+    const auto &insts = program.insts();
+
+    RunCosts out;
+    out.duration.assign(loops.size(), 0);
+    out.rds.assign(loops.size(), 0);
+    out.naiveCost.assign(loops.size(), 0);
+    out.fastCost.assign(loops.size(), 0);
+
+    // Children always have a larger loop index than their parent (the
+    // compiler appends loops in LoopBegin order), so one descending
+    // pass is a postorder traversal.
+    for (std::size_t li = loops.size(); li-- > 0;) {
+        const PlanLoop &loop = loops[li];
+        Time d = loop.flatGap;
+        std::uint64_t rds = loop.flatRds;
+        std::uint64_t naive = loop.flatInsts;
+        std::uint64_t fast = loop.flatInsts;
+        for (std::uint32_t c : loop.children) {
+            const std::uint64_t count = insts[loops[c].begin].count;
+            d += static_cast<Time>(count) * out.duration[c];
+            rds = satAdd(rds, satMul(count, out.rds[c]));
+            naive = satAdd(naive, satMul(count, out.naiveCost[c]));
+            // A fast-pathable child costs ~3 live iterations (warm-ups
+            // + recording) plus O(1) replay bookkeeping, regardless of
+            // its own trip count.
+            const bool child_fast =
+                loops[c].cls != BodyClass::Naive &&
+                count >= kFastPathThreshold;
+            fast = satAdd(fast,
+                          child_fast
+                              ? satAdd(satMul(3, out.fastCost[c]), 16)
+                              : satMul(count, out.fastCost[c]));
+        }
+        out.duration[li] = d;
+        out.rds[li] = rds;
+        out.naiveCost[li] = naive;
+        out.fastCost[li] = fast;
+    }
+
+    out.totalRds = plan.topFlatRds();
+    for (std::uint32_t t : plan.topLoops()) {
+        const std::uint64_t count = insts[loops[t].begin].count;
+        out.totalRds =
+            satAdd(out.totalRds, satMul(count, out.rds[t]));
+    }
+    return out;
+}
+
+} // namespace pud::bender

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Compiled execution plans for bender programs.
+ *
+ * The executor used to rescan a program on every run: matching each
+ * LoopBegin to its LoopEnd, re-deciding fast-path eligibility, and
+ * re-summing body durations.  An ExecPlan performs that analysis once
+ * and is cached by *shape*: two programs that differ only in loop trip
+ * counts (exactly what an HC_first bisection produces, dozens of
+ * probes per victim) share one plan.  Everything trip-count-dependent
+ * (durations, RD totals, record-vs-replay cost estimates) lives in
+ * RunCosts, recomputed per run in O(#loops).
+ *
+ * The eligibility classification here is the single source of truth,
+ * shared with pud::lint's FastPathEligible/Ineligible notes -- which
+ * is why classifyBody is a header-only inline: pud_bender links
+ * pud_lint for the pre-flight, so pud_lint cannot link back.
+ */
+
+#ifndef PUD_BENDER_PLAN_H
+#define PUD_BENDER_PLAN_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bender/program.h"
+
+namespace pud::bender {
+
+/**
+ * Minimum trip count before the executor's fast-path engages: two
+ * warm-up iterations plus one recorded one must leave enough remaining
+ * iterations to amortize the recording.  (Also re-exported as
+ * Executor::kFastPathThreshold.)
+ */
+inline constexpr std::uint64_t kFastPathThreshold = 8;
+
+/** How the executor may run a hot loop body. */
+enum class BodyClass : std::uint8_t
+{
+    /**
+     * No REF, RD, or nested loop anywhere in the body: one recorded
+     * iteration replays arithmetically for the whole remaining trip
+     * count in a single step.
+     */
+    Simple,
+    /**
+     * Contains REF and/or nested loops but no RD: still recordable --
+     * REF stripe/TRR effects and nested-loop damage advance by
+     * closed-form per-iteration deltas, with a live "phase break"
+     * whenever a refresh is about to touch a loop-damaged row.
+     */
+    Recorded,
+    /** Contains RD: results must be collected per iteration. */
+    Naive,
+};
+
+/**
+ * Classify a loop body [begin, end) -- `end` is the matching LoopEnd.
+ * RD anywhere (nested loops included) defeats the fast-path; REF and
+ * nesting merely demote Simple to Recorded.
+ */
+inline BodyClass
+classifyBody(const std::vector<Inst> &insts, std::size_t begin,
+             std::size_t end)
+{
+    bool recorded = false;
+    for (std::size_t i = begin; i < end; ++i) {
+        switch (insts[i].op) {
+          case Op::Rd:
+            return BodyClass::Naive;
+          case Op::Ref:
+          case Op::LoopBegin:
+          case Op::LoopEnd:
+            recorded = true;
+            break;
+          default:
+            break;
+        }
+    }
+    return recorded ? BodyClass::Recorded : BodyClass::Simple;
+}
+
+/** One loop of the compiled tree. */
+struct PlanLoop
+{
+    std::size_t begin = 0;  //!< index of the LoopBegin instruction
+    std::size_t end = 0;    //!< index of the matching LoopEnd
+    BodyClass cls = BodyClass::Naive;
+    std::vector<std::uint32_t> children;  //!< indices into loops()
+
+    // Flat (per-iteration, excluding nested subtrees) body summary.
+    Time flatGap = 0;             //!< gap sum of directly-owned insts
+    std::uint64_t flatRds = 0;    //!< RD count of directly-owned insts
+    std::uint64_t flatInsts = 0;  //!< directly-owned non-marker insts
+};
+
+/**
+ * The compiled, trip-count-independent structure of a program: the
+ * loop tree with per-loop classification and flat summaries, plus the
+ * normalized shape used for cache identity.
+ */
+class ExecPlan
+{
+  public:
+    static ExecPlan compile(const Program &program);
+
+    const std::vector<PlanLoop> &loops() const { return loops_; }
+
+    /** Loop index of the LoopBegin at `inst`; -1 otherwise. */
+    std::int32_t loopAt(std::size_t inst) const { return loopAt_[inst]; }
+
+    /** Indices of top-level loops, in program order. */
+    const std::vector<std::uint32_t> &topLoops() const { return topLoops_; }
+
+    Time topFlatGap() const { return topFlatGap_; }
+    std::uint64_t topFlatRds() const { return topFlatRds_; }
+
+    /** Trip-count-independent hash (= shapeHashOf of the source). */
+    std::uint64_t shapeHash() const { return shapeHash_; }
+
+    /** Exact shape equality, ignoring loop trip counts. */
+    bool matchesShape(const Program &program) const;
+
+  private:
+    std::vector<PlanLoop> loops_;
+    std::vector<std::int32_t> loopAt_;
+    std::vector<std::uint32_t> topLoops_;
+    Time topFlatGap_ = 0;
+    std::uint64_t topFlatRds_ = 0;
+
+    std::uint64_t shapeHash_ = 0;
+    std::vector<Inst> shapeInsts_;       //!< LoopBegin counts zeroed
+    std::vector<std::uint32_t> dataBits_;  //!< data-table entry widths
+};
+
+/** Trip-count-independent program hash (loop counts excluded). */
+std::uint64_t shapeHashOf(const Program &program);
+
+/**
+ * Per-run, trip-count-dependent plan data: body durations, RD totals,
+ * and the cost estimates that decide whether recording an outer loop
+ * beats letting its inner loops fast-path on their own.
+ */
+struct RunCosts
+{
+    std::vector<Time> duration;            //!< one body iteration
+    std::vector<std::uint64_t> rds;        //!< RDs per body iteration
+    /** Commands issued by one live body iteration (nested unrolled). */
+    std::vector<std::uint64_t> naiveCost;
+    /** Commands issued by one fast-pathed body iteration. */
+    std::vector<std::uint64_t> fastCost;
+    std::uint64_t totalRds = 0;            //!< whole-program RD count
+
+    static RunCosts compute(const ExecPlan &plan, const Program &program);
+};
+
+/** Saturating helpers for RunCosts arithmetic. */
+inline std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t s = a + b;
+    return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+inline std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a)
+        return std::numeric_limits<std::uint64_t>::max();
+    return a * b;
+}
+
+} // namespace pud::bender
+
+#endif // PUD_BENDER_PLAN_H

@@ -159,6 +159,30 @@ class Program
         fatal("Program: no loop with index %zu", loop_index);
     }
 
+    /**
+     * Copy of this program with the i-th loop's trip count patched.
+     * This is how sweep harnesses should vary a hammer count: the
+     * copies share one *shape*, so the executor compiles and pre-flight
+     * lints the program once for the whole sweep (bender/plan.h).
+     */
+    Program
+    withLoopCount(std::size_t loop_index, std::uint64_t count) const
+    {
+        Program copy = *this;
+        copy.setLoopCount(loop_index, count);
+        return copy;
+    }
+
+    /** Number of loops (LoopBegin instructions) in the program. */
+    std::size_t
+    loopCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &inst : insts_)
+            n += inst.op == Op::LoopBegin ? 1 : 0;
+        return n;
+    }
+
     const std::vector<Inst> &insts() const { return insts_; }
     const std::vector<RowData> &dataTable() const { return dataTable_; }
     bool balanced() const { return openLoops_ == 0; }

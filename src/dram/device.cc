@@ -160,14 +160,16 @@ Device::advanceTime(Time t)
 }
 
 void
-Device::restoreRow(Row &row)
+Device::restoreRow(BankState &bank, RowId physical)
 {
+    Row &row = bank.rows[physical];
     for (WeakCell &cell : row.cells) {
         if (cell.flipped())
             row.data.toggle(cell.col);
         cell.resetDamage();
         disturb_.noteReset(cell);
     }
+    noteLoopTouched(bank, physical);
 }
 
 RowData
@@ -212,6 +214,8 @@ Device::trrRecord(BankState &bank, RowId physical)
     bank.trrPos = (bank.trrPos + 1) % kTrrWindow;
     if (bank.trrFill < kTrrWindow)
         ++bank.trrFill;
+    if (recorder_.active)
+        recorder_.samplerActs[bankIndex(bank)].push_back(physical);
 }
 
 void
@@ -227,7 +231,16 @@ Device::resetTrrSampler()
 void
 Device::refreshRow(BankState &bank, RowId physical)
 {
-    restoreRow(bank.rows[physical]);
+    if (recorder_.active) {
+        // Refreshes are aperiodic (the stripe rotates, TRR draws are
+        // random): log the target for the quiescence check, and keep
+        // its restoreRow from marking the row as body-touched.
+        recorder_.refreshTargets.emplace_back(bankIndex(bank),
+                                              physical);
+        recorder_.inRefresh = true;
+    }
+    restoreRow(bank, physical);
+    recorder_.inRefresh = false;
     bank.rows[physical].lastSide = 0;
 }
 
@@ -237,6 +250,27 @@ Device::flushPending(BankState &bank)
     if (!bank.pendingValid)
         return;
     bank.pendingValid = false;
+    if (recorder_.active && !recorder_.inRefresh) {
+        // Over-approximate this close's deposit victims: every row in
+        // the distance-2 blast radius of each closing aggressor (plus
+        // the aggressors themselves, whose lastSide advances).
+        auto &touched = recorder_.touched[bankIndex(bank)];
+        const auto rows =
+            static_cast<std::int64_t>(bank.rows.size());
+        for (RowId a : bank.pending.rows) {
+            touched.push_back(a);
+            const SubarrayId sub = subarrayOfPhysical(a);
+            for (int d : {-2, -1, 1, 2}) {
+                const std::int64_t v =
+                    static_cast<std::int64_t>(a) + d;
+                if (v < 0 || v >= rows)
+                    continue;
+                if (subarrayOfPhysical(static_cast<RowId>(v)) != sub)
+                    continue;
+                touched.push_back(static_cast<RowId>(v));
+            }
+        }
+    }
     disturb_.applyClose(bank.rows, bank.pending, temperature_);
 }
 
@@ -249,7 +283,7 @@ Device::openNormal(BankState &bank, Time t, RowId physical)
     bank.openedAt = t;
     const Time last = bank.rows[physical].lastCloseAt;
     bank.offGapOfOpen = last >= 0 ? t - last : 0;
-    restoreRow(bank.rows[physical]);
+    restoreRow(bank, physical);
     trrRecord(bank, physical);
 }
 
@@ -300,7 +334,7 @@ Device::act(Time t, BankId b, RowId logical_row)
                 const Time act_to_pre = bank.pending.tOn;
                 bank.pendingValid = false;  // blip is part of this op
                 for (RowId r : group)
-                    restoreRow(bank.rows[r]);
+                    restoreRow(bank, r);
                 bank.st = BankState::St::Open;
                 bank.openRows = std::move(group);
                 bank.openKind = OpenKind::Simra;
@@ -335,12 +369,13 @@ Device::act(Time t, BankId b, RowId logical_row)
 
             // Destination latches the source's bitline charge: the
             // in-DRAM copy, with full charge restoration on dst.
-            restoreRow(bank.rows[src]);
+            restoreRow(bank, src);
             bank.rows[phys].data = bank.rows[src].data;
             for (WeakCell &c : bank.rows[phys].cells) {
                 c.resetDamage();
                 disturb_.noteReset(c);
             }
+            noteLoopTouched(bank, phys);
 
             bank.st = BankState::St::Open;
             bank.openRows.assign(1, phys);
@@ -441,6 +476,7 @@ Device::wr(Time t, BankId b, const RowData &data)
             c.resetDamage();
             disturb_.noteReset(c);
         }
+        noteLoopTouched(bank, r);
     }
 }
 
@@ -449,6 +485,17 @@ Device::ref(Time t)
 {
     advanceTime(t);
     ++counters_.refs;
+    if (recorder_.active) {
+        // Anchor this REF against the body's sampler pushes so replay
+        // can reconstruct each bank's exact ring fill at this point of
+        // any later iteration.
+        LoopRecord::RefPoint rp;
+        rp.actsBefore.reserve(recorder_.samplerActs.size());
+        for (const auto &acts : recorder_.samplerActs)
+            rp.actsBefore.push_back(
+                static_cast<std::uint32_t>(acts.size()));
+        recorder_.refs.push_back(std::move(rp));
+    }
     const RowId rows_per_bank = cfg_.rowsPerBank();
     const auto window = static_cast<std::uint64_t>(
         cfg_.timings.refsPerWindow);
@@ -492,6 +539,258 @@ Device::ref(Time t)
             }
         }
     }
+}
+
+void
+Device::beginLoopRecording()
+{
+    if (recorder_.active)
+        fatal("Device: nested loop recording");
+    recorder_.active = true;
+    recorder_.inRefresh = false;
+    recorder_.countersAtStart = counters_;
+    recorder_.samplerActs.assign(banks_.size(), {});
+    recorder_.refs.clear();
+    recorder_.touched.assign(banks_.size(), {});
+    recorder_.refreshTargets.clear();
+    disturb_.beginRecording();
+}
+
+Device::LoopRecord
+Device::endLoopRecording()
+{
+    if (!recorder_.active)
+        fatal("Device: endLoopRecording without beginLoopRecording");
+    recorder_.active = false;
+
+    LoopRecord rec;
+    rec.damage = disturb_.endRecording();
+    rec.samplerActs = std::move(recorder_.samplerActs);
+    rec.refs = std::move(recorder_.refs);
+    rec.tracked = std::move(recorder_.touched);
+    for (auto &rows : rec.tracked) {
+        std::sort(rows.begin(), rows.end());
+        rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    }
+
+    // REF/TRR refreshes are replayed live (they rotate and draw), so
+    // only the strictly per-iteration counters are scaled.
+    rec.counterDelta.acts =
+        counters_.acts - recorder_.countersAtStart.acts;
+    rec.counterDelta.pres =
+        counters_.pres - recorder_.countersAtStart.pres;
+    rec.counterDelta.comraCopies =
+        counters_.comraCopies - recorder_.countersAtStart.comraCopies;
+    rec.counterDelta.simraOps =
+        counters_.simraOps - recorder_.countersAtStart.simraOps;
+    rec.counterDelta.ignoredCommands =
+        counters_.ignoredCommands -
+        recorder_.countersAtStart.ignoredCommands;
+
+    // Quiescence: if a refresh reset a row the body also deposits into
+    // (or otherwise mutates), the recorded iteration is not the
+    // periodic steady state and must not be replayed.
+    for (const auto &[b, r] : recorder_.refreshTargets) {
+        if (std::binary_search(rec.tracked[b].begin(),
+                               rec.tracked[b].end(), r)) {
+            rec.quiescent = false;
+            break;
+        }
+    }
+    return rec;
+}
+
+std::uint64_t
+Device::replayLoopIterations(const LoopRecord &rec,
+                             std::uint64_t max_iterations)
+{
+    if (!rec.quiescent || max_iterations == 0)
+        return 0;
+
+    const std::size_t nbanks = banks_.size();
+    const RowId rows_per_bank = cfg_.rowsPerBank();
+    const auto window =
+        static_cast<std::uint64_t>(cfg_.timings.refsPerWindow);
+
+    std::uint64_t completed = 0;
+
+    // Pre-replay sampler state per bank; the live ring stays frozen
+    // until the committed iteration count is known, so negative
+    // virtual indices can read it directly.
+    std::vector<std::size_t> fill0(nbanks), pos0(nbanks);
+    std::vector<std::uint64_t> acts_per_iter(nbanks);
+    for (std::size_t b = 0; b < nbanks; ++b) {
+        fill0[b] = banks_[b].trrFill;
+        pos0[b] = banks_[b].trrPos;
+        acts_per_iter[b] = rec.samplerActs[b].size();
+    }
+
+    if (rec.refs.empty()) {
+        // Nothing iteration-dependent happens between deposits: the
+        // whole remaining trip count commits in one step.
+        completed = max_iterations;
+    } else {
+        // Union of tracked rows across banks: a REF refreshes the same
+        // stripe range in every bank, so one sorted set answers "does
+        // this stripe touch loop state anywhere".
+        std::vector<RowId> union_tracked;
+        for (const auto &rows : rec.tracked)
+            union_tracked.insert(union_tracked.end(), rows.begin(),
+                                 rows.end());
+        std::sort(union_tracked.begin(), union_tracked.end());
+        union_tracked.erase(
+            std::unique(union_tracked.begin(), union_tracked.end()),
+            union_tracked.end());
+
+        auto stripe_hits_tracked = [&](RowId lo, RowId hi) {
+            const auto it = std::lower_bound(union_tracked.begin(),
+                                             union_tracked.end(), lo);
+            return it != union_tracked.end() && *it < hi;
+        };
+        auto is_tracked = [&](std::size_t b, RowId r) {
+            return std::binary_search(rec.tracked[b].begin(),
+                                      rec.tracked[b].end(), r);
+        };
+        // Sampler ring entry `gidx` pushes after the replay started
+        // (negative = still-live pre-replay slot).
+        auto ring_at = [&](std::size_t b, std::int64_t gidx) -> RowId {
+            if (gidx >= 0)
+                return rec.samplerActs[b][static_cast<std::size_t>(
+                    gidx % static_cast<std::int64_t>(
+                               acts_per_iter[b]))];
+            return banks_[b].trrRing[static_cast<std::size_t>(
+                (static_cast<std::int64_t>(pos0[b]) +
+                 static_cast<std::int64_t>(kTrrWindow) + gidx) %
+                static_cast<std::int64_t>(kTrrWindow))];
+        };
+
+        std::vector<std::pair<std::size_t, RowId>> trr_targets;
+        while (completed < max_iterations) {
+            // Dry-run this iteration's REFs: perform the TRR draws in
+            // live order, but commit nothing until the whole iteration
+            // is known to stay clear of tracked rows.  On a hit the
+            // RNG rewinds so the caller's live boundary iteration
+            // redraws the exact same stream.
+            const Rng rng_snapshot = trrRng_;
+            trr_targets.clear();
+            bool interesting = false;
+            std::uint64_t local_ref = refCounter_;
+            for (const LoopRecord::RefPoint &rp : rec.refs) {
+                const std::uint64_t slot = local_ref % window;
+                ++local_ref;
+                const RowId start = static_cast<RowId>(
+                    slot * rows_per_bank / window);
+                const RowId end = static_cast<RowId>(
+                    (slot + 1) * rows_per_bank / window);
+                if (start < end && stripe_hits_tracked(start, end)) {
+                    interesting = true;
+                    break;
+                }
+                if (!trrEnabled_)
+                    continue;
+                for (std::size_t b = 0; b < nbanks && !interesting;
+                     ++b) {
+                    const std::uint64_t acts_before =
+                        completed * acts_per_iter[b] +
+                        rp.actsBefore[b];
+                    const std::size_t fill =
+                        static_cast<std::size_t>(std::min<std::uint64_t>(
+                            kTrrWindow, fill0[b] + acts_before));
+                    if (fill == 0)
+                        continue;
+                    const std::size_t back = trrRng_.below(fill);
+                    const RowId aggr = ring_at(
+                        b, static_cast<std::int64_t>(acts_before) - 1 -
+                               static_cast<std::int64_t>(back));
+                    if (aggr == kNoRow)
+                        continue;
+                    const SubarrayId sub = subarrayOfPhysical(aggr);
+                    for (int d : {-1, 1}) {
+                        const std::int64_t v =
+                            static_cast<std::int64_t>(aggr) + d;
+                        if (v < 0 ||
+                            v >= static_cast<std::int64_t>(
+                                     rows_per_bank))
+                            continue;
+                        if (subarrayOfPhysical(
+                                static_cast<RowId>(v)) != sub)
+                            continue;
+                        if (is_tracked(b, static_cast<RowId>(v))) {
+                            interesting = true;
+                            break;
+                        }
+                        trr_targets.emplace_back(
+                            b, static_cast<RowId>(v));
+                    }
+                }
+                if (interesting)
+                    break;
+            }
+            if (interesting) {
+                trrRng_ = rng_snapshot;
+                break;
+            }
+
+            // Commit: stripe and TRR refreshes all land on untracked
+            // rows, whose state is loop-invariant, so they are
+            // idempotent and order-insensitive within the iteration.
+            local_ref = refCounter_;
+            for (std::size_t e = 0; e < rec.refs.size(); ++e) {
+                const std::uint64_t slot = local_ref % window;
+                ++local_ref;
+                const RowId start = static_cast<RowId>(
+                    slot * rows_per_bank / window);
+                const RowId end = static_cast<RowId>(
+                    (slot + 1) * rows_per_bank / window);
+                for (BankState &bank : banks_)
+                    for (RowId r = start; r < end; ++r)
+                        refreshRow(bank, r);
+                ++counters_.refs;
+            }
+            refCounter_ = local_ref;
+            for (const auto &[b, v] : trr_targets) {
+                refreshRow(banks_[b], v);
+                ++counters_.trrRefreshes;
+            }
+            ++completed;
+        }
+    }
+
+    if (completed == 0)
+        return 0;
+
+    // Damage: the recorded iteration's deltas, scaled once.  Safe to
+    // defer past the refreshes above because those never touch a
+    // deposit-bearing (tracked) row.
+    DisturbanceModel::replay(rec.damage, completed);
+
+    counters_.acts += rec.counterDelta.acts * completed;
+    counters_.pres += rec.counterDelta.pres * completed;
+    counters_.comraCopies += rec.counterDelta.comraCopies * completed;
+    counters_.simraOps += rec.counterDelta.simraOps * completed;
+    counters_.ignoredCommands +=
+        rec.counterDelta.ignoredCommands * completed;
+
+    // Advance each bank's sampler ring closed-form: of the
+    // completed * acts_per_iter pushes only the last kTrrWindow can
+    // survive, and the pushed stream is periodic in the body.
+    for (std::size_t b = 0; b < nbanks; ++b) {
+        BankState &bank = banks_[b];
+        const std::uint64_t per = acts_per_iter[b];
+        const std::uint64_t pushes = per * completed;
+        if (pushes == 0)
+            continue;
+        const std::uint64_t first =
+            pushes > kTrrWindow ? pushes - kTrrWindow : 0;
+        for (std::uint64_t i = first; i < pushes; ++i) {
+            bank.trrRing[(pos0[b] + i) % kTrrWindow] =
+                rec.samplerActs[b][i % per];
+        }
+        bank.trrPos = (pos0[b] + pushes) % kTrrWindow;
+        bank.trrFill = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kTrrWindow, fill0[b] + pushes));
+    }
+    return completed;
 }
 
 void

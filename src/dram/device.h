@@ -98,13 +98,59 @@ class Device
     RowData readRowDirect(BankId bank, RowId logical_row) const;
 
     // ---- executor fast-path recording ------------------------------------
-    void beginRecording() { disturb_.beginRecording(); }
-    DamageRecord endRecording() { return disturb_.endRecording(); }
-    void
-    replayRecord(const DamageRecord &record, std::uint64_t times)
+
+    /**
+     * One steady-state loop iteration, captured for arithmetic replay.
+     * Beyond the per-cell damage deltas this remembers everything the
+     * body does to iteration-dependent device state: the ACT addresses
+     * it pushes into each bank's TRR sampler ring (in order), where
+     * its REFs fall relative to those pushes, which rows it touches,
+     * and the command-counter deltas.
+     */
+    struct LoopRecord
     {
-        DisturbanceModel::replay(record, times);
-    }
+        DamageRecord damage;  //!< per-cell deposits/resets, one iteration
+
+        /** ACT/PRE/op counter deltas of one iteration (REF/TRR are
+         *  counted live during replay instead). */
+        DeviceCounters counterDelta;
+
+        /** Per bank: ACT addresses sampled by TRR, in push order. */
+        std::vector<std::vector<RowId>> samplerActs;
+
+        /** One entry per REF in the body. */
+        struct RefPoint
+        {
+            /** Per bank: sampler pushes issued before this REF. */
+            std::vector<std::uint32_t> actsBefore;
+        };
+        std::vector<RefPoint> refs;
+
+        /** Per bank, sorted: physical rows whose damage, data, or
+         *  close-side state the body mutates (deposit victims are
+         *  over-approximated by the +-2 blast radius). */
+        std::vector<std::vector<RowId>> tracked;
+
+        /** False if a refresh hit a tracked row *during* recording:
+         *  the iteration is then not periodic and must not replay. */
+        bool quiescent = true;
+    };
+
+    void beginLoopRecording();
+    LoopRecord endLoopRecording();
+
+    /**
+     * Replay up to `max_iterations` further iterations of the recorded
+     * body and return how many were committed.  Per virtual iteration
+     * the TRR RNG draws and refresh counters advance exactly as a live
+     * iteration would (the sampler ring is advanced closed-form at the
+     * end); damage deposits are applied once, scaled by the committed
+     * count.  Replay stops early -- a *phase break* -- the moment a
+     * stripe or TRR refresh would land on a tracked row, with the RNG
+     * rewound so the caller can execute that iteration live.
+     */
+    std::uint64_t replayLoopIterations(const LoopRecord &record,
+                                       std::uint64_t max_iterations);
 
     /**
      * After a loop fast-path replay, advance every timestamp that was
@@ -177,7 +223,21 @@ class Device
     void refreshRow(BankState &bank, RowId physical);
 
     /** Restore a row's charge: materialize flips, clear damage. */
-    void restoreRow(Row &row);
+    void restoreRow(BankState &bank, RowId physical);
+
+    std::size_t
+    bankIndex(const BankState &bank) const
+    {
+        return static_cast<std::size_t>(&bank - banks_.data());
+    }
+
+    /** Loop-recording hook: the body mutates this row's state. */
+    void
+    noteLoopTouched(const BankState &bank, RowId physical)
+    {
+        if (recorder_.active && !recorder_.inRefresh)
+            recorder_.touched[bankIndex(bank)].push_back(physical);
+    }
 
     /** Flip-composed view of a row's contents. */
     static RowData viewOf(const Row &row);
@@ -185,11 +245,25 @@ class Device
     /** Overwrite all open rows with the column-wise majority. */
     void majorityMerge(BankState &bank);
 
+    /** Scratch state while a loop iteration is being recorded. */
+    struct LoopRecorder
+    {
+        bool active = false;
+        bool inRefresh = false;  //!< suppress touched-row hooks
+        DeviceCounters countersAtStart;
+        std::vector<std::vector<RowId>> samplerActs;
+        std::vector<LoopRecord::RefPoint> refs;
+        std::vector<std::vector<RowId>> touched;
+        /** (bank, row) refreshed during the recorded iteration. */
+        std::vector<std::pair<std::size_t, RowId>> refreshTargets;
+    };
+
     DeviceConfig cfg_;
     RowMapping mapping_;
     SimraDecoder decoder_;
     DisturbanceModel disturb_;
     std::vector<BankState> banks_;
+    LoopRecorder recorder_;
     Celsius temperature_;
     bool trrEnabled_ = false;
     Time now_ = 0;

@@ -128,6 +128,10 @@ measurePopulation(const PopulationConfig &cfg,
         r.victims = shard.victimEnd - shard.victimBegin;
         r.workUnits = r.victims * measures.size();
         r.seconds = secondsSince(shard_start);
+        const bender::ExecStats &xs = tester.bench().executor().stats();
+        r.fastPathIterations = xs.fastPathIterations;
+        r.planCacheHits = xs.planCacheHits;
+        r.planCacheMisses = xs.planCacheMisses;
     });
 
     if (telemetry) {

@@ -75,6 +75,13 @@ struct ShardReport
     std::size_t victims = 0;    //!< victims measured by this shard
     std::size_t workUnits = 0;  //!< victims * measures
     double seconds = 0.0;       //!< shard wall time
+
+    // Executor counters accumulated by the shard's tester
+    // (bender::ExecStats): how much of the work took the loop
+    // fast-path and how often probe programs reused a compiled plan.
+    std::uint64_t fastPathIterations = 0;
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
 };
 
 /** What one measurePopulation call did, shard by shard. */
@@ -102,6 +109,35 @@ struct PopulationTelemetry
         for (const ShardReport &s : shards)
             t += s.seconds;
         return t;
+    }
+
+    /** Loop iterations replayed arithmetically instead of executed. */
+    std::uint64_t
+    fastPathIterations() const
+    {
+        std::uint64_t n = 0;
+        for (const ShardReport &s : shards)
+            n += s.fastPathIterations;
+        return n;
+    }
+
+    /** Program runs that reused a cached ExecPlan. */
+    std::uint64_t
+    planCacheHits() const
+    {
+        std::uint64_t n = 0;
+        for (const ShardReport &s : shards)
+            n += s.planCacheHits;
+        return n;
+    }
+
+    std::uint64_t
+    planCacheMisses() const
+    {
+        std::uint64_t n = 0;
+        for (const ShardReport &s : shards)
+            n += s.planCacheMisses;
+        return n;
     }
 };
 

@@ -116,6 +116,104 @@ combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2, RowId comra_src,
 }
 
 Program
+withRefInterleave(const Program &flat, const dram::TimingParams &t)
+{
+    const auto &insts = flat.insts();
+    Program p;
+    std::size_t i = 0;
+    while (i < insts.size()) {
+        const auto &inst = insts[i];
+        if (inst.op != bender::Op::LoopBegin) {
+            switch (inst.op) {
+              case bender::Op::Act:
+                p.act(inst.bank, inst.row, inst.gap);
+                break;
+              case bender::Op::Pre:
+                p.pre(inst.bank, inst.gap);
+                break;
+              case bender::Op::PreAll:
+                p.preAll(inst.gap);
+                break;
+              case bender::Op::Ref:
+                p.ref(inst.gap);
+                break;
+              case bender::Op::Nop:
+                p.nop(inst.gap);
+                break;
+              default:
+                fatal("withRefInterleave: unsupported top-level "
+                      "opcode at instruction %zu", i);
+            }
+            ++i;
+            continue;
+        }
+
+        // Validate the body is flat ACT/PRE and sum its duration.
+        std::size_t close = i + 1;
+        Time body_gap = 0;
+        for (; close < insts.size() &&
+               insts[close].op != bender::Op::LoopEnd;
+             ++close) {
+            switch (insts[close].op) {
+              case bender::Op::Act:
+              case bender::Op::Pre:
+              case bender::Op::PreAll:
+              case bender::Op::Nop:
+                body_gap += insts[close].gap;
+                break;
+              default:
+                fatal("withRefInterleave: loop body must be flat "
+                      "ACT/PRE (instruction %zu)", close);
+            }
+        }
+        if (close == insts.size())
+            fatal("withRefInterleave: unbalanced loop at %zu", i);
+
+        auto emit_body = [&] {
+            for (std::size_t k = i + 1; k < close; ++k) {
+                const auto &b = insts[k];
+                switch (b.op) {
+                  case bender::Op::Act:
+                    p.act(b.bank, b.row, b.gap);
+                    break;
+                  case bender::Op::Pre:
+                    p.pre(b.bank, b.gap);
+                    break;
+                  case bender::Op::PreAll:
+                    p.preAll(b.gap);
+                    break;
+                  default:
+                    p.nop(b.gap);
+                    break;
+                }
+            }
+        };
+
+        // Iterations fitting one tREFI, after the tRFC REF recovery.
+        const Time budget = t.tREFI > t.tRFC ? t.tREFI - t.tRFC : 0;
+        const std::uint64_t per = std::max<std::uint64_t>(
+            1, body_gap > 0
+                   ? static_cast<std::uint64_t>(budget / body_gap)
+                   : inst.count);
+        const std::uint64_t outer = inst.count / per;
+        const std::uint64_t rem = inst.count % per;
+
+        if (outer > 0) {
+            p.loopBegin(outer).loopBegin(per);
+            emit_body();
+            p.loopEnd().ref(t.tRP).nop(t.tRFC).loopEnd();
+        }
+        if (rem > 0) {
+            p.loopBegin(rem);
+            emit_body();
+            p.loopEnd();
+        }
+        i = close + 1;
+    }
+    return p;
+}
+
+Program
 trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
                  RowId dummy, bool comra, std::uint64_t cycles,
                  const PatternTimings &t, int acts_per_trefi)

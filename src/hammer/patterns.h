@@ -91,6 +91,23 @@ Program combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2,
                         const PatternTimings &t);
 
 /**
+ * Rewrite a flat hammering pattern so nominal REF commands interleave
+ * at the tREFI cadence, modelling a host that keeps refreshing while
+ * the pattern runs (and giving TRR samplers mid-pattern refresh
+ * opportunities).  Every top-level loop `loopBegin(n){body}` whose
+ * body is flat ACT/PRE becomes
+ *
+ *   loopBegin(n / per) { loopBegin(per){body}  REF  (tRFC wait) }
+ *   loopBegin(n % per) { body }
+ *
+ * with `per` = iterations fitting one tREFI after the tRFC recovery.
+ * Top-level non-loop commands pass through unchanged; RD/WR anywhere
+ * and nested loops are unsupported (fatal).
+ */
+Program withRefInterleave(const Program &flat,
+                          const dram::TimingParams &t);
+
+/**
  * The U-TRR-style N-sided TRR bypass pattern (paper §7) for RowHammer
  * or CoMRA aggressors: per refresh-window cycle, spread
  * `actsPerTrefi` activations over the aggressor list within one tREFI

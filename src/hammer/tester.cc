@@ -9,6 +9,25 @@
 
 namespace pud::hammer {
 
+namespace {
+
+/**
+ * Probe builder that patches one loop's trip count into a prebuilt
+ * pattern.  Every probe of an HC_first search then shares the base
+ * program's *shape*, so the executor's plan cache compiles and
+ * pre-flight lints the pattern once for the whole bisection instead
+ * of once per probe (bender/plan.h).
+ */
+std::function<Program(std::uint64_t)>
+countPatchedBuilder(Program base, std::size_t loop_index)
+{
+    return [base = std::move(base), loop_index](std::uint64_t n) {
+        return base.withLoopCount(loop_index, n);
+    };
+}
+
+} // namespace
+
 std::vector<dram::SubarrayId>
 ModuleTester::testedSubarrays(int count) const
 {
@@ -72,8 +91,17 @@ std::uint64_t
 ModuleTester::measureWithPattern(
     const Options &opt, DataPattern pattern, RowId victim,
     const std::vector<RowId> &aggressors,
-    const std::function<Program(std::uint64_t)> &build)
+    const std::function<Program(std::uint64_t)> &raw_build)
 {
+    // Optionally rewrite every probe to interleave nominal REFs at
+    // the tREFI cadence.
+    const auto build = [&](std::uint64_t n) {
+        Program prog = raw_build(n);
+        if (opt.refreshInterleave)
+            prog = withRefInterleave(prog, opt.timings.base);
+        return prog;
+    };
+
     dram::Device &dev = device();
     const ColId cols = dev.config().cols;
     const RowData aggr_data(cols, pattern);
@@ -176,10 +204,10 @@ ModuleTester::rhDouble(RowId victim, const Options &opt)
     const RowId a1 = dev.toLogical(victim - 1);
     const RowId a2 = dev.toLogical(victim + 1);
     return measure(opt, victim, {victim - 1, victim + 1},
-                   [&](std::uint64_t n) {
-                       return doubleSidedRowHammer(opt.bank, a1, a2, n,
-                                                   opt.timings);
-                   });
+                   countPatchedBuilder(
+                       doubleSidedRowHammer(opt.bank, a1, a2, 1,
+                                            opt.timings),
+                       0));
 }
 
 std::uint64_t
@@ -188,9 +216,10 @@ ModuleTester::rhSingle(RowId victim, const Options &opt)
     dram::Device &dev = device();
     const RowId aggr = victim - 1;
     const RowId a = dev.toLogical(aggr);
-    return measure(opt, victim, {aggr}, [&](std::uint64_t n) {
-        return singleSidedRowHammer(opt.bank, a, n, opt.timings);
-    });
+    return measure(opt, victim, {aggr},
+                   countPatchedBuilder(
+                       singleSidedRowHammer(opt.bank, a, 1, opt.timings),
+                       0));
 }
 
 RowId
@@ -213,9 +242,11 @@ ModuleTester::farDouble(RowId victim, const Options &opt, RowId spread)
     const RowId far = farRowInSubarray(near, spread);
     const RowId a1 = dev.toLogical(near);
     const RowId a2 = dev.toLogical(far);
-    return measure(opt, victim, {near, far}, [&](std::uint64_t n) {
-        return doubleSidedRowHammer(opt.bank, a1, a2, n, opt.timings);
-    });
+    return measure(opt, victim, {near, far},
+                   countPatchedBuilder(
+                       doubleSidedRowHammer(opt.bank, a1, a2, 1,
+                                            opt.timings),
+                       0));
 }
 
 std::uint64_t
@@ -228,9 +259,9 @@ ModuleTester::comraDouble(RowId victim, const Options &opt, bool reversed)
         std::swap(src, dst);
     const RowId s = dev.toLogical(src);
     const RowId d = dev.toLogical(dst);
-    return measure(opt, victim, {src, dst}, [&](std::uint64_t n) {
-        return comraHammer(opt.bank, s, d, n, opt.timings);
-    });
+    return measure(opt, victim, {src, dst},
+                   countPatchedBuilder(
+                       comraHammer(opt.bank, s, d, 1, opt.timings), 0));
 }
 
 std::uint64_t
@@ -245,9 +276,9 @@ ModuleTester::comraSingle(RowId victim, const Options &opt, RowId spread,
         std::swap(src, dst);
     const RowId s = dev.toLogical(src);
     const RowId d = dev.toLogical(dst);
-    return measure(opt, victim, {src, dst}, [&](std::uint64_t n) {
-        return comraHammer(opt.bank, s, d, n, opt.timings);
-    });
+    return measure(opt, victim, {src, dst},
+                   countPatchedBuilder(
+                       comraHammer(opt.bank, s, d, 1, opt.timings), 0));
 }
 
 std::optional<SimraPlan>
@@ -336,9 +367,10 @@ ModuleTester::simraDouble(RowId victim, int n, const Options &opt)
     dram::Device &dev = device();
     const RowId r1 = dev.toLogical(plan->r1);
     const RowId r2 = dev.toLogical(plan->r2);
-    return measure(opt, victim, plan->group, [&](std::uint64_t h) {
-        return simraHammer(opt.bank, r1, r2, h, opt.timings);
-    });
+    return measure(opt, victim, plan->group,
+                   countPatchedBuilder(
+                       simraHammer(opt.bank, r1, r2, 1, opt.timings),
+                       0));
 }
 
 std::uint64_t
@@ -351,9 +383,10 @@ ModuleTester::simraSingle(RowId victim, int n, const Options &opt)
     dram::Device &dev = device();
     const RowId r1 = dev.toLogical(plan->r1);
     const RowId r2 = dev.toLogical(plan->r2);
-    return measure(opt, victim, plan->group, [&](std::uint64_t h) {
-        return simraHammer(opt.bank, r1, r2, h, opt.timings);
-    });
+    return measure(opt, victim, plan->group,
+                   countPatchedBuilder(
+                       simraHammer(opt.bank, r1, r2, 1, opt.timings),
+                       0));
 }
 
 std::uint64_t
@@ -394,14 +427,15 @@ ModuleTester::combinedRh(RowId victim, const CombinedSpec &spec,
     const RowId a1 = dev.toLogical(victim - 1);
     const RowId a2 = dev.toLogical(victim + 1);
 
+    CombinedCounts base_counts = counts;
+    base_counts.rowHammer = 1;
+    Program base =
+        combinedPattern(opt.bank, a1, a2, comra_src, comra_dst,
+                        simra_r1, simra_r2, base_counts, opt.timings);
+    // The RowHammer loop (the probed one) is always built last.
+    const std::size_t rh_loop = base.loopCount() - 1;
     return measure(opt, victim, extra_aggressors,
-                   [&](std::uint64_t n) {
-                       CombinedCounts c = counts;
-                       c.rowHammer = n;
-                       return combinedPattern(opt.bank, a1, a2, comra_src,
-                                              comra_dst, simra_r1,
-                                              simra_r2, c, opt.timings);
-                   });
+                   countPatchedBuilder(std::move(base), rh_loop));
 }
 
 } // namespace pud::hammer

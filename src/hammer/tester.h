@@ -56,6 +56,14 @@ class ModuleTester
         /** Search all four patterns and report the per-row WCDP. */
         bool searchWcdp = false;
 
+        /**
+         * Interleave nominal REF commands into the measured pattern at
+         * the tREFI cadence (patterns.h withRefInterleave), modelling a
+         * host that keeps refreshing while hammering.  TRR-enabled
+         * devices then get sampling opportunities mid-pattern.
+         */
+        bool refreshInterleave = false;
+
         PatternTimings timings{};
         HcSearchConfig search{};
     };

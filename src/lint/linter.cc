@@ -8,7 +8,7 @@
 #include <set>
 #include <utility>
 
-#include "bender/executor.h"
+#include "bender/plan.h"
 #include "dram/mapping.h"
 #include "lint/absint.h"
 #include "lint/effects.h"
@@ -270,39 +270,34 @@ class Walker
                 "trip count is 0: the body never executes (forgot "
                 "Program::setLoopCount?)");
 
-        if (count < bender::Executor::kFastPathThreshold)
+        if (count < bender::kFastPathThreshold)
             return;
 
-        // Fast-path eligibility, with the executor's exact rules.
-        bool has_ref = false, has_rd = false, has_nested = false;
-        for (std::size_t k = begin + 1; k < close; ++k) {
-            has_ref |= insts[k].op == Op::Ref;
-            has_rd |= insts[k].op == Op::Rd;
-            has_nested |= insts[k].op == Op::LoopBegin;
-        }
-        if (!has_ref && !has_rd && !has_nested) {
+        // Fast-path eligibility, via the executor's own classifier
+        // (bender/plan.h) so lint verdicts cannot drift from runtime.
+        switch (bender::classifyBody(insts, begin + 1, close)) {
+          case bender::BodyClass::Simple:
             add(Code::FastPathEligible, begin,
                 "hot loop (%llu iterations) is fast-path eligible: "
                 "the executor replays one recorded iteration "
                 "arithmetically",
                 static_cast<unsigned long long>(count));
-            return;
+            break;
+          case bender::BodyClass::Recorded:
+            add(Code::FastPathEligible, begin,
+                "hot loop (%llu iterations) is fast-path eligible: "
+                "REF/TRR effects and nested loops replay by "
+                "closed-form per-iteration deltas from one recorded "
+                "iteration",
+                static_cast<unsigned long long>(count));
+            break;
+          case bender::BodyClass::Naive:
+            add(Code::FastPathIneligible, begin,
+                "hot loop (%llu iterations) runs naively: body "
+                "contains RD (results are collected per iteration)",
+                static_cast<unsigned long long>(count));
+            break;
         }
-        std::string reasons;
-        if (has_ref)
-            reasons += "REF (stripe refresh and TRR sampling are "
-                       "iteration-dependent)";
-        if (has_rd)
-            reasons += format("%sRD (results are collected per "
-                              "iteration)",
-                              reasons.empty() ? "" : ", ");
-        if (has_nested)
-            reasons += format("%sa nested loop",
-                              reasons.empty() ? "" : ", ");
-        add(Code::FastPathIneligible, begin,
-            "hot loop (%llu iterations) runs naively: body contains "
-            "%s",
-            static_cast<unsigned long long>(count), reasons.c_str());
     }
 
     /** Flush a bank's pending close without a consuming ACT. */

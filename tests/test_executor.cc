@@ -43,6 +43,17 @@ TEST(Program, LoopEndWithoutBeginIsFatal)
     EXPECT_DEATH(p.loopEnd(), "loopEnd without loopBegin");
 }
 
+TEST(Program, WithLoopCountCopiesWithoutMutating)
+{
+    Program p;
+    p.loopBegin(1).act(0, 1, 10).pre(0, 20).loopEnd();
+    EXPECT_EQ(p.loopCount(), 1u);
+    const Program q = p.withLoopCount(0, 500);
+    EXPECT_EQ(p.insts()[0].count, 1u);
+    EXPECT_EQ(q.insts()[0].count, 500u);
+    EXPECT_EQ(q.insts().size(), p.insts().size());
+}
+
 TEST(Program, SetLoopCountPatchesTheRightLoop)
 {
     Program p;
@@ -104,15 +115,67 @@ TEST(Executor, LoopTimeScalesWithTripCount)
     EXPECT_GT(r.fastPathIterations, 0u);
 }
 
-TEST(Executor, FastPathSkipsRefLoops)
+TEST(Executor, FastPathReplaysRefLoops)
 {
     Device dev(smallConfig());
     Executor ex(dev);
     Program p;
     p.loopBegin(20).ref(units::fromNs(7800)).loopEnd();
     const auto r = ex.run(p);
-    EXPECT_EQ(r.fastPathIterations, 0u);
+    // 2 warm-ups + 1 recorded iteration run live; the remaining 17
+    // replay arithmetically -- with the refresh counter still
+    // advancing exactly as if each REF had issued.
+    EXPECT_EQ(r.fastPathIterations, 17u);
     EXPECT_EQ(dev.counters().refs, 20u);
+}
+
+TEST(Executor, FastPathEngagesExactlyAtThreshold)
+{
+    const std::uint64_t trips[] = {1, 2, 3, 7, 8, 9};
+    for (std::uint64_t n : trips) {
+        Device dev(smallConfig());
+        Executor ex(dev);
+        Program p;
+        p.loopBegin(n)
+            .act(0, 1, units::fromNs(15))
+            .pre(0, units::fromNs(36))
+            .loopEnd();
+        const auto r = ex.run(p);
+        if (n >= Executor::kFastPathThreshold)
+            EXPECT_EQ(r.fastPathIterations, n - 3) << "n=" << n;
+        else
+            EXPECT_EQ(r.fastPathIterations, 0u) << "n=" << n;
+        // Trip-count-exact command counters and duration either way.
+        EXPECT_EQ(dev.counters().acts, n) << "n=" << n;
+        EXPECT_EQ(dev.counters().pres, n) << "n=" << n;
+        EXPECT_EQ(r.endTime - r.startTime, n * units::fromNs(51))
+            << "n=" << n;
+    }
+}
+
+TEST(Executor, PlanCacheSharedAcrossTripCounts)
+{
+    Device dev(smallConfig());
+    Executor ex(dev);
+    Program base;
+    base.loopBegin(1)
+        .act(0, 1, units::fromNs(15))
+        .pre(0, units::fromNs(36))
+        .loopEnd();
+    const std::uint64_t probes[] = {10, 100, 1000, 50, 17};
+    for (std::uint64_t n : probes)
+        ex.run(base.withLoopCount(0, n));
+    // All five probes share one shape: one compile, four cache hits.
+    EXPECT_EQ(ex.stats().planCacheMisses, 1u);
+    EXPECT_EQ(ex.stats().planCacheHits, 4u);
+
+    Program other;
+    other.loopBegin(10)
+        .act(0, 2, units::fromNs(15))
+        .pre(0, units::fromNs(36))
+        .loopEnd();
+    ex.run(other);
+    EXPECT_EQ(ex.stats().planCacheMisses, 2u);
 }
 
 TEST(Executor, NestedLoopsExecute)
@@ -201,5 +264,161 @@ TEST_P(FastPathEquivalence, MatchesNaiveExecution)
 
 INSTANTIATE_TEST_SUITE_P(Patterns, FastPathEquivalence,
                          ::testing::Values(0, 1, 2, 3, 4));
+
+/** Everything observable after a REF-interleaved hammering run. */
+struct RunState
+{
+    std::uint64_t flips = 0;
+    std::size_t samplerFill = 0;
+    DeviceCounters counters;
+    Time duration = 0;
+    RowData victimData;
+    std::vector<float> damage;
+};
+
+/**
+ * Run a REF-interleaved double-sided pattern, then probe the TRR
+ * sampler ring: enable TRR and fire one REF, whose victim refresh
+ * draws from the ring the pattern left behind.  Identical ring
+ * contents, position, and RNG state are the only way the probe can
+ * behave identically across executor modes.
+ */
+RunState
+runRefInterleaved(bool fast, bool trr, std::uint64_t hammers,
+                  const DeviceConfig &cfg)
+{
+    TestBench bench(cfg);
+    bench.executor().setFastPath(fast);
+    dram::Device &dev = bench.device();
+    dev.setTrrEnabled(trr);
+
+    const RowId victim = 33;
+    const RowData aggr(cfg.cols, DataPattern::P55);
+    const RowData vict(cfg.cols, DataPattern::PAA);
+    for (RowId r = 30; r <= 36; ++r)
+        bench.writeRow(0, dev.toLogical(r), r == victim ? vict : aggr);
+
+    hammer::PatternTimings t;
+    t.base = cfg.timings;
+    const Program p = hammer::withRefInterleave(
+        hammer::doubleSidedRowHammer(0, dev.toLogical(32),
+                                     dev.toLogical(34), hammers, t),
+        t.base);
+    const auto result = bench.run(p);
+
+    dev.setTrrEnabled(true);
+    Program probe;
+    probe.ref(units::fromNs(500));
+    bench.run(probe);
+
+    RunState s;
+    s.flips = bench.countBitflips(0, dev.toLogical(victim), vict);
+    s.samplerFill = dev.trrSamplerFill(0);
+    s.counters = dev.counters();
+    s.duration = result.endTime - result.startTime;
+    s.victimData = dev.readRowDirect(0, dev.toLogical(victim));
+    for (RowId r = 30; r <= 36; ++r)
+        for (const auto &cell : dev.weakCells(0, dev.toLogical(r)))
+            s.damage.push_back(cell.totalDamage());
+    return s;
+}
+
+void
+expectSameRun(const RunState &fast, const RunState &naive)
+{
+    EXPECT_EQ(fast.flips, naive.flips);
+    EXPECT_EQ(fast.samplerFill, naive.samplerFill);
+    EXPECT_EQ(fast.duration, naive.duration);
+    EXPECT_TRUE(fast.victimData == naive.victimData);
+    EXPECT_EQ(fast.counters.acts, naive.counters.acts);
+    EXPECT_EQ(fast.counters.pres, naive.counters.pres);
+    EXPECT_EQ(fast.counters.refs, naive.counters.refs);
+    EXPECT_EQ(fast.counters.trrRefreshes, naive.counters.trrRefreshes);
+    ASSERT_EQ(fast.damage.size(), naive.damage.size());
+    for (std::size_t i = 0; i < fast.damage.size(); ++i) {
+        EXPECT_NEAR(fast.damage[i], naive.damage[i],
+                    1e-4f + 0.002f * std::abs(naive.damage[i]))
+            << "cell " << i;
+    }
+}
+
+/** {TRR enabled during the pattern, hammer count}. */
+class RefFastPathEquivalence
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>>
+{};
+
+TEST_P(RefFastPathEquivalence, MatchesNaiveExecution)
+{
+    const bool trr = std::get<0>(GetParam());
+    const std::uint64_t hammers = std::get<1>(GetParam());
+    const DeviceConfig cfg = smallConfig(11);
+    expectSameRun(runRefInterleaved(true, trr, hammers, cfg),
+                  runRefInterleaved(false, trr, hammers, cfg));
+}
+
+// Hammer counts chosen to cover a partially-filled sampler ring (100
+// iterations push 200 ACTs < the 450-entry window) and a saturated,
+// wrapped one; each with the pattern running TRR-off (pure replay)
+// and TRR-on (replay phase-breaks on TRR victim refreshes and the
+// executor falls back to live execution).
+INSTANTIATE_TEST_SUITE_P(
+    TrrAndScale, RefFastPathEquivalence,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(100u, 4000u)));
+
+TEST(Executor, RefStripePhaseBreakMatchesNaive)
+{
+    // A dense stripe-refresh cadence (16 rows per REF) sweeps the
+    // refresh pointer across the hammered neighbourhood many times per
+    // run, forcing replay phase breaks and re-records.
+    DeviceConfig cfg = smallConfig(13);
+    cfg.timings.refsPerWindow = 8;
+    expectSameRun(runRefInterleaved(true, false, 2000, cfg),
+                  runRefInterleaved(false, false, 2000, cfg));
+}
+
+TEST(Executor, NestedLoopFastPathMatchesNaive)
+{
+    auto run = [&](bool fast) {
+        TestBench bench(smallConfig(17));
+        bench.executor().setFastPath(fast);
+        dram::Device &dev = bench.device();
+
+        const RowId victim = 33;
+        const RowData aggr(256, DataPattern::P55);
+        const RowData vict(256, DataPattern::PAA);
+        for (RowId r = 30; r <= 38; ++r)
+            bench.writeRow(0, dev.toLogical(r),
+                           r == victim ? vict : aggr);
+
+        hammer::PatternTimings t;
+        Program p;
+        p.loopBegin(50);
+        p.loopBegin(64)
+            .act(0, dev.toLogical(32), t.base.tRP)
+            .pre(0, t.aggOn())
+            .act(0, dev.toLogical(34), t.base.tRP)
+            .pre(0, t.aggOn())
+            .loopEnd();
+        p.act(0, dev.toLogical(36), t.base.tRP)
+            .pre(0, t.aggOn())
+            .loopEnd();
+        const auto result = bench.run(p);
+
+        RunState s;
+        s.flips = bench.countBitflips(0, dev.toLogical(victim), vict);
+        s.samplerFill = dev.trrSamplerFill(0);
+        s.counters = dev.counters();
+        s.duration = result.endTime - result.startTime;
+        s.victimData = dev.readRowDirect(0, dev.toLogical(victim));
+        for (RowId r = 30; r <= 38; ++r)
+            for (const auto &cell : dev.weakCells(0, dev.toLogical(r)))
+                s.damage.push_back(cell.totalDamage());
+        EXPECT_EQ(s.counters.acts, 50u * (64u * 2u + 1u));
+        return s;
+    };
+
+    expectSameRun(run(true), run(false));
+}
 
 } // namespace

@@ -94,6 +94,22 @@ TEST(Lint, FastPathEligible)
     EXPECT_FALSE(has(r, Code::FastPathIneligible));
 }
 
+TEST(Lint, RefBearingLoopIsNowFastPathEligible)
+{
+    // REF and nested loops no longer defeat the fast-path (the
+    // executor replays them closed-form); only RD does.
+    Program p;
+    p.loopBegin(1000)
+        .act(0, 1, kT.tRP)
+        .pre(0, kT.tRAS)
+        .ref(kT.tRP)
+        .nop(kT.tRFC)
+        .loopEnd();
+    const auto r = lintProgram(p, smallConfig());
+    EXPECT_TRUE(has(r, Code::FastPathEligible));
+    EXPECT_FALSE(has(r, Code::FastPathIneligible));
+}
+
 TEST(Lint, FastPathIneligibleExplainsWhy)
 {
     Program p;

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the executor loop fast-path.
+
+Reads a google-benchmark JSON file (--benchmark_out of
+bench_ablation_fastpath), pairs each fast-path-enabled run with its
+fast-path-disabled twin at the same hammer count, and fails if any
+pair's speedup falls below the floor.
+
+Benchmarks encode their arguments in the name:
+    BM_HammerProbe/0/100000   (fast-path off, 100K hammers)
+    BM_HammerProbe/1/100000   (fast-path on,  100K hammers)
+Pairs lacking a twin (e.g. the 700K fast-only points) are ignored.
+
+Usage:
+    check_fastpath_speedup.py BENCH_fastpath.json [--min 10] \
+        [--hammers 100000]
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_name(name):
+    """Split 'BM_Foo/0/100000' -> ('BM_Foo', 0, 100000); None if not
+    a two-argument benchmark name."""
+    parts = name.split("/")
+    if len(parts) != 3:
+        return None
+    try:
+        return parts[0], int(parts[1]), int(parts[2])
+    except ValueError:
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_file")
+    ap.add_argument("--min", type=float, default=10.0,
+                    help="minimum required fast/naive speedup")
+    ap.add_argument("--hammers", type=int, default=100000,
+                    help="only gate pairs at this hammer count "
+                         "(0 = all counts)")
+    args = ap.parse_args()
+
+    with open(args.json_file) as f:
+        data = json.load(f)
+
+    # name -> {fast_flag -> real_time}
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        parsed = parse_name(b["name"])
+        if parsed is None:
+            continue
+        family, fast, hammers = parsed
+        times.setdefault((family, hammers), {})[fast] = b["real_time"]
+
+    failures = []
+    checked = 0
+    for (family, hammers), by_mode in sorted(times.items()):
+        if 0 not in by_mode or 1 not in by_mode:
+            continue
+        if args.hammers and hammers != args.hammers:
+            continue
+        speedup = by_mode[0] / by_mode[1]
+        checked += 1
+        status = "ok" if speedup >= args.min else "FAIL"
+        print(f"{family} @ {hammers} hammers: "
+              f"naive {by_mode[0]:.0f} ns, fast {by_mode[1]:.0f} ns, "
+              f"speedup {speedup:.1f}x (floor {args.min:g}x) {status}")
+        if speedup < args.min:
+            failures.append((family, hammers, speedup))
+
+    if checked == 0:
+        print("error: no (fast, naive) benchmark pairs found "
+              f"at hammers={args.hammers}", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"error: {len(failures)} pair(s) below the "
+              f"{args.min:g}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
