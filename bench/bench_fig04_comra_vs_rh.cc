@@ -17,8 +17,8 @@ main(int argc, char **argv)
     const Scale scale = Scale::parse(args);
     banner("double-sided CoMRA vs RowHammer", "paper Fig. 4, Obs. 1-2");
 
-    Table change_table({"mfr", "victims", "%lower", "%>50%red",
-                        "%>90%red", "median change%"});
+    Table change_table({"mfr", "victims", "dropped", "%lower",
+                        "%>50%red", "%>90%red", "median change%"});
     Table lowest_table({"mfr", "lowest RH", "lowest CoMRA",
                         "reduction x", "paper x"});
 
@@ -44,9 +44,12 @@ main(int argc, char **argv)
                              series[1].end());
         }
 
-        const auto change = stats::changeCurve(rh_all, comra_all);
+        std::size_t dropped = 0;
+        const auto change =
+            stats::changeCurve(rh_all, comra_all, &dropped);
         change_table.addRow(
             {name(mfr), Table::count((long long)change.size()),
+             Table::count((long long)dropped),
              Table::num(100.0 * stats::fractionBelow(change, 0.0), 1),
              Table::num(100.0 * stats::fractionBelow(change, -50.0), 1),
              Table::num(100.0 * stats::fractionBelow(change, -90.0), 1),

@@ -49,16 +49,20 @@ main(int argc, char **argv)
                                 series[i + 1].end());
     }
 
-    Table change_table({"N", "victims", "%lower", "%>99%red",
-                        "lowest SiMRA", "lowest RH", "best reduction x"});
+    Table change_table({"N", "victims", "dropped", "%lower",
+                        "%>99%red", "lowest SiMRA", "lowest RH",
+                        "best reduction x"});
     for (int i = 0; i < 4; ++i) {
-        const auto change = stats::changeCurve(rh_all, simra_all[i]);
+        std::size_t dropped = 0;
+        const auto change =
+            stats::changeCurve(rh_all, simra_all[i], &dropped);
         double best = 1.0;
         for (std::size_t k = 0; k < rh_all.size(); ++k)
             best = std::max(best, rh_all[k] / simra_all[i][k]);
         change_table.addRow(
             {Table::count(ns[i]),
              Table::count((long long)change.size()),
+             Table::count((long long)dropped),
              Table::num(100.0 * stats::fractionBelow(change, 0.0), 2),
              Table::num(100.0 * stats::fractionBelow(change, -99.0),
                         2),

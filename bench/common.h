@@ -14,6 +14,12 @@
  *   --fast        minimal population for smoke runs
  *   --full        paper-scale population (slow)
  *
+ * Observability (pud::obs):
+ *   --trace=FILE  structured JSONL event trace (wall-clock timing;
+ *                 NOT expected to be identical across --jobs values)
+ *   --metrics     deterministic counters/histograms printed to stdout
+ *                 at exit (byte-identical for every --jobs value)
+ *
  * Determinism guarantee: --jobs only changes wall-clock time, never
  * results.  Population sweeps shard at module granularity (each shard
  * owns its identically-seeded ModuleTester, replaying the serial
@@ -34,6 +40,7 @@
 
 #include "exec/pool.h"
 #include "hammer/experiment.h"
+#include "obs/obs.h"
 #include "stats/summary.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -59,6 +66,9 @@ struct Scale
     static Scale
     parse(const Args &args)
     {
+        // Every bench parses its scale here, so this is the one spot
+        // that gives all fig* binaries --trace/--metrics for free.
+        obs::initFromArgs(args);
         Scale s;
         if (args.has("fast")) {
             s.victims = 4;

@@ -1,8 +1,11 @@
 #include "bender/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "lint/linter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pud::bender {
@@ -81,6 +84,24 @@ Executor::execLoop(const Program &program, const ExecPlan &plan,
             satMul(costs.fastCost[loop_index], n - 2);
 
     if (!eligible) {
+        // Only a loop that *could* have fast-pathed is an interesting
+        // fallback; short trips inside naive bodies are just noise.
+        if (fastPath_ && !recording_ && n >= kFastPathThreshold) {
+            if (obs::metricsOn()) [[unlikely]] {
+                static const obs::CounterId c =
+                    obs::metrics().counterId(
+                        "executor.naive_fallbacks");
+                obs::metrics().add(c);
+            }
+            if (obs::traceOn()) [[unlikely]]
+                obs::trace().event(
+                    "naive_fallback",
+                    {{"loop", loop_index},
+                     {"trip", n},
+                     {"reason", loop.cls == BodyClass::Naive
+                                    ? "body-class"
+                                    : "cost-model"}});
+        }
         for (std::uint64_t it = 0; it < n; ++it)
             body();
         return;
@@ -109,6 +130,11 @@ Executor::execLoop(const Program &program, const ExecPlan &plan,
         const dram::Device::LoopRecord rec =
             device_->endLoopRecording();
         it += 3;
+        if (obs::traceOn()) [[unlikely]]
+            obs::trace().event("fastpath_record",
+                               {{"loop", loop_index},
+                                {"it", it},
+                                {"quiescent", rec.quiescent}});
 
         if (!rec.quiescent) {
             ++strikes;
@@ -125,6 +151,17 @@ Executor::execLoop(const Program &program, const ExecPlan &plan,
             it += replayed;
             result.fastPathIterations += replayed;
             stats_.fastPathIterations += replayed;
+            if (obs::metricsOn()) [[unlikely]] {
+                static const obs::CounterId c =
+                    obs::metrics().counterId(
+                        "executor.fastpath_iterations");
+                obs::metrics().add(c, replayed);
+            }
+            if (obs::traceOn()) [[unlikely]]
+                obs::trace().event("fastpath_replay",
+                                   {{"loop", loop_index},
+                                    {"replayed", replayed},
+                                    {"remaining", n - it}});
         }
         if (it >= n)
             return;
@@ -132,11 +169,25 @@ Executor::execLoop(const Program &program, const ExecPlan &plan,
         // Phase break: run the refresh-colliding iteration live, then
         // try another chunk if enough trip count remains.
         ++stats_.phaseBreaks;
+        if (obs::metricsOn()) [[unlikely]] {
+            static const obs::CounterId c =
+                obs::metrics().counterId("executor.phase_breaks");
+            obs::metrics().add(c);
+        }
+        if (obs::traceOn()) [[unlikely]]
+            obs::trace().event(
+                "phase_break",
+                {{"loop", loop_index}, {"it", it}});
         body();
         ++it;
         strikes = replayed >= kFastPathThreshold ? 0 : strikes + 1;
     }
 
+    if (it < n && strikes >= 2 && obs::traceOn()) [[unlikely]]
+        obs::trace().event("naive_fallback",
+                           {{"loop", loop_index},
+                            {"trip", n - it},
+                            {"reason", "strikes"}});
     while (it < n) {
         body();
         ++it;
@@ -195,6 +246,15 @@ Executor::planFor(const Program &program)
     for (CachedPlan &entry : bucket) {
         if (entry.plan->matchesShape(program)) {
             ++stats_.planCacheHits;
+            if (obs::metricsOn()) [[unlikely]] {
+                static const obs::CounterId c =
+                    obs::metrics().counterId(
+                        "executor.plan_cache_hits");
+                obs::metrics().add(c);
+            }
+            if (obs::traceOn()) [[unlikely]]
+                obs::trace().event("plan_cache_hit",
+                                   {{"hash", hash}});
             if (preflight_ && !entry.linted) {
                 preflightCheck(program);
                 entry.linted = true;
@@ -204,11 +264,22 @@ Executor::planFor(const Program &program)
     }
 
     ++stats_.planCacheMisses;
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c =
+            obs::metrics().counterId("executor.plan_cache_misses");
+        obs::metrics().add(c);
+    }
     if (planCache_.size() > kPlanCacheCap)
         planCache_.clear();
 
     auto plan = std::make_shared<const ExecPlan>(
         ExecPlan::compile(program));
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "plan_compile",
+            {{"hash", hash},
+             {"insts", program.insts().size()},
+             {"loops", plan->loops().size()}});
     if (preflight_)
         preflightCheck(program);
     auto &fresh = planCache_[hash];
@@ -221,6 +292,14 @@ Executor::run(const Program &program)
 {
     if (!program.balanced())
         fatal("Executor: program has unbalanced loops");
+
+    const bool tracing = obs::traceOn();
+    std::chrono::steady_clock::time_point wall_start;
+    if (tracing) [[unlikely]] {
+        wall_start = std::chrono::steady_clock::now();
+        obs::trace().event("program_start",
+                           {{"insts", program.insts().size()}});
+    }
 
     const ExecPlan &plan = planFor(program);
     const RunCosts costs = RunCosts::compute(plan, program);
@@ -235,6 +314,36 @@ Executor::run(const Program &program)
               result);
     device_->flush();
     result.endTime = cursor;
+
+    if (obs::metricsOn()) [[unlikely]] {
+        // Device time and read/iteration counts are functions of the
+        // program alone -- safe for the deterministic metrics output.
+        static const obs::CounterId c_runs =
+            obs::metrics().counterId("executor.programs");
+        static const obs::HistId h_ns =
+            obs::metrics().histId("executor.program_device_ns");
+        static const obs::HistId h_reads =
+            obs::metrics().histId("executor.program_reads");
+        obs::metrics().add(c_runs);
+        obs::metrics().observe(
+            h_ns, static_cast<std::uint64_t>(units::toNs(
+                      result.endTime - result.startTime)));
+        obs::metrics().observe(h_reads, result.reads.size());
+    }
+    if (tracing) [[unlikely]] {
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        obs::trace().event(
+            "program_end",
+            {{"device_ns",
+              static_cast<std::int64_t>(
+                  units::toNs(result.endTime - result.startTime))},
+             {"wall_s", wall_s},
+             {"reads", result.reads.size()},
+             {"fastpath_iters", result.fastPathIterations}});
+    }
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pud::dram {
@@ -210,6 +212,23 @@ Device::majorityMerge(BankState &bank)
 void
 Device::trrRecord(BankState &bank, RowId physical)
 {
+    const RowId evicted = bank.trrRing[bank.trrPos];
+    if (evicted != kNoRow) {
+        // A full ring forgetting an aggressor is exactly how TRR
+        // bypass patterns win (Obs. 24-26) -- worth a trace event.
+        if (obs::metricsOn()) [[unlikely]] {
+            static const obs::CounterId c =
+                obs::metrics().counterId("device.trr_evictions");
+            obs::metrics().add(c);
+        }
+        if (obs::traceOn()) [[unlikely]]
+            obs::trace().event(
+                "trr_evict",
+                {{"bank", static_cast<std::uint64_t>(
+                              bankIndex(bank))},
+                 {"evicted", static_cast<std::uint64_t>(evicted)},
+                 {"row", static_cast<std::uint64_t>(physical)}});
+    }
     bank.trrRing[bank.trrPos] = physical;
     bank.trrPos = (bank.trrPos + 1) % kTrrWindow;
     if (bank.trrFill < kTrrWindow)
@@ -505,6 +524,18 @@ Device::ref(Time t)
     const RowId end =
         static_cast<RowId>((slot + 1) * rows_per_bank / window);
     ++refCounter_;
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c =
+            obs::metrics().counterId("device.refs");
+        obs::metrics().add(c);
+    }
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "ref_anchor",
+            {{"slot", slot},
+             {"start", static_cast<std::uint64_t>(start)},
+             {"end", static_cast<std::uint64_t>(end)},
+             {"recording", recorder_.active}});
 
     for (BankState &bank : banks_) {
         if (bank.st == BankState::St::Open)
@@ -535,6 +566,22 @@ Device::ref(Time t)
                         continue;
                     refreshRow(bank, static_cast<RowId>(v));
                     ++counters_.trrRefreshes;
+                    if (obs::metricsOn()) [[unlikely]] {
+                        static const obs::CounterId c =
+                            obs::metrics().counterId(
+                                "device.trr_refreshes");
+                        obs::metrics().add(c);
+                    }
+                    if (obs::traceOn()) [[unlikely]]
+                        obs::trace().event(
+                            "trr_refresh",
+                            {{"bank",
+                              static_cast<std::uint64_t>(
+                                  bankIndex(bank))},
+                             {"aggr", static_cast<std::uint64_t>(
+                                          aggr)},
+                             {"victim",
+                              static_cast<std::uint64_t>(v)}});
                 }
             }
         }
@@ -613,6 +660,7 @@ Device::replayLoopIterations(const LoopRecord &rec,
         static_cast<std::uint64_t>(cfg_.timings.refsPerWindow);
 
     std::uint64_t completed = 0;
+    std::uint64_t obs_trr_refreshes = 0;
 
     // Pre-replay sampler state per bank; the live ring stays frozen
     // until the committed iteration count is known, so negative
@@ -752,12 +800,29 @@ Device::replayLoopIterations(const LoopRecord &rec,
                 refreshRow(banks_[b], v);
                 ++counters_.trrRefreshes;
             }
+            obs_trr_refreshes += trr_targets.size();
             ++completed;
         }
     }
 
     if (completed == 0)
         return 0;
+
+    // Keep the obs counters in lockstep with counters_ so the metrics
+    // totals do not depend on how many REFs were replayed vs executed
+    // live.  Rolled up once after the replay loop (never inside it --
+    // this is the simulator's hottest loop); replay emits no per-REF
+    // trace events, fastpath_replay summarizes them.
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c_refs =
+            obs::metrics().counterId("device.refs");
+        static const obs::CounterId c_trr =
+            obs::metrics().counterId("device.trr_refreshes");
+        if (!rec.refs.empty())
+            obs::metrics().add(c_refs, rec.refs.size() * completed);
+        if (obs_trr_refreshes > 0)
+            obs::metrics().add(c_trr, obs_trr_refreshes);
+    }
 
     // Damage: the recorded iteration's deltas, scaled once.  Safe to
     // defer past the refreshes above because those never touch a

@@ -1,6 +1,10 @@
 #include "exec/pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pud::exec {
 
@@ -118,16 +122,37 @@ void
 parallelFor(int jobs, std::size_t n,
             const std::function<void(std::size_t)> &fn)
 {
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c =
+            obs::metrics().counterId("exec.parallel_for_calls");
+        static const obs::HistId h =
+            obs::metrics().histId("exec.parallel_for_units");
+        obs::metrics().add(c);
+        obs::metrics().observe(h, n);
+    }
+    const bool tracing = obs::traceOn();
+    const auto wall_start = std::chrono::steady_clock::now();
+
     if (jobs <= 1 || n <= 1) {
         // Legacy serial path: inline, no threads, exceptions propagate
         // directly.
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
-        return;
+    } else {
+        Pool pool(static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(jobs), n)));
+        pool.forEach(n, fn);
     }
-    Pool pool(static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(jobs), n)));
-    pool.forEach(n, fn);
+
+    if (tracing) [[unlikely]]
+        obs::trace().event(
+            "parallel_for",
+            {{"jobs", static_cast<std::int64_t>(jobs)},
+             {"units", n},
+             {"wall_s", std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            wall_start)
+                            .count()}});
 }
 
 } // namespace pud::exec

@@ -8,6 +8,7 @@
 #include "lint/absint.h"
 #include "lint/effects.h"
 #include "lint/linter.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pud::hammer {
@@ -96,6 +97,16 @@ measurePopulation(const PopulationConfig &cfg,
         measures.size(), std::vector<double>(total_victims, 0.0));
     std::vector<ShardReport> reports(shards.size());
 
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "sweep_start",
+            {{"module_id", cfg.moduleId},
+             {"modules", static_cast<std::int64_t>(cfg.modules)},
+             {"victims", total_victims},
+             {"measures", measures.size()},
+             {"shards", shards.size()},
+             {"jobs", static_cast<std::int64_t>(jobs)}});
+
     exec::parallelFor(jobs, shards.size(), [&](std::size_t si) {
         const Shard &shard = shards[si];
         const auto shard_start = std::chrono::steady_clock::now();
@@ -132,7 +143,28 @@ measurePopulation(const PopulationConfig &cfg,
         r.fastPathIterations = xs.fastPathIterations;
         r.planCacheHits = xs.planCacheHits;
         r.planCacheMisses = xs.planCacheMisses;
+        if (obs::traceOn()) [[unlikely]]
+            obs::trace().event(
+                "work_unit",
+                {{"module", static_cast<std::int64_t>(r.module)},
+                 {"first_slot", r.firstSlot},
+                 {"victims", r.victims},
+                 {"units", r.workUnits},
+                 {"seconds", r.seconds},
+                 {"fastpath_iters", r.fastPathIterations},
+                 {"plan_hits", r.planCacheHits},
+                 {"plan_misses", r.planCacheMisses}});
     });
+
+    if (obs::traceOn()) [[unlikely]] {
+        std::size_t units = 0;
+        for (const ShardReport &r : reports)
+            units += r.workUnits;
+        obs::trace().event("sweep_end",
+                           {{"wall_s", secondsSince(wall_start)},
+                            {"units", units},
+                            {"shards", reports.size()}});
+    }
 
     if (telemetry) {
         telemetry->jobs = jobs;

@@ -2,11 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pud::hammer {
 
 namespace {
+
+/** One threshold probe, with its bracket, into the trace/metrics. */
+bool
+probe(const std::function<bool(std::uint64_t)> &flips_at,
+      std::uint64_t hammers, const char *phase, std::uint64_t lo,
+      std::uint64_t hi)
+{
+    const bool flipped = flips_at(hammers);
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c =
+            obs::metrics().counterId("hammer.hc_probes");
+        obs::metrics().add(c);
+    }
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event("hc_probe", {{"phase", phase},
+                                        {"hammers", hammers},
+                                        {"flipped", flipped},
+                                        {"lo", lo},
+                                        {"hi", hi}});
+    return flipped;
+}
 
 std::uint64_t
 searchOnce(const HcSearchConfig &cfg,
@@ -18,11 +41,11 @@ searchOnce(const HcSearchConfig &cfg,
     for (;;) {
         if (hi >= cfg.maxHammers) {
             hi = cfg.maxHammers;
-            if (!flips_at(hi))
+            if (!probe(flips_at, hi, "ramp", lo, hi))
                 return kNoFlip;
             break;
         }
-        if (flips_at(hi))
+        if (probe(flips_at, hi, "ramp", lo, hi))
             break;
         lo = hi;
         hi *= 2;
@@ -39,7 +62,7 @@ searchOnce(const HcSearchConfig &cfg,
                                 cfg.convergence *
                                 static_cast<double>(lo)))) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
-        if (flips_at(mid))
+        if (probe(flips_at, mid, "bisect", lo, hi))
             hi = mid;
         else
             lo = mid;
@@ -58,6 +81,20 @@ findHcFirst(const HcSearchConfig &cfg,
     std::uint64_t best = kNoFlip;
     for (int r = 0; r < std::max(1, cfg.repeats); ++r)
         best = std::min(best, searchOnce(cfg, flips_at));
+    if (obs::metricsOn()) [[unlikely]] {
+        static const obs::CounterId c =
+            obs::metrics().counterId("hammer.hc_searches");
+        static const obs::HistId h =
+            obs::metrics().histId("hammer.hc_first");
+        obs::metrics().add(c);
+        if (best != kNoFlip)
+            obs::metrics().observe(h, best);
+    }
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "hc_result",
+            {{"found", best != kNoFlip},
+             {"hc", best == kNoFlip ? std::uint64_t(0) : best}});
     return best;
 }
 

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pud::obs {
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+CounterId
+MetricsRegistry::counterId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < counterNames_.size(); ++i)
+        if (counterNames_[i] == name)
+            return i;
+    if (counterNames_.size() >= kMaxCounters)
+        panic("obs: counter cap (%zu) exceeded registering '%s'",
+              kMaxCounters, name.c_str());
+    counterNames_.push_back(name);
+    return counterNames_.size() - 1;
+}
+
+HistId
+MetricsRegistry::histId(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < histNames_.size(); ++i)
+        if (histNames_[i] == name)
+            return i;
+    if (histNames_.size() >= kMaxHists)
+        panic("obs: histogram cap (%zu) exceeded registering '%s'",
+              kMaxHists, name.c_str());
+    histNames_.push_back(name);
+    return histNames_.size() - 1;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::shard()
+{
+    // One pointer per thread; the shard itself lives in the registry
+    // so snapshot() can still see it after the thread exits.
+    thread_local Shard *mine = nullptr;
+    if (!mine)
+        mine = &registerShard();
+    return *mine;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::registerShard()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    return *shards_.back();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    snap.counters.resize(counterNames_.size());
+    for (std::size_t i = 0; i < counterNames_.size(); ++i)
+        snap.counters[i].name = counterNames_[i];
+    snap.hists.resize(histNames_.size());
+    for (std::size_t i = 0; i < histNames_.size(); ++i) {
+        snap.hists[i].name = histNames_[i];
+        snap.hists[i].buckets.assign(kHistBuckets, 0);
+    }
+    for (const auto &sh : shards_) {
+        for (std::size_t i = 0; i < snap.counters.size(); ++i)
+            snap.counters[i].value +=
+                sh->counters[i].load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < snap.hists.size(); ++i)
+            for (std::size_t b = 0; b < kHistBuckets; ++b) {
+                const std::uint64_t c =
+                    sh->hists[i][b].load(std::memory_order_relaxed);
+                snap.hists[i].buckets[b] += c;
+                snap.hists[i].total += c;
+            }
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.name < b.name;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.hists.begin(), snap.hists.end(), byName);
+    return snap;
+}
+
+void
+MetricsRegistry::print(std::FILE *out) const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::fprintf(out, "# metrics\n");
+    for (const auto &c : snap.counters)
+        std::fprintf(out, "%-44s %llu\n", c.name.c_str(),
+                     (unsigned long long)c.value);
+    for (const auto &h : snap.hists) {
+        std::fprintf(out, "%-44s n=%llu\n", h.name.c_str(),
+                     (unsigned long long)h.total);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (!h.buckets[b])
+                continue;
+            std::fprintf(out, "  [>=%llu] %llu\n",
+                         (unsigned long long)bucketLow(b),
+                         (unsigned long long)h.buckets[b]);
+        }
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &sh : shards_) {
+        for (auto &c : sh->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &hist : sh->hists)
+            for (auto &b : hist)
+                b.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace pud::obs

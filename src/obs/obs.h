@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Umbrella header for pud::obs plus the flag wiring every binary
+ * shares.  `--trace=FILE` opens the JSONL trace sink, `--metrics`
+ * enables the deterministic counter/histogram registry and prints it
+ * to stdout at exit (stdout so the existing jobs=1-vs-jobs=2 output
+ * diff in CI also proves metrics determinism).
+ */
+
+#ifndef PUD_OBS_OBS_H
+#define PUD_OBS_OBS_H
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/args.h"
+
+namespace pud::obs {
+
+/**
+ * Wire --trace=FILE / --metrics.  Called from Scale::parse (all fig
+ * benches) and from the pudhammer CLI; safe to call more than once.
+ */
+inline void
+initFromArgs(const Args &args)
+{
+    if (args.has("trace") && !trace().enabled())
+        trace().open(args.get("trace"));
+    if (args.has("metrics") && !metrics().enabled()) {
+        metrics().setEnabled(true);
+        // Flush the merged snapshot to stdout at exit; the printout
+        // is sorted and contains only deterministic quantities, so
+        // it diffs clean across --jobs values.
+        std::atexit([] { metrics().print(stdout); });
+    }
+}
+
+} // namespace pud::obs
+
+#endif // PUD_OBS_OBS_H

@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace pud::obs {
+
+TraceWriter &
+TraceWriter::instance()
+{
+    static TraceWriter writer;
+    return writer;
+}
+
+void
+TraceWriter::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_)
+        fatal("obs: trace already open (%s)", path_.c_str());
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        fatal("obs: cannot open trace file '%s'", path.c_str());
+    path_ = path;
+    start_ = std::chrono::steady_clock::now();
+    // Close on normal process exit so short-lived binaries still get
+    // a complete trace without having to call close() themselves.
+    static bool hooked = false;
+    if (!hooked) {
+        hooked = true;
+        std::atexit([] { TraceWriter::instance().close(); });
+    }
+    std::fprintf(file_, "{\"ev\":\"trace_open\",\"ts\":0.000000}\n");
+    detail::g_traceEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_)
+        return;
+    detail::g_traceEnabled.store(false, std::memory_order_relaxed);
+    std::fprintf(file_,
+                 "{\"ev\":\"trace_close\",\"ts\":%.6f,"
+                 "\"wall_s\":%.6f}\n",
+                 elapsedLocked(), elapsedLocked());
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+double
+TraceWriter::elapsedLocked() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+TraceWriter::writeEscaped(std::FILE *f, const char *s)
+{
+    for (; *s; ++s) {
+        const unsigned char c = (unsigned char)*s;
+        switch (c) {
+        case '"':
+            std::fputs("\\\"", f);
+            break;
+        case '\\':
+            std::fputs("\\\\", f);
+            break;
+        case '\n':
+            std::fputs("\\n", f);
+            break;
+        case '\t':
+            std::fputs("\\t", f);
+            break;
+        default:
+            if (c < 0x20)
+                std::fprintf(f, "\\u%04x", c);
+            else
+                std::fputc(c, f);
+        }
+    }
+}
+
+void
+TraceWriter::event(const char *type,
+                   std::initializer_list<TraceField> fields)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_)
+        return;
+    std::fprintf(file_, "{\"ev\":\"%s\",\"ts\":%.6f", type,
+                 elapsedLocked());
+    for (const TraceField &f : fields) {
+        std::fprintf(file_, ",\"%s\":", f.key);
+        switch (f.kind) {
+        case TraceField::Kind::Int:
+            std::fprintf(file_, "%lld", (long long)f.i);
+            break;
+        case TraceField::Kind::Uint:
+            std::fprintf(file_, "%llu", (unsigned long long)f.u);
+            break;
+        case TraceField::Kind::Double:
+            if (std::isfinite(f.d))
+                std::fprintf(file_, "%.6f", f.d);
+            else
+                std::fputs("null", file_);
+            break;
+        case TraceField::Kind::Bool:
+            std::fputs(f.b ? "true" : "false", file_);
+            break;
+        case TraceField::Kind::Str:
+            std::fputc('"', file_);
+            writeEscaped(file_, f.s ? f.s : "");
+            std::fputc('"', file_);
+            break;
+        }
+    }
+    std::fputs("}\n", file_);
+}
+
+} // namespace pud::obs

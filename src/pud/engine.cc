@@ -177,6 +177,27 @@ PudEngine::replicatedMajority(const std::vector<RowId> &operands,
     if (!dev.supportsSimra())
         return std::nullopt;
 
+    // Validate the replication vector before touching DRAM: a count
+    // per operand, every count positive, and the total exactly the
+    // block size.  Anything else would read replication[] out of
+    // bounds or leave the block partially staged.
+    if (operands.empty() || replication.size() != operands.size()) {
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+    int total = 0;
+    for (int r : replication) {
+        if (r <= 0) {
+            ++stats_.rejected;
+            return std::nullopt;
+        }
+        total += r;
+    }
+    if (total != n) {
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+
     // The contiguous n-aligned scratch block.
     const RowId phys = dev.toPhysical(scratch_block);
     const RowId base = phys & ~static_cast<RowId>(n - 1);
@@ -190,24 +211,32 @@ PudEngine::replicatedMajority(const std::vector<RowId> &operands,
     if (!policyAllowsSimra(group))
         return std::nullopt;
 
-    // Stage the replicated operands into the block via RowClone; every
-    // operand must share the scratch block's subarray.
-    int slot = 0;
-    for (std::size_t o = 0; o < operands.size(); ++o) {
-        if (!sameSubarray(operands[o], dev.toLogical(base))) {
+    // Check geometry and policy for every staging copy up front, so a
+    // rejected operation leaves DRAM contents untouched.
+    const RowId base_logical = dev.toLogical(base);
+    for (RowId operand : operands) {
+        if (!sameSubarray(operand, base_logical)) {
             ++stats_.rejected;
             return std::nullopt;
         }
-        for (int r = 0; r < replication[o]; ++r) {
-            const RowId dst = dev.toLogical(
-                base + static_cast<RowId>(slot++));
-            if (!policyAllowsComra(operands[o], dst))
-                return std::nullopt;
-            issueCopy(operands[o], dst);
-        }
     }
-    if (slot != n)
-        panic("replicatedMajority: replication counts must sum to n");
+    {
+        int slot = 0;
+        for (std::size_t o = 0; o < operands.size(); ++o)
+            for (int r = 0; r < replication[o]; ++r) {
+                const RowId dst = dev.toLogical(
+                    base + static_cast<RowId>(slot++));
+                if (!policyAllowsComra(operands[o], dst))
+                    return std::nullopt;
+            }
+    }
+
+    // Stage the replicated operands into the block via RowClone.
+    int slot = 0;
+    for (std::size_t o = 0; o < operands.size(); ++o)
+        for (int r = 0; r < replication[o]; ++r)
+            issueCopy(operands[o],
+                      dev.toLogical(base + static_cast<RowId>(slot++)));
 
     // One simultaneous activation computes the bitline majority and
     // writes it back into every row of the block.
@@ -245,36 +274,57 @@ PudEngine::maj5(RowId a, RowId b, RowId c, RowId d, RowId e,
                               scratch_block, 16);
 }
 
+std::optional<RowId>
+PudEngine::andOrCtrlRow(RowId scratch_block)
+{
+    // The control operand lives just outside the 8-row scratch block:
+    // the row after it if that stays inside the subarray, otherwise
+    // the row before.  Both candidates must be validated -- `base - 1`
+    // underflows RowId when the block starts at physical row 0, and
+    // crosses into the *previous* subarray whenever the block is the
+    // first of its subarray, in which case maj3 would fail only after
+    // fill() had already clobbered a row it does not own.
+    dram::Device &dev = bench_->device();
+    const RowId phys = dev.toPhysical(scratch_block);
+    const RowId base = phys & ~RowId(7);
+    const RowId rps = dev.config().rowsPerSubarray;
+    const RowId sub_begin = (base / rps) * rps;
+    const RowId sub_end = sub_begin + rps;
+    if (base + 8 > sub_end) {
+        // Block itself crosses the subarray edge; maj3 would reject.
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+    if (base + 8 < sub_end)
+        return dev.toLogical(base + 8);
+    if (base > sub_begin)
+        return dev.toLogical(base - 1);
+    // rowsPerSubarray == 8: the block spans the whole subarray and no
+    // in-subarray control row exists on either side.
+    ++stats_.rejected;
+    return std::nullopt;
+}
+
 std::optional<RowData>
 PudEngine::bitAnd(RowId a, RowId b, RowId scratch_block)
 {
     // AND(a, b) = MAJ3(a, b, 0): the control operand is staged in the
     // scratch block itself (last slots) after being filled.
-    dram::Device &dev = bench_->device();
-    const RowId phys = dev.toPhysical(scratch_block);
-    const RowId base = phys & ~RowId(7);
-    // Use the row after the block as the control row if it fits,
-    // otherwise the one before.
-    const RowId rps = dev.config().rowsPerSubarray;
-    RowId ctrl_phys = base + 8 < ((base / rps) + 1) * rps ? base + 8
-                                                          : base - 1;
-    const RowId ctrl = dev.toLogical(ctrl_phys);
-    fill(ctrl, false);
-    return maj3(a, b, ctrl, scratch_block);
+    const std::optional<RowId> ctrl = andOrCtrlRow(scratch_block);
+    if (!ctrl)
+        return std::nullopt;
+    fill(*ctrl, false);
+    return maj3(a, b, *ctrl, scratch_block);
 }
 
 std::optional<RowData>
 PudEngine::bitOr(RowId a, RowId b, RowId scratch_block)
 {
-    dram::Device &dev = bench_->device();
-    const RowId phys = dev.toPhysical(scratch_block);
-    const RowId base = phys & ~RowId(7);
-    const RowId rps = dev.config().rowsPerSubarray;
-    RowId ctrl_phys = base + 8 < ((base / rps) + 1) * rps ? base + 8
-                                                          : base - 1;
-    const RowId ctrl = dev.toLogical(ctrl_phys);
-    fill(ctrl, true);
-    return maj3(a, b, ctrl, scratch_block);
+    const std::optional<RowId> ctrl = andOrCtrlRow(scratch_block);
+    if (!ctrl)
+        return std::nullopt;
+    fill(*ctrl, true);
+    return maj3(a, b, *ctrl, scratch_block);
 }
 
 } // namespace pud::ops

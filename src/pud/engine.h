@@ -109,6 +109,29 @@ class PudEngine
     /** Bitwise OR via MAJ3 with an all-ones control row. */
     std::optional<RowData> bitOr(RowId a, RowId b, RowId scratch_block);
 
+    /**
+     * Open the N-row activation block containing block_row and write
+     * `data` into every row (N in {2,4,8,16,32}, power of two, block
+     * within one subarray); false (no DRAM mutation) otherwise.
+     */
+    bool groupWrite(RowId block_row, int n, const RowData &data);
+
+    /**
+     * Generic replicated-majority into the n-aligned block containing
+     * scratch_block: operands are staged via RowClone with the given
+     * per-operand replication counts, then one SiMRA group activation
+     * resolves the weighted majority.  The replication vector must
+     * have one positive count per operand summing exactly to n, every
+     * operand must share the block's subarray, and the policy must
+     * allow every staging copy -- all validated *before* any DRAM
+     * state changes; failures return nullopt and count in
+     * stats().rejected.
+     */
+    std::optional<RowData>
+    replicatedMajority(const std::vector<RowId> &operands,
+                       const std::vector<int> &replication,
+                       RowId scratch_block, int n);
+
     // ---- policy / accounting ----------------------------------------------
 
     /**
@@ -133,14 +156,13 @@ class PudEngine
     /** Issue one RowClone command sequence (no policy check). */
     void issueCopy(RowId src, RowId dst);
 
-    /** Open the N-row block around block_row and write `data`. */
-    bool groupWrite(RowId block_row, int n, const RowData &data);
-
-    /** Generic replicated-majority into a block of size `n`. */
-    std::optional<RowData>
-    replicatedMajority(const std::vector<RowId> &operands,
-                       const std::vector<int> &replication,
-                       RowId scratch_block, int n);
+    /**
+     * Pick the control row flanking the 8-row block that holds
+     * scratch_block, staying inside its subarray; nullopt (counted in
+     * stats_.rejected) when no valid flank exists, *before* any state
+     * is mutated.
+     */
+    std::optional<RowId> andOrCtrlRow(RowId scratch_block);
 
     bender::TestBench *bench_;
     BankId bank_;

@@ -40,7 +40,7 @@ boxStats(std::vector<double> samples)
     BoxStats out;
     const auto finite_end = std::remove_if(
         samples.begin(), samples.end(),
-        [](double x) { return std::isnan(x); });
+        [](double x) { return !std::isfinite(x); });
     out.dropped =
         static_cast<std::size_t>(samples.end() - finite_end);
     samples.erase(finite_end, samples.end());
@@ -61,18 +61,28 @@ boxStats(std::vector<double> samples)
 }
 
 std::vector<double>
-changeCurve(const std::vector<double> &base, const std::vector<double> &variant)
+changeCurve(const std::vector<double> &base,
+            const std::vector<double> &variant, std::size_t *dropped)
 {
     if (base.size() != variant.size())
         panic("changeCurve: mismatched sample counts (%zu vs %zu)",
               base.size(), variant.size());
     std::vector<double> change;
     change.reserve(base.size());
+    std::size_t skipped = 0;
     for (std::size_t i = 0; i < base.size(); ++i) {
-        if (base[i] <= 0.0)
+        if (base[i] <= 0.0) {
+            ++skipped;
             continue;
+        }
         change.push_back(100.0 * (variant[i] - base[i]) / base[i]);
     }
+    if (dropped)
+        *dropped = skipped;
+    else if (skipped)
+        warn("changeCurve: dropped %zu of %zu pairs with "
+             "non-positive base",
+             skipped, base.size());
     // Most positive change first, matching the paper's x-axis.
     std::sort(change.begin(), change.end(), std::greater<>());
     return change;

@@ -50,7 +50,7 @@ class Accumulator
 struct BoxStats
 {
     std::size_t count = 0;    //!< finite samples the summary is over
-    std::size_t dropped = 0;  //!< NaN samples excluded from the summary
+    std::size_t dropped = 0;  //!< non-finite samples excluded
     double min = 0.0;
     double q1 = 0.0;
     double median = 0.0;
@@ -65,10 +65,11 @@ struct BoxStats
 /**
  * Compute a BoxStats from samples.  The input is copied and sorted;
  * quartiles use linear interpolation (type-7, the numpy default).
- * NaN entries (e.g. kNoFlip victims from measurePopulation summarized
- * without dropIncomplete) are excluded and reported via `dropped`;
- * sorting them instead would poison min/max/quantiles, since NaN
- * breaks the comparator's strict weak ordering.
+ * Non-finite entries -- NaN (e.g. kNoFlip victims from
+ * measurePopulation summarized without dropIncomplete) *and* +/-Inf
+ * (a diverging ratio) -- are excluded and reported via `dropped`:
+ * NaN breaks the sort's strict weak ordering, and an Inf would
+ * poison min/max/mean even though it sorts fine.
  */
 BoxStats boxStats(std::vector<double> samples);
 
@@ -80,9 +81,14 @@ double quantileSorted(const std::vector<double> &sorted, double q);
  * computes 100 * (variant - base) / base for each pair and sorts from
  * most positive to most negative -- the x-axis convention of the
  * paper's Figs. 4 and 13 (left plots).
+ *
+ * Pairs with base[i] <= 0 cannot be expressed as a percent change and
+ * are dropped; the count is stored in *dropped when given, and warned
+ * about otherwise, so a thinned curve is never silent.
  */
 std::vector<double> changeCurve(const std::vector<double> &base,
-                                const std::vector<double> &variant);
+                                const std::vector<double> &variant,
+                                std::size_t *dropped = nullptr);
 
 /** Fraction of entries in v that are strictly below the threshold. */
 double fractionBelow(const std::vector<double> &v, double threshold);

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the pud::obs metrics registry and trace writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace pud::obs;
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    MetricsTest()
+    {
+        metrics().reset();
+        metrics().setEnabled(true);
+    }
+    ~MetricsTest() override
+    {
+        metrics().setEnabled(false);
+        metrics().reset();
+    }
+};
+
+TEST_F(MetricsTest, CounterIdsAreInterned)
+{
+    const CounterId a = metrics().counterId("obs_test.alpha");
+    const CounterId b = metrics().counterId("obs_test.beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(metrics().counterId("obs_test.alpha"), a);
+    EXPECT_EQ(metrics().histId("obs_test.h"),
+              metrics().histId("obs_test.h"));
+}
+
+TEST_F(MetricsTest, AddAccumulatesIntoSnapshot)
+{
+    const CounterId id = metrics().counterId("obs_test.adds");
+    metrics().add(id);
+    metrics().add(id, 41);
+    const MetricsSnapshot snap = metrics().snapshot();
+    std::uint64_t got = 0;
+    for (const auto &c : snap.counters)
+        if (c.name == "obs_test.adds")
+            got = c.value;
+    EXPECT_EQ(got, 42u);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp)
+{
+    const CounterId id = metrics().counterId("obs_test.off");
+    metrics().setEnabled(false);
+    metrics().add(id, 100);
+    metrics().setEnabled(true);
+    std::uint64_t got = 0;
+    for (const auto &c : metrics().snapshot().counters) {
+        if (c.name == "obs_test.off")
+            got = c.value;
+    }
+    EXPECT_EQ(got, 0u);
+}
+
+TEST_F(MetricsTest, BucketBoundaries)
+{
+    EXPECT_EQ(MetricsRegistry::bucketOf(0), 0u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(1), 1u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(2), 2u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(3), 2u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(4), 3u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(7), 3u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(8), 4u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(255), 8u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(256), 9u);
+    EXPECT_EQ(MetricsRegistry::bucketOf(~std::uint64_t(0)), 64u);
+
+    EXPECT_EQ(MetricsRegistry::bucketLow(0), 0u);
+    EXPECT_EQ(MetricsRegistry::bucketLow(1), 0u);
+    EXPECT_EQ(MetricsRegistry::bucketLow(2), 2u);
+    EXPECT_EQ(MetricsRegistry::bucketLow(3), 4u);
+    EXPECT_EQ(MetricsRegistry::bucketLow(64),
+              std::uint64_t(1) << 63);
+}
+
+TEST_F(MetricsTest, ObserveLandsInTheRightBucket)
+{
+    const HistId id = metrics().histId("obs_test.hist");
+    metrics().observe(id, 0);
+    metrics().observe(id, 1);
+    metrics().observe(id, 5);
+    metrics().observe(id, 5);
+    const MetricsSnapshot snap = metrics().snapshot();
+    bool found = false;
+    for (const auto &h : snap.hists) {
+        if (h.name != "obs_test.hist")
+            continue;
+        found = true;
+        EXPECT_EQ(h.total, 4u);
+        ASSERT_EQ(h.buckets.size(), MetricsRegistry::kHistBuckets);
+        EXPECT_EQ(h.buckets[0], 1u);  // value 0
+        EXPECT_EQ(h.buckets[1], 1u);  // value 1
+        EXPECT_EQ(h.buckets[3], 2u);  // [4, 8)
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName)
+{
+    metrics().counterId("obs_test.zz");
+    metrics().counterId("obs_test.aa");
+    const MetricsSnapshot snap = metrics().snapshot();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+    for (std::size_t i = 1; i < snap.hists.size(); ++i)
+        EXPECT_LT(snap.hists[i - 1].name, snap.hists[i].name);
+}
+
+TEST_F(MetricsTest, ShardsMergeAcrossThreads)
+{
+    const CounterId id = metrics().counterId("obs_test.threads");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([id] {
+            for (int i = 0; i < kPerThread; ++i)
+                metrics().add(id);
+        });
+    for (auto &w : workers)
+        w.join();
+    std::uint64_t got = 0;
+    for (const auto &c : metrics().snapshot().counters)
+        if (c.name == "obs_test.threads")
+            got = c.value;
+    EXPECT_EQ(got,
+              std::uint64_t(kThreads) * std::uint64_t(kPerThread));
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything)
+{
+    const CounterId id = metrics().counterId("obs_test.reset");
+    metrics().add(id, 7);
+    metrics().reset();
+    for (const auto &c : metrics().snapshot().counters)
+        EXPECT_EQ(c.value, 0u) << c.name;
+}
+
+// ---- TraceWriter -----------------------------------------------------------
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * One end-to-end open/event/close cycle.  TraceWriter is a process
+ * singleton, so the whole life cycle is exercised in a single test to
+ * keep ordering deterministic; a reopen is checked at the end.
+ */
+TEST(TraceWriter, LifecycleAndFieldFormatting)
+{
+    const std::string path =
+        ::testing::TempDir() + "pud_obs_trace_test.jsonl";
+
+    ASSERT_FALSE(traceOn());
+    trace().open(path);
+    EXPECT_TRUE(traceOn());
+    EXPECT_EQ(trace().path(), path);
+
+    trace().event("unit_test",
+                  {{"i", std::int64_t(-5)},
+                   {"u", std::uint64_t(18446744073709551615ull)},
+                   {"d", 1.5},
+                   {"flag", true},
+                   {"s", "a\"b\\c\nd"}});
+    trace().event("unit_test_nonfinite",
+                  {{"d", std::numeric_limits<double>::infinity()}});
+    trace().close();
+    EXPECT_FALSE(traceOn());
+
+    // A post-close event must be dropped, not crash.
+    trace().event("after_close", {});
+
+    const std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_NE(lines[0].find("\"ev\":\"trace_open\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"ts\":0.000000"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"i\":-5"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"u\":18446744073709551615"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"d\":1.500000"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"flag\":true"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"s\":\"a\\\"b\\\\c\\nd\""),
+              std::string::npos);
+    // Non-finite doubles must not produce invalid JSON.
+    EXPECT_NE(lines[2].find("\"d\":null"), std::string::npos);
+    EXPECT_NE(lines[3].find("\"ev\":\"trace_close\""),
+              std::string::npos);
+    EXPECT_NE(lines[3].find("\"wall_s\":"), std::string::npos);
+
+    // Every line is a braced object.
+    for (const std::string &l : lines) {
+        EXPECT_EQ(l.front(), '{');
+        EXPECT_EQ(l.back(), '}');
+    }
+
+    // Reopening after close starts a fresh trace.
+    trace().open(path);
+    EXPECT_TRUE(traceOn());
+    trace().close();
+    const std::vector<std::string> reopened = readLines(path);
+    ASSERT_EQ(reopened.size(), 2u);
+    EXPECT_NE(reopened[0].find("trace_open"), std::string::npos);
+    EXPECT_NE(reopened[1].find("trace_close"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -189,6 +189,214 @@ TEST_F(PudOpsTest, PolicyAllowsOneStorageOperandCopies)
     EXPECT_FALSE(engine.copy(100, 110));  // storage -> storage
 }
 
+TEST_F(PudOpsTest, PolicyRejectionLeavesStateUntouched)
+{
+    mitigation::ComputeRegionPolicy policy(128, 32, 4);
+    engine.setPolicy(&policy, 0);
+    bench.writeRow(0, 1, randomRow(rng, 256));
+    bench.writeRow(0, 2, randomRow(rng, 256));
+    bench.writeRow(0, 3, randomRow(rng, 256));
+
+    // Scratch in the storage region: the SiMRA policy check rejects
+    // before any staging copy runs.
+    dram::Device &dev = bench.device();
+    const dram::RowId base = dev.toPhysical(64) & ~dram::RowId(7);
+    std::vector<RowData> before;
+    for (dram::RowId p = base; p < base + 8; ++p)
+        before.push_back(bench.readRow(0, dev.toLogical(p)));
+
+    EXPECT_FALSE(engine.maj3(1, 2, 3, /*scratch=*/64).has_value());
+    EXPECT_EQ(engine.stats().rejected, 1u);
+    EXPECT_EQ(engine.stats().copies, 0u);
+    EXPECT_EQ(engine.stats().simraOps, 0u);
+    for (dram::RowId p = base; p < base + 8; ++p)
+        EXPECT_EQ(bench.readRow(0, dev.toLogical(p)),
+                  before[p - base])
+            << "scratch row " << p << " mutated by rejected op";
+}
+
+// ---- regression: replicatedMajority validated before any issueCopy ----
+
+TEST_F(PudOpsTest, ReplicatedMajorityValidatesReplicationUpFront)
+{
+    bench.writeRow(0, 100, randomRow(rng, 256));
+    bench.writeRow(0, 101, randomRow(rng, 256));
+    bench.writeRow(0, 102, randomRow(rng, 256));
+
+    dram::Device &dev = bench.device();
+    const dram::RowId base = dev.toPhysical(48) & ~dram::RowId(7);
+    std::vector<RowData> before;
+    for (dram::RowId p = base; p < base + 8; ++p)
+        before.push_back(bench.readRow(0, dev.toLogical(p)));
+
+    // Previously an out-of-bounds read of replication[2].
+    EXPECT_FALSE(engine
+                     .replicatedMajority({100, 101, 102}, {3, 3},
+                                         /*scratch=*/48, 8)
+                     .has_value());
+    // Previously panicked on slot != n -- but only after nine copies
+    // had already overflowed the block.
+    EXPECT_FALSE(engine
+                     .replicatedMajority({100, 101, 102}, {3, 3, 3},
+                                         /*scratch=*/48, 8)
+                     .has_value());
+    // Zero replication counts never made sense; now rejected.
+    EXPECT_FALSE(engine
+                     .replicatedMajority({100, 101, 102}, {4, 4, 0},
+                                         /*scratch=*/48, 8)
+                     .has_value());
+    EXPECT_FALSE(
+        engine.replicatedMajority({}, {}, /*scratch=*/48, 8)
+            .has_value());
+
+    EXPECT_EQ(engine.stats().copies, 0u);
+    EXPECT_EQ(engine.stats().simraOps, 0u);
+    EXPECT_EQ(engine.stats().rejected, 4u);
+    for (dram::RowId p = base; p < base + 8; ++p)
+        EXPECT_EQ(bench.readRow(0, dev.toLogical(p)),
+                  before[p - base])
+            << "scratch row " << p << " mutated by rejected op";
+}
+
+TEST_F(PudOpsTest, ReplicatedMajorityRejectsBadOperandBeforeCopies)
+{
+    bench.writeRow(0, 100, randomRow(rng, 256));
+    bench.writeRow(0, 102, randomRow(rng, 256));
+    // Row 200 lives in the other subarray.  Previously the first
+    // operand's three staging copies were issued before the check on
+    // operand 1 failed, leaving the scratch block half-written.
+    dram::Device &dev = bench.device();
+    const dram::RowId base = dev.toPhysical(48) & ~dram::RowId(7);
+    std::vector<RowData> before;
+    for (dram::RowId p = base; p < base + 8; ++p)
+        before.push_back(bench.readRow(0, dev.toLogical(p)));
+
+    EXPECT_FALSE(engine
+                     .replicatedMajority({100, 200, 102}, {3, 3, 2},
+                                         /*scratch=*/48, 8)
+                     .has_value());
+    EXPECT_EQ(engine.stats().copies, 0u);
+    EXPECT_EQ(engine.stats().rejected, 1u);
+    for (dram::RowId p = base; p < base + 8; ++p)
+        EXPECT_EQ(bench.readRow(0, dev.toLogical(p)),
+                  before[p - base])
+            << "scratch row " << p << " mutated by rejected op";
+}
+
+// ---- regression: bitAnd/bitOr control-row selection at boundaries ----
+
+dram::DeviceConfig
+tinyConfig(dram::RowId rows_per_subarray)
+{
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", 31);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 4;
+    cfg.rowsPerSubarray = rows_per_subarray;
+    cfg.cols = 64;
+    return cfg;
+}
+
+TEST(PudOpsBoundary, BitAndAtPhysicalRowZeroRejectsCleanly)
+{
+    // rowsPerSubarray == 8: every 8-row block spans its whole
+    // subarray, so no control row exists on either side.  For the
+    // block at physical row 0 the old `base - 1` underflowed RowId
+    // and indexed a nonexistent row.
+    bender::TestBench bench(tinyConfig(8));
+    PudEngine engine(bench, 0);
+    dram::Device &dev = bench.device();
+    const dram::RowId a = dev.toLogical(1);
+    const dram::RowId b = dev.toLogical(2);
+    bench.fillRow(0, a, dram::DataPattern::P55);
+    bench.fillRow(0, b, dram::DataPattern::PAA);
+
+    EXPECT_FALSE(engine.bitAnd(a, b, dev.toLogical(0)).has_value());
+    EXPECT_FALSE(engine.bitOr(a, b, dev.toLogical(0)).has_value());
+    EXPECT_EQ(engine.stats().copies, 0u);
+    EXPECT_EQ(engine.stats().rejected, 2u);
+}
+
+TEST(PudOpsBoundary, BitAndNeverFillsIntoPreviousSubarray)
+{
+    // Scratch block = first (and only) block of subarray 1.  The old
+    // code picked physical row 7 -- the *previous* subarray's last
+    // row -- as the control row and clobbered it with fill() before
+    // maj3 noticed the subarray mismatch and bailed out.
+    bender::TestBench bench(tinyConfig(8));
+    PudEngine engine(bench, 0);
+    dram::Device &dev = bench.device();
+
+    const dram::RowId neighbor = dev.toLogical(7);
+    bench.fillRow(0, neighbor, dram::DataPattern::PAA);
+    const RowData before = bench.readRow(0, neighbor);
+
+    const dram::RowId a = dev.toLogical(9);
+    const dram::RowId b = dev.toLogical(10);
+    bench.fillRow(0, a, dram::DataPattern::P55);
+    bench.fillRow(0, b, dram::DataPattern::PFF);
+
+    EXPECT_FALSE(
+        engine.bitAnd(a, b, dev.toLogical(8)).has_value());
+    EXPECT_GT(engine.stats().rejected, 0u);
+    EXPECT_EQ(bench.readRow(0, neighbor), before)
+        << "rejected bitAnd mutated the previous subarray";
+}
+
+TEST(PudOpsBoundary, BitAndUsesPrecedingRowAtSubarrayEnd)
+{
+    // rowsPerSubarray == 16: the block [8, 16) is the last of
+    // subarray 0, so the control row must be physical row 7 -- the
+    // legitimate use of the "row before" fallback.
+    bender::TestBench bench(tinyConfig(16));
+    PudEngine engine(bench, 0);
+    dram::Device &dev = bench.device();
+
+    Rng rng(7);
+    const RowData va = randomRow(rng, 64);
+    const RowData vb = randomRow(rng, 64);
+    const dram::RowId a = dev.toLogical(1);
+    const dram::RowId b = dev.toLogical(2);
+    bench.writeRow(0, a, va);
+    bench.writeRow(0, b, vb);
+
+    const auto band = engine.bitAnd(a, b, dev.toLogical(9));
+    ASSERT_TRUE(band.has_value());
+    for (dram::ColId col = 0; col < 64; ++col)
+        EXPECT_EQ(band->get(col), va.get(col) && vb.get(col));
+}
+
+TEST(PudOpsBoundary, BroadcastBlockCrossingSubarrayRejected)
+{
+    // A 16-row block in an 8-row subarray necessarily spans two
+    // subarrays; groupWrite must refuse without touching DRAM.
+    bender::TestBench bench(tinyConfig(8));
+    PudEngine engine(bench, 0);
+    dram::Device &dev = bench.device();
+    const dram::RowId src = dev.toLogical(20);
+    bench.fillRow(0, src, dram::DataPattern::P55);
+    EXPECT_FALSE(engine.broadcast(src, dev.toLogical(0), 16));
+    EXPECT_EQ(engine.stats().simraOps, 0u);
+}
+
+TEST_F(PudOpsTest, GroupWriteValidatesN)
+{
+    const RowData data = randomRow(rng, 256);
+    dram::Device &dev = bench.device();
+    std::vector<RowData> before;
+    for (dram::RowId p = 32; p < 64; ++p)
+        before.push_back(bench.readRow(0, dev.toLogical(p)));
+
+    EXPECT_FALSE(engine.groupWrite(32, 3, data));   // not a power of 2
+    EXPECT_FALSE(engine.groupWrite(32, 0, data));   // below range
+    EXPECT_FALSE(engine.groupWrite(32, 1, data));   // below range
+    EXPECT_FALSE(engine.groupWrite(32, -8, data));  // negative
+    EXPECT_FALSE(engine.groupWrite(32, 64, data));  // above range
+    EXPECT_EQ(engine.stats().simraOps, 0u);
+    for (dram::RowId p = 32; p < 64; ++p)
+        EXPECT_EQ(bench.readRow(0, dev.toLogical(p)),
+                  before[p - 32]);
+}
+
 /** Property sweep: MAJ3 is correct for every constant input pattern. */
 class Maj3PatternSweep
     : public ::testing::TestWithParam<std::tuple<int, int, int>>

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/summary.h"
 
@@ -88,6 +89,23 @@ TEST(BoxStats, NoNaNsMeansNoDrops)
     EXPECT_EQ(bs.dropped, 0u);
 }
 
+/**
+ * Regression: the NaN filter used std::isnan, so +/-Inf sailed
+ * through into min/max/mean.  Every non-finite sample must land in
+ * `dropped`.
+ */
+TEST(BoxStats, DropsInfinities)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const BoxStats bs =
+        boxStats({5, inf, 3, 1, -inf, 4, 2, std::nan("")});
+    EXPECT_EQ(bs.count, 5u);
+    EXPECT_EQ(bs.dropped, 3u);
+    EXPECT_DOUBLE_EQ(bs.min, 1.0);
+    EXPECT_DOUBLE_EQ(bs.max, 5.0);
+    EXPECT_DOUBLE_EQ(bs.mean, 3.0);
+}
+
 TEST(Quantile, Interpolates)
 {
     const std::vector<double> sorted{0.0, 10.0};
@@ -112,6 +130,32 @@ TEST(ChangeCurve, SkipsZeroBase)
     const auto curve = changeCurve({0.0, 100.0}, {5.0, 120.0});
     ASSERT_EQ(curve.size(), 1u);
     EXPECT_DOUBLE_EQ(curve[0], 20.0);
+}
+
+/**
+ * Regression: skipped non-positive-base pairs were silently
+ * discarded; the curve looked like a full population.  The count now
+ * comes back through the out-parameter (or a warning when none is
+ * given).
+ */
+TEST(ChangeCurve, ReportsDroppedPairs)
+{
+    std::size_t dropped = 99;
+    const auto curve =
+        changeCurve({0.0, -3.0, 100.0, 50.0}, {5.0, 7.0, 120.0, 25.0},
+                    &dropped);
+    ASSERT_EQ(curve.size(), 2u);
+    EXPECT_EQ(dropped, 2u);
+    EXPECT_DOUBLE_EQ(curve[0], 20.0);
+    EXPECT_DOUBLE_EQ(curve[1], -50.0);
+}
+
+TEST(ChangeCurve, ZeroDroppedOnCleanInput)
+{
+    std::size_t dropped = 99;
+    const auto curve = changeCurve({100.0}, {110.0}, &dropped);
+    ASSERT_EQ(curve.size(), 1u);
+    EXPECT_EQ(dropped, 0u);
 }
 
 TEST(FractionBelow, Basics)

@@ -18,12 +18,21 @@
  *                      [--hammers=N] [--effects] [--json|--sarif]
  *                      [--werror]
  *       statically analyze a canonical or demo test program
+ *   pudhammer trace-summarize --trace=FILE
+ *       fold a pud::obs JSONL trace into per-phase time/count tables
+ *
+ * All run commands also accept --trace=FILE (structured JSONL event
+ * trace) and --metrics (deterministic counters on stdout at exit).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/pool.h"
 #include "hammer/experiment.h"
@@ -31,6 +40,7 @@
 #include "lint/effects.h"
 #include "lint/linter.h"
 #include "lint/report.h"
+#include "obs/obs.h"
 #include "stats/summary.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -345,6 +355,151 @@ cmdLint(const Args &args)
     return 0;
 }
 
+/**
+ * Extract one value from a flat single-line JSON object as written by
+ * obs::TraceWriter: quoted strings come back unquoted (escapes left
+ * as-is; event names and field keys never contain them), everything
+ * else as the raw token.  Empty string when the key is absent.
+ */
+std::string
+jsonRaw(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    std::size_t i = pos + needle.size();
+    if (i < line.size() && line[i] == '"') {
+        std::size_t j = i + 1;
+        while (j < line.size() && line[j] != '"') {
+            if (line[j] == '\\')
+                ++j;
+            ++j;
+        }
+        return line.substr(i + 1, j - i - 1);
+    }
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ',' && line[j] != '}')
+        ++j;
+    return line.substr(i, j - i);
+}
+
+double
+jsonNum(const std::string &line, const std::string &key,
+        double fallback = 0.0)
+{
+    const std::string raw = jsonRaw(line, key);
+    return raw.empty() ? fallback : std::atof(raw.c_str());
+}
+
+int
+cmdTraceSummarize(const Args &args)
+{
+    std::string path = args.get("trace");
+    if (path.empty() && args.positional().size() > 1)
+        path = args.positional()[1];
+    if (path.empty())
+        fatal("trace-summarize: need --trace=FILE (or a positional "
+              "trace path)");
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("trace-summarize: cannot open '%s'", path.c_str());
+
+    std::map<std::string, std::uint64_t> counts;
+    double total = 0.0;       // trace_close wall_s
+    double last_ts = 0.0;     // fallback for truncated traces
+    double sweep_wall = 0.0;  // sum of sweep_end wall_s
+    double shard_busy = 0.0;  // sum of work_unit seconds
+    std::vector<std::pair<double, double>> sweeps;
+    std::vector<double> open_sweeps;
+    std::vector<std::pair<double, double>> program_ends;  // (ts, wall)
+    bool closed = false;
+
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), f)) {
+        const std::string line(buf);
+        const std::string ev = jsonRaw(line, "ev");
+        if (ev.empty())
+            continue;
+        ++counts[ev];
+        const double ts = jsonNum(line, "ts");
+        last_ts = std::max(last_ts, ts);
+        if (ev == "sweep_start") {
+            open_sweeps.push_back(ts);
+        } else if (ev == "sweep_end") {
+            const double start =
+                open_sweeps.empty() ? 0.0 : open_sweeps.back();
+            if (!open_sweeps.empty())
+                open_sweeps.pop_back();
+            sweeps.emplace_back(start, ts);
+            sweep_wall += jsonNum(line, "wall_s");
+        } else if (ev == "work_unit") {
+            shard_busy += jsonNum(line, "seconds");
+        } else if (ev == "program_end") {
+            program_ends.emplace_back(ts, jsonNum(line, "wall_s"));
+        } else if (ev == "trace_close") {
+            total = jsonNum(line, "wall_s");
+            closed = true;
+        }
+    }
+    std::fclose(f);
+    if (counts.empty())
+        fatal("trace-summarize: no events in '%s'", path.c_str());
+    if (!closed) {
+        warn("trace has no trace_close (truncated run?); using the "
+             "last timestamp as total wall time");
+        total = last_ts;
+    }
+
+    std::printf("trace: %s\n\n", path.c_str());
+    Table events({"event", "count"});
+    std::uint64_t total_events = 0;
+    for (const auto &[ev, n] : counts) {
+        events.addRow(
+            {ev, Table::count(static_cast<long long>(n))});
+        total_events += n;
+    }
+    events.addRow(
+        {"(all)", Table::count(static_cast<long long>(total_events))});
+    events.print();
+
+    // Wall-time attribution: population sweeps cover their interval
+    // wholesale (per-shard detail is in the work_unit rows); programs
+    // that ran *outside* any sweep (e.g. pudhammer attack, TRR
+    // experiments) contribute their own wall time.
+    double outside = 0.0;
+    for (const auto &[ts, wall] : program_ends) {
+        bool inside = false;
+        for (const auto &[s, e] : sweeps)
+            inside = inside || (ts >= s && ts <= e);
+        if (!inside)
+            outside += wall;
+    }
+    const double accounted = sweep_wall + outside;
+    const double pct =
+        total > 0.0 ? 100.0 * accounted / total : 100.0;
+
+    std::printf("\n");
+    Table phases({"phase", "wall s", "% of total"});
+    auto pctOf = [&](double s) {
+        return Table::num(total > 0.0 ? 100.0 * s / total : 0.0, 1);
+    };
+    phases.addRow({"population sweeps", Table::num(sweep_wall, 3),
+                   pctOf(sweep_wall)});
+    phases.addRow({"  shard busy (parallel)", Table::num(shard_busy, 3),
+                   pctOf(shard_busy)});
+    phases.addRow({"programs outside sweeps", Table::num(outside, 3),
+                   pctOf(outside)});
+    phases.addRow({"unattributed",
+                   Table::num(std::max(0.0, total - accounted), 3),
+                   pctOf(std::max(0.0, total - accounted))});
+    phases.addRow({"total (trace_close)", Table::num(total, 3),
+                   Table::num(100.0, 1)});
+    phases.print();
+    std::printf("\naccounted for %.1f%% of wall time\n", pct);
+    return 0;
+}
+
 void
 usage()
 {
@@ -364,7 +519,11 @@ usage()
         "          [--effects] [--json | --sarif] [--werror]\n"
         "          (--effects: static disturbance prediction;\n"
         "           --werror: warnings also exit nonzero)\n"
-        "common: --seed=N --rows=N (rows per subarray)\n");
+        "  trace-summarize --trace=FILE\n"
+        "          per-phase time/count tables from a JSONL trace\n"
+        "common: --seed=N --rows=N (rows per subarray)\n"
+        "        --trace=FILE (JSONL event trace)\n"
+        "        --metrics (deterministic counters on stdout at exit)\n");
 }
 
 } // namespace
@@ -378,6 +537,8 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string &cmd = args.positional().front();
+    if (cmd != "trace-summarize")
+        obs::initFromArgs(args);
     if (cmd == "modules")
         return cmdModules();
     if (cmd == "reveng")
@@ -388,6 +549,8 @@ main(int argc, char **argv)
         return cmdAttack(args);
     if (cmd == "lint")
         return cmdLint(args);
+    if (cmd == "trace-summarize")
+        return cmdTraceSummarize(args);
     usage();
     return 2;
 }
