@@ -227,11 +227,18 @@ Executor::preflightCheck(const Program &program)
     // lint::lintProgram.
     lint::LintOptions opts;
     opts.effects = preflightEffects_;
+    opts.dataflow = preflightDataflow_;
     const lint::LintResult pre = lint::requireClean(
         program, device_->config(), "Executor", opts);
-    if (preflightEffects_) {
+    if (preflightEffects_ || preflightDataflow_) {
         for (const lint::Diag &d : pre.diags) {
-            if (d.code == lint::Code::DisturbanceImpossible)
+            const bool surfaced =
+                (preflightEffects_ &&
+                 d.code == lint::Code::DisturbanceImpossible) ||
+                (preflightDataflow_ &&
+                 d.severity == lint::Severity::Warning &&
+                 lint::isDataflowCode(d.code));
+            if (surfaced)
                 warn("Executor pre-flight: [%s] %s", lint::name(d.code),
                      d.message.c_str());
         }

@@ -95,6 +95,19 @@ class Executor
     void setPreflightEffects(bool on) { preflightEffects_ = on; }
     bool preflightEffects() const { return preflightEffects_; }
 
+    /**
+     * Additionally run the row-state dataflow pass (lint/dataflow.h)
+     * during the pre-flight and warn() on its warning-severity
+     * findings -- merges over never-written rows, activation groups
+     * crossing a subarray boundary, control-row writes stranded across
+     * one.  Off by default for the same reason as the effect
+     * predictor: reading never-written victim rows is the *point* of a
+     * characterization sweep.  Implies nothing unless the pre-flight
+     * itself is enabled.
+     */
+    void setPreflightDataflow(bool on) { preflightDataflow_ = on; }
+    bool preflightDataflow() const { return preflightDataflow_; }
+
     /** Cumulative fast-path / plan-cache counters. */
     const ExecStats &stats() const { return stats_; }
 
@@ -143,6 +156,7 @@ class Executor
     bool preflight_ = true;
 #endif
     bool preflightEffects_ = false;
+    bool preflightDataflow_ = false;
     ExecStats stats_;
     std::unordered_map<std::uint64_t, std::vector<CachedPlan>>
         planCache_;

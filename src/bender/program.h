@@ -95,8 +95,31 @@ class Program
         return *this;
     }
 
+    /**
+     * Write the open row(s) from data-table entry `data_index`.  The
+     * index must already be registered (addData) -- a dangling index
+     * would only surface deep inside the executor, so the builder
+     * rejects it at construction time.
+     */
     Program &
     wr(BankId bank, int data_index, Time gap)
+    {
+        if (data_index < 0 ||
+            data_index >= static_cast<int>(dataTable_.size()))
+            fatal("Program: wr data index %d outside the data table "
+                  "(%zu entries); call addData first",
+                  data_index, dataTable_.size());
+        return wrUnchecked(bank, data_index, gap);
+    }
+
+    /**
+     * wr() without the build-time data-index check.  Only for tests
+     * and demo programs that *want* an invalid instruction (to
+     * exercise lint and executor error paths); everything else should
+     * use wr().
+     */
+    Program &
+    wrUnchecked(BankId bank, int data_index, Time gap)
     {
         insts_.push_back({Op::Wr, gap, bank, 0, data_index, 0});
         return *this;

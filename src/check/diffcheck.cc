@@ -1,0 +1,392 @@
+#include "check/diffcheck.h"
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bender/host.h"
+#include "lint/dataflow.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace pud::check {
+
+namespace {
+
+using bender::Program;
+using dram::BankId;
+using dram::ColId;
+using dram::RowData;
+using dram::RowId;
+using dram::SubarrayId;
+using lint::DataflowResult;
+using lint::MergeInput;
+using lint::MergeRecord;
+using lint::RowState;
+using lint::RowStateKind;
+
+/** The whole bench lives in one bank; see the header comment. */
+constexpr dram::BankId kBank = 0;
+
+/** Recursive-resolution guard for pathological merge nests. */
+constexpr int kResolveDepthCap = 8;
+
+dram::DeviceConfig
+benchConfig(std::uint64_t seed)
+{
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", seed);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 64;
+    // No weak cells: disturbance cannot blur data-movement semantics.
+    cfg.weakCellsPerRow = 0;
+    cfg.profile.mapping = dram::MappingScheme::Sequential;
+    return cfg;
+}
+
+RowData
+randomRow(Rng &rng, ColId cols)
+{
+    RowData d(cols);
+    for (ColId c = 0; c < cols; ++c)
+        d.set(c, rng.chance(0.5));
+    return d;
+}
+
+/**
+ * Seeded program generator over the PuD idiom menu.  Every snippet is
+ * protocol-clean in isolation and leaves the bank precharged, so any
+ * concatenation is lint-clean (the executor pre-flight enforces it).
+ */
+class Generator
+{
+  public:
+    Generator(Rng &rng, const dram::DeviceConfig &cfg)
+        : rng_(rng), cfg_(cfg), t_(cfg.timings)
+    {}
+
+    Program
+    build()
+    {
+        const int snippets = static_cast<int>(rng_.range(4, 9));
+        for (int i = 0; i < snippets; ++i) {
+            switch (rng_.below(9)) {
+              case 0: writeRowSnippet(); break;
+              case 1: copySnippet(); break;
+              case 2: groupWriteSnippet(); break;
+              case 3: majoritySnippet(/*tie_free=*/true); break;
+              case 4: majoritySnippet(/*tie_free=*/false); break;
+              case 5: trngSnippet(); break;
+              case 6: readSnippet(); break;
+              case 7: hammerSnippet(); break;
+              case 8: loopedCopySnippet(); break;
+            }
+        }
+        return std::move(p_);
+    }
+
+  private:
+    RowId rps() const { return cfg_.rowsPerSubarray; }
+
+    SubarrayId
+    randSub()
+    {
+        return static_cast<SubarrayId>(
+            rng_.below(static_cast<std::uint64_t>(
+                cfg_.subarraysPerBank)));
+    }
+
+    RowId
+    randRowIn(SubarrayId sub)
+    {
+        return sub * rps() +
+               static_cast<RowId>(
+                   rng_.below(static_cast<std::uint64_t>(rps())));
+    }
+
+    RowId randRow() { return randRowIn(randSub()); }
+
+    /** A fresh or (sometimes) reused data-table entry. */
+    int
+    randData()
+    {
+        if (!dataIndices_.empty() && rng_.chance(0.3))
+            return dataIndices_[rng_.below(dataIndices_.size())];
+        const int idx = p_.addData(randomRow(rng_, cfg_.cols));
+        dataIndices_.push_back(idx);
+        return idx;
+    }
+
+    /** Full-restore open of src, reopen of dst in the CoMRA window. */
+    void
+    comra(RowId src, RowId dst)
+    {
+        p_.act(kBank, src, t_.tRC)
+            .pre(kBank, t_.tRAS)
+            .act(kBank, dst, units::fromNs(7.5))
+            .pre(kBank, t_.tRAS);
+    }
+
+    /** ACT r1, early PRE, early ACT r2: opens the SiMRA group. */
+    void
+    simraOpen(RowId r1, RowId r2)
+    {
+        p_.act(kBank, r1, t_.tRC)
+            .pre(kBank, units::fromNs(3))
+            .act(kBank, r2, units::fromNs(3));
+    }
+
+    void
+    writeRowSnippet()
+    {
+        p_.act(kBank, randRow(), t_.tRC)
+            .wr(kBank, randData(), t_.tRCD)
+            .pre(kBank, t_.tRAS);
+    }
+
+    void
+    copySnippet()
+    {
+        const SubarrayId sub = randSub();
+        const RowId src = randRowIn(sub);
+        RowId dst = randRowIn(sub);
+        if (dst == src)
+            dst = sub * rps() + (src - sub * rps() + 1) % rps();
+        comra(src, dst);
+    }
+
+    /** Aligned n-row decoder block in sub: [base, base + n). */
+    RowId
+    randBlock(SubarrayId sub, RowId n)
+    {
+        return sub * rps() +
+               n * static_cast<RowId>(rng_.below(
+                       static_cast<std::uint64_t>(rps() / n)));
+    }
+
+    void
+    groupWriteSnippet()
+    {
+        static constexpr RowId kSizes[] = {2, 4, 8};
+        const RowId n = kSizes[rng_.below(3)];
+        const RowId base = randBlock(randSub(), n);
+        simraOpen(base, base + n - 1);
+        p_.wr(kBank, randData(), t_.tRCD).pre(kBank, t_.tRAS);
+    }
+
+    /**
+     * Replicated MAJ over an 8-row group: operands staged from outside
+     * the block with weights (3,3,2) (tie-free) or (4,4) (tie-able;
+     * the checker skips verifying those rows).
+     */
+    void
+    majoritySnippet(bool tie_free)
+    {
+        const SubarrayId sub = randSub();
+        const RowId base = randBlock(sub, 8);
+        const std::vector<int> weights =
+            tie_free ? std::vector<int>{3, 3, 2}
+                     : std::vector<int>{4, 4};
+        RowId off = 0;
+        for (const int w : weights) {
+            RowId operand = randRowIn(sub);
+            while (operand >= base && operand < base + 8)
+                operand = randRowIn(sub);
+            for (int i = 0; i < w; ++i)
+                comra(operand, base + off++);
+        }
+        simraOpen(base, base + 7);
+        p_.pre(kBank, t_.tRAS);
+    }
+
+    /** QUAC-TRNG: merge an unstaged block, read the entropy out. */
+    void
+    trngSnippet()
+    {
+        const RowId base = randBlock(randSub(), 8);
+        simraOpen(base, base + 7);
+        p_.rd(kBank, t_.tRCD).pre(kBank, t_.tRAS);
+    }
+
+    void
+    readSnippet()
+    {
+        p_.act(kBank, randRow(), t_.tRC)
+            .rd(kBank, t_.tRCD)
+            .pre(kBank, t_.tRAS);
+    }
+
+    void
+    hammerSnippet()
+    {
+        p_.loopBegin(static_cast<std::uint64_t>(rng_.range(50, 300)))
+            .act(kBank, randRow(), t_.tRC)
+            .pre(kBank, t_.tRAS)
+            .loopEnd();
+    }
+
+    /** Copy under a loop: trips straddle the dataflow pass cap. */
+    void
+    loopedCopySnippet()
+    {
+        static constexpr std::uint64_t kTrips[] = {1, 2, 3, 17};
+        const SubarrayId sub = randSub();
+        const RowId src = randRowIn(sub);
+        RowId dst = randRowIn(sub);
+        if (dst == src)
+            dst = sub * rps() + (src - sub * rps() + 1) % rps();
+        p_.loopBegin(kTrips[rng_.below(4)]);
+        comra(src, dst);
+        p_.loopEnd();
+    }
+
+    Rng &rng_;
+    const dram::DeviceConfig &cfg_;
+    const dram::TimingParams &t_;
+    Program p_;
+    std::vector<int> dataIndices_;
+};
+
+/**
+ * Resolve an abstract row value to concrete bits, or nullopt when the
+ * analysis makes no bit-exact claim (ChargeShared, Clobbered, Unknown,
+ * tie-able merges).  `initial` is the pre-program contents snapshot;
+ * CopyOf refers to it by construction (copy chains resolve to their
+ * original source, and sources overwritten *later* do not retroact).
+ */
+std::optional<RowData>
+resolveValue(const RowState &st, const DataflowResult &df,
+             const Program &program, const std::vector<RowData> &initial,
+             int depth)
+{
+    if (depth > kResolveDepthCap)
+        return std::nullopt;
+    switch (st.kind) {
+      case RowStateKind::Written:
+        return program.dataTable()[static_cast<std::size_t>(
+            st.dataIndex)];
+      case RowStateKind::CopyOf:
+        return initial[static_cast<std::size_t>(st.srcKey &
+                                                0xffffffffULL)];
+      case RowStateKind::MajorityOf: {
+        const MergeRecord &m =
+            df.merges[static_cast<std::size_t>(st.mergeId)];
+        if (m.tieable)
+            return std::nullopt;
+        const ColId cols = initial.front().bits();
+        std::vector<int> ones(static_cast<std::size_t>(cols), 0);
+        for (const MergeInput &in : m.inputs) {
+            const std::optional<RowData> v = resolveValue(
+                in.value, df, program, initial, depth + 1);
+            if (!v)
+                return std::nullopt;
+            for (ColId c = 0; c < cols; ++c)
+                ones[static_cast<std::size_t>(c)] +=
+                    in.weight * v->get(c);
+        }
+        RowData out(cols);
+        for (ColId c = 0; c < cols; ++c)
+            out.set(c,
+                    2 * ones[static_cast<std::size_t>(c)] > m.groupSize);
+        return out;
+      }
+      case RowStateKind::Initial:
+        // Canonicalized to CopyOf(self) everywhere a value escapes;
+        // seeing it here would be a dataflow bug -- refuse the claim.
+        return std::nullopt;
+      case RowStateKind::ChargeShared:
+      case RowStateKind::Clobbered:
+      case RowStateKind::Unknown:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void
+recordMismatch(DiffCheckStats &stats, std::uint64_t seed, RowId phys,
+               const RowState *st, std::size_t diff_bits)
+{
+    ++stats.mismatches;
+    if (!stats.firstMismatch.empty())
+        return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "seed %llu: bank %u row %u: lint proves %s but the "
+                  "device disagrees in %zu bit(s)",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned>(kBank),
+                  static_cast<unsigned>(phys),
+                  st ? lint::name(st->kind) : "initial", diff_bits);
+    stats.firstMismatch = buf;
+}
+
+void
+checkOneSeed(std::uint64_t seed, DiffCheckStats &stats)
+{
+    Rng rng(seed);
+    dram::DeviceConfig cfg = benchConfig(seed);
+    // Exercise the ignored-command path: unsupported chips leave the
+    // first row open with its original activation time, on both the
+    // device and the dataflow side.
+    if (rng.chance(0.2))
+        cfg.profile.supportsSimra = false;
+
+    bender::TestBench bench(cfg);
+    // The pre-flight is the lint-rejection half of the contract: the
+    // generator promises lint-clean programs, and requireClean fatals
+    // on any error-severity finding before the device sees it.
+    bench.executor().setPreflight(true);
+
+    const RowId rows = cfg.rowsPerBank();
+    std::vector<RowData> initial;
+    initial.reserve(static_cast<std::size_t>(rows));
+    for (RowId r = 0; r < rows; ++r) {
+        initial.push_back(randomRow(rng, cfg.cols));
+        bench.writeRow(kBank, r, initial.back());
+    }
+
+    Generator gen(rng, cfg);
+    const Program program = gen.build();
+    bench.run(program);
+
+    const DataflowResult df = lint::analyzeDataflow(program, cfg);
+
+    ++stats.programs;
+    stats.instructions += program.insts().size();
+    stats.merges += df.merges.size();
+    for (const bender::Inst &inst : program.insts())
+        stats.loops += inst.op == bender::Op::LoopBegin;
+
+    for (RowId phys = 0; phys < rows; ++phys) {
+        const RowState *st = df.find(kBank, phys);
+        std::optional<RowData> expect;
+        if (st == nullptr || st->kind == RowStateKind::Initial)
+            expect = initial[static_cast<std::size_t>(phys)];
+        else
+            expect = resolveValue(*st, df, program, initial, 0);
+        if (!expect) {
+            ++stats.rowsUnverifiable;
+            continue;
+        }
+        const RowData got = bench.readRow(kBank, phys);
+        if (got == *expect)
+            ++stats.rowsVerified;
+        else
+            recordMismatch(stats, seed, phys, st,
+                           got.diffCount(*expect));
+    }
+}
+
+} // namespace
+
+DiffCheckStats
+runDiffCheck(const DiffCheckConfig &cfg)
+{
+    DiffCheckStats stats;
+    for (std::uint64_t i = 0; i < cfg.seeds; ++i)
+        checkOneSeed(cfg.firstSeed + i, stats);
+    return stats;
+}
+
+} // namespace pud::check

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lint-vs-execution differential checker.
+ *
+ * runDiffCheck() closes the loop between the static row-state dataflow
+ * analysis (lint/dataflow.h) and the real device model: a seeded,
+ * deterministic program generator emits protocol-clean bender programs
+ * from the PuD idiom menu (WR staging, CoMRA copies and copy chains,
+ * replicated-majority MAJ, group writes, QUAC-TRNG merges, hammer
+ * loops, loop-wrapped copies), runs each through BOTH the dataflow
+ * pass and a TestBench Executor, and then holds the two sides to the
+ * soundness contract:
+ *
+ *  (a) every program the generator emits is lint-clean, so the
+ *      executor's pre-flight (which refuses error-severity findings
+ *      with a fatal()) doubles as a generator-validity check -- a
+ *      program lint would reject never reaches the device; and rows
+ *      the analysis marks ChargeShared / Clobbered / Unknown are
+ *      exactly the rows whose concrete contents it refuses to predict
+ *      (counted, never compared);
+ *
+ *  (b) every row the analysis proves -- Initial, Written(d),
+ *      CopyOf(k), or a tie-free MajorityOf merge -- must end the run
+ *      bit-exact under dram::Device: Written against the data table,
+ *      CopyOf against the pre-program contents snapshot, MajorityOf
+ *      against the recursively resolved per-column weighted majority
+ *      of its inputs (tie-free weight vectors admit no bitline ties,
+ *      so the prediction is total).
+ *
+ * The bench is shrunk (1 bank, 2 x 64-row subarrays, 64-bit rows,
+ * Sequential mapping, weakCellsPerRow = 0) so logical == physical rows
+ * and no disturbance noise can blur pure data-movement semantics; a
+ * fraction of seeds flip profile.supportsSimra off to exercise the
+ * ignored-command path on both sides.  Everything is derived from the
+ * seed alone: a reported seed reproduces the mismatch exactly.
+ */
+
+#ifndef PUD_CHECK_DIFFCHECK_H
+#define PUD_CHECK_DIFFCHECK_H
+
+#include <cstdint>
+#include <string>
+
+namespace pud::check {
+
+/** Knobs of one differential-check run. */
+struct DiffCheckConfig
+{
+    std::uint64_t seeds = 1000;   //!< number of generated programs
+    std::uint64_t firstSeed = 1;  //!< first seed (inclusive)
+};
+
+/** Aggregate outcome of a run. */
+struct DiffCheckStats
+{
+    std::uint64_t programs = 0;
+    std::uint64_t instructions = 0;  //!< generated, loop bodies once
+    std::uint64_t loops = 0;
+    std::uint64_t merges = 0;        //!< interned SiMRA merge records
+    std::uint64_t rowsVerified = 0;  //!< proven rows compared bit-exact
+    std::uint64_t rowsUnverifiable = 0;  //!< ChargeShared/Clobbered/...
+    std::uint64_t mismatches = 0;
+
+    /** Human-readable description of the first disagreement. */
+    std::string firstMismatch;
+
+    bool ok() const { return mismatches == 0; }
+};
+
+/** Run the differential check; deterministic in cfg alone. */
+DiffCheckStats runDiffCheck(const DiffCheckConfig &cfg);
+
+} // namespace pud::check
+
+#endif // PUD_CHECK_DIFFCHECK_H

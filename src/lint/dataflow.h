@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Row-state dataflow analysis for bender programs.
+ *
+ * analyzeDataflow() abstractly interprets a Program over per-(bank,
+ * physical row) *contents* states -- who last defined each row, with
+ * what provenance -- using the same macro-op semantics table
+ * (pud/semantics.h) that PudEngine validates against at runtime, so
+ * the static and dynamic views of CoMRA/SiMRA data effects cannot
+ * drift.  The lattice:
+ *
+ *   Initial       pre-program cell contents (host-initialized)
+ *   Written(d)    holds data-table entry d verbatim (WR)
+ *   CopyOf(k)     holds the *initial* contents of row key k (CoMRA
+ *                 copy chains resolve to their original source)
+ *   MajorityOf(m) holds the resolved value of merge record m (a SiMRA
+ *                 group activation over distinct known inputs)
+ *   ChargeShared  defined by the device but unknown statically (merge
+ *                 over undefined or partly-initial inputs; the
+ *                 QUAC-TRNG idiom)
+ *   Clobbered     physically unpredictable (e.g. the group crossed a
+ *                 subarray boundary)
+ *   Unknown       the analysis gave up (loop did not reach a row-state
+ *                 fixpoint within the pass cap)
+ *
+ * Loops reuse the absint strategy -- closed-form in the trip count, no
+ * unrolling: bodies are walked until the row-state map and bank
+ * machines reach a fixpoint (at most kLoopPassCap passes; exact for
+ * smaller trip counts), then the remaining iterations are skipped with
+ * the time cursor advanced arithmetically.  Rows still changing at the
+ * cap degrade to Unknown.
+ *
+ * The pass emits the Df* diagnostic family (diag.h): reads of
+ * undefined or never-written rows, dead writes, hammered rows consumed
+ * as data, SiMRA groups crossing subarray boundaries or swallowing
+ * their own operands, control-row writes landing across a subarray
+ * boundary from the PuD ops they flank, and tie-able majority merges.
+ * None are errors: every flagged program still executes; the verdicts
+ * explain what its rows will (not) hold.
+ */
+
+#ifndef PUD_LINT_DATAFLOW_H
+#define PUD_LINT_DATAFLOW_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/config.h"
+#include "lint/absint.h"
+#include "lint/diag.h"
+
+namespace pud::lint {
+
+/** Lattice point kinds; see the file comment. */
+enum class RowStateKind : std::uint8_t
+{
+    Initial,
+    Written,
+    CopyOf,
+    MajorityOf,
+    ChargeShared,
+    Clobbered,
+    Unknown,
+};
+
+/** Short stable name of a kind ("initial", "written", ...). */
+const char *name(RowStateKind kind);
+
+/** One row's abstract contents. */
+struct RowState
+{
+    RowStateKind kind = RowStateKind::Initial;
+    int dataIndex = -1;        //!< Written: data-table index
+    std::uint64_t srcKey = 0;  //!< CopyOf: rowKey() of the source
+    int mergeId = -1;          //!< MajorityOf: index into merges
+
+    /** Instruction that last defined this row (diagnostic anchor). */
+    std::size_t defIndex = 0;
+
+    /** Value consumed (RD / copy source / merge input) since defined. */
+    bool consumed = false;
+
+    /** True when the program can rely on the row's exact contents. */
+    bool
+    defined() const
+    {
+        return kind == RowStateKind::Initial ||
+               kind == RowStateKind::Written ||
+               kind == RowStateKind::CopyOf ||
+               kind == RowStateKind::MajorityOf;
+    }
+
+    /** Value identity: same kind and payload (anchors excluded). */
+    bool
+    sameValue(const RowState &o) const
+    {
+        return kind == o.kind && dataIndex == o.dataIndex &&
+               srcKey == o.srcKey && mergeId == o.mergeId;
+    }
+};
+
+/**
+ * One weighted input of a SiMRA merge.  `value.kind` is one of
+ * Written / CopyOf / MajorityOf (Initial inputs are canonicalized to
+ * CopyOf of themselves so copy-staged and in-place operands compare
+ * equal).
+ */
+struct MergeInput
+{
+    RowState value;
+    int weight = 0;
+};
+
+/**
+ * A SiMRA group activation over distinct known inputs.  Records are
+ * interned by their input multiset, so a loop body repeating the same
+ * merge converges to a fixpoint instead of minting fresh identities.
+ */
+struct MergeRecord
+{
+    dram::BankId bank = 0;
+    std::vector<MergeInput> inputs;  //!< sorted, weights summed
+    int groupSize = 0;
+    bool tieable = false;  //!< some input subset sums to groupSize/2
+    std::size_t instIndex = 0;  //!< first ACT that formed this merge
+};
+
+/** Everything one dataflow pass produces. */
+struct DataflowResult
+{
+    /** Final per-row states, keyed by rowKey(); untouched rows absent
+     *  (they are Initial by definition). */
+    std::map<std::uint64_t, RowState> rows;
+
+    /** Interned merge records, indexed by RowState::mergeId. */
+    std::vector<MergeRecord> merges;
+
+    /** Df* findings, in program order, deduplicated per (code, inst). */
+    std::vector<Diag> diags;
+
+    /**
+     * False when a loop body failed to reach a row-state fixpoint
+     * within the pass cap (the affected rows are Unknown) or the
+     * program is unbalanced.
+     */
+    bool exact = true;
+
+    const RowState *
+    find(dram::BankId bank, dram::RowId phys) const
+    {
+        const auto it = rows.find(rowKey(bank, phys));
+        return it == rows.end() ? nullptr : &it->second;
+    }
+};
+
+/** Loop pass cap: trip counts below this analyze exactly. */
+constexpr std::uint64_t kLoopPassCap = 4;
+
+/**
+ * Run the dataflow pass.  `fx` is the program's absint summary
+ * (summarizeEffects); pass nullptr to have the analysis compute it
+ * (it is only needed for the hammered-row-consumed-as-data check).
+ */
+DataflowResult analyzeDataflow(const bender::Program &program,
+                               const dram::DeviceConfig &cfg,
+                               const ProgramEffects *fx = nullptr);
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_DATAFLOW_H

@@ -79,6 +79,18 @@ enum class Code : std::uint8_t
     // ---- static effect prediction (absint + effects) ----------------------
     DisturbanceLikely,    //!< a victim row can plausibly flip
     DisturbanceImpossible,//!< a hammer-grade sweep that cannot flip bits
+
+    // ---- row-state dataflow (dataflow.h) -----------------------------------
+    DfReadBeforeWrite,    //!< RD of a row the program never wrote
+    DfReadUndefined,      //!< RD of a charge-shared/clobbered row
+    DfDeadWrite,          //!< staged value overwritten before any read
+    DfControlRowClobber,  //!< boundary write stranded across a subarray
+    DfAggressorAsData,    //!< hammer-blast-radius row consumed as data
+    DfGroupCrossesSubarray,//!< SiMRA group spans a subarray boundary
+    DfGroupOverlap,       //!< SiMRA group swallows its own operand row
+    DfMajorityUninitInput,//!< merge mixes staged and never-written rows
+    DfMajorityTie,        //!< replication weights admit a bitline tie
+
     DiagFlood,            //!< repeats of one code capped ("and N more")
 };
 
@@ -90,6 +102,14 @@ const char *name(Severity severity);
 
 /** The fixed severity of a code. */
 Severity severityOf(Code code);
+
+/** True for the Df* row-state dataflow code family (dataflow.h). */
+inline bool
+isDataflowCode(Code code)
+{
+    return code >= Code::DfReadBeforeWrite &&
+           code <= Code::DfMajorityTie;
+}
 
 /** One finding of the analyzer. */
 struct Diag

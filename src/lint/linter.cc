@@ -8,9 +8,12 @@
 #include <set>
 #include <utility>
 
+#include <iterator>
+
 #include "bender/plan.h"
 #include "dram/mapping.h"
 #include "lint/absint.h"
+#include "lint/dataflow.h"
 #include "lint/effects.h"
 #include "util/logging.h"
 
@@ -48,6 +51,17 @@ name(Code code)
       case Code::RefreshCadenceSparse:  return "refresh-cadence-sparse";
       case Code::DisturbanceLikely:     return "disturbance-likely";
       case Code::DisturbanceImpossible: return "disturbance-impossible";
+      case Code::DfReadBeforeWrite:     return "df-read-before-write";
+      case Code::DfReadUndefined:       return "df-read-undefined";
+      case Code::DfDeadWrite:           return "df-dead-write";
+      case Code::DfControlRowClobber:   return "df-control-row-clobber";
+      case Code::DfAggressorAsData:     return "df-aggressor-as-data";
+      case Code::DfGroupCrossesSubarray:
+        return "df-group-crosses-subarray";
+      case Code::DfGroupOverlap:        return "df-group-overlap";
+      case Code::DfMajorityUninitInput:
+        return "df-majority-uninit-input";
+      case Code::DfMajorityTie:         return "df-majority-tie";
       case Code::DiagFlood:             return "diag-flood";
     }
     return "?";
@@ -93,6 +107,16 @@ severityOf(Code code)
       case Code::RefreshWindowExceeded:
       case Code::RefreshCadenceSparse:
       case Code::DisturbanceImpossible:
+      // Dataflow findings are never errors: every flagged program
+      // still runs; the verdicts explain what its rows will (not)
+      // hold.
+      case Code::DfReadUndefined:
+      case Code::DfControlRowClobber:
+      case Code::DfAggressorAsData:
+      case Code::DfGroupCrossesSubarray:
+      case Code::DfGroupOverlap:
+      case Code::DfMajorityUninitInput:
+      case Code::DfMajorityTie:
         return Severity::Warning;
 
       case Code::FastPathEligible:
@@ -100,6 +124,8 @@ severityOf(Code code)
       case Code::IntendedComra:
       case Code::IntendedSimra:
       case Code::DisturbanceLikely:
+      case Code::DfReadBeforeWrite:
+      case Code::DfDeadWrite:
       case Code::DiagFlood:
         return Severity::Note;
     }
@@ -716,6 +742,13 @@ lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg,
 
     const ProgramEffects fx = summarizeEffects(program, cfg);
     checkRefreshCadence(fx, program, cfg, result);
+
+    if (opts.dataflow) {
+        DataflowResult df = analyzeDataflow(program, cfg, &fx);
+        result.diags.insert(result.diags.end(),
+                            std::make_move_iterator(df.diags.begin()),
+                            std::make_move_iterator(df.diags.end()));
+    }
 
     if (opts.effects || report_out != nullptr) {
         EffectReport report = predictEffects(fx, cfg);

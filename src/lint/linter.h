@@ -47,6 +47,15 @@ struct LintOptions
     bool effects = false;
 
     /**
+     * Run the row-state dataflow pass (lint/dataflow.h) and merge its
+     * Df* diagnostics into the result.  Off by default for the same
+     * reason as `effects`: reading a never-written victim row is the
+     * *point* of a characterization sweep, so the verdicts only help
+     * callers checking a compute-style program.
+     */
+    bool dataflow = false;
+
+    /**
      * Keep at most this many diagnostics per code; the rest collapse
      * into one DiagFlood note ("and N more").  0 disables the cap.
      */

@@ -8,18 +8,12 @@
 namespace pud::ops {
 
 PudEngine::PudEngine(bender::TestBench &bench, BankId bank)
-    : bench_(&bench), bank_(bank)
+    : bench_(&bench),
+      bank_(bank),
+      geom_(semantics::geometryOf(bench.device().config()))
 {
     if (bank >= bench.device().config().banks)
         fatal("PudEngine: bank %u out of range", bank);
-}
-
-bool
-PudEngine::sameSubarray(RowId a, RowId b) const
-{
-    const dram::Device &dev = bench_->device();
-    return dev.subarrayOfPhysical(dev.toPhysical(a)) ==
-           dev.subarrayOfPhysical(dev.toPhysical(b));
 }
 
 RowId
@@ -104,7 +98,10 @@ PudEngine::issueCopy(RowId src, RowId dst)
 bool
 PudEngine::copy(RowId src, RowId dst)
 {
-    if (src == dst || !sameSubarray(src, dst))
+    const dram::Device &dev = bench_->device();
+    if (!semantics::comraCopy(geom_, dev.toPhysical(src),
+                              dev.toPhysical(dst))
+             .valid)
         return false;
     if (!policyAllowsComra(src, dst))
         return false;
@@ -125,26 +122,19 @@ bool
 PudEngine::groupWrite(RowId block_row, int n, const RowData &data)
 {
     dram::Device &dev = bench_->device();
-    if (!dev.supportsSimra())
+
+    // The declarative table owns the geometry rules: power-of-two
+    // group size, the N-aligned block containing block_row, and the
+    // block staying inside one subarray.
+    const semantics::MacroEffect eff =
+        semantics::simraGroupWrite(geom_, dev.toPhysical(block_row), n);
+    if (!eff.valid)
         return false;
-    if (n < 2 || n > 32 || (n & (n - 1)) != 0)
+    if (!policyAllowsSimra(eff.writes))
         return false;
 
-    // The contiguous N-aligned block containing block_row.
-    const RowId phys = dev.toPhysical(block_row);
-    const RowId base = phys & ~static_cast<RowId>(n - 1);
-    if (dev.subarrayOfPhysical(base) !=
-        dev.subarrayOfPhysical(base + n - 1))
-        return false;
-
-    std::vector<RowId> group;
-    for (int i = 0; i < n; ++i)
-        group.push_back(base + static_cast<RowId>(i));
-    if (!policyAllowsSimra(group))
-        return false;
-
-    const RowId r1 = dev.toLogical(base);
-    const RowId r2 = dev.toLogical(base + static_cast<RowId>(n - 1));
+    const RowId r1 = dev.toLogical(eff.writes.front());
+    const RowId r2 = dev.toLogical(eff.writes.back());
 
     hammer::PatternTimings t;
     bender::Program p;
@@ -177,72 +167,41 @@ PudEngine::replicatedMajority(const std::vector<RowId> &operands,
     if (!dev.supportsSimra())
         return std::nullopt;
 
-    // Validate the replication vector before touching DRAM: a count
-    // per operand, every count positive, and the total exactly the
-    // block size.  Anything else would read replication[] out of
-    // bounds or leave the block partially staged.
-    if (operands.empty() || replication.size() != operands.size()) {
+    // The declarative table validates everything before any DRAM
+    // mutation: the replication vector's shape (one positive count per
+    // operand summing exactly to n), the n-aligned scratch block
+    // staying inside one subarray, and every operand sharing the
+    // block's subarray.  A tie-able replication (some subset of the
+    // weights sums to n/2) is rejected too: the bitline majority is
+    // undefined on real chips at exactly half charge.
+    std::vector<RowId> operands_phys;
+    operands_phys.reserve(operands.size());
+    for (RowId operand : operands)
+        operands_phys.push_back(dev.toPhysical(operand));
+    const semantics::MajorityPlan plan =
+        semantics::replicatedMajorityPlan(
+            geom_, operands_phys, replication,
+            dev.toPhysical(scratch_block), n);
+    if (!plan.effect.valid || plan.tieable) {
         ++stats_.rejected;
         return std::nullopt;
     }
-    int total = 0;
-    for (int r : replication) {
-        if (r <= 0) {
-            ++stats_.rejected;
+
+    if (!policyAllowsSimra(plan.effect.writes))
+        return std::nullopt;
+    for (const auto &[src, dst] : plan.staging)
+        if (!policyAllowsComra(dev.toLogical(src), dev.toLogical(dst)))
             return std::nullopt;
-        }
-        total += r;
-    }
-    if (total != n) {
-        ++stats_.rejected;
-        return std::nullopt;
-    }
-
-    // The contiguous n-aligned scratch block.
-    const RowId phys = dev.toPhysical(scratch_block);
-    const RowId base = phys & ~static_cast<RowId>(n - 1);
-    if (dev.subarrayOfPhysical(base) !=
-        dev.subarrayOfPhysical(base + static_cast<RowId>(n - 1)))
-        return std::nullopt;
-
-    std::vector<RowId> group;
-    for (int i = 0; i < n; ++i)
-        group.push_back(base + static_cast<RowId>(i));
-    if (!policyAllowsSimra(group))
-        return std::nullopt;
-
-    // Check geometry and policy for every staging copy up front, so a
-    // rejected operation leaves DRAM contents untouched.
-    const RowId base_logical = dev.toLogical(base);
-    for (RowId operand : operands) {
-        if (!sameSubarray(operand, base_logical)) {
-            ++stats_.rejected;
-            return std::nullopt;
-        }
-    }
-    {
-        int slot = 0;
-        for (std::size_t o = 0; o < operands.size(); ++o)
-            for (int r = 0; r < replication[o]; ++r) {
-                const RowId dst = dev.toLogical(
-                    base + static_cast<RowId>(slot++));
-                if (!policyAllowsComra(operands[o], dst))
-                    return std::nullopt;
-            }
-    }
 
     // Stage the replicated operands into the block via RowClone.
-    int slot = 0;
-    for (std::size_t o = 0; o < operands.size(); ++o)
-        for (int r = 0; r < replication[o]; ++r)
-            issueCopy(operands[o],
-                      dev.toLogical(base + static_cast<RowId>(slot++)));
+    for (const auto &[src, dst] : plan.staging)
+        issueCopy(dev.toLogical(src), dev.toLogical(dst));
 
     // One simultaneous activation computes the bitline majority and
     // writes it back into every row of the block.
-    const RowId r1 = dev.toLogical(base);
+    const RowId r1 = dev.toLogical(plan.base);
     const RowId r2 =
-        dev.toLogical(base + static_cast<RowId>(n - 1));
+        dev.toLogical(plan.base + static_cast<RowId>(n - 1));
     hammer::PatternTimings t;
     bender::Program p;
     p.act(bank_, r1, t.base.tRP)
@@ -279,30 +238,20 @@ PudEngine::andOrCtrlRow(RowId scratch_block)
 {
     // The control operand lives just outside the 8-row scratch block:
     // the row after it if that stays inside the subarray, otherwise
-    // the row before.  Both candidates must be validated -- `base - 1`
-    // underflows RowId when the block starts at physical row 0, and
-    // crosses into the *previous* subarray whenever the block is the
-    // first of its subarray, in which case maj3 would fail only after
-    // fill() had already clobbered a row it does not own.
+    // the row before.  The table validates *both* candidates before
+    // returning -- `base - 1` underflows RowId when the block starts
+    // at physical row 0, and crosses into the *previous* subarray
+    // whenever the block is the first of its subarray, in which case
+    // maj3 would fail only after fill() had already clobbered a row
+    // it does not own.
     dram::Device &dev = bench_->device();
-    const RowId phys = dev.toPhysical(scratch_block);
-    const RowId base = phys & ~RowId(7);
-    const RowId rps = dev.config().rowsPerSubarray;
-    const RowId sub_begin = (base / rps) * rps;
-    const RowId sub_end = sub_begin + rps;
-    if (base + 8 > sub_end) {
-        // Block itself crosses the subarray edge; maj3 would reject.
+    const std::optional<RowId> ctrl = semantics::andOrControlRow(
+        geom_, dev.toPhysical(scratch_block));
+    if (!ctrl) {
         ++stats_.rejected;
         return std::nullopt;
     }
-    if (base + 8 < sub_end)
-        return dev.toLogical(base + 8);
-    if (base > sub_begin)
-        return dev.toLogical(base - 1);
-    // rowsPerSubarray == 8: the block spans the whole subarray and no
-    // in-subarray control row exists on either side.
-    ++stats_.rejected;
-    return std::nullopt;
+    return dev.toLogical(*ctrl);
 }
 
 std::optional<RowData>

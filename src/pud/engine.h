@@ -36,6 +36,7 @@
 
 #include "bender/host.h"
 #include "mitigation/countermeasures.h"
+#include "pud/semantics.h"
 
 namespace pud::ops {
 
@@ -147,7 +148,6 @@ class PudEngine
     BankId bank() const { return bank_; }
 
   private:
-    bool sameSubarray(RowId a, RowId b) const;
     RowId subarrayOffset(RowId logical) const;
     bool policyAllowsComra(RowId src, RowId dst);
     bool policyAllowsSimra(const std::vector<RowId> &rows_physical);
@@ -166,6 +166,8 @@ class PudEngine
 
     bender::TestBench *bench_;
     BankId bank_;
+    /** Geometry snapshot feeding the pud::semantics op table. */
+    semantics::Geometry geom_;
     mitigation::ComputeRegionPolicy *policy_ = nullptr;
     dram::SubarrayId policySubarray_ = 0;
     OpStats stats_;

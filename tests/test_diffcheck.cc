@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Differential-checker tests: the seeded generator's programs agree
+ * between the row-state dataflow analysis and the real device model,
+ * the run is deterministic and composable across seed ranges, and the
+ * rejection half of the contract holds (lint-rejected programs never
+ * reach the device's data path; the dataflow side degrades the same
+ * rows to Unknown).
+ *
+ * CI runs a much larger seed budget through the `pudhammer diffcheck`
+ * CLI; this fixture keeps ctest latency low.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "check/diffcheck.h"
+#include "lint/dataflow.h"
+#include "lint/linter.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::check;
+
+TEST(DiffCheck, SmallBudgetAgreesWithTheDevice)
+{
+    DiffCheckConfig cfg;
+    cfg.seeds = 150;
+    const DiffCheckStats stats = runDiffCheck(cfg);
+    EXPECT_TRUE(stats.ok()) << stats.firstMismatch;
+    EXPECT_EQ(stats.programs, 150u);
+    // The generator menu must actually exercise the interesting paths:
+    // proven rows, refused rows (TRNG / tie-able merges), SiMRA merge
+    // records, and loops.
+    EXPECT_GT(stats.rowsVerified, 0u);
+    EXPECT_GT(stats.rowsUnverifiable, 0u);
+    EXPECT_GT(stats.merges, 0u);
+    EXPECT_GT(stats.loops, 0u);
+}
+
+TEST(DiffCheck, DeterministicInTheSeed)
+{
+    DiffCheckConfig cfg;
+    cfg.seeds = 25;
+    cfg.firstSeed = 1000;
+    const DiffCheckStats a = runDiffCheck(cfg);
+    const DiffCheckStats b = runDiffCheck(cfg);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.rowsVerified, b.rowsVerified);
+    EXPECT_EQ(a.rowsUnverifiable, b.rowsUnverifiable);
+    EXPECT_EQ(a.merges, b.merges);
+    EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+TEST(DiffCheck, SeedRangesCompose)
+{
+    DiffCheckConfig lo, hi, all;
+    lo.seeds = 30;
+    lo.firstSeed = 1;
+    hi.seeds = 30;
+    hi.firstSeed = 31;
+    all.seeds = 60;
+    all.firstSeed = 1;
+    const DiffCheckStats a = runDiffCheck(lo);
+    const DiffCheckStats b = runDiffCheck(hi);
+    const DiffCheckStats c = runDiffCheck(all);
+    EXPECT_EQ(a.instructions + b.instructions, c.instructions);
+    EXPECT_EQ(a.rowsVerified + b.rowsVerified, c.rowsVerified);
+    EXPECT_EQ(a.rowsUnverifiable + b.rowsUnverifiable,
+              c.rowsUnverifiable);
+    EXPECT_EQ(a.mismatches + b.mismatches, c.mismatches);
+}
+
+/**
+ * Rejection agreement: a program lint refuses (error severity) also
+ * dies in the engine -- pre-flight or device, depending on build --
+ * and the dataflow side claims nothing bit-exact about its rows.
+ */
+TEST(DiffCheck, LintRejectedProgramsAlsoDieInTheEngine)
+{
+    const dram::TimingParams t{};
+    bender::Program p;
+    p.act(0, 5, t.tRC)
+        .wrUnchecked(0, 7, t.tRCD)  // dangling data index
+        .pre(0, t.tRAS);
+
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH");
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 64;
+    cfg.profile.mapping = dram::MappingScheme::Sequential;
+
+    const lint::LintResult lr = lint::lintProgram(p, cfg);
+    EXPECT_FALSE(lr.clean());
+
+    const lint::DataflowResult df = lint::analyzeDataflow(p, cfg);
+    ASSERT_NE(df.find(0, 5), nullptr);
+    EXPECT_EQ(df.find(0, 5)->kind, lint::RowStateKind::Unknown);
+
+    EXPECT_DEATH(
+        {
+            bender::TestBench bench(cfg);
+            bench.executor().setPreflight(true);
+            bench.run(p);
+        },
+        "data index");
+}
+
+} // namespace

@@ -43,6 +43,27 @@ TEST(Program, LoopEndWithoutBeginIsFatal)
     EXPECT_DEATH(p.loopEnd(), "loopEnd without loopBegin");
 }
 
+TEST(Program, WrWithDanglingDataIndexIsFatal)
+{
+    Program p;
+    // Empty data table: every index is out of range.
+    EXPECT_DEATH(p.wr(0, 0, 100), "outside the data table");
+    EXPECT_DEATH(p.wr(0, -1, 100), "outside the data table");
+    p.addData(dram::RowData(8));
+    p.wr(0, 0, 100);  // now in range
+    EXPECT_DEATH(p.wr(0, 1, 100), "outside the data table");
+}
+
+TEST(Program, WrUncheckedBypassesTheBuildTimeCheck)
+{
+    // The escape hatch exists so tests and demo programs can build
+    // intentionally-broken instructions for lint to catch.
+    Program p;
+    p.wrUnchecked(0, 7, 100);
+    ASSERT_EQ(p.insts().size(), 1u);
+    EXPECT_EQ(p.insts()[0].dataIndex, 7);
+}
+
 TEST(Program, WithLoopCountCopiesWithoutMutating)
 {
     Program p;

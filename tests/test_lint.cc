@@ -233,7 +233,7 @@ TEST(Lint, OpenBankAtEnd)
 TEST(Lint, WrBadDataIndex)
 {
     Program p;
-    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    p.act(0, 1, kT.tRP).wrUnchecked(0, 3, kT.tRCD).pre(0, kT.tRAS);
     const auto r = lintProgram(p, smallConfig());
     EXPECT_TRUE(has(r, Code::WrBadDataIndex));
     EXPECT_FALSE(r.clean());
@@ -482,7 +482,7 @@ TEST(Lint, DescribeInst)
 TEST(LintPreflight, RequireCleanIsFatalOnErrors)
 {
     Program p;
-    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    p.act(0, 1, kT.tRP).wrUnchecked(0, 3, kT.tRCD).pre(0, kT.tRAS);
     EXPECT_DEATH(requireClean(p, smallConfig(), "test"),
                  "pre-flight lint failed");
 }
@@ -493,7 +493,7 @@ TEST(LintPreflight, ExecutorRefusesBadProgramWhenEnabled)
     Executor ex(dev);
     ex.setPreflight(true);
     Program p;
-    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    p.act(0, 1, kT.tRP).wrUnchecked(0, 3, kT.tRCD).pre(0, kT.tRAS);
     EXPECT_DEATH(ex.run(p), "pre-flight lint failed");
 }
 
@@ -503,7 +503,7 @@ TEST(LintPreflight, ExecutorWithoutPreflightDiesInExecOne)
     Executor ex(dev);
     ex.setPreflight(false);
     Program p;
-    p.act(0, 1, kT.tRP).wr(0, 3, kT.tRCD).pre(0, kT.tRAS);
+    p.act(0, 1, kT.tRP).wrUnchecked(0, 3, kT.tRCD).pre(0, kT.tRAS);
     EXPECT_DEATH(ex.run(p), "invalid data index");
 }
 

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/diffcheck.h"
 #include "exec/pool.h"
 #include "hammer/experiment.h"
 #include "hammer/reveng.h"
@@ -273,7 +274,7 @@ lintProgramByName(const std::string &name, const dram::DeviceConfig &cfg,
     if (name == "demo-bad-wr") {
         bender::Program p;
         p.act(0, lo, nominal.tRP)
-            .wr(0, 7, nominal.tRCD)  // index 7 into an empty data table
+            .wrUnchecked(0, 7, nominal.tRCD)  // empty data table
             .pre(0, nominal.tRAS);
         return p;
     }
@@ -288,13 +289,69 @@ lintProgramByName(const std::string &name, const dram::DeviceConfig &cfg,
             .pre(0, nominal.tRAS);
         return p;
     }
+    // Shared snippet builders for the dataflow demos: a CoMRA copy and
+    // a SiMRA group open, both in physical coordinates.
+    const auto copyRow = [&](bender::Program &p, dram::RowId src,
+                             dram::RowId dst) {
+        p.act(0, mapping.toLogical(src), nominal.tRC)
+            .pre(0, nominal.tRAS)
+            .act(0, mapping.toLogical(dst), units::fromNs(7.5))
+            .pre(0, nominal.tRAS);
+    };
+    const auto openGroup = [&](bender::Program &p, dram::RowId r1,
+                               dram::RowId r2) {
+        p.act(0, mapping.toLogical(r1), nominal.tRC)
+            .pre(0, units::fromNs(3))
+            .act(0, mapping.toLogical(r2), units::fromNs(3))
+            .pre(0, nominal.tRAS);
+    };
+    if (name == "demo-ctrl-clobber") {
+        // Pre-fix bitAnd/bitOr control-row bug: for an operand block
+        // at the base of subarray 1 the control row was computed as
+        // base-1 -- the *last row of subarray 0* -- so the control
+        // fill landed across the boundary and the group activation one
+        // subarray over could never consume it.
+        bender::Program p;
+        const dram::RowId base = cfg.rowsPerSubarray;
+        const int zeros = p.addData(
+            dram::RowData(cfg.cols, dram::DataPattern::P00));
+        p.act(0, mapping.toLogical(base - 1), nominal.tRP)
+            .wr(0, zeros, nominal.tRCD)
+            .pre(0, nominal.tRAS);
+        copyRow(p, base + 8, base + 0);
+        copyRow(p, base + 9, base + 1);
+        openGroup(p, base, base + 3);
+        return p;
+    }
+    if (name == "demo-majority-geom") {
+        // Pre-fix replicatedMajority geometry bugs: a replication that
+        // does not sum to the group size leaves the block half-staged
+        // (staged replicas merged with never-written rows), and an
+        // operand placed inside its own activation block is swallowed
+        // by the group open.
+        bender::Program p;
+        const dram::RowId half = 16;  // 8-row block, rows +6/+7 unstaged
+        copyRow(p, 32, half + 0);
+        copyRow(p, 32, half + 1);
+        copyRow(p, 32, half + 2);
+        copyRow(p, 33, half + 3);
+        copyRow(p, 33, half + 4);
+        copyRow(p, 33, half + 5);
+        openGroup(p, half, half + 7);
+        const dram::RowId swallowed = 40;  // operand at +1, in-block
+        copyRow(p, swallowed + 1, swallowed + 0);
+        copyRow(p, 48, swallowed + 2);
+        copyRow(p, 48, swallowed + 3);
+        openGroup(p, swallowed, swallowed + 3);
+        return p;
+    }
     if (name == "demo-broken") {
         // All three bug classes at once (the acceptance showcase).
         bender::Program p;
         p.act(0, lo, nominal.tRP)
             .pre(0, nominal.tRAS)
             .act(0, hi, units::fromNs(13.4))  // accidental sub-tRP
-            .wr(0, 7, nominal.tRCD)           // out-of-range data index
+            .wrUnchecked(0, 7, nominal.tRCD)  // out-of-range data index
             .pre(0, nominal.tRAS)
             .loopBegin(hammers)               // never closed
             .act(0, lo, nominal.tRP)
@@ -303,7 +360,7 @@ lintProgramByName(const std::string &name, const dram::DeviceConfig &cfg,
     }
     fatal("unknown --program=%s (rh|comra|simra|combined|trr-rh|"
           "trr-simra|demo-unbalanced|demo-bad-wr|demo-subtrp|"
-          "demo-broken)",
+          "demo-broken|demo-ctrl-clobber|demo-majority-geom)",
           name.c_str());
 }
 
@@ -318,6 +375,7 @@ cmdLint(const Args &args)
 
     lint::LintOptions opts;
     opts.effects = args.has("effects");
+    opts.dataflow = args.has("dataflow");
     lint::EffectReport report;
     const lint::LintResult result =
         lint::lintProgram(program, cfg, opts,
@@ -352,6 +410,40 @@ cmdLint(const Args &args)
         return 1;
     if (args.has("werror") && result.count(lint::Severity::Warning) > 0)
         return 1;
+    return 0;
+}
+
+int
+cmdDiffCheck(const Args &args)
+{
+    check::DiffCheckConfig cfg;
+    cfg.seeds =
+        static_cast<std::uint64_t>(args.getInt("seeds", 1000));
+    cfg.firstSeed =
+        static_cast<std::uint64_t>(args.getInt("first-seed", 1));
+    const check::DiffCheckStats stats = check::runDiffCheck(cfg);
+
+    Table table({"metric", "value"});
+    const auto row = [&](const char *label, std::uint64_t v) {
+        table.addRow({label, Table::count(static_cast<long long>(v))});
+    };
+    row("programs", stats.programs);
+    row("instructions", stats.instructions);
+    row("loops", stats.loops);
+    row("SiMRA merges", stats.merges);
+    row("rows verified bit-exact", stats.rowsVerified);
+    row("rows unverifiable (by design)", stats.rowsUnverifiable);
+    row("mismatches", stats.mismatches);
+    table.print();
+
+    if (!stats.ok()) {
+        std::printf("\nFIRST MISMATCH: %s\n",
+                    stats.firstMismatch.c_str());
+        return 1;
+    }
+    std::printf("\nno static/dynamic disagreement across %llu "
+                "programs\n",
+                static_cast<unsigned long long>(stats.programs));
     return 0;
 }
 
@@ -515,10 +607,16 @@ usage()
         "          [--hammers=N]\n"
         "  lint    --program=rh|comra|simra|combined|trr-rh|trr-simra\n"
         "          |demo-unbalanced|demo-bad-wr|demo-subtrp|demo-broken\n"
+        "          |demo-ctrl-clobber|demo-majority-geom\n"
         "          [--module=ID | --profile=ID] [--hammers=N]\n"
-        "          [--effects] [--json | --sarif] [--werror]\n"
+        "          [--effects] [--dataflow] [--json | --sarif]\n"
+        "          [--werror]\n"
         "          (--effects: static disturbance prediction;\n"
+        "           --dataflow: row-state dataflow analysis;\n"
         "           --werror: warnings also exit nonzero)\n"
+        "  diffcheck [--seeds=N] [--first-seed=N]\n"
+        "          differential check: seeded random programs through\n"
+        "          the dataflow pass and the device, bit-exact rows\n"
         "  trace-summarize --trace=FILE\n"
         "          per-phase time/count tables from a JSONL trace\n"
         "common: --seed=N --rows=N (rows per subarray)\n"
@@ -549,6 +647,8 @@ main(int argc, char **argv)
         return cmdAttack(args);
     if (cmd == "lint")
         return cmdLint(args);
+    if (cmd == "diffcheck")
+        return cmdDiffCheck(args);
     if (cmd == "trace-summarize")
         return cmdTraceSummarize(args);
     usage();
