@@ -64,7 +64,8 @@ main(int argc, char **argv)
     }
 
     Table table({"technique", "w/o TRR avg [min,max]",
-                 "w/ TRR avg [min,max]", "TRR reduction %"});
+                 "w/ TRR avg [min,max]", "TRR reduction %",
+                 "dropped"});
 
     double rh_with_trr = 0.0, best_simra_with_trr = 0.0,
            comra_with_trr = 0.0;
@@ -110,7 +111,12 @@ main(int argc, char **argv)
             without.mean() > 0
                 ? 100.0 * (1.0 - with.mean() / without.mean())
                 : 0.0;
-        table.addRow({c.label, a, b, Table::num(reduction, 2)});
+        // Non-finite samples the accumulators refused to ingest; a
+        // nonzero count means a measurement diverged and the averages
+        // cover fewer than `iterations` runs.
+        table.addRow({c.label, a, b, Table::num(reduction, 2),
+                      Table::count(static_cast<long long>(
+                          without.dropped() + with.dropped()))});
 
         if (c.tech == TrrTechnique::RowHammer && c.param == 2)
             rh_with_trr = with.mean();

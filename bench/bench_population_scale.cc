@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fleet-scale population sweep benchmark (ROADMAP item 4).
+ *
+ * Sweeps double-sided RowHammer HC_first over a population of module
+ * instances using the streaming sweepPopulation pipeline: lazy
+ * weak-cell thresholds, geometry-only victim enumeration, per-shard
+ * SampleSketches, and optional shard-granular checkpoint/resume.
+ *
+ * stdout is the deterministic fleet summary -- byte-identical across
+ * --jobs values and across checkpoint/resume splits (sketches merge in
+ * canonical shard order; no wall-clock values are printed).  Wall
+ * time, throughput, and peak RSS go to stderr and, as JSON, to
+ * --json=FILE (default BENCH_population.json):
+ *
+ *   {
+ *     "bench": "population_scale", "module_id": ..., "modules": N,
+ *     "victims_per_module": V, "measures": M, "work_units": U,
+ *     "shards": S, "resumed_shards": R, "jobs": J,
+ *     "wall_seconds": W, "acts": A, "hammers_per_sec": A/W,
+ *     "work_units_per_sec": U/W, "peak_rss_bytes": B,
+ *     "populated_rows_per_module_max": P
+ *   }
+ *
+ * Scale knobs beyond bench/common.h:
+ *   --modules=N      module instances (default 10000)
+ *   --victims=N      victims per subarray (default 1; 6 subarrays)
+ *   --max-hammers=N  per-trial hammer budget (default 100000)
+ *   --checkpoint=F   shard-granular checkpoint/resume file
+ *   --json=F         perf record path (default BENCH_population.json)
+ */
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common.h"
+#include "hammer/population.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::bench;
+
+/** Peak resident set size in bytes (0 when unsupported). */
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+    return 0;
+#endif
+}
+
+void
+printSketch(const char *label, const stats::SampleSketch &sk)
+{
+    std::printf("%-10s n=%llu dropped=%llu min=%.0f p25=%.0f "
+                "p50=%.0f p75=%.0f max=%.0f mean=%.1f\n",
+                label, static_cast<unsigned long long>(sk.count()),
+                static_cast<unsigned long long>(sk.dropped()),
+                sk.min(), sk.quantile(0.25), sk.quantile(0.50),
+                sk.quantile(0.75), sk.max(), sk.mean());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    Scale scale = Scale::parse(args);
+
+    hammer::PopulationConfig cfg;
+    cfg.moduleId = args.get("module", "HMA81GU7AFR8N-UH");
+    // Unlike the figure benches, the population bench does NOT cap the
+    // instance count at the family's real module count: the whole
+    // point is simulating fleets far beyond the paper's 316 chips.
+    cfg.modules = static_cast<int>(args.getInt("modules", 10000));
+    cfg.victimsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("victims", 1));
+    cfg.rowsPerSubarray = scale.rowsPerSubarray;
+    cfg.seed = scale.seed;
+    cfg.jobs = scale.jobs;
+
+    hammer::ModuleTester::Options opt;
+    opt.search.maxHammers = static_cast<std::uint64_t>(
+        args.getInt("max-hammers", 100000));
+
+    // Track the lazy-threshold ablation: the most rows any single
+    // module materialized.  Sublinear peak RSS in the module count
+    // hinges on this staying far below rows-per-module.
+    std::atomic<std::uint64_t> max_populated{0};
+    const std::vector<hammer::MeasureFn> measures = {
+        [&](hammer::ModuleTester &t, dram::RowId v) {
+            const std::uint64_t hc = t.rhDouble(v, opt);
+            const std::uint64_t populated =
+                t.device().populatedRowCount();
+            std::uint64_t seen = max_populated.load();
+            while (populated > seen &&
+                   !max_populated.compare_exchange_weak(seen,
+                                                        populated)) {
+            }
+            return hc;
+        }};
+
+    hammer::SweepOptions sweep_opt;
+    sweep_opt.checkpointPath = args.get("checkpoint", "");
+
+    banner("fleet-scale population sweep", "ROADMAP item 4");
+    std::printf("family %s, %d modules x %zu victims\n",
+                cfg.moduleId.c_str(), cfg.modules,
+                hammer::populationVictims(cfg).size());
+
+    const hammer::SweepResult result =
+        hammer::sweepPopulation(cfg, measures, sweep_opt);
+
+    printSketch("rh_double", result.sketches[0]);
+    std::printf("sketch-bytes %zu buckets %zu\n",
+                result.sketches[0].serialize().size(),
+                result.sketches[0].buckets());
+
+    // ---- perf record (stderr + JSON; never stdout) -------------------
+    const double wall = result.telemetry.wallSeconds;
+    const std::uint64_t acts = result.telemetry.acts();
+    const std::size_t units = result.telemetry.workUnits();
+    const std::uint64_t rss = peakRssBytes();
+    const double hammers_per_sec =
+        wall > 0.0 ? static_cast<double>(acts) / wall : 0.0;
+    const double units_per_sec =
+        wall > 0.0 ? static_cast<double>(units) / wall : 0.0;
+
+    std::fprintf(stderr,
+                 "perf: wall %.2f s, %" PRIu64 " acts (%.3g "
+                 "hammers/s), %zu units (%.3g units/s), peak RSS "
+                 "%.1f MiB, resumed %zu/%zu shards, max %" PRIu64
+                 " populated rows/module\n",
+                 wall, acts, hammers_per_sec, units, units_per_sec,
+                 static_cast<double>(rss) / (1024.0 * 1024.0),
+                 result.resumedShards, result.totalShards,
+                 max_populated.load());
+
+    const std::string json_path =
+        args.get("json", "BENCH_population.json");
+    if (FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"population_scale\",\n"
+            "  \"module_id\": \"%s\",\n"
+            "  \"modules\": %d,\n"
+            "  \"victims_per_module\": %zu,\n"
+            "  \"measures\": %zu,\n"
+            "  \"work_units\": %zu,\n"
+            "  \"shards\": %zu,\n"
+            "  \"resumed_shards\": %zu,\n"
+            "  \"jobs\": %d,\n"
+            "  \"wall_seconds\": %.3f,\n"
+            "  \"acts\": %" PRIu64 ",\n"
+            "  \"hammers_per_sec\": %.1f,\n"
+            "  \"work_units_per_sec\": %.3f,\n"
+            "  \"peak_rss_bytes\": %" PRIu64 ",\n"
+            "  \"populated_rows_per_module_max\": %" PRIu64 "\n"
+            "}\n",
+            cfg.moduleId.c_str(), cfg.modules,
+            units / std::max<std::size_t>(
+                        1, static_cast<std::size_t>(cfg.modules)),
+            measures.size(), units, result.totalShards,
+            result.resumedShards, result.telemetry.jobs, wall, acts,
+            hammers_per_sec, units_per_sec, rss,
+            max_populated.load());
+        std::fclose(f);
+        std::fprintf(stderr, "perf record written to %s\n",
+                     json_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -142,6 +142,17 @@ struct Row
     RowData data;
     std::vector<WeakCell> cells;
 
+    /**
+     * True once the row's data and weak-cell population have been
+     * drawn (Device::populateRow).  Rows start as unpopulated shells
+     * and materialize on first touch: the per-row threshold stream is
+     * counter-based (keyed by seed, bank, row), so a lazily-built row
+     * is bit-identical to the same row in an eagerly-built device.
+     * Cannot be inferred from cells.empty(): weakCellsPerRow may be 0
+     * (the differential checker runs flip-free devices).
+     */
+    bool populated = false;
+
     /** When this row last closed; -1 before its first activation. */
     Time lastCloseAt = -1;
 

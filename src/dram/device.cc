@@ -51,105 +51,132 @@ Device::Device(DeviceConfig cfg)
     if ((cfg_.rowsPerSubarray & (cfg_.rowsPerSubarray - 1)) != 0)
         fatal("Device: rowsPerSubarray must be a power of two");
 
-    Rng rng(cfg_.seed);
+    // Banks start as empty shells and rows materialize on first touch
+    // (populateRow): an idle module costs O(1) memory and construction
+    // time, which is what lets fleet-scale population sweeps build one
+    // Device per shard without paying for the ~10^4 rows a sweep never
+    // hammers.
     banks_.resize(cfg_.banks);
-    for (BankId b = 0; b < cfg_.banks; ++b) {
-        Rng bank_rng = rng.fork(b + 1);
-        populateBank(banks_[b], bank_rng);
-    }
 }
 
 void
-Device::populateBank(BankState &bank, Rng &rng)
+Device::touchBank(BankState &bank)
+{
+    if (!bank.rows.empty()) [[likely]]
+        return;
+    bank.rows.resize(cfg_.rowsPerBank());
+    bank.trrRing.assign(kTrrWindow, kNoRow);
+}
+
+void
+Device::populateRow(BankState &bank, RowId r)
 {
     const auto cal = calibrate(cfg_.profile);
-    const RowId num_rows = cfg_.rowsPerBank();
-
-    bank.rows.resize(num_rows);
-    bank.trrRing.assign(kTrrWindow, kNoRow);
 
     const double comra_row_sigma = kRowShare * cal.comraFactorSigma;
     const double comra_cell_sigma = kCellShare * cal.comraFactorSigma;
 
-    for (RowId r = 0; r < num_rows; ++r) {
-        Row &row = bank.rows[r];
-        row.data = RowData(cfg_.cols);
+    // Counter-based stream keyed by (seed, bank, row): no draw depends
+    // on any other row's draws, so materialization order -- lazy,
+    // eager, or any interleaving -- cannot change the population.
+    Rng rng = Rng::keyed(cfg_.seed, bankIndex(bank) + 1, r + 1);
 
-        const double base_row = std::max(
-            100.0, rng.logNormalMedian(cal.rhMedian, cal.rhSigma));
-        // CoMRA amplifies read disturbance for essentially every row
-        // (Obs. 2: 99% of rows see a lower HC_first), so the row-level
-        // gain is floored just above 1.
-        const double comra_row = std::max(
-            1.05, rng.logNormalMedian(cal.comraFactorMedian,
-                                      comra_row_sigma));
+    Row &row = bank.rows[r];
+    row.populated = true;
+    ++populatedRows_;
+    row.data = RowData(cfg_.cols);
 
-        double simra_row = 1.0;
-        if (cfg_.profile.supportsSimra) {
-            if (rng.chance(cal.simraExtremeFraction)) {
-                simra_row = rng.logNormalMedian(
-                    cal.simraExtremeMedian,
-                    kRowShare * cal.simraExtremeSigma);
-            } else {
-                simra_row = rng.logNormalMedian(
-                    cal.simraRegularMedian,
-                    kRowShare * cal.simraRegularSigma);
-            }
-            simra_row = std::max(0.8, simra_row);
+    const double base_row = std::max(
+        100.0, rng.logNormalMedian(cal.rhMedian, cal.rhSigma));
+    // CoMRA amplifies read disturbance for essentially every row
+    // (Obs. 2: 99% of rows see a lower HC_first), so the row-level
+    // gain is floored just above 1.
+    const double comra_row = std::max(
+        1.05,
+        rng.logNormalMedian(cal.comraFactorMedian, comra_row_sigma));
+
+    double simra_row = 1.0;
+    if (cfg_.profile.supportsSimra) {
+        if (rng.chance(cal.simraExtremeFraction)) {
+            simra_row =
+                rng.logNormalMedian(cal.simraExtremeMedian,
+                                    kRowShare * cal.simraExtremeSigma);
+        } else {
+            simra_row =
+                rng.logNormalMedian(cal.simraRegularMedian,
+                                    kRowShare * cal.simraRegularSigma);
         }
-
-        row.cells.resize(cfg_.weakCellsPerRow);
-        for (int c = 0; c < cfg_.weakCellsPerRow; ++c) {
-            WeakCell &cell = row.cells[c];
-
-            // Distinct column per cell.
-            for (;;) {
-                cell.col = static_cast<ColId>(rng.below(cfg_.cols));
-                bool dup = false;
-                for (int k = 0; k < c; ++k)
-                    if (row.cells[k].col == cell.col)
-                        dup = true;
-                if (!dup)
-                    break;
-            }
-
-            const double mult =
-                c == 0 ? 1.0 : std::exp(rng.uniform(0.08, 1.3));
-            cell.baseHc = static_cast<float>(base_row * mult);
-
-            cell.comraFactor = static_cast<float>(std::max(
-                1.02, comra_row * std::exp(comra_cell_sigma *
-                                           rng.gaussian())));
-
-            if (cfg_.profile.supportsSimra) {
-                const double cell_simra = std::max(
-                    0.3, simra_row *
-                             std::exp(kCellShare *
-                                      cal.simraRegularSigma *
-                                      rng.gaussian()));
-                for (int n = 0; n < 5; ++n) {
-                    cell.simraFactor[n] = static_cast<float>(std::max(
-                        0.2, cell_simra *
-                                 std::exp(kSimraPerNJitterSigma *
-                                          rng.gaussian())));
-                }
-            }
-
-            cell.tempSlopeConv =
-                static_cast<float>(rng.uniform(-0.35, 0.5));
-            cell.upperShare =
-                static_cast<float>(rng.uniform(0.38, 0.62));
-            cell.dstRoleGain = static_cast<float>(
-                std::exp(0.04 * rng.gaussian()));
-            cell.dirConv = rng.chance(kConvZeroToOneFraction)
-                               ? FlipDirection::ZeroToOne
-                               : FlipDirection::OneToZero;
-            cell.dirSimra = rng.chance(kSimraOneToZeroFraction)
-                                ? FlipDirection::OneToZero
-                                : FlipDirection::ZeroToOne;
-            cell.resetDamage();
-        }
+        simra_row = std::max(0.8, simra_row);
     }
+
+    row.cells.resize(cfg_.weakCellsPerRow);
+    for (int c = 0; c < cfg_.weakCellsPerRow; ++c) {
+        WeakCell &cell = row.cells[c];
+
+        // Distinct column per cell.
+        for (;;) {
+            cell.col = static_cast<ColId>(rng.below(cfg_.cols));
+            bool dup = false;
+            for (int k = 0; k < c; ++k)
+                if (row.cells[k].col == cell.col)
+                    dup = true;
+            if (!dup)
+                break;
+        }
+
+        const double mult =
+            c == 0 ? 1.0 : std::exp(rng.uniform(0.08, 1.3));
+        cell.baseHc = static_cast<float>(base_row * mult);
+
+        cell.comraFactor = static_cast<float>(std::max(
+            1.02,
+            comra_row * std::exp(comra_cell_sigma * rng.gaussian())));
+
+        if (cfg_.profile.supportsSimra) {
+            const double cell_simra = std::max(
+                0.3, simra_row * std::exp(kCellShare *
+                                          cal.simraRegularSigma *
+                                          rng.gaussian()));
+            for (int n = 0; n < 5; ++n) {
+                cell.simraFactor[n] = static_cast<float>(std::max(
+                    0.2, cell_simra * std::exp(kSimraPerNJitterSigma *
+                                               rng.gaussian())));
+            }
+        }
+
+        cell.tempSlopeConv =
+            static_cast<float>(rng.uniform(-0.35, 0.5));
+        cell.upperShare = static_cast<float>(rng.uniform(0.38, 0.62));
+        cell.dstRoleGain =
+            static_cast<float>(std::exp(0.04 * rng.gaussian()));
+        cell.dirConv = rng.chance(kConvZeroToOneFraction)
+                           ? FlipDirection::ZeroToOne
+                           : FlipDirection::OneToZero;
+        cell.dirSimra = rng.chance(kSimraOneToZeroFraction)
+                            ? FlipDirection::OneToZero
+                            : FlipDirection::ZeroToOne;
+        cell.resetDamage();
+    }
+}
+
+void
+Device::materializeAllRows()
+{
+    for (BankState &bank : banks_) {
+        touchBank(bank);
+        for (RowId r = 0; r < cfg_.rowsPerBank(); ++r)
+            if (!bank.rows[r].populated)
+                populateRow(bank, r);
+    }
+}
+
+const std::vector<WeakCell> &
+Device::weakCells(BankId bank, RowId logical_row) const
+{
+    // Lazy materialization is an internal cache: logically const.
+    auto *self = const_cast<Device *>(this);
+    return self->rowAt(self->banks_[bank], toPhysical(logical_row))
+        .cells;
 }
 
 void
@@ -164,7 +191,7 @@ Device::advanceTime(Time t)
 void
 Device::restoreRow(BankState &bank, RowId physical)
 {
-    Row &row = bank.rows[physical];
+    Row &row = rowAt(bank, physical);
     for (WeakCell &cell : row.cells) {
         if (cell.flipped())
             row.data.toggle(cell.col);
@@ -250,6 +277,13 @@ Device::resetTrrSampler()
 void
 Device::refreshRow(BankState &bank, RowId physical)
 {
+    // A pristine row holds full charge and no damage: refreshing it is
+    // a no-op, and skipping keeps stripe REFs from materializing every
+    // row they sweep (which would defeat lazy population).  Such a row
+    // is never loop-tracked either, so replay quiescence is unaffected.
+    if (physical >= bank.rows.size() ||
+        !bank.rows[physical].populated)
+        return;
     if (recorder_.active) {
         // Refreshes are aperiodic (the stripe rotates, TRR draws are
         // random): log the target for the quiescence check, and keep
@@ -290,6 +324,22 @@ Device::flushPending(BankState &bank)
             }
         }
     }
+    // applyClose charges damage onto every weak cell in the closing
+    // aggressors' +-2 same-subarray blast radius; those victim rows
+    // must have their cell populations drawn before the deposit, or a
+    // lazily-built device would silently drop it.
+    for (RowId a : bank.pending.rows) {
+        const SubarrayId sub = subarrayOfPhysical(a);
+        for (int d : {-2, -1, 1, 2}) {
+            const std::int64_t v = static_cast<std::int64_t>(a) + d;
+            if (v < 0 ||
+                v >= static_cast<std::int64_t>(bank.rows.size()))
+                continue;
+            if (subarrayOfPhysical(static_cast<RowId>(v)) != sub)
+                continue;
+            rowAt(bank, static_cast<RowId>(v));
+        }
+    }
     disturb_.applyClose(bank.rows, bank.pending, temperature_);
 }
 
@@ -300,7 +350,7 @@ Device::openNormal(BankState &bank, Time t, RowId physical)
     bank.openRows.assign(1, physical);
     bank.openKind = OpenKind::Normal;
     bank.openedAt = t;
-    const Time last = bank.rows[physical].lastCloseAt;
+    const Time last = rowAt(bank, physical).lastCloseAt;
     bank.offGapOfOpen = last >= 0 ? t - last : 0;
     restoreRow(bank, physical);
     trrRecord(bank, physical);
@@ -389,7 +439,7 @@ Device::act(Time t, BankId b, RowId logical_row)
             // Destination latches the source's bitline charge: the
             // in-DRAM copy, with full charge restoration on dst.
             restoreRow(bank, src);
-            bank.rows[phys].data = bank.rows[src].data;
+            rowAt(bank, phys).data = bank.rows[src].data;
             for (WeakCell &c : bank.rows[phys].cells) {
                 c.resetDamage();
                 disturb_.noteReset(c);
@@ -888,7 +938,7 @@ Device::writeRowDirect(BankId b, RowId logical_row, const RowData &data)
 {
     BankState &bank = banks_.at(b);
     const RowId phys = mapping_.toPhysical(logical_row);
-    Row &row = bank.rows.at(phys);
+    Row &row = rowAt(bank, phys);
     row.data = data;
     for (WeakCell &c : row.cells) {
         c.resetDamage();
@@ -905,9 +955,12 @@ Device::writeRowDirect(BankId b, RowId logical_row, const RowData &data)
 RowData
 Device::readRowDirect(BankId b, RowId logical_row) const
 {
-    const BankState &bank = banks_.at(b);
+    // Logically const: reading a pristine row returns its (drawn)
+    // initial data, so materializing here is an internal cache fill.
+    auto *self = const_cast<Device *>(this);
+    BankState &bank = self->banks_.at(b);
     const RowId phys = mapping_.toPhysical(logical_row);
-    return viewOf(bank.rows.at(phys));
+    return viewOf(self->rowAt(bank, phys));
 }
 
 } // namespace pud::dram

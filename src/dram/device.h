@@ -176,12 +176,24 @@ class Device
     const DisturbanceModel &disturbModel() const { return disturb_; }
     Time now() const { return now_; }
 
-    /** Test-only: the weak cells of a (logical) row. */
-    const std::vector<WeakCell> &
-    weakCells(BankId bank, RowId logical_row) const
-    {
-        return banks_[bank].rows[toPhysical(logical_row)].cells;
-    }
+    /** Test-only: the weak cells of a (logical) row (materializes it). */
+    const std::vector<WeakCell> &weakCells(BankId bank,
+                                           RowId logical_row) const;
+
+    // ---- lazy row materialization ----------------------------------------
+
+    /**
+     * Eagerly draw every row's data and weak-cell population, exactly
+     * as pre-fleet-scale Devices did at construction.  Row streams are
+     * counter-based, so this is observably identical to letting rows
+     * materialize on first touch; tests pin that equivalence, and the
+     * population benches use it as the memory/startup-cost ablation
+     * baseline.
+     */
+    void materializeAllRows();
+
+    /** Rows whose weak-cell population has been drawn so far. */
+    std::size_t populatedRowCount() const { return populatedRows_; }
 
   private:
     struct BankState
@@ -215,7 +227,23 @@ class Device
     /** Number of ACTs the TRR sampler considers before a REF (§7). */
     static constexpr std::size_t kTrrWindow = 450;
 
-    void populateBank(BankState &bank, Rng &rng);
+    /** First-touch bank shell: size the row array and TRR ring. */
+    void touchBank(BankState &bank);
+
+    /** Draw one row's data and weak cells from its keyed stream. */
+    void populateRow(BankState &bank, RowId physical);
+
+    /** Materializing accessor: every row mutation goes through here. */
+    Row &
+    rowAt(BankState &bank, RowId physical)
+    {
+        touchBank(bank);
+        Row &row = bank.rows[physical];
+        if (!row.populated) [[unlikely]]
+            populateRow(bank, physical);
+        return row;
+    }
+
     void advanceTime(Time t);
     void flushPending(BankState &bank);
     void openNormal(BankState &bank, Time t, RowId physical);
@@ -271,6 +299,7 @@ class Device
     Rng trrRng_;
     Rng noiseRng_;
     DeviceCounters counters_;
+    std::size_t populatedRows_ = 0;
 };
 
 } // namespace pud::dram

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Geometry-only victim enumeration.
+ *
+ * Which rows a population sweep measures is a pure function of the
+ * device *geometry* (subarrays per bank, rows per subarray) -- it does
+ * not depend on the seed, the calibration profile, or any simulated
+ * state.  Fleet-scale sweeps exploit that: the victim list of 10^6
+ * module instances is computed once from one DeviceConfig, without
+ * building a single Device (ModuleTester construction is deferred to
+ * the shard that actually hammers).
+ */
+
+#ifndef PUD_HAMMER_ENUMERATE_H
+#define PUD_HAMMER_ENUMERATE_H
+
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/types.h"
+
+namespace pud::hammer {
+
+using dram::RowId;
+
+/**
+ * Subarrays tested per module: two each from the beginning, middle,
+ * and end of the bank (paper §4.2), generalized for other counts and
+ * deduplicated for small geometries.
+ */
+std::vector<dram::SubarrayId>
+testedSubarrays(const dram::DeviceConfig &cfg, int count = 6);
+
+/**
+ * Sample victim rows with an even stride over the interior rows of
+ * each tested subarray (the paper tests all rows; the stride caps
+ * that).  `odd_only` restricts to rows sandwichable by a double-sided
+ * SiMRA group (v === 1 mod 4).  Physical row addresses, ascending.
+ */
+std::vector<RowId> sampleVictims(const dram::DeviceConfig &cfg,
+                                 RowId victims_per_subarray,
+                                 bool odd_only = false,
+                                 int subarrays = 6);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_ENUMERATE_H

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "exec/pool.h"
+#include "hammer/enumerate.h"
 #include "lint/absint.h"
 #include "lint/effects.h"
 #include "lint/linter.h"
@@ -23,17 +24,10 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** One parallel work unit: a module (or a victim chunk of one). */
-struct Shard
-{
-    int module = 0;
-    std::size_t victimBegin = 0;  //!< index into the module victim list
-    std::size_t victimEnd = 0;
-    std::size_t slotBase = 0;     //!< global slot of victimBegin
-};
+} // namespace
 
 dram::DeviceConfig
-deviceConfigFor(const PopulationConfig &cfg, int module)
+populationDeviceConfig(const PopulationConfig &cfg, int module)
 {
     dram::DeviceConfig dev_cfg =
         dram::makeConfig(cfg.moduleId, cfg.seed + module);
@@ -42,7 +36,44 @@ deviceConfigFor(const PopulationConfig &cfg, int module)
     return dev_cfg;
 }
 
-} // namespace
+std::vector<RowId>
+populationVictims(const PopulationConfig &cfg)
+{
+    if (cfg.modules <= 0)
+        return {};
+    // Geometry-only (no Device is built): every module instance shares
+    // the same geometry, so one enumeration serves the whole fleet.
+    return sampleVictims(populationDeviceConfig(cfg, 0),
+                         cfg.victimsPerSubarray, cfg.oddOnly);
+}
+
+std::vector<ShardPlan>
+planPopulationShards(const PopulationConfig &cfg,
+                     std::size_t victims_per_module)
+{
+    std::vector<ShardPlan> shards;
+    const std::size_t n = victims_per_module;
+    const std::size_t chunk =
+        cfg.perVictimChunks ? std::max<std::size_t>(1, cfg.victimChunk)
+                            : std::max<std::size_t>(1, n);
+    for (int m = 0; m < cfg.modules; ++m) {
+        const std::size_t base = static_cast<std::size_t>(m) * n;
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            ShardPlan s;
+            s.module = m;
+            s.victimBegin = begin;
+            s.victimEnd = std::min(n, begin + chunk);
+            s.slotBase = base + begin;
+            shards.push_back(s);
+        }
+        if (n == 0) {
+            // Keep one (empty) shard per module so telemetry still
+            // reports every module instance.
+            shards.push_back(ShardPlan{m, 0, 0, base});
+        }
+    }
+    return shards;
+}
 
 std::vector<std::vector<double>>
 measurePopulation(const PopulationConfig &cfg,
@@ -55,43 +86,18 @@ measurePopulation(const PopulationConfig &cfg,
     // Enumerate the victim population up front so every measurement
     // has a pre-sized result slot: slot order is (module, victim,
     // measure), exactly the serial iteration order, so the output can
-    // never depend on how shards are scheduled.  The victim list is a
-    // pure function of the geometry, so the probe testers here are
-    // cheap compared to one HC_first search.
-    std::vector<std::vector<RowId>> victims_of(
-        static_cast<std::size_t>(std::max(0, cfg.modules)));
-    std::vector<std::size_t> slot_base(victims_of.size() + 1, 0);
-    for (int m = 0; m < cfg.modules; ++m) {
-        const ModuleTester probe(deviceConfigFor(cfg, m));
-        victims_of[m] =
-            probe.sampleVictims(cfg.victimsPerSubarray, cfg.oddOnly);
-        slot_base[m + 1] = slot_base[m] + victims_of[m].size();
-    }
-    const std::size_t total_victims = slot_base.back();
+    // never depend on how shards are scheduled.  Enumeration is
+    // geometry-only and shared by every instance: sweep startup is
+    // O(1) in the module count, not O(modules) device builds.
+    const std::vector<RowId> victims = populationVictims(cfg);
+    const std::size_t total_victims =
+        victims.size() *
+        static_cast<std::size_t>(std::max(0, cfg.modules));
 
     // Shard at module granularity by default; opt-in victim chunks cut
     // each module's list into fixed-size pieces (independent of jobs).
-    std::vector<Shard> shards;
-    for (int m = 0; m < cfg.modules; ++m) {
-        const std::size_t n = victims_of[m].size();
-        const std::size_t chunk =
-            cfg.perVictimChunks
-                ? std::max<std::size_t>(1, cfg.victimChunk)
-                : std::max<std::size_t>(1, n);
-        for (std::size_t begin = 0; begin < n; begin += chunk) {
-            Shard s;
-            s.module = m;
-            s.victimBegin = begin;
-            s.victimEnd = std::min(n, begin + chunk);
-            s.slotBase = slot_base[m] + begin;
-            shards.push_back(s);
-        }
-        if (n == 0) {
-            // Keep one (empty) shard per module so telemetry still
-            // reports every module instance.
-            shards.push_back(Shard{m, 0, 0, slot_base[m]});
-        }
-    }
+    const std::vector<ShardPlan> shards =
+        planPopulationShards(cfg, victims.size());
 
     std::vector<std::vector<double>> series(
         measures.size(), std::vector<double>(total_victims, 0.0));
@@ -108,17 +114,16 @@ measurePopulation(const PopulationConfig &cfg,
              {"jobs", static_cast<std::int64_t>(jobs)}});
 
     exec::parallelFor(jobs, shards.size(), [&](std::size_t si) {
-        const Shard &shard = shards[si];
+        const ShardPlan &shard = shards[si];
         const auto shard_start = std::chrono::steady_clock::now();
 
         // Each shard owns a private tester seeded exactly like the
         // serial loop's per-module tester, so module shards replay the
         // serial path verbatim and chunk shards are reproducible.
-        ModuleTester tester(deviceConfigFor(cfg, shard.module));
+        ModuleTester tester(populationDeviceConfig(cfg, shard.module));
         if (cfg.setup)
             cfg.setup(tester);
 
-        const std::vector<RowId> &victims = victims_of[shard.module];
         for (std::size_t v = shard.victimBegin; v < shard.victimEnd;
              ++v) {
             const std::size_t slot =
@@ -139,6 +144,7 @@ measurePopulation(const PopulationConfig &cfg,
         r.victims = shard.victimEnd - shard.victimBegin;
         r.workUnits = r.victims * measures.size();
         r.seconds = secondsSince(shard_start);
+        r.acts = tester.device().counters().acts;
         const bender::ExecStats &xs = tester.bench().executor().stats();
         r.fastPathIterations = xs.fastPathIterations;
         r.planCacheHits = xs.planCacheHits;

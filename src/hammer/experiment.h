@@ -76,6 +76,9 @@ struct ShardReport
     std::size_t workUnits = 0;  //!< victims * measures
     double seconds = 0.0;       //!< shard wall time
 
+    /** ACT commands issued by the shard's device (hammers/sec base). */
+    std::uint64_t acts = 0;
+
     // Executor counters accumulated by the shard's tester
     // (bender::ExecStats): how much of the work took the loop
     // fast-path and how often probe programs reused a compiled plan.
@@ -83,6 +86,48 @@ struct ShardReport
     std::uint64_t planCacheHits = 0;
     std::uint64_t planCacheMisses = 0;
 };
+
+// ---- sweep planning (pure; shared by runner, benches, and tests) -----
+
+/**
+ * One planned parallel work unit: a module instance, or a victim chunk
+ * of one.  Shards are ordered by (module, victimBegin), which is also
+ * slot order -- planPopulationShards guarantees `slotBase` increases
+ * monotonically over the returned vector, so shard index, report
+ * index, and result-slot ranges all agree regardless of how shards are
+ * later scheduled across jobs.
+ */
+struct ShardPlan
+{
+    int module = 0;
+    std::size_t victimBegin = 0;  //!< index into the module victim list
+    std::size_t victimEnd = 0;
+    std::size_t slotBase = 0;     //!< global slot of victimBegin
+};
+
+/** The per-module DeviceConfig a sweep builds for `module`. */
+dram::DeviceConfig populationDeviceConfig(const PopulationConfig &cfg,
+                                          int module);
+
+/**
+ * The victim list of *every* module instance in the population: victim
+ * sampling is geometry-only (hammer/enumerate.h) and the geometry is
+ * shared by all instances, so one enumeration covers the whole fleet.
+ * Global slot order is (module, victim, measure), i.e. module m's
+ * victim v occupies slot m * victims.size() + v.
+ */
+std::vector<RowId> populationVictims(const PopulationConfig &cfg);
+
+/**
+ * Shard the sweep: one shard per module, or fixed-size victim chunks
+ * when `cfg.perVictimChunks` is set (chunk boundaries depend only on
+ * `victimChunk`, never on `jobs`).  A module with no victims still
+ * gets one empty shard so telemetry reports every instance.
+ * `victims_per_module` is populationVictims(cfg).size().
+ */
+std::vector<ShardPlan>
+planPopulationShards(const PopulationConfig &cfg,
+                     std::size_t victims_per_module);
 
 /** What one measurePopulation call did, shard by shard. */
 struct PopulationTelemetry
@@ -109,6 +154,16 @@ struct PopulationTelemetry
         for (const ShardReport &s : shards)
             t += s.seconds;
         return t;
+    }
+
+    /** Total ACT commands issued across all shards. */
+    std::uint64_t
+    acts() const
+    {
+        std::uint64_t n = 0;
+        for (const ShardReport &s : shards)
+            n += s.acts;
+        return n;
     }
 
     /** Loop iterations replayed arithmetically instead of executed. */

@@ -1,0 +1,335 @@
+#include "hammer/population.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "exec/pool.h"
+#include "hammer/hcfirst.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pud::hammer {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One completed shard as stored in (and restored from) a checkpoint. */
+struct ShardRecord
+{
+    ShardReport report;
+    std::vector<stats::SampleSketch> sketches;  //!< one per measure
+};
+
+std::string
+encodeRecord(std::size_t index, const ShardRecord &rec)
+{
+    std::string out = "shard=" + std::to_string(index);
+    out += " module=" + std::to_string(rec.report.module);
+    out += " victims=" + std::to_string(rec.report.victims);
+    out += " units=" + std::to_string(rec.report.workUnits);
+    out += " seconds=" + stats::hexDouble(rec.report.seconds);
+    out += " acts=" + std::to_string(rec.report.acts);
+    out += " fast=" + std::to_string(rec.report.fastPathIterations);
+    out += " hits=" + std::to_string(rec.report.planCacheHits);
+    out += " misses=" + std::to_string(rec.report.planCacheMisses);
+    out += '\n';
+    for (const stats::SampleSketch &sk : rec.sketches) {
+        out += "sk ";
+        out += sk.serialize();
+        out += '\n';
+    }
+    return out;
+}
+
+/** Parse "key=value" with an integral value; false on mismatch. */
+template <typename T>
+bool
+kvInt(std::istream &line, const char *key, T *out)
+{
+    std::string tok;
+    if (!(line >> tok))
+        return false;
+    const std::string prefix = std::string(key) + "=";
+    if (tok.rfind(prefix, 0) != 0)
+        return false;
+    const char *first = tok.data() + prefix.size();
+    const char *last = tok.data() + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && ptr == last;
+}
+
+/**
+ * Load the canonical-order prefix of completed shards.  Stops (without
+ * failing) at the first truncated or malformed record: a crash while
+ * appending leaves at most one partial record at the tail, and every
+ * complete record before it is still valid.
+ */
+std::map<std::size_t, ShardRecord>
+loadCheckpoint(const std::string &path, std::uint64_t fingerprint,
+               std::size_t measures, std::size_t total_shards)
+{
+    std::map<std::size_t, ShardRecord> loaded;
+    std::ifstream in(path);
+    if (!in)
+        return loaded;
+
+    std::string line;
+    if (!std::getline(in, line))
+        return loaded;
+    {
+        std::istringstream header(line);
+        std::string magic;
+        std::uint64_t fp = 0;
+        std::size_t m = 0;
+        if (!(header >> magic) || magic != "popckpt1" ||
+            !kvInt(header, "fp", &fp) ||
+            !kvInt(header, "measures", &m)) {
+            fatal("checkpoint %s: unrecognized header", path.c_str());
+        }
+        if (fp != fingerprint || m != measures) {
+            fatal("checkpoint %s was written by a different sweep "
+                  "configuration (fingerprint %016llx vs %016llx); "
+                  "refusing to resume",
+                  path.c_str(), static_cast<unsigned long long>(fp),
+                  static_cast<unsigned long long>(fingerprint));
+        }
+    }
+
+    std::size_t expect = 0;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        ShardRecord rec;
+        std::size_t index = 0;
+        if (!kvInt(ls, "shard", &index) || index != expect ||
+            index >= total_shards ||
+            !kvInt(ls, "module", &rec.report.module) ||
+            !kvInt(ls, "victims", &rec.report.victims) ||
+            !kvInt(ls, "units", &rec.report.workUnits))
+            break;
+        {
+            std::string tok;
+            if (!(ls >> tok) || tok.rfind("seconds=", 0) != 0 ||
+                !stats::parseHexDouble(tok.substr(8),
+                                       &rec.report.seconds))
+                break;
+        }
+        if (!kvInt(ls, "acts", &rec.report.acts) ||
+            !kvInt(ls, "fast", &rec.report.fastPathIterations) ||
+            !kvInt(ls, "hits", &rec.report.planCacheHits) ||
+            !kvInt(ls, "misses", &rec.report.planCacheMisses))
+            break;
+
+        bool ok = true;
+        rec.sketches.reserve(measures);
+        for (std::size_t i = 0; i < measures; ++i) {
+            if (!std::getline(in, line) || line.rfind("sk ", 0) != 0) {
+                ok = false;
+                break;
+            }
+            auto sk = stats::SampleSketch::deserialize(
+                std::string_view(line).substr(3));
+            if (!sk) {
+                ok = false;
+                break;
+            }
+            rec.sketches.push_back(std::move(*sk));
+        }
+        if (!ok)
+            break;
+        loaded.emplace(index, std::move(rec));
+        ++expect;
+    }
+    return loaded;
+}
+
+} // namespace
+
+std::uint64_t
+populationFingerprint(const PopulationConfig &cfg, std::size_t measures)
+{
+    std::uint64_t h = 0x506F7043 ^ 0x6B707431;  // "PopC" ^ "kpt1"
+    for (char c : cfg.moduleId)
+        h = Rng::mix64(h ^ static_cast<unsigned char>(c));
+    h = Rng::mix64(h ^ static_cast<std::uint64_t>(cfg.modules));
+    h = Rng::mix64(h ^ cfg.victimsPerSubarray);
+    h = Rng::mix64(h ^ (cfg.oddOnly ? 1 : 0));
+    h = Rng::mix64(h ^ cfg.seed);
+    h = Rng::mix64(h ^ cfg.rowsPerSubarray);
+    h = Rng::mix64(h ^ (cfg.perVictimChunks ? 1 : 0));
+    h = Rng::mix64(h ^ cfg.victimChunk);
+    h = Rng::mix64(h ^ static_cast<std::uint64_t>(measures));
+    return h;
+}
+
+SweepResult
+sweepPopulation(const PopulationConfig &cfg,
+                const std::vector<MeasureFn> &measures,
+                const SweepOptions &opt)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    const int jobs = exec::resolveJobs(cfg.jobs);
+    const std::uint64_t fingerprint =
+        populationFingerprint(cfg, measures.size());
+
+    const std::vector<RowId> victims = populationVictims(cfg);
+    const std::vector<ShardPlan> shards =
+        planPopulationShards(cfg, victims.size());
+
+    std::vector<ShardRecord> records(shards.size());
+    std::vector<bool> resumed(shards.size(), false);
+
+    // ---- resume -------------------------------------------------------
+    std::size_t resumed_count = 0;
+    if (!opt.checkpointPath.empty()) {
+        auto loaded =
+            loadCheckpoint(opt.checkpointPath, fingerprint,
+                           measures.size(), shards.size());
+        for (auto &[index, rec] : loaded) {
+            records[index] = std::move(rec);
+            records[index].report.firstSlot = shards[index].slotBase;
+            resumed[index] = true;
+            ++resumed_count;
+        }
+    }
+
+    // ---- checkpoint writer (canonical-order streaming append) ---------
+    //
+    // Shards complete in scheduler order, but the file must always be
+    // a prefix of the canonical shard sequence (that is what makes a
+    // resumed merge bit-identical).  Completed records park in `ready`
+    // until every lower-index shard has been appended.
+    std::ofstream ckpt;
+    std::mutex ckpt_mutex;
+    std::map<std::size_t, std::string> ready;
+    std::size_t next_to_append = resumed_count;
+    if (!opt.checkpointPath.empty()) {
+        // Rewrite the validated prefix rather than appending after
+        // whatever the old file ends with: a crash mid-append can
+        // leave a partial record at the tail, and appending past it
+        // would corrupt every later resume.
+        ckpt.open(opt.checkpointPath, std::ios::trunc);
+        if (!ckpt)
+            fatal("cannot open checkpoint file %s",
+                  opt.checkpointPath.c_str());
+        ckpt << "popckpt1 fp=" << fingerprint
+             << " measures=" << measures.size()
+             << " shards=" << shards.size() << '\n';
+        for (std::size_t i = 0; i < resumed_count; ++i)
+            ckpt << encodeRecord(i, records[i]);
+        ckpt.flush();
+    }
+    auto offerRecord = [&](std::size_t index) {
+        if (!ckpt.is_open())
+            return;
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        ready.emplace(index, encodeRecord(index, records[index]));
+        while (!ready.empty() &&
+               ready.begin()->first == next_to_append) {
+            ckpt << ready.begin()->second;
+            ready.erase(ready.begin());
+            ++next_to_append;
+            ckpt.flush();
+        }
+    };
+
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "sweep_start",
+            {{"module_id", cfg.moduleId},
+             {"modules", static_cast<std::int64_t>(cfg.modules)},
+             {"victims", victims.size() *
+                             static_cast<std::size_t>(
+                                 std::max(0, cfg.modules))},
+             {"measures", measures.size()},
+             {"shards", shards.size()},
+             {"resumed", resumed_count},
+             {"jobs", static_cast<std::int64_t>(jobs)}});
+
+    // ---- sweep --------------------------------------------------------
+    exec::parallelFor(jobs, shards.size(), [&](std::size_t si) {
+        if (resumed[si])
+            return;
+        const ShardPlan &shard = shards[si];
+        const auto shard_start = std::chrono::steady_clock::now();
+
+        ModuleTester tester(populationDeviceConfig(cfg, shard.module));
+        if (cfg.setup)
+            cfg.setup(tester);
+
+        ShardRecord &rec = records[si];
+        rec.sketches.assign(measures.size(),
+                            stats::SampleSketch(opt.sketchAlpha));
+        for (std::size_t v = shard.victimBegin; v < shard.victimEnd;
+             ++v) {
+            for (std::size_t i = 0; i < measures.size(); ++i) {
+                const std::uint64_t hc =
+                    measures[i](tester, victims[v]);
+                rec.sketches[i].add(
+                    hc == kNoFlip
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : static_cast<double>(hc));
+            }
+        }
+
+        ShardReport &r = rec.report;
+        r.module = shard.module;
+        r.firstSlot = shard.slotBase;
+        r.victims = shard.victimEnd - shard.victimBegin;
+        r.workUnits = r.victims * measures.size();
+        r.seconds = secondsSince(shard_start);
+        r.acts = tester.device().counters().acts;
+        const bender::ExecStats &xs = tester.bench().executor().stats();
+        r.fastPathIterations = xs.fastPathIterations;
+        r.planCacheHits = xs.planCacheHits;
+        r.planCacheMisses = xs.planCacheMisses;
+        offerRecord(si);
+    });
+
+    // ---- canonical-order fleet merge ----------------------------------
+    SweepResult result;
+    result.sketches.assign(measures.size(),
+                           stats::SampleSketch(opt.sketchAlpha));
+    for (const ShardRecord &rec : records) {
+        if (rec.sketches.size() != measures.size())
+            fatal("sweepPopulation: shard record with %zu sketches, "
+                  "expected %zu",
+                  rec.sketches.size(), measures.size());
+        for (std::size_t i = 0; i < measures.size(); ++i)
+            result.sketches[i].merge(rec.sketches[i]);
+    }
+
+    result.telemetry.jobs = jobs;
+    result.telemetry.perVictimChunks = cfg.perVictimChunks;
+    result.telemetry.wallSeconds = secondsSince(wall_start);
+    result.telemetry.shards.reserve(records.size());
+    for (const ShardRecord &rec : records)
+        result.telemetry.shards.push_back(rec.report);
+    result.resumedShards = resumed_count;
+    result.totalShards = shards.size();
+
+    if (obs::traceOn()) [[unlikely]]
+        obs::trace().event(
+            "sweep_end",
+            {{"wall_s", result.telemetry.wallSeconds},
+             {"units", result.telemetry.workUnits()},
+             {"shards", records.size()},
+             {"resumed", resumed_count}});
+    return result;
+}
+
+} // namespace pud::hammer

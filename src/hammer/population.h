@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fleet-scale population sweeps: streaming sketches + checkpoint /
+ * resume.
+ *
+ * measurePopulation (experiment.h) returns whole-population sample
+ * vectors -- O(modules * victims) memory -- and loses everything if
+ * the process dies mid-run.  sweepPopulation is its fleet-scale
+ * sibling: each shard reduces its measurements into per-measure
+ * SampleSketches, completed shards are appended to a checkpoint file
+ * in canonical shard order, and a resumed run folds the recorded
+ * prefix back in and computes only the remainder.
+ *
+ * Determinism contract: the fleet sketch is the shard sketches merged
+ * in *shard index order* (never completion order), and every shard's
+ * sketch depends only on its own identically-seeded tester.  The
+ * result is therefore bit-identical across `--jobs` values and across
+ * any interrupt/resume split -- floating-point summation order is
+ * fully pinned even though it is not associative.
+ */
+
+#ifndef PUD_HAMMER_POPULATION_H
+#define PUD_HAMMER_POPULATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hammer/experiment.h"
+#include "stats/sketch.h"
+
+namespace pud::hammer {
+
+/** Knobs of one sweepPopulation call beyond the PopulationConfig. */
+struct SweepOptions
+{
+    /**
+     * Checkpoint file; empty disables checkpointing.  An existing file
+     * must carry the same configuration fingerprint (mismatch is
+     * fatal: silently mixing populations would corrupt the fleet
+     * statistics).  Completed shard records are appended and flushed
+     * as the sweep runs, so an interrupted process loses at most the
+     * shards still in flight.
+     */
+    std::string checkpointPath;
+
+    /** Relative quantile error bound of the per-measure sketches. */
+    double sketchAlpha = 0.01;
+};
+
+/** What one sweepPopulation call produced. */
+struct SweepResult
+{
+    /**
+     * One fleet sketch per MeasureFn.  kNoFlip measurements enter as
+     * NaN and are therefore counted in dropped(), mirroring the NaN
+     * convention of measurePopulation.
+     */
+    std::vector<stats::SampleSketch> sketches;
+
+    PopulationTelemetry telemetry;
+
+    /** Shards restored from the checkpoint instead of computed. */
+    std::size_t resumedShards = 0;
+
+    /** Total planned shards (resumed + computed). */
+    std::size_t totalShards = 0;
+};
+
+/**
+ * Stable hash of everything that determines the sweep's work: module
+ * family, population size, victim sampling, seeds, sharding, and the
+ * measure count.  Guards checkpoint files against being resumed under
+ * a different configuration.
+ */
+std::uint64_t populationFingerprint(const PopulationConfig &cfg,
+                                    std::size_t measures);
+
+/**
+ * Run `measures` over the whole module population, reducing into
+ * streaming sketches shard by shard (memory is O(shards + buckets),
+ * never O(victims)).  See SweepOptions for checkpointing.
+ */
+SweepResult sweepPopulation(const PopulationConfig &cfg,
+                            const std::vector<MeasureFn> &measures,
+                            const SweepOptions &opt = {});
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_POPULATION_H

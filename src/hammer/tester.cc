@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hammer/enumerate.h"
 #include "lint/absint.h"
 #include "lint/effects.h"
 #include "lint/linter.h"
@@ -31,60 +32,16 @@ countPatchedBuilder(Program base, std::size_t loop_index)
 std::vector<dram::SubarrayId>
 ModuleTester::testedSubarrays(int count) const
 {
-    const dram::SubarrayId total = device().config().subarraysPerBank;
-    std::vector<dram::SubarrayId> out;
-    if (static_cast<dram::SubarrayId>(count) >= total) {
-        for (dram::SubarrayId s = 0; s < total; ++s)
-            out.push_back(s);
-        return out;
-    }
-    // Two from the beginning, two from the middle, two from the end
-    // (paper §4.2); generalized for other counts.
-    const int per_zone = count / 3;
-    for (int i = 0; i < per_zone; ++i)
-        out.push_back(i);
-    for (int i = 0; i < per_zone; ++i)
-        out.push_back(total / 2 - per_zone / 2 + i);
-    for (int i = count - 2 * per_zone; i > 0; --i)
-        out.push_back(total - i);
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
+    return hammer::testedSubarrays(device().config(), count);
 }
 
 std::vector<RowId>
 ModuleTester::sampleVictims(RowId victims_per_subarray, bool odd_only,
                             int subarrays) const
 {
-    const RowId rps = rowsPerSubarray();
-    std::vector<RowId> victims;
-    for (dram::SubarrayId s : testedSubarrays(subarrays)) {
-        const RowId base = s * rps;
-        // Interior rows only: distance-2 neighbourhood and SiMRA group
-        // geometry must stay inside the subarray.
-        const RowId lo = 2, hi = rps - 3;
-        const RowId span = hi - lo + 1;
-        const RowId count = std::min<RowId>(victims_per_subarray, span);
-        for (RowId i = 0; i < count; ++i) {
-            RowId offset = lo + static_cast<RowId>(
-                                    static_cast<std::uint64_t>(i) * span /
-                                    count);
-            if (odd_only) {
-                // v === 1 (mod 4): guarantees both v-1 and v+1 are in
-                // the bit-combination group for every double-sided
-                // SiMRA mask (see planSimraDouble).
-                offset = (offset & ~RowId(3)) | 1;
-                if (offset < lo)
-                    offset += 4;
-                if (offset > hi)
-                    offset -= 4;
-            }
-            const RowId v = base + offset;
-            if (victims.empty() || victims.back() != v)
-                victims.push_back(v);
-        }
-    }
-    return victims;
+    return hammer::sampleVictims(device().config(),
+                                 victims_per_subarray, odd_only,
+                                 subarrays);
 }
 
 std::uint64_t

@@ -1,0 +1,326 @@
+#include "stats/sketch.h"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pud::stats {
+
+std::string
+hexDouble(double x)
+{
+    char buf[17];
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    static const char digits[] = "0123456789abcdef";
+    for (int i = 0; i < 16; ++i)
+        buf[i] = digits[(bits >> (60 - 4 * i)) & 0xF];
+    buf[16] = '\0';
+    return buf;
+}
+
+bool
+parseHexDouble(std::string_view tok, double *out)
+{
+    if (tok.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : tok) {
+        std::uint64_t d;
+        if (c >= '0' && c <= '9')
+            d = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        bits = (bits << 4) | d;
+    }
+    *out = std::bit_cast<double>(bits);
+    return true;
+}
+
+namespace {
+
+/** Pop the next whitespace-delimited token; empty view when done. */
+std::string_view
+nextToken(std::string_view &s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    std::size_t end = 0;
+    while (end < s.size() && s[end] != ' ' && s[end] != '\t')
+        ++end;
+    const std::string_view tok = s.substr(0, end);
+    s.remove_prefix(end);
+    return tok;
+}
+
+/** Split "key=value", returning false if `key` does not match. */
+bool
+keyValue(std::string_view tok, std::string_view key,
+         std::string_view *value)
+{
+    if (tok.size() <= key.size() || tok.substr(0, key.size()) != key ||
+        tok[key.size()] != '=')
+        return false;
+    *value = tok.substr(key.size() + 1);
+    return true;
+}
+
+template <typename T>
+bool
+parseInt(std::string_view tok, T *out)
+{
+    const char *first = tok.data();
+    const char *last = tok.data() + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && ptr == last;
+}
+
+/** Parse "i:c,i:c,..." into the bucket map; empty string = no buckets. */
+bool
+parseBuckets(std::string_view body, std::map<int, std::uint64_t> *out)
+{
+    while (!body.empty()) {
+        const std::size_t comma = body.find(',');
+        const std::string_view entry = body.substr(0, comma);
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string_view::npos)
+            return false;
+        int index = 0;
+        std::uint64_t count = 0;
+        if (!parseInt(entry.substr(0, colon), &index) ||
+            !parseInt(entry.substr(colon + 1), &count) || count == 0)
+            return false;
+        if (!out->emplace(index, count).second)
+            return false;  // duplicate index
+        if (comma == std::string_view::npos)
+            break;
+        body.remove_prefix(comma + 1);
+    }
+    return true;
+}
+
+void
+appendBuckets(std::string *out,
+              const std::map<int, std::uint64_t> &buckets)
+{
+    bool first = true;
+    for (const auto &[index, count] : buckets) {
+        if (!first)
+            *out += ',';
+        first = false;
+        *out += std::to_string(index);
+        *out += ':';
+        *out += std::to_string(count);
+    }
+}
+
+} // namespace
+
+SampleSketch::SampleSketch(double alpha) : alpha_(alpha)
+{
+    if (!(alpha > 0.0) || !(alpha < 1.0))
+        fatal("SampleSketch: alpha must be in (0, 1), got %g", alpha);
+    gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+    invLogGamma_ = 1.0 / std::log(gamma_);
+}
+
+int
+SampleSketch::bucketIndex(double magnitude) const
+{
+    // Subnormal-tiny magnitudes would need huge negative indices;
+    // clamp them into the lowest practical bucket.  At alpha = 0.01
+    // index -38000 covers down to ~1e-330, i.e. everything normal.
+    const double raw =
+        std::ceil(std::log(magnitude) * invLogGamma_);
+    constexpr double kLimit = 1e8;
+    if (raw < -kLimit)
+        return static_cast<int>(-kLimit);
+    if (raw > kLimit)
+        return static_cast<int>(kLimit);
+    return static_cast<int>(raw);
+}
+
+double
+SampleSketch::representative(int index) const
+{
+    return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void
+SampleSketch::add(double x)
+{
+    if (!std::isfinite(x)) {
+        ++dropped_;
+        return;
+    }
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++n_;
+    sum_ += x;
+    if (x == 0.0)
+        ++zero_;
+    else if (x > 0.0)
+        ++pos_[bucketIndex(x)];
+    else
+        ++neg_[bucketIndex(-x)];
+}
+
+void
+SampleSketch::merge(const SampleSketch &other)
+{
+    if (alpha_ != other.alpha_)
+        fatal("SampleSketch::merge: alpha mismatch (%g vs %g)", alpha_,
+              other.alpha_);
+    if (other.n_ > 0) {
+        if (n_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            if (other.min_ < min_)
+                min_ = other.min_;
+            if (other.max_ > max_)
+                max_ = other.max_;
+        }
+    }
+    n_ += other.n_;
+    dropped_ += other.dropped_;
+    sum_ += other.sum_;
+    zero_ += other.zero_;
+    for (const auto &[index, count] : other.neg_)
+        neg_[index] += count;
+    for (const auto &[index, count] : other.pos_)
+        pos_[index] += count;
+}
+
+double
+SampleSketch::quantile(double q) const
+{
+    if (n_ == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(n_ - 1));
+
+    std::uint64_t cum = 0;
+    // Ascending sample order: most-negative first (descending |x|
+    // bucket index), then zeros, then positives (ascending index).
+    for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+        cum += it->second;
+        if (cum > target)
+            return -representative(it->first);
+    }
+    cum += zero_;
+    if (cum > target)
+        return 0.0;
+    for (const auto &[index, count] : pos_) {
+        cum += count;
+        if (cum > target)
+            return representative(index);
+    }
+    return max_;
+}
+
+std::string
+SampleSketch::serialize() const
+{
+    std::string out = "sketch1 alpha=";
+    out += hexDouble(alpha_);
+    out += " n=";
+    out += std::to_string(n_);
+    out += " dropped=";
+    out += std::to_string(dropped_);
+    out += " sum=";
+    out += hexDouble(sum_);
+    out += " min=";
+    out += hexDouble(min_);
+    out += " max=";
+    out += hexDouble(max_);
+    out += " zero=";
+    out += std::to_string(zero_);
+    out += " neg=";
+    appendBuckets(&out, neg_);
+    out += " pos=";
+    appendBuckets(&out, pos_);
+    return out;
+}
+
+std::optional<SampleSketch>
+SampleSketch::deserialize(std::string_view s)
+{
+    if (nextToken(s) != "sketch1")
+        return std::nullopt;
+
+    std::string_view v;
+    double alpha = 0.0;
+    if (!keyValue(nextToken(s), "alpha", &v) || !parseHexDouble(v, &alpha))
+        return std::nullopt;
+    if (!(alpha > 0.0) || !(alpha < 1.0))
+        return std::nullopt;
+    SampleSketch out(alpha);
+
+    if (!keyValue(nextToken(s), "n", &v) || !parseInt(v, &out.n_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "dropped", &v) ||
+        !parseInt(v, &out.dropped_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "sum", &v) ||
+        !parseHexDouble(v, &out.sum_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "min", &v) ||
+        !parseHexDouble(v, &out.min_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "max", &v) ||
+        !parseHexDouble(v, &out.max_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "zero", &v) || !parseInt(v, &out.zero_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "neg", &v) ||
+        !parseBuckets(v, &out.neg_))
+        return std::nullopt;
+    if (!keyValue(nextToken(s), "pos", &v) ||
+        !parseBuckets(v, &out.pos_))
+        return std::nullopt;
+    if (!nextToken(s).empty())
+        return std::nullopt;  // trailing garbage
+
+    // Consistency: bucket counts must sum to n.
+    std::uint64_t total = out.zero_;
+    for (const auto &[index, count] : out.neg_)
+        total += count;
+    for (const auto &[index, count] : out.pos_)
+        total += count;
+    if (total != out.n_)
+        return std::nullopt;
+    return out;
+}
+
+bool
+SampleSketch::operator==(const SampleSketch &other) const
+{
+    return std::bit_cast<std::uint64_t>(alpha_) ==
+               std::bit_cast<std::uint64_t>(other.alpha_) &&
+           n_ == other.n_ && dropped_ == other.dropped_ &&
+           std::bit_cast<std::uint64_t>(sum_) ==
+               std::bit_cast<std::uint64_t>(other.sum_) &&
+           std::bit_cast<std::uint64_t>(min_) ==
+               std::bit_cast<std::uint64_t>(other.min_) &&
+           std::bit_cast<std::uint64_t>(max_) ==
+               std::bit_cast<std::uint64_t>(other.max_) &&
+           zero_ == other.zero_ && neg_ == other.neg_ &&
+           pos_ == other.pos_;
+}
+
+} // namespace pud::stats

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Mergeable streaming sample sketch for fleet-scale summaries.
+ *
+ * Population benches at 10^4+ modules cannot afford whole-population
+ * sample vectors (the paper's boxplots are over every tested row of
+ * every module).  SampleSketch keeps count/mean/min/max exactly and
+ * quantiles approximately in O(log range) memory, supports an
+ * associative merge so per-shard sketches fold into one fleet sketch
+ * in any grouping, and serializes bit-exactly so checkpoint/resume and
+ * cross-jobs runs produce byte-identical snapshots.
+ *
+ * The quantile structure is a DDSketch-style logarithmic histogram
+ * (Masson et al., VLDB 2019): a nonzero sample x lands in bucket
+ * ceil(log_gamma |x|) with gamma = (1 + alpha) / (1 - alpha), and the
+ * bucket's representative value 2 * gamma^i / (gamma + 1) is within a
+ * factor (1 +- alpha) of every sample in the bucket.  quantile() is
+ * therefore *relative-error* bounded: the returned value differs from
+ * the true sample quantile by at most alpha of its magnitude (exact
+ * for zeros).  Bucket counts are integers keyed by integer indices, so
+ * merge() is associative and commutative on the histogram; only the
+ * running `sum` is subject to floating-point rounding, which is
+ * commutative but not associative -- callers that need byte-identical
+ * output must merge in a canonical order (see hammer/population.h).
+ */
+
+#ifndef PUD_STATS_SKETCH_H
+#define PUD_STATS_SKETCH_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pud::stats {
+
+/** Hex of a double's IEEE-754 bits: 16 lowercase digits, bit-exact. */
+std::string hexDouble(double x);
+
+/** Inverse of hexDouble; false on malformed input. */
+bool parseHexDouble(std::string_view tok, double *out);
+
+class SampleSketch
+{
+  public:
+    /** alpha = maximum relative quantile error (default 1%). */
+    explicit SampleSketch(double alpha = 0.01);
+
+    /** Ingest one sample; non-finite samples are dropped-and-counted
+     *  (same policy as Accumulator/boxStats). */
+    void add(double x);
+
+    /** Fold another sketch in; both must share the same alpha. */
+    void merge(const SampleSketch &other);
+
+    double alpha() const { return alpha_; }
+    std::uint64_t count() const { return n_; }
+    std::uint64_t dropped() const { return dropped_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /**
+     * Approximate q-quantile (q in [0, 1]) of all ingested finite
+     * samples: the representative value of the bucket holding the
+     * floor(q * (count - 1))-th order statistic.  Relative error is at
+     * most alpha; 0.0 on an empty sketch.
+     */
+    double quantile(double q) const;
+
+    /** Number of occupied histogram buckets (memory introspection). */
+    std::size_t buckets() const
+    {
+        return neg_.size() + pos_.size() + (zero_ ? 1 : 0);
+    }
+
+    /**
+     * Bit-exact single-line snapshot: doubles are encoded as the hex
+     * of their IEEE-754 bits and buckets in ascending index order, so
+     * equal sketches serialize to equal bytes on every platform and
+     * deserialize(serialize(s)) reproduces s exactly.
+     */
+    std::string serialize() const;
+
+    /** Parse a serialize() line; nullopt on malformed input. */
+    static std::optional<SampleSketch> deserialize(std::string_view s);
+
+    /** Exact structural equality (counts, buckets, and sum bits). */
+    bool operator==(const SampleSketch &other) const;
+
+  private:
+    int bucketIndex(double magnitude) const;
+    double representative(int index) const;
+
+    double alpha_;
+    double gamma_;
+    double invLogGamma_;
+
+    std::uint64_t n_ = 0;
+    std::uint64_t dropped_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;  //!< valid only when n_ > 0
+    double max_ = 0.0;
+
+    // Bucket index -> sample count.  std::map keeps deterministic
+    // (ascending) iteration for serialization and trivially
+    // associative integer merges.
+    std::map<int, std::uint64_t> neg_;  //!< indexed by |x| for x < 0
+    std::uint64_t zero_ = 0;
+    std::map<int, std::uint64_t> pos_;
+};
+
+} // namespace pud::stats
+
+#endif // PUD_STATS_SKETCH_H

@@ -11,6 +11,7 @@
 #ifndef PUD_STATS_SUMMARY_H
 #define PUD_STATS_SUMMARY_H
 
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <string>
@@ -18,13 +19,24 @@
 
 namespace pud::stats {
 
-/** Streaming accumulator for count/mean/min/max without storing samples. */
+/**
+ * Streaming accumulator for count/mean/min/max without storing
+ * samples.  Non-finite inputs (NaN from kNoFlip victims, +/-Inf from
+ * diverging ratios) are dropped and counted instead of ingested: one
+ * NaN would otherwise poison sum/mean and disable the min/max
+ * comparisons forever, exactly the failure mode boxStats guards
+ * against with its `dropped` field.
+ */
 class Accumulator
 {
   public:
     void
     add(double x)
     {
+        if (!std::isfinite(x)) {
+            ++dropped_;
+            return;
+        }
         ++n_;
         sum_ += x;
         if (x < min_)
@@ -33,7 +45,22 @@ class Accumulator
             max_ = x;
     }
 
+    /** Fold another accumulator in (associative, order-sensitive only
+     *  in sum's last-bit rounding). */
+    void
+    merge(const Accumulator &other)
+    {
+        n_ += other.n_;
+        dropped_ += other.dropped_;
+        sum_ += other.sum_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
     std::size_t count() const { return n_; }
+    std::size_t dropped() const { return dropped_; }
     double sum() const { return sum_; }
     double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
     double min() const { return n_ ? min_ : 0.0; }
@@ -41,6 +68,7 @@ class Accumulator
 
   private:
     std::size_t n_ = 0;
+    std::size_t dropped_ = 0;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();

@@ -142,6 +142,32 @@ class Rng
         return Rng(next() ^ (tag * 0xD1342543DE82EF95ULL));
     }
 
+    /** SplitMix64 finalizer: a strong 64-bit mixing function. */
+    static std::uint64_t
+    mix64(std::uint64_t x)
+    {
+        x += 0x9E3779B97F4A7C15ULL;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+        return x ^ (x >> 31);
+    }
+
+    /**
+     * Counter-based stream: an Rng whose seed is a hash of (seed, a,
+     * b).  Unlike fork(), this needs no generator state to derive from
+     * -- stream (a, b) can be created directly, in any order, on any
+     * thread -- which is what lets per-row weak-cell populations be
+     * drawn lazily on first touch yet bit-identically to an eager
+     * sweep (see Device::populateRow).
+     */
+    static Rng
+    keyed(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+    {
+        std::uint64_t x = mix64(seed ^ (a * 0xD1342543DE82EF95ULL));
+        x = mix64(x ^ (b * 0x2545F4914F6CDD1DULL));
+        return Rng(x);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

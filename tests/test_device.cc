@@ -337,6 +337,91 @@ TEST(Device, ZeroTrialNoiseStaysDeterministic)
     EXPECT_FLOAT_EQ(dev.weakCells(0, 5).front().trialScale, 1.0f);
 }
 
+// ---------------------------------------------------------------------------
+// Lazy row materialization
+// ---------------------------------------------------------------------------
+
+TEST(DeviceLazy, IdleDevicePopulatesNoRows)
+{
+    Device dev(smallConfig());
+    EXPECT_EQ(dev.populatedRowCount(), 0u);
+}
+
+/**
+ * The fleet-scale contract: per-row streams are counter-based, so a
+ * lazily materialized device is indistinguishable from an eagerly
+ * materialized one -- for any access order.
+ */
+TEST(DeviceLazy, WeakCellsIdenticalToEagerInAnyAccessOrder)
+{
+    const DeviceConfig cfg = smallConfig();
+    Device eager(cfg), lazy(cfg);
+    eager.materializeAllRows();
+    EXPECT_EQ(eager.populatedRowCount(),
+              static_cast<std::size_t>(cfg.banks) * cfg.rowsPerBank());
+
+    // Touch the lazy device backwards, interleaving banks, to make the
+    // materialization order maximally different from the eager sweep.
+    for (RowId r = cfg.rowsPerBank(); r-- > 0;) {
+        for (BankId b = 0; b < cfg.banks; ++b) {
+            const auto &e = eager.weakCells(b, r);
+            const auto &l = lazy.weakCells(b, r);
+            ASSERT_EQ(e.size(), l.size()) << "bank " << b << " row " << r;
+            for (std::size_t i = 0; i < e.size(); ++i) {
+                EXPECT_EQ(e[i].col, l[i].col);
+                EXPECT_EQ(e[i].baseHc, l[i].baseHc);
+                EXPECT_EQ(e[i].comraFactor, l[i].comraFactor);
+                EXPECT_EQ(e[i].simraFactor, l[i].simraFactor);
+                EXPECT_EQ(e[i].tempSlopeConv, l[i].tempSlopeConv);
+                EXPECT_EQ(e[i].dirConv, l[i].dirConv);
+                EXPECT_EQ(e[i].dirSimra, l[i].dirSimra);
+            }
+            EXPECT_EQ(eager.readRowDirect(b, r), lazy.readRowDirect(b, r));
+        }
+    }
+    EXPECT_EQ(lazy.populatedRowCount(), eager.populatedRowCount());
+}
+
+/**
+ * Command-level equivalence: after identical double-sided hammer
+ * traffic, a lazy device holds exactly the same row contents as a
+ * fully materialized one (the pre-close flush must materialize the
+ * disturbance blast radius before damage is applied), while having
+ * populated only the touched neighborhood -- the property that makes
+ * 10^4-module fleets affordable.  Flip-level equivalence under a real
+ * HC_first search is pinned in test_population.cc.
+ */
+TEST(DeviceLazy, HammerTrafficLeavesIdenticalRowsWithSublinearPopulation)
+{
+    const DeviceConfig cfg = smallConfig();
+    Device eager(cfg), lazy(cfg);
+    eager.materializeAllRows();
+
+    // Double-sided pattern around physical row 10 (subarray interior).
+    const RowId agg1 = eager.toLogical(9);
+    const RowId agg2 = eager.toLogical(11);
+
+    for (Device *dev : {&eager, &lazy}) {
+        Cmd c(*dev);
+        for (int i = 0; i < 60000; ++i)
+            c.act(0, agg1).pre(0).act(0, agg2).pre(0);
+        dev->flush();
+    }
+
+    // Hammering two rows must populate only them and their disturbance
+    // neighborhood -- not the bank.
+    EXPECT_LE(lazy.populatedRowCount(), 16u);
+
+    for (RowId r = 0; r < cfg.rowsPerBank(); ++r)
+        EXPECT_EQ(eager.readRowDirect(0, r), lazy.readRowDirect(0, r))
+            << "row " << r;
+
+    // Reading bank 0 above materialized it wholesale, but bank 1 was
+    // never touched by command traffic and must still be empty.
+    EXPECT_EQ(lazy.populatedRowCount(),
+              static_cast<std::size_t>(cfg.rowsPerBank()));
+}
+
 class FamilyDeviceSweep
     : public ::testing::TestWithParam<const char *>
 {};

@@ -55,6 +55,64 @@ TEST(Population, ModulesMultiplyVictims)
     EXPECT_EQ(s2[0].size(), 2 * s1[0].size());
 }
 
+/**
+ * Empty-module audit: instances with zero victims still get one
+ * (empty) shard each, in module order, so telemetry covers the whole
+ * population and shard order stays aligned with slot order.
+ */
+TEST(Population, ZeroVictimModulesYieldEmptyAlignedShards)
+{
+    PopulationConfig cfg = tinyPopulation();
+    cfg.modules = 3;
+    cfg.victimsPerSubarray = 0;
+    ModuleTester::Options opt;
+    PopulationTelemetry tele;
+    const auto series = measurePopulation(
+        cfg,
+        {[&](ModuleTester &t, dram::RowId v) {
+            return t.rhDouble(v, opt);
+        }},
+        &tele);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_TRUE(series[0].empty());
+    ASSERT_EQ(tele.shards.size(), 3u);
+    for (std::size_t i = 0; i < tele.shards.size(); ++i) {
+        EXPECT_EQ(tele.shards[i].module, static_cast<int>(i));
+        EXPECT_EQ(tele.shards[i].victims, 0u);
+        EXPECT_EQ(tele.shards[i].firstSlot, 0u);
+    }
+}
+
+/**
+ * A victim chunk larger than the module's victim list degenerates to
+ * one whole-module chunk, which starts from a pristine tester exactly
+ * like the module-granularity path -- so the two must agree sample for
+ * sample, not just statistically.
+ */
+TEST(Population, OversizedChunkMatchesModuleGranularity)
+{
+    PopulationConfig plain = tinyPopulation();
+    plain.modules = 2;
+    PopulationConfig chunked = plain;
+    chunked.perVictimChunks = true;
+    chunked.victimChunk = 100000;
+
+    ModuleTester::Options opt;
+    const MeasureFn fn = [&](ModuleTester &t, dram::RowId v) {
+        return t.rhDouble(v, opt);
+    };
+    const auto a = measurePopulation(plain, {fn});
+    const auto b = measurePopulation(chunked, {fn});
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a[0].size(), b[0].size());
+    for (std::size_t i = 0; i < a[0].size(); ++i) {
+        if (std::isnan(a[0][i]))
+            EXPECT_TRUE(std::isnan(b[0][i])) << "slot " << i;
+        else
+            EXPECT_DOUBLE_EQ(a[0][i], b[0][i]) << "slot " << i;
+    }
+}
+
 TEST(DropIncomplete, RemovesNanPairsKeepingAlignment)
 {
     const double nan = std::numeric_limits<double>::quiet_NaN();

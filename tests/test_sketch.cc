@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the mergeable streaming sample sketch.
+ *
+ * The population sweep's determinism contract rests on three sketch
+ * properties pinned here: merge is associative and commutative on
+ * everything except the floating-point sum (which is commutative but
+ * only near-associative), quantiles obey the documented alpha
+ * relative-error bound, and serialize() is a bit-exact round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/sketch.h"
+
+namespace {
+
+using namespace pud::stats;
+
+TEST(HexDouble, RoundTripsSpecialValues)
+{
+    const double values[] = {
+        0.0,
+        -0.0,
+        1.5,
+        -3.25e300,
+        5e-324,  // smallest denormal
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::nan(""),
+    };
+    for (double v : values) {
+        double back = 42.0;
+        ASSERT_TRUE(parseHexDouble(hexDouble(v), &back));
+        // Bit-equality, not value equality: NaN != NaN but its bits
+        // must survive, and -0.0 must not collapse to +0.0.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(v),
+                  std::bit_cast<std::uint64_t>(back));
+    }
+}
+
+TEST(HexDouble, RejectsMalformed)
+{
+    double out;
+    EXPECT_FALSE(parseHexDouble("", &out));
+    EXPECT_FALSE(parseHexDouble("3ff", &out));
+    EXPECT_FALSE(parseHexDouble("3ff0000000000000ff", &out));
+    EXPECT_FALSE(parseHexDouble("3FF0000000000000", &out));  // uppercase
+    EXPECT_FALSE(parseHexDouble("3ff000000000000g", &out));
+}
+
+TEST(SampleSketch, EmptyIsWellDefined)
+{
+    const SampleSketch sk;
+    EXPECT_EQ(sk.count(), 0u);
+    EXPECT_EQ(sk.dropped(), 0u);
+    EXPECT_DOUBLE_EQ(sk.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(sk.min(), 0.0);
+    EXPECT_DOUBLE_EQ(sk.max(), 0.0);
+    EXPECT_DOUBLE_EQ(sk.quantile(0.5), 0.0);
+    EXPECT_EQ(sk.buckets(), 0u);
+}
+
+TEST(SampleSketch, CountMeanMinMaxExact)
+{
+    SampleSketch sk;
+    for (double x : {4.0, -2.0, 0.0, 10.0, 4.0})
+        sk.add(x);
+    EXPECT_EQ(sk.count(), 5u);
+    EXPECT_DOUBLE_EQ(sk.sum(), 16.0);
+    EXPECT_DOUBLE_EQ(sk.mean(), 3.2);
+    EXPECT_DOUBLE_EQ(sk.min(), -2.0);
+    EXPECT_DOUBLE_EQ(sk.max(), 10.0);
+}
+
+TEST(SampleSketch, DropsNonFinite)
+{
+    SampleSketch sk;
+    sk.add(std::nan(""));
+    sk.add(std::numeric_limits<double>::infinity());
+    sk.add(-std::numeric_limits<double>::infinity());
+    sk.add(7.0);
+    EXPECT_EQ(sk.count(), 1u);
+    EXPECT_EQ(sk.dropped(), 3u);
+    EXPECT_DOUBLE_EQ(sk.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(sk.min(), 7.0);
+    EXPECT_DOUBLE_EQ(sk.max(), 7.0);
+}
+
+/** Deterministic pseudo-random doubles without <random> overhead. */
+std::vector<double>
+syntheticSamples(std::size_t n, bool with_negatives)
+{
+    std::vector<double> out;
+    out.reserve(n);
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Magnitudes spanning ~6 decades, the realistic HC_first range.
+        const double mag =
+            std::exp(static_cast<double>((state >> 33) % 14000) / 1000.0);
+        out.push_back(with_negatives && (state & 1) ? -mag : mag);
+    }
+    return out;
+}
+
+TEST(SampleSketch, QuantileWithinRelativeErrorBound)
+{
+    const double alpha = 0.01;
+    SampleSketch sk(alpha);
+    std::vector<double> samples = syntheticSamples(5000, true);
+    for (double x : samples)
+        sk.add(x);
+    std::sort(samples.begin(), samples.end());
+
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        // quantile() targets the floor(q * (n - 1))-th order statistic.
+        const std::size_t k = static_cast<std::size_t>(
+            q * static_cast<double>(samples.size() - 1));
+        const double exact = samples[k];
+        const double est = sk.quantile(q);
+        EXPECT_LE(std::abs(est - exact), alpha * std::abs(exact) + 1e-12)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(SampleSketch, QuantileOrderedAcrossSignsAndZero)
+{
+    SampleSketch sk;
+    for (double x : {-100.0, -1.0, 0.0, 1.0, 100.0})
+        sk.add(x);
+    EXPECT_LT(sk.quantile(0.0), -99.0);
+    EXPECT_DOUBLE_EQ(sk.quantile(0.5), 0.0);
+    EXPECT_GT(sk.quantile(1.0), 99.0);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double v = sk.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(SampleSketch, MergeMatchesBulkIngest)
+{
+    const std::vector<double> samples = syntheticSamples(600, true);
+    SampleSketch whole;
+    SampleSketch parts[3];
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        whole.add(samples[i]);
+        parts[i % 3].add(samples[i]);
+    }
+    SampleSketch merged;
+    for (const SampleSketch &p : parts)
+        merged.merge(p);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.dropped(), whole.dropped());
+    EXPECT_EQ(merged.buckets(), whole.buckets());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    // Sum order differs between interleaved and grouped ingestion, so
+    // only near-equality holds for the FP sum...
+    EXPECT_NEAR(merged.sum(), whole.sum(),
+                1e-9 * std::abs(whole.sum()));
+    // ...but the integer histogram is identical, so every quantile is.
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9})
+        EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q));
+}
+
+TEST(SampleSketch, MergeCommutesExactly)
+{
+    SampleSketch a, b;
+    for (double x : syntheticSamples(200, true))
+        a.add(x);
+    for (double x : syntheticSamples(150, false))
+        b.add(x * 0.5);
+    b.add(std::nan(""));
+
+    SampleSketch ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    // FP addition is commutative (unlike associative), min/max and the
+    // integer histogram trivially commute -- so this holds bit-exactly.
+    EXPECT_TRUE(ab == ba);
+    EXPECT_EQ(ab.serialize(), ba.serialize());
+}
+
+TEST(SampleSketch, MergeAssociativeUpToSumRounding)
+{
+    SampleSketch a, b, c;
+    for (double x : syntheticSamples(120, true))
+        a.add(x);
+    for (double x : syntheticSamples(80, false))
+        b.add(x + 1.0);
+    for (double x : syntheticSamples(60, true))
+        c.add(x * 3.0);
+
+    SampleSketch left = a;
+    left.merge(b);
+    left.merge(c);
+    SampleSketch bc = b;
+    bc.merge(c);
+    SampleSketch right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.buckets(), right.buckets());
+    EXPECT_DOUBLE_EQ(left.min(), right.min());
+    EXPECT_DOUBLE_EQ(left.max(), right.max());
+    for (double q : {0.1, 0.5, 0.9})
+        EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q));
+    EXPECT_NEAR(left.sum(), right.sum(), 1e-9 * std::abs(left.sum()));
+
+    // Identical merge *order* gives identical bytes -- the property the
+    // population sweep's canonical shard-order merge relies on.
+    SampleSketch replay = a;
+    replay.merge(b);
+    replay.merge(c);
+    EXPECT_EQ(left.serialize(), replay.serialize());
+}
+
+TEST(SampleSketch, SerializeRoundTripsExactly)
+{
+    SampleSketch sk(0.02);
+    for (double x : syntheticSamples(300, true))
+        sk.add(x);
+    sk.add(0.0);
+    sk.add(0.0);
+    sk.add(std::nan(""));
+
+    const std::string line = sk.serialize();
+    const auto back = SampleSketch::deserialize(line);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == sk);
+    EXPECT_EQ(back->serialize(), line);
+}
+
+TEST(SampleSketch, SerializeEmptyRoundTrips)
+{
+    const SampleSketch sk(0.05);
+    const auto back = SampleSketch::deserialize(sk.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == sk);
+}
+
+TEST(SampleSketch, DeserializeRejectsMalformed)
+{
+    SampleSketch sk;
+    sk.add(2.0);
+    sk.add(-7.0);
+    const std::string good = sk.serialize();
+
+    EXPECT_FALSE(SampleSketch::deserialize("").has_value());
+    EXPECT_FALSE(SampleSketch::deserialize("sketch2" +
+                                           good.substr(7))
+                     .has_value());
+    // Truncated anywhere is rejected.
+    for (std::size_t len :
+         {std::size_t{5}, std::size_t{20}, good.size() - 1})
+        EXPECT_FALSE(
+            SampleSketch::deserialize(good.substr(0, len)).has_value())
+            << "prefix length " << len;
+    EXPECT_FALSE(SampleSketch::deserialize(good + " extra").has_value());
+
+    // Bucket counts that do not sum to n are rejected (the checkpoint
+    // loader depends on this to detect torn records).
+    std::string inflated = good;
+    const std::size_t n_pos = inflated.find(" n=");
+    ASSERT_NE(n_pos, std::string::npos);
+    inflated.replace(n_pos, 4, " n=9");
+    EXPECT_FALSE(SampleSketch::deserialize(inflated).has_value());
+}
+
+TEST(SampleSketchDeath, MergeRejectsAlphaMismatch)
+{
+    SampleSketch a(0.01), b(0.02);
+    EXPECT_DEATH(a.merge(b), "alpha mismatch");
+}
+
+} // namespace

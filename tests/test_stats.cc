@@ -27,6 +27,72 @@ TEST(Accumulator, Basics)
     EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
 }
 
+/**
+ * Regression: mirror of BoxStats.DropsNaNs for the streaming path.
+ * Accumulator::add ingested non-finite samples verbatim, so one
+ * kNoFlip-derived NaN poisoned sum/mean and disabled the min/max
+ * comparisons for the rest of the run.
+ */
+TEST(Accumulator, DropsNaNs)
+{
+    Accumulator acc;
+    acc.add(5.0);
+    acc.add(std::nan(""));
+    acc.add(3.0);
+    acc.add(std::nan(""));
+    acc.add(1.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_EQ(acc.dropped(), 2u);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+TEST(Accumulator, DropsInfinities)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    Accumulator acc;
+    acc.add(inf);
+    acc.add(4.0);
+    acc.add(-inf);
+    acc.add(2.0);
+    EXPECT_EQ(acc.count(), 2u);
+    EXPECT_EQ(acc.dropped(), 2u);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+TEST(Accumulator, AllDroppedStaysWellDefined)
+{
+    Accumulator acc;
+    acc.add(std::nan(""));
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.dropped(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequentialAdds)
+{
+    Accumulator whole, left, right;
+    const double samples[] = {3.0, -1.0, 10.0, 4.0};
+    for (int i = 0; i < 4; ++i) {
+        whole.add(samples[i]);
+        (i < 2 ? left : right).add(samples[i]);
+    }
+    left.add(std::nan(""));
+    whole.add(std::nan(""));
+
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(left.dropped(), whole.dropped());
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+}
+
 TEST(BoxStats, Empty)
 {
     const BoxStats bs = boxStats({});

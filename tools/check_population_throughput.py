@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Schema check + perf-regression gate for the population sweep bench.
+
+Validates a BENCH_population.json written by bench_population_scale
+and fails if hammers/sec regressed more than the allowed fraction
+against a recorded baseline (bench/baselines/population_baseline.json
+by default).
+
+Throughput is absolute, so cross-machine comparisons are only
+meaningful against a baseline recorded on comparable hardware; CI
+passes an explicit --max-regress tuned for runner variance, and a
+baseline refresh is just `--update-baseline` on the reference box.
+
+Beyond throughput, two scale invariants are gated unconditionally:
+  * peak RSS must stay sublinear in the module count relative to the
+    baseline (the lazy-threshold guarantee), and
+  * populated rows per module must not grow (a regression there means
+    the sweep started materializing rows it never touches).
+
+Usage:
+    check_population_throughput.py BENCH_population.json \
+        [--baseline bench/baselines/population_baseline.json] \
+        [--max-regress 0.10] [--update-baseline]
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+# Key -> required type(s).  `int` also admits bool in Python, so bool
+# is explicitly rejected below.
+SCHEMA = {
+    "bench": str,
+    "module_id": str,
+    "modules": int,
+    "victims_per_module": int,
+    "measures": int,
+    "work_units": int,
+    "shards": int,
+    "resumed_shards": int,
+    "jobs": int,
+    "wall_seconds": (int, float),
+    "acts": int,
+    "hammers_per_sec": (int, float),
+    "work_units_per_sec": (int, float),
+    "peak_rss_bytes": int,
+    "populated_rows_per_module_max": int,
+}
+
+
+def load_record(path):
+    with open(path) as f:
+        data = json.load(f)
+    errors = []
+    for key, types in SCHEMA.items():
+        if key not in data:
+            errors.append(f"missing key {key!r}")
+        elif isinstance(data[key], bool) or \
+                not isinstance(data[key], types):
+            errors.append(f"key {key!r} has type "
+                          f"{type(data[key]).__name__}")
+    if data.get("bench") != "population_scale":
+        errors.append(f"bench is {data.get('bench')!r}, expected "
+                      "'population_scale'")
+    if errors:
+        for e in errors:
+            print(f"{path}: schema error: {e}", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_file")
+    ap.add_argument("--baseline",
+                    default="bench/baselines/population_baseline.json")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="maximum tolerated fractional hammers/sec "
+                         "drop vs baseline (default 0.10)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="record json_file as the new baseline "
+                         "instead of gating")
+    args = ap.parse_args()
+
+    cur = load_record(args.json_file)
+    print(f"{args.json_file}: schema ok "
+          f"({cur['modules']} modules, {cur['work_units']} units, "
+          f"{cur['hammers_per_sec']:.3g} hammers/s, "
+          f"peak RSS {cur['peak_rss_bytes'] / 2**20:.1f} MiB)")
+
+    if args.update_baseline:
+        shutil.copyfile(args.json_file, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    base = load_record(args.baseline)
+    if cur["module_id"] != base["module_id"]:
+        print(f"error: module_id {cur['module_id']!r} does not match "
+              f"baseline {base['module_id']!r}; throughput is not "
+              "comparable across families", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    # Throughput: hammers/sec within --max-regress of the baseline.
+    # Scale (modules) may differ between run and baseline -- rates are
+    # already per-second.
+    ratio = cur["hammers_per_sec"] / base["hammers_per_sec"]
+    status = "ok" if ratio >= 1.0 - args.max_regress else "FAIL"
+    print(f"hammers/sec: {cur['hammers_per_sec']:.3g} vs baseline "
+          f"{base['hammers_per_sec']:.3g} ({ratio:.2f}x, floor "
+          f"{1.0 - args.max_regress:.2f}x) {status}")
+    if status == "FAIL":
+        failures.append("hammers/sec regression")
+
+    # Lazy thresholds: RSS per module must not trend back toward
+    # linear.  Comparing rss/modules directly penalizes small runs
+    # (the fixed process footprint dominates), so gate on the
+    # *absolute* RSS staying below baseline-RSS scaled by any module
+    # growth, with 2x headroom.
+    scale = max(1.0, cur["modules"] / base["modules"])
+    rss_cap = 2.0 * base["peak_rss_bytes"] * scale
+    status = "ok" if cur["peak_rss_bytes"] <= rss_cap else "FAIL"
+    print(f"peak RSS: {cur['peak_rss_bytes'] / 2**20:.1f} MiB "
+          f"(cap {rss_cap / 2**20:.1f} MiB at {cur['modules']} "
+          f"modules) {status}")
+    if status == "FAIL":
+        failures.append("peak RSS grew superlinearly")
+
+    status = ("ok" if cur["populated_rows_per_module_max"] <=
+              base["populated_rows_per_module_max"] else "FAIL")
+    print(f"populated rows/module: "
+          f"{cur['populated_rows_per_module_max']} vs baseline "
+          f"{base['populated_rows_per_module_max']} {status}")
+    if status == "FAIL":
+        failures.append("lazy materialization touches more rows")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("population throughput gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
