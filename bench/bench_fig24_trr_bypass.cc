@@ -12,7 +12,10 @@
  * run orders of magnitude faster than naive execution.
  */
 
+#include <optional>
+
 #include "common.h"
+#include "mitigation/countermeasures.h"
 
 using namespace pud;
 using namespace pud::bench;
@@ -24,6 +27,18 @@ main(int argc, char **argv)
 {
     const Args args(argc, argv);
     const Scale scale = Scale::parse(args);
+
+    // --mitigation selects what the "with" arm runs: the device's
+    // native REF-driven TRR sampler (default), or a close-driven
+    // PRAC / PARA / Graphene hook (mitigation/countermeasures.h) with
+    // TRR off -- the same hammer budgets measured against a different
+    // defense.
+    const std::string mech = args.get("mitigation", "trr");
+    if (mech != "trr" && mech != "prac" && mech != "para" &&
+        mech != "graphene") {
+        fatal("--mitigation=%s: expected trr, prac, para, or graphene",
+              mech.c_str());
+    }
     banner("PuDHammer vs in-DRAM TRR", "paper Fig. 24, Obs. 25-26");
 
     const auto &family = representative(dram::Manufacturer::SKHynix);
@@ -63,8 +78,11 @@ main(int argc, char **argv)
         }
     }
 
-    Table table({"technique", "w/o TRR avg [min,max]",
-                 "w/ TRR avg [min,max]", "TRR reduction %",
+    const std::string col_without =
+        "w/o " + mech + " avg [min,max]";
+    const std::string col_with = "w/ " + mech + " avg [min,max]";
+    const std::string col_red = mech + " reduction %";
+    Table table({"technique", col_without, col_with, col_red,
                  "dropped"});
 
     double rh_with_trr = 0.0, best_simra_with_trr = 0.0,
@@ -85,14 +103,35 @@ main(int argc, char **argv)
             cfg.nSided = c.param;
             cfg.simraN = c.param;
             cfg.hammersPerAggressor = hammers;
-            for (bool trr : {false, true}) {
+            for (bool armed : {false, true}) {
                 dram::DeviceConfig dev_cfg = dram::makeConfig(
                     family.moduleId, scale.seed + it);
                 dev_cfg.rowsPerSubarray = scale.rowsPerSubarray;
                 ModuleTester tester(dev_cfg);
+
+                // The "with" arm of a non-TRR mechanism keeps the
+                // native sampler off and attaches the hook instead.
+                std::optional<mitigation::PracMitigation> prac;
+                std::optional<mitigation::ParaMitigation> para;
+                std::optional<mitigation::GrapheneMitigation> graphene;
+                dram::MitigationHook *hook = nullptr;
+                if (armed && mech == "prac") {
+                    hook = &prac.emplace(mitigation::PracConfig{},
+                                         dev_cfg.banks,
+                                         dev_cfg.rowsPerBank(),
+                                         dev_cfg.rowsPerSubarray);
+                } else if (armed && mech == "para") {
+                    hook = &para.emplace(mitigation::ParaConfig{},
+                                         dev_cfg.rowsPerSubarray);
+                } else if (armed && mech == "graphene") {
+                    hook = &graphene.emplace(
+                        mitigation::GrapheneConfig{}, dev_cfg.banks,
+                        dev_cfg.rowsPerSubarray);
+                }
+
                 const auto flips = runTrrExperiment(
-                    tester, c.tech, cfg, trr);
-                (trr ? results[ci].with : results[ci].without)
+                    tester, c.tech, cfg, armed && mech == "trr", hook);
+                (armed ? results[ci].with : results[ci].without)
                     .add(static_cast<double>(flips));
             }
         }
@@ -129,11 +168,20 @@ main(int argc, char **argv)
 
     table.print();
     const double denom = std::max(0.5, rh_with_trr);
-    std::printf("\nWith TRR enabled, the best SiMRA config induces "
-                "%.0fx more bitflips than 2-sided RowHammer and "
-                "CoMRA %.2fx (paper: 11340x and 1.10x; exact ratios "
-                "depend on how close RowHammer gets to zero).\n",
-                best_simra_with_trr / denom,
-                comra_with_trr / denom);
+    if (mech == "trr") {
+        std::printf("\nWith TRR enabled, the best SiMRA config induces "
+                    "%.0fx more bitflips than 2-sided RowHammer and "
+                    "CoMRA %.2fx (paper: 11340x and 1.10x; exact "
+                    "ratios depend on how close RowHammer gets to "
+                    "zero).\n",
+                    best_simra_with_trr / denom,
+                    comra_with_trr / denom);
+    } else {
+        std::printf("\nWith %s armed, the best SiMRA config induces "
+                    "%.0fx more bitflips than 2-sided RowHammer and "
+                    "CoMRA %.2fx.\n",
+                    mech.c_str(), best_simra_with_trr / denom,
+                    comra_with_trr / denom);
+    }
     return 0;
 }

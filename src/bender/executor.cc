@@ -228,16 +228,21 @@ Executor::preflightCheck(const Program &program)
     lint::LintOptions opts;
     opts.effects = preflightEffects_;
     opts.dataflow = preflightDataflow_;
+    opts.mitigations = preflightMitigations_;
     const lint::LintResult pre = lint::requireClean(
         program, device_->config(), "Executor", opts);
-    if (preflightEffects_ || preflightDataflow_) {
+    if (preflightEffects_ || preflightDataflow_ ||
+        preflightMitigations_.any()) {
         for (const lint::Diag &d : pre.diags) {
             const bool surfaced =
                 (preflightEffects_ &&
                  d.code == lint::Code::DisturbanceImpossible) ||
                 (preflightDataflow_ &&
                  d.severity == lint::Severity::Warning &&
-                 lint::isDataflowCode(d.code));
+                 lint::isDataflowCode(d.code)) ||
+                (preflightMitigations_.any() &&
+                 d.severity == lint::Severity::Warning &&
+                 lint::isMitigationCode(d.code));
             if (surfaced)
                 warn("Executor pre-flight: [%s] %s", lint::name(d.code),
                      d.message.c_str());

@@ -35,6 +35,7 @@
 #include "bender/plan.h"
 #include "bender/program.h"
 #include "dram/device.h"
+#include "lint/mitigation_absint.h"
 
 namespace pud::bender {
 
@@ -108,6 +109,25 @@ class Executor
     void setPreflightDataflow(bool on) { preflightDataflow_ = on; }
     bool preflightDataflow() const { return preflightDataflow_; }
 
+    /**
+     * Additionally run the mitigation bypass certifier
+     * (lint/mitigation_absint.h) against the mechanisms enabled in
+     * `spec` during the pre-flight and warn() on its warning-severity
+     * findings (a certain or uncertifiable bypass of the assumed
+     * mitigations).  An empty spec (no mechanism enabled) disables the
+     * pass.  Implies nothing unless the pre-flight itself is enabled.
+     */
+    void
+    setPreflightMitigations(const lint::MitigationSpec &spec)
+    {
+        preflightMitigations_ = spec;
+    }
+    const lint::MitigationSpec &
+    preflightMitigations() const
+    {
+        return preflightMitigations_;
+    }
+
     /** Cumulative fast-path / plan-cache counters. */
     const ExecStats &stats() const { return stats_; }
 
@@ -157,6 +177,7 @@ class Executor
 #endif
     bool preflightEffects_ = false;
     bool preflightDataflow_ = false;
+    lint::MitigationSpec preflightMitigations_;
     ExecStats stats_;
     std::unordered_map<std::uint64_t, std::vector<CachedPlan>>
         planCache_;

@@ -33,6 +33,28 @@
  * fraction of seeds flip profile.supportsSimra off to exercise the
  * ignored-command path on both sides.  Everything is derived from the
  * seed alone: a reported seed reproduces the mismatch exactly.
+ *
+ * A second mode (DiffCheckConfig::mitigation != None) closes the same
+ * loop for the mitigation bypass certifier (lint/mitigation_absint.h):
+ * a hammer-oriented generator emits ACT/PRE pressure programs, the
+ * certifier judges every predicted victim against the selected
+ * mitigation (TRR or PRAC), and two TestBenches -- identical except
+ * that one runs the mitigation live -- execute the program.  The
+ * verdicts are then held to their universally-quantified meaning:
+ *
+ *  (A) optimisticDamage < 1 means no drawable cell can flip, so the
+ *      victim must end both runs bit-identical to its initial data;
+ *  (B) MitMitigatedCertain means the live mitigation provably kept
+ *      the victim below threshold, so the mitigated run must show
+ *      zero flips on that row;
+ *  (C) MitBypassCertain means the mitigation provably never touched
+ *      rows v-2..v+2, so the victim must end bit-identical across the
+ *      mitigated and unmitigated runs.
+ *
+ * MitBypassPossible is the certifier's sound refusal and is counted
+ * (possibleRows), never asserted against.  This mode uses weak cells
+ * (weakCellsPerRow > 0) and down-scaled threshold anchors so a few
+ * hundred closes straddle the flip threshold.
  */
 
 #ifndef PUD_CHECK_DIFFCHECK_H
@@ -43,11 +65,22 @@
 
 namespace pud::check {
 
+/** Which mitigation (if any) the differential check runs live. */
+enum class MitigationUnderTest : std::uint8_t
+{
+    None,  //!< dataflow mode: lint-proven row values vs the device
+    Trr,   //!< certifier vs the device's native TRR sampler
+    Prac,  //!< certifier vs a live PracMitigation hook
+};
+
 /** Knobs of one differential-check run. */
 struct DiffCheckConfig
 {
     std::uint64_t seeds = 1000;   //!< number of generated programs
     std::uint64_t firstSeed = 1;  //!< first seed (inclusive)
+
+    /** None = dataflow mode; otherwise the certifier soundness mode. */
+    MitigationUnderTest mitigation = MitigationUnderTest::None;
 };
 
 /** Aggregate outcome of a run. */
@@ -61,10 +94,18 @@ struct DiffCheckStats
     std::uint64_t rowsUnverifiable = 0;  //!< ChargeShared/Clobbered/...
     std::uint64_t mismatches = 0;
 
+    // -- mitigation mode only ------------------------------------------
+    std::uint64_t likelyVictims = 0;  //!< victims with Verdict::Likely
+    std::uint64_t mitigatedCertainRows = 0;  //!< asserted: zero flips
+    std::uint64_t bypassCertainRows = 0;  //!< asserted: arm-identical
+    std::uint64_t possibleRows = 0;  //!< sound refusals, never asserted
+    std::uint64_t flippedRows = 0;   //!< victims that flipped unmitigated
+    std::uint64_t soundnessViolations = 0;  //!< broken Certain verdicts
+
     /** Human-readable description of the first disagreement. */
     std::string firstMismatch;
 
-    bool ok() const { return mismatches == 0; }
+    bool ok() const { return mismatches == 0 && soundnessViolations == 0; }
 };
 
 /** Run the differential check; deterministic in cfg alone. */

@@ -341,6 +341,18 @@ Device::flushPending(BankState &bank)
         }
     }
     disturb_.applyClose(bank.rows, bank.pending, temperature_);
+    if (mitigation_ != nullptr) {
+        // bank.pending still holds the event (only the valid flag was
+        // cleared above), so the hook sees the final classification --
+        // including the CoMRA retro-tag applied by act().
+        mitigationRefresh_.clear();
+        mitigation_->onClose(bankIndex(bank), bank.pending,
+                             mitigationRefresh_);
+        for (RowId r : mitigationRefresh_) {
+            if (r < bank.rows.size())
+                refreshRow(bank, r);
+        }
+    }
 }
 
 void
@@ -694,6 +706,11 @@ Device::endLoopRecording()
             break;
         }
     }
+    // A close-driven mitigation is an arbitrary state machine over
+    // the close stream; its refreshes are not iteration-affine, so a
+    // hooked device never exposes a replayable steady state.
+    if (mitigation_ != nullptr)
+        rec.quiescent = false;
     return rec;
 }
 

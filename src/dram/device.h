@@ -51,9 +51,42 @@ struct DeviceCounters
 };
 
 /** A simulated DRAM module (rank granularity). */
+/**
+ * Observer-side mitigation mechanism attached to a Device.
+ *
+ * The device calls onClose() once per close event, immediately after
+ * the event's disturbance deposit lands; the hook appends the
+ * physical rows it wants preventively refreshed and the device
+ * refreshes them on the spot (exactly like a TRR victim refresh:
+ * flips materialize, damage resets).  SamplingTrr stays native
+ * (setTrrEnabled) because it is driven by REF rather than by closes;
+ * PRAC / PARA / Graphene models live in src/mitigation and implement
+ * this interface.
+ *
+ * A device with a hook attached records loop iterations as
+ * never-quiescent, so the executor falls back to exact naive
+ * execution instead of arithmetic replay -- mitigation state machines
+ * are not iteration-affine.
+ */
+class MitigationHook
+{
+  public:
+    virtual ~MitigationHook() = default;
+
+    /**
+     * One close event in `bank`.  Append physical rows to refresh to
+     * *refresh; out-of-range rows are ignored.
+     */
+    virtual void onClose(BankId bank, const CloseEvent &event,
+                         std::vector<RowId> &refresh) = 0;
+};
+
 class Device
 {
   public:
+    /** Number of ACTs the TRR sampler considers before a REF (§7). */
+    static constexpr std::size_t kTrrWindow = 450;
+
     explicit Device(DeviceConfig cfg);
 
     // ---- DDR command interface (t must be non-decreasing) -------------
@@ -75,6 +108,14 @@ class Device
     Celsius temperature() const { return temperature_; }
     void setTrrEnabled(bool on) { trrEnabled_ = on; }
     bool trrEnabled() const { return trrEnabled_; }
+
+    /**
+     * Attach (or with nullptr detach) a close-driven mitigation.  The
+     * hook is borrowed, not owned, and must outlive the device or be
+     * detached first.
+     */
+    void setMitigation(MitigationHook *hook) { mitigation_ = hook; }
+    MitigationHook *mitigation() const { return mitigation_; }
 
     /**
      * Clear every bank's TRR sampler ring.  Experiments use this to
@@ -224,9 +265,6 @@ class Device
         std::size_t trrFill = 0;
     };
 
-    /** Number of ACTs the TRR sampler considers before a REF (§7). */
-    static constexpr std::size_t kTrrWindow = 450;
-
     /** First-touch bank shell: size the row array and TRR ring. */
     void touchBank(BankState &bank);
 
@@ -300,6 +338,8 @@ class Device
     Rng noiseRng_;
     DeviceCounters counters_;
     std::size_t populatedRows_ = 0;
+    MitigationHook *mitigation_ = nullptr;
+    std::vector<RowId> mitigationRefresh_;  //!< scratch for hook calls
 };
 
 } // namespace pud::dram

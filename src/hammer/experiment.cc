@@ -207,7 +207,8 @@ dropIncomplete(const std::vector<std::vector<double>> &series)
 
 std::uint64_t
 runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
-                 const TrrConfig &cfg, bool trr_enabled)
+                 const TrrConfig &cfg, bool trr_enabled,
+                 dram::MitigationHook *hook)
 {
     dram::Device &dev = tester.device();
     const ColId cols = dev.config().cols;
@@ -309,9 +310,12 @@ runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
     // Enable the mechanism under test only now, with a clean sampler:
     // the profiling sweep above issued thousands of ACTs that would
     // otherwise still sit in the sampler ring and soak up the measured
-    // run's first TRR decisions.
+    // run's first TRR decisions.  A close-driven hook likewise only
+    // sees the measured pattern, not the profiling traffic.
     dev.setTrrEnabled(trr_enabled);
     dev.resetTrrSampler();
+    if (hook != nullptr)
+        dev.setMitigation(hook);
 
     // Initialize the whole subarray: aggressors with the pattern,
     // everything else as a victim.
@@ -361,6 +365,8 @@ runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
             cfg.bank, dev.toLogical(p), victim_data);
     }
     dev.setTrrEnabled(false);
+    if (hook != nullptr)
+        dev.setMitigation(nullptr);
     return flips;
 }
 

@@ -265,9 +265,18 @@ struct TrrConfig
  * the middle subarray, initialize victims, run the paced pattern with
  * periodic REF, and count bitflips across every non-aggressor row of
  * the subarray.
+ *
+ * `hook`, when non-null, is attached as the device's close-driven
+ * mitigation (dram::Device::setMitigation) for the measured run only
+ * -- profiling always observes the intrinsic chip -- and detached
+ * before returning.  This lets the same harness measure PARA /
+ * Graphene / PRAC instead of (or on top of) the REF-driven native TRR
+ * sampler: pass trr_enabled = false with a hook for a pure
+ * alternative-mitigation arm.
  */
 std::uint64_t runTrrExperiment(ModuleTester &tester, TrrTechnique tech,
-                               const TrrConfig &cfg, bool trr_enabled);
+                               const TrrConfig &cfg, bool trr_enabled,
+                               dram::MitigationHook *hook = nullptr);
 
 } // namespace pud::hammer
 

@@ -1,9 +1,12 @@
 #include "lint/absint.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
+#include <set>
 #include <vector>
 
+#include "dram/device.h"
 #include "dram/mapping.h"
 #include "dram/simra_decoder.h"
 
@@ -65,14 +68,25 @@ class AbsWalker
 {
   public:
     AbsWalker(const Program &program, const dram::DeviceConfig &cfg,
-              ProgramEffects &out)
+              ProgramEffects &out, SamplerTrace *trace)
         : program_(program),
           cfg_(cfg),
           mapping_(cfg.profile.mapping),
           decoder_(cfg.rowsPerSubarray),
           out_(out),
+          trace_(trace),
           banks_(cfg.banks)
-    {}
+    {
+        if (trace_ != nullptr) {
+            trace_->window = dram::Device::kTrrWindow;
+            trace_->refs.clear();
+            trace_->pushes.assign(cfg.banks, 0);
+            trace_->truncated = false;
+            rings_.resize(cfg.banks);
+            pushLogs_.resize(cfg.banks);
+            taint_.resize(cfg.banks);
+        }
+    }
 
     void
     run()
@@ -156,9 +170,21 @@ class AbsWalker
                     const Snapshot snap{out_.totalActs, out_.totalRefs,
                                         out_.rows};
                     const Time loop_start = cursor_;
+                    std::size_t refs_mark = 0;
+                    std::vector<std::size_t> push_marks;
+                    if (trace_ != nullptr) {
+                        refs_mark = trace_->refs.size();
+                        push_marks.reserve(pushLogs_.size());
+                        for (const auto &log : pushLogs_)
+                            push_marks.push_back(log.size());
+                    }
                     walkRange(i + 1, close);  // steady-state pass
-                    if (inst.count > 2)
+                    if (inst.count > 2) {
+                        if (trace_ != nullptr)
+                            replaySamplerTail(refs_mark, push_marks,
+                                              inst.count - 2);
                         replayTail(snap, loop_start, inst.count - 2);
+                    }
                 }
                 i = close + 1;
             } else if (inst.op == Op::LoopEnd) {
@@ -180,13 +206,14 @@ class AbsWalker
     replayTail(const Snapshot &snap, Time loop_start, std::uint64_t reps)
     {
         const Time body = cursor_ - loop_start;
+        const std::uint64_t body_refs =
+            out_.totalRefs - snap.totalRefs;
 
         out_.totalActs = satAddU(
             out_.totalActs,
             satMulU(out_.totalActs - snap.totalActs, reps));
         out_.totalRefs = satAddU(
-            out_.totalRefs,
-            satMulU(out_.totalRefs - snap.totalRefs, reps));
+            out_.totalRefs, satMulU(body_refs, reps));
 
         static const RowActivity kZero{};
         for (auto &[key, cur] : out_.rows) {
@@ -202,6 +229,19 @@ class AbsWalker
                 cur.onTime[c] = satAddT(
                     cur.onTime[c],
                     satMulT(cur.onTime[c] - old.onTime[c], reps));
+                // Epoch counts: a body with REFs resets the epoch
+                // every iteration, so the steady-state value is the
+                // periodic fixed point; a REF-free body's epoch keeps
+                // growing and scales like any additive count.  The
+                // per-epoch maxima are fixed points either way (they
+                // fold at the next REF or at finish()).
+                if (body_refs == 0) {
+                    cur.epochCloses[c] = satAddU(
+                        cur.epochCloses[c],
+                        satMulU(cur.epochCloses[c] -
+                                    old.epochCloses[c],
+                                reps));
+                }
             }
             cur.comraDelaySum = satAddT(
                 cur.comraDelaySum,
@@ -219,6 +259,60 @@ class AbsWalker
         const Time skipped = satMulT(body, reps);
         shiftTimes(loop_start, skipped);
         cursor_ = satAddT(cursor_, skipped);
+    }
+
+    /**
+     * Sampler-trace accounting for the (reps) tail iterations.
+     *
+     * Soundness: at any tail iteration, the real ring window holds
+     * only (a) pushes made by body iterations -- all of which are
+     * rows the steady pass pushed (set B) -- and (b) older pre-loop
+     * pushes, which can only *age out* relative to the window the
+     * steady pass observed.  So every tail REF's window rows are
+     * within (steady window  union  B): each steady-pass ref point is
+     * duplicated with that union as its (inexact) row set and
+     * multiplicity = reps.  Downstream of the loop the live ring no
+     * longer matches the real one (it missed the tail pushes), but
+     * the real window can only contain live-ring rows plus B; B is
+     * added to the bank's taint set, which widens every later ref
+     * point the same way.  fillLo stays valid throughout: the real
+     * device saw at least as many pushes as the walked passes.
+     */
+    void
+    replaySamplerTail(std::size_t refs_mark,
+                      const std::vector<std::size_t> &push_marks,
+                      std::uint64_t reps)
+    {
+        // Per-bank rows pushed by one body iteration (observed on the
+        // steady pass).
+        std::vector<std::set<RowId>> body_rows(pushLogs_.size());
+        for (std::size_t b = 0; b < pushLogs_.size(); ++b) {
+            body_rows[b].insert(pushLogs_[b].begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        push_marks[b]),
+                                pushLogs_[b].end());
+        }
+
+        const std::size_t refs_end = trace_->refs.size();
+        for (std::size_t k = refs_mark; k < refs_end; ++k) {
+            if (trace_->refs.size() >= kMaxSamplerRefPoints) {
+                trace_->truncated = true;
+                break;
+            }
+            SamplerRefPoint rp = trace_->refs[k];
+            rp.multiplicity = reps;
+            rp.exact = false;
+            for (RowId r : body_rows[rp.bank])
+                rp.window.emplace(r, 0);
+            trace_->refs.push_back(std::move(rp));
+        }
+
+        for (std::size_t b = 0; b < taint_.size(); ++b) {
+            taint_[b].insert(body_rows[b].begin(), body_rows[b].end());
+            trace_->pushes[b] = satAddU(
+                trace_->pushes[b],
+                satMulU(pushLogs_[b].size() - push_marks[b], reps));
+        }
     }
 
     /** Shift every timestamp set during the steady-state pass. */
@@ -242,6 +336,23 @@ class AbsWalker
         }
     }
 
+    /**
+     * Mirror of Device::trrRecord: recordAct() is called at exactly
+     * the sites the device pushes into the TRR sampler ring (normal
+     * opens, the CoMRA dst ACT, the SiMRA second ACT), so the trace
+     * ring tracks the real sampler push-for-push on walked passes.
+     */
+    void
+    samplerPush(BankId b, RowId phys)
+    {
+        auto &ring = rings_[b];
+        ring.push_back(phys);
+        if (ring.size() > dram::Device::kTrrWindow)
+            ring.pop_front();
+        pushLogs_[b].push_back(phys);
+        trace_->pushes[b] = satAddU(trace_->pushes[b], 1);
+    }
+
     void
     recordAct(BankId b, RowId phys, std::size_t i)
     {
@@ -250,6 +361,8 @@ class AbsWalker
             ra.firstActIndex = i;
         ra.acts = satAddU(ra.acts, 1);
         out_.totalActs = satAddU(out_.totalActs, 1);
+        if (trace_ != nullptr)
+            samplerPush(b, phys);
 
         const std::uint64_t key = rowKey(b, phys);
         const auto it = lastActAt_.find(key);
@@ -271,17 +384,27 @@ class AbsWalker
         RowActivity &ra = rowOf(b, phys);
         const int c = static_cast<int>(cls);
         ra.closes[c] = satAddU(ra.closes[c], 1);
+        ra.epochCloses[c] = satAddU(ra.epochCloses[c], 1);
         ra.onTime[c] = satAddT(ra.onTime[c], std::max<Time>(t_on, 0));
+        ra.maxOnTime[c] =
+            std::max(ra.maxOnTime[c], std::max<Time>(t_on, 0));
         switch (cls) {
           case TechClass::Comra:
             ra.comraDelaySum =
                 satAddT(ra.comraDelaySum, bank.comraDelay);
+            if (ra.minComraDelay < 0 ||
+                bank.comraDelay < ra.minComraDelay)
+                ra.minComraDelay = bank.comraDelay;
             break;
           case TechClass::Simra:
             ra.simraActToPreSum =
                 satAddT(ra.simraActToPreSum, bank.simraActToPre);
             ra.simraPreToActSum =
                 satAddT(ra.simraPreToActSum, bank.simraPreToAct);
+            ra.maxSimraActToPre =
+                std::max(ra.maxSimraActToPre, bank.simraActToPre);
+            ra.maxSimraPreToAct =
+                std::max(ra.maxSimraPreToAct, bank.simraPreToAct);
             ra.simraN = std::max(
                 ra.simraN, static_cast<int>(bank.openRows.size()));
             break;
@@ -315,8 +438,11 @@ class AbsWalker
         for (RowId r : bank.pendingRows) {
             RowActivity &ra = rowOf(b, r);
             ra.closes[0] = satAddU(ra.closes[0], 1);
+            ra.epochCloses[0] = satAddU(ra.epochCloses[0], 1);
             ra.onTime[0] = satAddT(ra.onTime[0],
                                    std::max<Time>(bank.pendingTOn, 0));
+            ra.maxOnTime[0] = std::max(
+                ra.maxOnTime[0], std::max<Time>(bank.pendingTOn, 0));
         }
     }
 
@@ -381,10 +507,18 @@ class AbsWalker
                     RowActivity &src =
                         rowOf(inst.bank, bank.pendingRows.front());
                     src.closes[1] = satAddU(src.closes[1], 1);
+                    src.epochCloses[1] =
+                        satAddU(src.epochCloses[1], 1);
                     src.onTime[1] = satAddT(
                         src.onTime[1],
                         std::max<Time>(bank.pendingTOn, 0));
+                    src.maxOnTime[1] = std::max(
+                        src.maxOnTime[1],
+                        std::max<Time>(bank.pendingTOn, 0));
                     src.comraDelaySum = satAddT(src.comraDelaySum, gap);
+                    if (src.minComraDelay < 0 ||
+                        gap < src.minComraDelay)
+                        src.minComraDelay = gap;
                 }
                 bank.pendingValid = false;
                 bank.open = true;
@@ -461,6 +595,11 @@ class AbsWalker
             lastRefAt_ = cursor_;
             for (BankId b = 0; b < cfg_.banks; ++b)
                 dropPending(b, banks_[b]);
+            // Pending closes flushed above belong to the epoch this
+            // REF ends; fold it now and open the next one.
+            foldEpochs();
+            if (trace_ != nullptr)
+                recordRefPoints(i);
             break;
           }
           case Op::Rd:
@@ -469,6 +608,41 @@ class AbsWalker
           case Op::LoopBegin:
           case Op::LoopEnd:
             break;
+        }
+    }
+
+    /** Close the current refresh epoch on every row. */
+    void
+    foldEpochs()
+    {
+        for (auto &[key, ra] : out_.rows) {
+            for (int c = 0; c < 3; ++c) {
+                ra.maxEpochCloses[c] = std::max(ra.maxEpochCloses[c],
+                                                ra.epochCloses[c]);
+                ra.epochCloses[c] = 0;
+            }
+        }
+    }
+
+    /** Snapshot every bank's abstract sampler window at a REF. */
+    void
+    recordRefPoints(std::size_t i)
+    {
+        for (BankId b = 0; b < cfg_.banks; ++b) {
+            if (trace_->refs.size() >= kMaxSamplerRefPoints) {
+                trace_->truncated = true;
+                return;
+            }
+            SamplerRefPoint rp;
+            rp.instIndex = i;
+            rp.bank = b;
+            rp.fillLo = rings_[b].size();
+            rp.exact = taint_[b].empty();
+            for (RowId r : rings_[b])
+                ++rp.window[r];
+            for (RowId r : taint_[b])
+                rp.window.emplace(r, 0);
+            trace_->refs.push_back(std::move(rp));
         }
     }
 
@@ -485,6 +659,8 @@ class AbsWalker
             }
             dropPending(b, bank);
         }
+        // The trailing (REF-less) stretch is an epoch too.
+        foldEpochs();
     }
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -494,10 +670,16 @@ class AbsWalker
     dram::RowMapping mapping_;
     dram::SimraDecoder decoder_;
     ProgramEffects &out_;
+    SamplerTrace *trace_;
     std::vector<BankSt> banks_;
     std::map<std::uint64_t, Time> lastActAt_;
     Time cursor_ = 0;
     Time lastRefAt_ = -1;
+
+    // Sampler trace state (only sized when trace_ != nullptr).
+    std::vector<std::deque<RowId>> rings_;
+    std::vector<std::vector<RowId>> pushLogs_;
+    std::vector<std::set<RowId>> taint_;
 };
 
 } // namespace
@@ -511,11 +693,18 @@ findRow(const ProgramEffects &fx, dram::BankId bank, dram::RowId phys)
 
 ProgramEffects
 summarizeEffects(const bender::Program &program,
-                 const dram::DeviceConfig &cfg)
+                 const dram::DeviceConfig &cfg, SamplerTrace *trace)
 {
     ProgramEffects fx;
-    AbsWalker(program, cfg, fx).run();
+    AbsWalker(program, cfg, fx, trace).run();
     return fx;
+}
+
+ProgramEffects
+summarizeEffects(const bender::Program &program,
+                 const dram::DeviceConfig &cfg)
+{
+    return summarizeEffects(program, cfg, nullptr);
 }
 
 } // namespace pud::lint

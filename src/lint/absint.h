@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "bender/program.h"
 #include "dram/config.h"
@@ -62,6 +63,37 @@ struct RowActivity
 
     /** First ACT instruction index, as a diagnostic anchor. */
     std::size_t firstActIndex = 0;
+
+    // ---- worst-case per-close condition factors --------------------------
+    // The damage gains are monotone in each timing parameter
+    // (pressGain grows with on-time, comraDelayGain falls with delay,
+    // simraTimingGain grows with both gaps), so the extremes below let
+    // the mitigation pass (mitigation_absint) bound the damage of any
+    // *single* close without assuming the per-class averages are
+    // representative.
+
+    /** Largest single-close aggressor on-time per technique class. */
+    Time maxOnTime[3] = {0, 0, 0};
+
+    /** Smallest CoMRA PRE->ACT copy delay (-1: no Comra close). */
+    Time minComraDelay = -1;
+
+    /** Largest SiMRA ACT->PRE / PRE->ACT gaps over Simra closes. */
+    Time maxSimraActToPre = 0;
+    Time maxSimraPreToAct = 0;
+
+    // ---- REF-epoch close counts ------------------------------------------
+    // Closes are also tracked per refresh epoch (the stretch between
+    // consecutive REFs, including the partial epochs before the first
+    // and after the last REF).  maxEpochCloses bounds how much a row
+    // can hammer between two REFs anywhere in the program, which is
+    // what a REF-driven mitigation (TRR) caps per-victim damage with.
+
+    /** Closes per class in the current (still open) epoch. */
+    std::uint64_t epochCloses[3] = {0, 0, 0};
+
+    /** Max closes per class over any single refresh epoch. */
+    std::uint64_t maxEpochCloses[3] = {0, 0, 0};
 
     std::uint64_t
     totalCloses() const
@@ -120,7 +152,68 @@ rowKey(dram::BankId bank, dram::RowId phys)
 const RowActivity *findRow(const ProgramEffects &fx, dram::BankId bank,
                            dram::RowId phys);
 
-/** Compute the symbolic summary of `program` on a device config. */
+// ---- TRR sampler trace ---------------------------------------------------
+
+/**
+ * Abstract TRR sampler window at one REF for one bank.
+ *
+ * The walked passes maintain the exact ring of the last
+ * Device::kTrrWindow sampler pushes, so REFs reached by a walked pass
+ * carry the exact window multiset (`exact`).  REFs accounted for by
+ * the loop tail (or downstream of one) carry an over-approximation:
+ * the window *rows* are a superset of any row the real window can
+ * hold at that point (walked window plus every row the loop body
+ * pushes), the counts are unreliable, and `multiplicity` says how
+ * many tail REFs the point stands for.  `fillLo` is a lower bound on
+ * the real fill in every case (pushes only accumulate).
+ */
+struct SamplerRefPoint
+{
+    std::size_t instIndex = 0;  //!< REF instruction index (anchor)
+    dram::BankId bank = 0;
+    std::uint64_t multiplicity = 1;
+    std::size_t fillLo = 0;
+    bool exact = true;
+    std::map<dram::RowId, std::uint64_t> window;  //!< row -> pushes
+};
+
+/**
+ * Pass cap on (REF, bank) sampler trace points.  Past this the trace
+ * stops covering every REF and flips SamplerTrace::truncated, which
+ * forces the mitigation pass to degrade its universally-quantified
+ * Certain verdicts to Possible (never unsoundly Certain).
+ */
+constexpr std::size_t kMaxSamplerRefPoints = 4096;
+
+/** Sampler occupancy trace of one program (all banks, all REFs). */
+struct SamplerTrace
+{
+    /** Ring capacity (Device::kTrrWindow). */
+    std::size_t window = 0;
+
+    /** One point per (REF, bank), in program order. */
+    std::vector<SamplerRefPoint> refs;
+
+    /** Total sampler pushes per bank (saturating). */
+    std::vector<std::uint64_t> pushes;
+
+    /**
+     * True when the pass cap on ref points was hit; the trace no
+     * longer covers every REF and universally-quantified (Certain)
+     * conclusions must degrade to Possible.
+     */
+    bool truncated = false;
+};
+
+/**
+ * Compute the symbolic summary of `program` on a device config.  When
+ * `trace` is non-null it is filled with the abstract TRR sampler
+ * occupancy (slower; keyed to the same recordAct sites Device's
+ * trrRecord uses).
+ */
+ProgramEffects summarizeEffects(const bender::Program &program,
+                                const dram::DeviceConfig &cfg,
+                                SamplerTrace *trace);
 ProgramEffects summarizeEffects(const bender::Program &program,
                                 const dram::DeviceConfig &cfg);
 

@@ -91,6 +91,13 @@ enum class Code : std::uint8_t
     DfMajorityUninitInput,//!< merge mixes staged and never-written rows
     DfMajorityTie,        //!< replication weights admit a bitline tie
 
+    // ---- mitigation bypass certifier (mitigation_absint.h) -----------------
+    MitBypassCertain,     //!< every enabled mitigation provably inert
+    MitBypassPossible,    //!< no mitigation provably stops this victim
+    MitMitigatedCertain,  //!< some mitigation provably prevents flips
+    MitTrrSamplerStarved, //!< TRR draws diluted by non-adjacent ACTs
+    MitAboThresholdSkirted,//!< PRAC never alerts under flip-grade load
+
     DiagFlood,            //!< repeats of one code capped ("and N more")
 };
 
@@ -109,6 +116,14 @@ isDataflowCode(Code code)
 {
     return code >= Code::DfReadBeforeWrite &&
            code <= Code::DfMajorityTie;
+}
+
+/** True for the Mit* mitigation code family (mitigation_absint.h). */
+inline bool
+isMitigationCode(Code code)
+{
+    return code >= Code::MitBypassCertain &&
+           code <= Code::MitAboThresholdSkirted;
 }
 
 /** One finding of the analyzer. */
@@ -134,6 +149,15 @@ struct LintResult
      */
     std::size_t suppressed = 0;
 
+    /**
+     * Flood-suppressed diagnostics by severity (indexed by the
+     * Severity enum): suppression hides repeats from the listing but
+     * must not hide them from the run summary or from --werror exit
+     * decisions, so the capped counts stay visible here.
+     */
+    std::size_t suppressedBySeverity[3] = {0, 0, 0};
+
+    /** Visible (listed) findings of one severity. */
     std::size_t
     count(Severity severity) const
     {
@@ -143,8 +167,16 @@ struct LintResult
         return n;
     }
 
+    /** Findings of one severity including flood-suppressed repeats. */
+    std::size_t
+    totalCount(Severity severity) const
+    {
+        return count(severity) +
+               suppressedBySeverity[static_cast<std::size_t>(severity)];
+    }
+
     /** No error-severity findings (warnings/notes allowed). */
-    bool clean() const { return count(Severity::Error) == 0; }
+    bool clean() const { return totalCount(Severity::Error) == 0; }
 };
 
 } // namespace pud::lint

@@ -45,6 +45,28 @@ enum class Verdict : std::uint8_t
     Likely,      //!< a plausibly-weak cell crosses the flip threshold
 };
 
+/**
+ * Mitigation-pass verdict on one victim (mitigation_absint.h).
+ *
+ * The lattice is deliberately three-valued plus bottom: *Certain*
+ * verdicts are universally quantified over every execution consistent
+ * with the summary (and therefore require an exact summary and an
+ * untruncated sampler trace), while BypassPossible is the sound
+ * refusal -- the pass could prove neither direction.
+ */
+enum class MitVerdict : std::uint8_t
+{
+    NotEvaluated,      //!< mitigation pass did not run on this victim
+    BypassCertain,     //!< every enabled mitigation provably never
+                       //!< touches rows v-2..v+2: the victim's bit
+                       //!< trajectory is identical to the unmitigated
+                       //!< run
+    BypassPossible,    //!< neither bypass nor mitigation provable
+    MitigatedCertain,  //!< some enabled mitigation provably keeps the
+                       //!< victim's damage below the flip threshold at
+                       //!< every instant
+};
+
 /** Predicted disturbance on one victim row. */
 struct VictimPrediction
 {
@@ -70,6 +92,18 @@ struct VictimPrediction
 
     /** Instruction anchoring diagnostics (hottest aggressor's ACT). */
     std::size_t anchorIndex = 0;
+
+    /** Combined verdict of the mitigation pass (mitigation_absint.h). */
+    MitVerdict mitVerdict = MitVerdict::NotEvaluated;
+
+    /**
+     * Static lower bound on the HC_first of a successful bypass:
+     * the weighted closes a cell twice as weak as the family minimum
+     * anchor needs under this program's per-close conditions.  0 when
+     * the exposure cannot flip any drawable cell (optimisticDamage is
+     * 0), i.e. the bound is unreachable.
+     */
+    double bypassHcFirstLowerBound = 0;
 };
 
 /** Everything the predictor derives from one summary. */

@@ -62,6 +62,13 @@ name(Code code)
       case Code::DfMajorityUninitInput:
         return "df-majority-uninit-input";
       case Code::DfMajorityTie:         return "df-majority-tie";
+      case Code::MitBypassCertain:      return "mit-bypass-certain";
+      case Code::MitBypassPossible:     return "mit-bypass-possible";
+      case Code::MitMitigatedCertain:   return "mit-mitigated-certain";
+      case Code::MitTrrSamplerStarved:
+        return "mit-trr-sampler-starved";
+      case Code::MitAboThresholdSkirted:
+        return "mit-abo-threshold-skirted";
       case Code::DiagFlood:             return "diag-flood";
     }
     return "?";
@@ -117,6 +124,13 @@ severityOf(Code code)
       case Code::DfGroupOverlap:
       case Code::DfMajorityUninitInput:
       case Code::DfMajorityTie:
+      // A certain or possible bypass is the finding the mitigation
+      // pass exists to surface; a starved sampler or skirted ABO
+      // threshold explains *how* the bypass is engineered.
+      case Code::MitBypassCertain:
+      case Code::MitBypassPossible:
+      case Code::MitTrrSamplerStarved:
+      case Code::MitAboThresholdSkirted:
         return Severity::Warning;
 
       case Code::FastPathEligible:
@@ -126,6 +140,7 @@ severityOf(Code code)
       case Code::DisturbanceLikely:
       case Code::DfReadBeforeWrite:
       case Code::DfDeadWrite:
+      case Code::MitMitigatedCertain:
       case Code::DiagFlood:
         return Severity::Note;
     }
@@ -712,6 +727,8 @@ capDiagFloods(LintResult &result, std::size_t cap)
         } else {
             ++flooded[d.code];
             ++result.suppressed;
+            ++result.suppressedBySeverity[
+                static_cast<std::size_t>(d.severity)];
         }
     }
     for (const auto &[code, n] : flooded) {
@@ -740,7 +757,14 @@ lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg,
     LintResult result;
     Walker(program, cfg, result).run();
 
-    const ProgramEffects fx = summarizeEffects(program, cfg);
+    // The sampler trace is only needed by the TRR abstract
+    // transformer and costs extra ring bookkeeping, so collect it
+    // only when that mitigation is under analysis.
+    SamplerTrace trace;
+    const bool want_trace = opts.mitigations.any() && opts.mitigations.trr;
+    const ProgramEffects fx =
+        want_trace ? summarizeEffects(program, cfg, &trace)
+                   : summarizeEffects(program, cfg);
     checkRefreshCadence(fx, program, cfg, result);
 
     if (opts.dataflow) {
@@ -750,11 +774,20 @@ lintProgram(const bender::Program &program, const dram::DeviceConfig &cfg,
                             std::make_move_iterator(df.diags.end()));
     }
 
-    if (opts.effects || report_out != nullptr) {
+    if (opts.effects || opts.mitigations.any() ||
+        report_out != nullptr) {
         EffectReport report = predictEffects(fx, cfg);
         if (opts.effects)
             result.diags.insert(result.diags.end(),
                                 report.diags.begin(), report.diags.end());
+        if (opts.mitigations.any()) {
+            std::vector<Diag> mit = analyzeMitigations(
+                cfg, opts.mitigations, fx,
+                want_trace ? &trace : nullptr, report);
+            result.diags.insert(result.diags.end(),
+                                std::make_move_iterator(mit.begin()),
+                                std::make_move_iterator(mit.end()));
+        }
         if (report_out != nullptr)
             *report_out = std::move(report);
     }

@@ -28,6 +28,7 @@
 #include "bender/program.h"
 #include "dram/config.h"
 #include "lint/diag.h"
+#include "lint/mitigation_absint.h"
 
 namespace pud::lint {
 
@@ -54,6 +55,16 @@ struct LintOptions
      * callers checking a compute-style program.
      */
     bool dataflow = false;
+
+    /**
+     * Run the mitigation bypass certifier (lint/mitigation_absint.h)
+     * against the mechanisms enabled here and merge its Mit*
+     * diagnostics into the result.  Implies running the effect
+     * predictor internally (the certifier annotates its victim list),
+     * but Disturbance* diagnostics are still merged only under
+     * `effects`.
+     */
+    MitigationSpec mitigations;
 
     /**
      * Keep at most this many diagnostics per code; the rest collapse

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Abstract mitigation transformers over the loop summary: the bypass
+ * certifier.
+ *
+ * analyzeMitigations() layers abstract models of the four mitigation
+ * mechanisms (sampling TRR, PRAC, PARA, Graphene) on top of a
+ * program's ProgramEffects summary (absint.h) and the effect
+ * predictor's victim list (effects.h), and certifies -- per victim,
+ * without unrolling loops -- one of three outcomes:
+ *
+ *  - MitVerdict::BypassCertain: no enabled mitigation can ever
+ *    refresh a row in the victim's distance-2 neighbourhood, so the
+ *    victim's bit trajectory is *identical* to the unmitigated run
+ *    (any mitigation-triggered refresh of rows v-2..v+2 perturbs the
+ *    aggressors' lastSide/charge state and would change the
+ *    trajectory, which is why the bit-identity rule requires every
+ *    possible trigger row at row-index distance >= 4: its +-1 refresh
+ *    targets then stay at distance >= 3).
+ *  - MitVerdict::MitigatedCertain: some enabled mitigation provably
+ *    refreshes the victim often enough that its accumulated damage
+ *    stays below the flip threshold at *every instant* (refreshRow
+ *    materializes flips, so a transient crossing would persist; the
+ *    proofs bound the worst-case damage between consecutive
+ *    guaranteed victim refreshes using per-close damage maxima built
+ *    from the summary's per-row timing extremes).
+ *  - MitVerdict::BypassPossible: the sound refusal -- neither
+ *    direction provable (always the result when the summary is
+ *    inexact or the sampler trace was truncated at the pass cap).
+ *
+ * Every abstract transformer shares its arithmetic with the concrete
+ * mitigation models through pud::mitigation's pure-function core
+ * (mitsem.h), so the certificate and the executed mitigation cannot
+ * drift; src/check/diffcheck validates exactly that, differentially,
+ * over randomized programs.
+ *
+ * Soundness in loop trip counts is inherited from absint.h: all the
+ * facts consumed here (close totals, per-epoch maxima, timing
+ * extremes, the sampler trace) are closed forms in the trip counts,
+ * so a loop of 10^9 iterations costs the same as one of 3 and Certain
+ * verdicts quantify over the *real* iteration count.
+ */
+
+#ifndef PUD_LINT_MITIGATION_ABSINT_H
+#define PUD_LINT_MITIGATION_ABSINT_H
+
+#include <vector>
+
+#include "dram/config.h"
+#include "lint/absint.h"
+#include "lint/diag.h"
+#include "lint/effects.h"
+#include "mitigation/mitsem.h"
+
+namespace pud::lint {
+
+/** Which mitigations the certifier assumes enabled, and their knobs. */
+struct MitigationSpec
+{
+    bool trr = false;       //!< device sampling TRR (Device native)
+    bool prac = false;      //!< per-row activation counting + ABO
+    bool para = false;      //!< probabilistic adjacent-row activation
+    bool graphene = false;  //!< Misra-Gries frequent-aggressor table
+
+    mitigation::PracConfig pracConfig;
+    mitigation::ParaConfig paraConfig;
+    mitigation::GrapheneConfig grapheneConfig;
+
+    bool any() const { return trr || prac || para || graphene; }
+};
+
+/**
+ * Run the abstract mitigation transformers over a program summary.
+ *
+ * Annotates every victim in `report` with a combined MitVerdict
+ * (MitigatedCertain if *any* enabled mitigation certainly prevents
+ * flips; BypassCertain iff *all* enabled mitigations are certainly
+ * inert near the victim; BypassPossible otherwise) and the static
+ * bypass-HC_first lower bound, and returns the Mit* diagnostics to
+ * merge into the lint result.
+ *
+ * `trace` is the TRR sampler trace from summarizeEffects(); required
+ * (non-null) when spec.trr is set -- without it every TRR judgement
+ * degrades to Possible.  Passing a spec with any() == false is a
+ * no-op.
+ */
+std::vector<Diag> analyzeMitigations(const dram::DeviceConfig &cfg,
+                                     const MitigationSpec &spec,
+                                     const ProgramEffects &fx,
+                                     const SamplerTrace *trace,
+                                     EffectReport &report);
+
+} // namespace pud::lint
+
+#endif // PUD_LINT_MITIGATION_ABSINT_H

@@ -103,13 +103,19 @@ printReport(const LintResult &result, const bender::Program &program,
         table.print(out);
         std::fprintf(out, "\n");
     }
+    // Totals include flood-suppressed repeats: the cap trims the
+    // listing, never the verdict.
     std::fprintf(out,
                  "%zu instruction(s), duration %.3f us: "
-                 "%zu error(s), %zu warning(s), %zu note(s)\n",
+                 "%zu error(s), %zu warning(s), %zu note(s)",
                  program.insts().size(), units::toUs(result.duration),
-                 result.count(Severity::Error),
-                 result.count(Severity::Warning),
-                 result.count(Severity::Note));
+                 result.totalCount(Severity::Error),
+                 result.totalCount(Severity::Warning),
+                 result.totalCount(Severity::Note));
+    if (result.suppressed > 0)
+        std::fprintf(out, " (%zu suppressed by the flood cap)",
+                     result.suppressed);
+    std::fprintf(out, "\n");
 }
 
 void
@@ -119,11 +125,19 @@ printJson(const LintResult &result, const bender::Program &program,
     std::fprintf(out,
                  "{\"instructions\":%zu,\"duration_ps\":%" PRId64
                  ",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
+                 "\"suppressed\":{\"total\":%zu,\"errors\":%zu,"
+                 "\"warnings\":%zu,\"notes\":%zu},"
                  "\"diagnostics\":[",
                  program.insts().size(), result.duration,
-                 result.count(Severity::Error),
-                 result.count(Severity::Warning),
-                 result.count(Severity::Note));
+                 result.totalCount(Severity::Error),
+                 result.totalCount(Severity::Warning),
+                 result.totalCount(Severity::Note), result.suppressed,
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Error)],
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Warning)],
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Note)]);
     for (std::size_t i = 0; i < result.diags.size(); ++i) {
         const Diag &d = result.diags[i];
         std::fprintf(out,
@@ -199,7 +213,23 @@ printSarif(const LintResult &result, const bender::Program &program,
             d.instIndex + 1,
             jsonEscape(describeInst(program, d.instIndex)).c_str());
     }
-    std::fprintf(out, "]}]}\n");
+    // Run-level summary: flood-suppressed repeats are invisible in
+    // `results` but must stay visible to policy gates reading the run.
+    std::fprintf(out,
+                 "],\"properties\":{\"totalErrors\":%zu,"
+                 "\"totalWarnings\":%zu,\"totalNotes\":%zu,"
+                 "\"suppressedByFloodCap\":%zu,"
+                 "\"suppressedErrors\":%zu,\"suppressedWarnings\":%zu,"
+                 "\"suppressedNotes\":%zu}}]}\n",
+                 result.totalCount(Severity::Error),
+                 result.totalCount(Severity::Warning),
+                 result.totalCount(Severity::Note), result.suppressed,
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Error)],
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Warning)],
+                 result.suppressedBySeverity[static_cast<std::size_t>(
+                     Severity::Note)]);
 }
 
 } // namespace pud::lint

@@ -82,4 +82,121 @@ hasSandwichedVictim(std::span<const RowId> sorted_group)
     return false;
 }
 
+void
+appendAdjacentRows(RowId row, RowId rows_per_subarray,
+                   std::vector<RowId> &out)
+{
+    const RowId sub = row / rows_per_subarray;
+    if (row > 0 && (row - 1) / rows_per_subarray == sub)
+        out.push_back(row - 1);
+    if ((row + 1) / rows_per_subarray == sub)
+        out.push_back(row + 1);
+}
+
+PracMitigation::PracMitigation(const PracConfig &cfg, BankId banks,
+                               RowId rows_per_bank,
+                               RowId rows_per_subarray)
+    : counters_(cfg, banks, rows_per_bank),
+      rowsPerSubarray_(rows_per_subarray)
+{
+    if (rows_per_subarray == 0)
+        fatal("PracMitigation: zero rows per subarray");
+}
+
+void
+PracMitigation::onClose(BankId bank, const dram::CloseEvent &event,
+                        std::vector<RowId> &refresh)
+{
+    if (!counters_.onClose(bank, event.rows, event.cls))
+        return;
+    ++alerts_;
+    // The memory controller services the back-off before any further
+    // traffic: RFMs drain until no counter is at/above the RDT.  Each
+    // drained (highest-count) row is refreshed together with its +-1
+    // same-subarray neighbors -- its disturbance victims.
+    std::vector<RowId> drained;
+    while (counters_.alertPending(bank)) {
+        drained.clear();
+        if (counters_.onRfm(bank, &drained) == 0)
+            break;
+        ++rfms_;
+        for (RowId d : drained) {
+            refresh.push_back(d);
+            appendAdjacentRows(d, rowsPerSubarray_, refresh);
+        }
+    }
+}
+
+ParaMitigation::ParaMitigation(const ParaConfig &cfg,
+                               RowId rows_per_subarray)
+    : cfg_(cfg), rowsPerSubarray_(rows_per_subarray), rng_(cfg.seed)
+{
+    if (rows_per_subarray == 0)
+        fatal("ParaMitigation: zero rows per subarray");
+}
+
+void
+ParaMitigation::onClose(BankId bank, const dram::CloseEvent &event,
+                        std::vector<RowId> &refresh)
+{
+    (void)bank;
+    for (RowId r : event.rows) {
+        if (!rng_.chance(cfg_.probability))
+            continue;
+        ++fires_;
+        appendAdjacentRows(r, rowsPerSubarray_, refresh);
+    }
+}
+
+GrapheneMitigation::GrapheneMitigation(const GrapheneConfig &cfg,
+                                       BankId banks,
+                                       RowId rows_per_subarray)
+    : cfg_(cfg), rowsPerSubarray_(rows_per_subarray), tables_(banks)
+{
+    if (cfg.tableSize == 0)
+        fatal("GrapheneMitigation: zero table size");
+    if (cfg.threshold == 0)
+        fatal("GrapheneMitigation: zero threshold");
+    if (rows_per_subarray == 0)
+        fatal("GrapheneMitigation: zero rows per subarray");
+}
+
+void
+GrapheneMitigation::onClose(BankId bank, const dram::CloseEvent &event,
+                            std::vector<RowId> &refresh)
+{
+    auto &table = tables_.at(bank);
+    for (RowId r : event.rows) {
+        auto it = table.find(r);
+        if (it == table.end()) {
+            if (table.size() < cfg_.tableSize) {
+                it = table.emplace(r, 0).first;
+            } else {
+                // Misra-Gries spill: the untracked arrival is charged
+                // against every tracked count instead of evicting.
+                for (auto slot = table.begin(); slot != table.end();) {
+                    if (--slot->second == 0)
+                        slot = table.erase(slot);
+                    else
+                        ++slot;
+                }
+                continue;
+            }
+        }
+        if (++it->second >= cfg_.threshold) {
+            ++triggers_;
+            appendAdjacentRows(r, rowsPerSubarray_, refresh);
+            table.erase(it);
+        }
+    }
+}
+
+std::uint64_t
+GrapheneMitigation::estimate(BankId bank, RowId row) const
+{
+    const auto &table = tables_.at(bank);
+    const auto it = table.find(row);
+    return it == table.end() ? 0 : it->second;
+}
+
 } // namespace pud::mitigation

@@ -16,10 +16,15 @@
 #define PUD_MITIGATION_COUNTERMEASURES_H
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
+#include "dram/device.h"
 #include "dram/types.h"
+#include "mitigation/mitsem.h"
+#include "mitigation/prac.h"
+#include "util/rng.h"
 
 namespace pud::mitigation {
 
@@ -82,6 +87,90 @@ std::vector<RowId> clusteredActivationSet(RowId row, int n,
 
 /** True if any un-activated row lies between two activated rows. */
 bool hasSandwichedVictim(std::span<const RowId> sorted_group);
+
+/**
+ * Append `row`'s +-1 same-subarray neighbors to *out -- the blast set
+ * every close-driven mitigation refreshes when it singles out a row.
+ */
+void appendAdjacentRows(RowId row, RowId rows_per_subarray,
+                        std::vector<RowId> &out);
+
+/**
+ * PRAC as an executable device hook: per-close weighted counters
+ * (PracCounters via the mitsem per-close weights), with every alert
+ * served immediately by RFMs until the back-off clears.  Each RFM
+ * refreshes the drained row and its +-1 same-subarray neighbors.
+ */
+class PracMitigation : public dram::MitigationHook
+{
+  public:
+    PracMitigation(const PracConfig &cfg, BankId banks,
+                   RowId rows_per_bank, RowId rows_per_subarray);
+
+    void onClose(BankId bank, const dram::CloseEvent &event,
+                 std::vector<RowId> &refresh) override;
+
+    const PracCounters &counters() const { return counters_; }
+    std::uint64_t alerts() const { return alerts_; }
+    std::uint64_t rfms() const { return rfms_; }
+
+  private:
+    PracCounters counters_;
+    RowId rowsPerSubarray_;
+    std::uint64_t alerts_ = 0;
+    std::uint64_t rfms_ = 0;
+};
+
+/**
+ * PARA (Kim et al., ISCA'14) as a device hook: on every close, each
+ * closed row's +-1 same-subarray neighbors are refreshed with
+ * probability `cfg.probability`, with no state beyond the RNG.
+ */
+class ParaMitigation : public dram::MitigationHook
+{
+  public:
+    ParaMitigation(const ParaConfig &cfg, RowId rows_per_subarray);
+
+    void onClose(BankId bank, const dram::CloseEvent &event,
+                 std::vector<RowId> &refresh) override;
+
+    std::uint64_t fires() const { return fires_; }
+
+  private:
+    ParaConfig cfg_;
+    RowId rowsPerSubarray_;
+    Rng rng_;
+    std::uint64_t fires_ = 0;
+};
+
+/**
+ * Graphene (Park et al., MICRO'20) as a device hook: a per-bank
+ * Misra-Gries table over the close stream (+1 per closed row per
+ * close event).  When a tracked row's estimate reaches the threshold
+ * its +-1 same-subarray neighbors are refreshed and the entry is
+ * retired; estimates never exceed true close counts, so a row below
+ * the threshold in truth can never trigger.
+ */
+class GrapheneMitigation : public dram::MitigationHook
+{
+  public:
+    GrapheneMitigation(const GrapheneConfig &cfg, BankId banks,
+                       RowId rows_per_subarray);
+
+    void onClose(BankId bank, const dram::CloseEvent &event,
+                 std::vector<RowId> &refresh) override;
+
+    std::uint64_t triggers() const { return triggers_; }
+
+    /** Current Misra-Gries estimate (0 when untracked). */
+    std::uint64_t estimate(BankId bank, RowId row) const;
+
+  private:
+    GrapheneConfig cfg_;
+    RowId rowsPerSubarray_;
+    std::vector<std::map<RowId, std::uint64_t>> tables_;
+    std::uint64_t triggers_ = 0;
+};
 
 } // namespace pud::mitigation
 

@@ -1,0 +1,63 @@
+#include "mitigation/mitsem.h"
+
+#include <cmath>
+
+namespace pud::mitigation {
+
+std::uint32_t
+pracCloseWeight(const PracConfig &cfg, dram::TechClass cls)
+{
+    if (!cfg.weighted)
+        return 1;
+    switch (cls) {
+      case dram::TechClass::Conventional: return 1;
+      case dram::TechClass::Comra:        return cfg.comraWeight;
+      case dram::TechClass::Simra:        return cfg.simraWeight;
+    }
+    return 1;
+}
+
+std::uint64_t
+pracWeightedCloses(const PracConfig &cfg, const std::uint64_t (&closes)[3])
+{
+    std::uint64_t total = 0;
+    for (int c = 0; c < 3; ++c) {
+        const auto cls = static_cast<dram::TechClass>(c);
+        const std::uint64_t w = pracCloseWeight(cfg, cls);
+        const std::uint64_t add = closes[c] * w;
+        // Saturate: a counter past RDT is "alerting" regardless.
+        if (closes[c] != 0 && add / closes[c] != w)
+            return ~std::uint64_t(0);
+        if (total + add < total)
+            return ~std::uint64_t(0);
+        total += add;
+    }
+    return total;
+}
+
+std::uint64_t
+pracMaxClosesPerAlert(const PracConfig &cfg, dram::TechClass cls)
+{
+    const std::uint64_t w = pracCloseWeight(cfg, cls);
+    return cfg.rdt / w + 1;
+}
+
+double
+paraMissProbability(const ParaConfig &cfg, std::uint64_t closes)
+{
+    if (cfg.probability <= 0.0)
+        return 1.0;
+    if (cfg.probability >= 1.0)
+        return closes == 0 ? 1.0 : 0.0;
+    return std::pow(1.0 - cfg.probability,
+                    static_cast<double>(closes));
+}
+
+bool
+grapheneCountsExact(const GrapheneConfig &cfg,
+                    std::size_t distinct_closed_rows)
+{
+    return distinct_closed_rows <= cfg.tableSize;
+}
+
+} // namespace pud::mitigation

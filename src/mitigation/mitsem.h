@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pure-function mitigation semantics shared by the concrete
+ * mitigation models (PracCounters, the countermeasure hooks) and the
+ * lint abstract transformers (src/lint/mitigation_absint) -- the same
+ * factoring move pud::semantics made for the PuD engine: both sides
+ * consume one table of facts, so the static pass can never drift from
+ * what the executed mitigation actually does.
+ *
+ * Everything here is a pure function of configuration; no state.
+ */
+
+#ifndef PUD_MITIGATION_MITSEM_H
+#define PUD_MITIGATION_MITSEM_H
+
+#include <cstdint>
+
+#include "dram/types.h"
+#include "mitigation/prac.h"
+
+namespace pud::mitigation {
+
+/**
+ * PRAC counter increment contributed by one *close* of a row under a
+ * given technique class.  This is the per-close view of the per-op
+ * PracCounters API: a CoMRA copy cycle closes src and dst once each
+ * (onComra bumps both by comraWeight), a SiMRA op closes each group
+ * row once (onSimra bumps each by simraWeight), and a conventional
+ * close is one activation (+1).
+ */
+std::uint32_t pracCloseWeight(const PracConfig &cfg, dram::TechClass cls);
+
+/**
+ * Exact final PRAC counter of a row whose program-wide closes per
+ * class are known: sum of closes[cls] * pracCloseWeight(cls).
+ */
+std::uint64_t pracWeightedCloses(const PracConfig &cfg,
+                                 const std::uint64_t (&closes)[3]);
+
+/**
+ * Upper bound on the closes of class `cls` one row can accumulate
+ * between two consecutive alert drains, assuming every alert is
+ * served by RFMs until the back-off clears (the drain discipline of
+ * PracMitigation): the counter re-arms below RDT after a drain and
+ * the close that crosses RDT triggers the next drain, so at most
+ * floor(rdt / weight) + 1 closes fit in between.
+ */
+std::uint64_t pracMaxClosesPerAlert(const PracConfig &cfg,
+                                    dram::TechClass cls);
+
+/** PARA: probabilistic adjacent-row activation (Kim et al., ISCA'14). */
+struct ParaConfig
+{
+    /** Probability of refreshing the closed row's neighbors per close. */
+    double probability = 1.0 / 512.0;
+
+    /** RNG stream for the concrete model's coin flips. */
+    std::uint64_t seed = 0x70a7a;
+};
+
+/** Probability that PARA never fires across `closes` closes. */
+double paraMissProbability(const ParaConfig &cfg, std::uint64_t closes);
+
+/**
+ * Graphene: Misra-Gries frequent-item counters per bank (Park et al.,
+ * MICRO'20).  A close of a tracked row increments its counter; a
+ * close of an untracked row takes a free slot at count 1 or, when the
+ * table is full, decrements every counter (classic Misra-Gries, so an
+ * estimated count never exceeds the true close count).  A row whose
+ * estimate reaches `threshold` has its +/-1 neighbors refreshed and
+ * its counter reset.
+ */
+struct GrapheneConfig
+{
+    std::size_t tableSize = 16;
+    std::uint64_t threshold = 250;
+};
+
+/**
+ * True when the Misra-Gries table provably never evicts or decrements
+ * -- i.e. the estimates equal the true counts -- which holds whenever
+ * the number of distinct closed rows in the bank fits the table.
+ */
+bool grapheneCountsExact(const GrapheneConfig &cfg,
+                         std::size_t distinct_closed_rows);
+
+} // namespace pud::mitigation
+
+#endif // PUD_MITIGATION_MITSEM_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mitigation/mitsem.h"
 #include "util/logging.h"
 
 namespace pud::mitigation {
@@ -32,7 +33,7 @@ PracCounters::onActivate(BankId bank, RowId row)
 bool
 PracCounters::onComra(BankId bank, RowId src, RowId dst)
 {
-    const std::uint32_t w = cfg_.weighted ? cfg_.comraWeight : 1;
+    const std::uint32_t w = pracCloseWeight(cfg_, dram::TechClass::Comra);
     const bool a = bump(bank, src, w);
     const bool b = bump(bank, dst, w);
     return a || b;
@@ -41,7 +42,18 @@ PracCounters::onComra(BankId bank, RowId src, RowId dst)
 bool
 PracCounters::onSimra(BankId bank, std::span<const RowId> rows)
 {
-    const std::uint32_t w = cfg_.weighted ? cfg_.simraWeight : 1;
+    const std::uint32_t w = pracCloseWeight(cfg_, dram::TechClass::Simra);
+    bool alert = false;
+    for (RowId r : rows)
+        alert |= bump(bank, r, w);
+    return alert;
+}
+
+bool
+PracCounters::onClose(BankId bank, std::span<const RowId> rows,
+                      dram::TechClass cls)
+{
+    const std::uint32_t w = pracCloseWeight(cfg_, cls);
     bool alert = false;
     for (RowId r : rows)
         alert |= bump(bank, r, w);
@@ -57,7 +69,7 @@ PracCounters::updateLatency(int rows_updated) const
 }
 
 int
-PracCounters::onRfm(BankId bank)
+PracCounters::onRfm(BankId bank, std::vector<RowId> *refreshed_rows)
 {
     auto &c = counters_.at(bank);
     int refreshed = 0;
@@ -65,6 +77,9 @@ PracCounters::onRfm(BankId bank)
         auto it = std::max_element(c.begin(), c.end());
         if (it == c.end() || *it == 0)
             break;
+        if (refreshed_rows != nullptr)
+            refreshed_rows->push_back(
+                static_cast<RowId>(it - c.begin()));
         *it = 0;
         ++refreshed;
     }

@@ -72,6 +72,15 @@ class PracCounters
     bool onSimra(BankId bank, std::span<const RowId> rows);
 
     /**
+     * Per-close view (mitsem.h): every row of one close event bumped
+     * by pracCloseWeight(cls).  A CoMRA copy reaches the counters as
+     * two one-row Comra closes (src, then dst), which lands on the
+     * same totals as one onComra() call.
+     */
+    bool onClose(BankId bank, std::span<const RowId> rows,
+                 dram::TechClass cls);
+
+    /**
      * Extra bank-blocking latency of the counter update beyond a
      * normal activation: zero for PRAC-PO (counters update in
      * parallel with the row cycle), (n-1) * tRC for PRAC-AO.
@@ -80,9 +89,10 @@ class PracCounters
 
     /**
      * Serve one RFM: refresh the victimsPerRfm highest-count rows of
-     * the bank and reset their counters.  @return rows refreshed.
+     * the bank and reset their counters.  @return rows refreshed;
+     * their row ids are appended to *refreshed when non-null.
      */
-    int onRfm(BankId bank);
+    int onRfm(BankId bank, std::vector<RowId> *refreshed = nullptr);
 
     /** True while any counter in the bank is at/above the RDT. */
     bool alertPending(BankId bank) const;

@@ -108,4 +108,54 @@ TEST(DiffCheck, LintRejectedProgramsAlsoDieInTheEngine)
         "data index");
 }
 
+// ---- mitigation mode ---------------------------------------------------
+
+TEST(DiffCheckMitigation, TrrSmokeHasNoSoundnessViolations)
+{
+    DiffCheckConfig cfg;
+    cfg.seeds = 120;
+    cfg.mitigation = MitigationUnderTest::Trr;
+    const DiffCheckStats stats = runDiffCheck(cfg);
+    EXPECT_TRUE(stats.ok()) << stats.firstMismatch;
+    EXPECT_EQ(stats.soundnessViolations, 0u);
+    EXPECT_EQ(stats.programs, 120u);
+    // The generator must populate every verdict class, and some
+    // victims must actually flip -- otherwise the run proves nothing.
+    EXPECT_GT(stats.likelyVictims, 0u);
+    EXPECT_GT(stats.mitigatedCertainRows, 0u);
+    EXPECT_GT(stats.bypassCertainRows, 0u);
+    EXPECT_GT(stats.possibleRows, 0u);
+    EXPECT_GT(stats.flippedRows, 0u);
+}
+
+TEST(DiffCheckMitigation, PracSmokeHasNoSoundnessViolations)
+{
+    DiffCheckConfig cfg;
+    cfg.seeds = 120;
+    cfg.mitigation = MitigationUnderTest::Prac;
+    const DiffCheckStats stats = runDiffCheck(cfg);
+    EXPECT_TRUE(stats.ok()) << stats.firstMismatch;
+    EXPECT_EQ(stats.soundnessViolations, 0u);
+    EXPECT_GT(stats.mitigatedCertainRows, 0u);
+    EXPECT_GT(stats.bypassCertainRows, 0u);
+    EXPECT_GT(stats.possibleRows, 0u);
+}
+
+TEST(DiffCheckMitigation, DeterministicInTheSeed)
+{
+    DiffCheckConfig cfg;
+    cfg.seeds = 20;
+    cfg.firstSeed = 500;
+    cfg.mitigation = MitigationUnderTest::Trr;
+    const DiffCheckStats a = runDiffCheck(cfg);
+    const DiffCheckStats b = runDiffCheck(cfg);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.likelyVictims, b.likelyVictims);
+    EXPECT_EQ(a.mitigatedCertainRows, b.mitigatedCertainRows);
+    EXPECT_EQ(a.bypassCertainRows, b.bypassCertainRows);
+    EXPECT_EQ(a.possibleRows, b.possibleRows);
+    EXPECT_EQ(a.flippedRows, b.flippedRows);
+    EXPECT_EQ(a.soundnessViolations, b.soundnessViolations);
+}
+
 } // namespace

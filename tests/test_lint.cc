@@ -850,4 +850,49 @@ TEST(LintReport, SarifShape)
               std::count(out.begin(), out.end(), '}'));
 }
 
+TEST(LintReport, FloodedCountsStayVisibleToSummariesAndWerror)
+{
+    // Regression: the flood cap trims the *listing*, never the run
+    // summary or the exit decision.  100 warnings capped at 8 visible
+    // sites must still total 100 in every reporter and in the counts
+    // --werror consults.
+    Program warn_p;
+    for (int i = 0; i < 100; ++i)
+        warn_p.pre(0, kT.tRP);
+    const auto w = lintProgram(warn_p, smallConfig());
+    EXPECT_EQ(w.count(Severity::Warning), 8u);
+    EXPECT_EQ(w.suppressedBySeverity[static_cast<std::size_t>(
+                  Severity::Warning)],
+              92u);
+    EXPECT_EQ(w.totalCount(Severity::Warning), 100u);
+    EXPECT_TRUE(w.clean());
+
+    const std::string json = renderWith(printJson, w, warn_p);
+    EXPECT_NE(json.find("\"warnings\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed\":{\"total\":92"),
+              std::string::npos);
+
+    const std::string sarif = renderWith(printSarif, w, warn_p);
+    EXPECT_NE(sarif.find("\"suppressedByFloodCap\":92"),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"suppressedWarnings\":92"),
+              std::string::npos);
+
+    const std::string table = renderWith(printReport, w, warn_p);
+    EXPECT_NE(table.find("100 warning(s)"), std::string::npos);
+    EXPECT_NE(table.find("92 suppressed"), std::string::npos);
+
+    // Errors past the cap must still fail clean(): a flood of
+    // suppressed protocol violations is not a clean program.
+    Program err_p;
+    for (int i = 0; i < 20; ++i)
+        err_p.act(0, 1 << 20, kT.tRC).pre(0, kT.tRAS);
+    LintOptions opts;
+    opts.maxRepeatsPerCode = 4;
+    const auto e = lintProgram(err_p, smallConfig(), opts);
+    EXPECT_EQ(e.count(Severity::Error), 4u);
+    EXPECT_EQ(e.totalCount(Severity::Error), 20u);
+    EXPECT_FALSE(e.clean());
+}
+
 } // namespace

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <vector>
 
+#include "bender/host.h"
 #include "mitigation/countermeasures.h"
 #include "mitigation/prac.h"
 
@@ -221,6 +224,160 @@ TEST(Clustered, BitCombinationGroupsDoSandwich)
 TEST(Clustered, NonPowerOfTwoIsFatal)
 {
     EXPECT_DEATH(clusteredActivationSet(0, 3, 512), "power of two");
+}
+
+// ---- close-driven device hooks (PARA / Graphene / PRAC) ----------------
+
+dram::CloseEvent
+closeOf(RowId row)
+{
+    dram::CloseEvent ev;
+    ev.rows = {row};
+    return ev;
+}
+
+TEST(ParaHook, CoinExtremes)
+{
+    std::vector<RowId> refresh;
+
+    ParaConfig never;
+    never.probability = 0.0;
+    ParaMitigation off(never, 64);
+    for (int i = 0; i < 100; ++i)
+        off.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(off.fires(), 0u);
+    EXPECT_TRUE(refresh.empty());
+
+    ParaConfig always;
+    always.probability = 1.0;
+    ParaMitigation on(always, 64);
+    on.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(on.fires(), 1u);
+    ASSERT_EQ(refresh.size(), 2u);
+    EXPECT_EQ(refresh[0], 9u);
+    EXPECT_EQ(refresh[1], 11u);
+}
+
+TEST(ParaHook, RefreshClipsAtSubarrayBoundary)
+{
+    ParaConfig always;
+    always.probability = 1.0;
+    ParaMitigation para(always, 64);
+    std::vector<RowId> refresh;
+    // First row of subarray 1: row 63 is across the boundary and must
+    // not be refreshed (a cross-subarray refresh would be a different
+    // wordline entirely).
+    para.onClose(0, closeOf(64), refresh);
+    ASSERT_EQ(refresh.size(), 1u);
+    EXPECT_EQ(refresh[0], 65u);
+}
+
+TEST(GrapheneHook, TriggersAtThresholdAndResets)
+{
+    GrapheneConfig cfg;
+    cfg.tableSize = 4;
+    cfg.threshold = 5;
+    GrapheneMitigation g(cfg, 1, 64);
+    std::vector<RowId> refresh;
+    for (int i = 0; i < 4; ++i)
+        g.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(g.triggers(), 0u);
+    EXPECT_EQ(g.estimate(0, 10), 4u);
+    EXPECT_TRUE(refresh.empty());
+
+    g.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(g.triggers(), 1u);
+    EXPECT_EQ(g.estimate(0, 10), 0u);  // slot freed after the trigger
+    ASSERT_EQ(refresh.size(), 2u);
+    EXPECT_EQ(refresh[0], 9u);
+    EXPECT_EQ(refresh[1], 11u);
+}
+
+TEST(GrapheneHook, SpillDecrementsInsteadOfEvicting)
+{
+    GrapheneConfig cfg;
+    cfg.tableSize = 2;
+    cfg.threshold = 100;
+    GrapheneMitigation g(cfg, 1, 64);
+    std::vector<RowId> refresh;
+    g.onClose(0, closeOf(1), refresh);
+    g.onClose(0, closeOf(1), refresh);
+    g.onClose(0, closeOf(2), refresh);
+    // Table full at {1:2, 2:1}: the untracked arrival charges every
+    // tracked count instead of evicting a slot (Misra-Gries).
+    g.onClose(0, closeOf(3), refresh);
+    EXPECT_EQ(g.estimate(0, 1), 1u);
+    EXPECT_EQ(g.estimate(0, 2), 0u);  // decremented to zero, freed
+    EXPECT_EQ(g.estimate(0, 3), 0u);  // never admitted
+    EXPECT_EQ(g.triggers(), 0u);
+    EXPECT_TRUE(refresh.empty());
+}
+
+TEST(PracHook, AlertDrainsHotRowAndItsNeighbors)
+{
+    PracMitigation prac(naiveConfig(), 1, 128, 64);
+    std::vector<RowId> refresh;
+    for (int i = 0; i < 19; ++i)
+        prac.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(prac.alerts(), 0u);
+    EXPECT_TRUE(refresh.empty());
+
+    prac.onClose(0, closeOf(10), refresh);
+    EXPECT_EQ(prac.alerts(), 1u);
+    EXPECT_GE(prac.rfms(), 1u);
+    for (RowId r : {RowId(9), RowId(10), RowId(11)})
+        EXPECT_NE(std::find(refresh.begin(), refresh.end(), r),
+                  refresh.end())
+            << r;
+    // The drain resets the hot counter below the RDT.
+    EXPECT_LT(prac.counters().counter(0, 10), naiveConfig().rdt);
+}
+
+TEST(HookDevice, ParaAlwaysFireSuppressesFlips)
+{
+    // End-to-end: the same double-sided hammer on two identically
+    // seeded devices, one with a fire-every-close PARA hook.  The
+    // unprotected arm flips victim bits; the hook refreshes both
+    // neighbors of every close, so no victim ever accumulates more
+    // than one close of damage.
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH");
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 64;
+    cfg.profile.mapping = dram::MappingScheme::Sequential;
+    cfg.profile.rhMin = 400;
+    cfg.profile.rhAvg = 900;
+
+    const dram::TimingParams t{};
+    bender::Program p;
+    p.loopBegin(3000)
+        .act(0, 9, t.tRFC)
+        .pre(0, t.tRAS)
+        .act(0, 11, t.tRC)
+        .pre(0, t.tRAS)
+        .loopEnd();
+
+    const dram::RowData init(cfg.cols, dram::DataPattern::PAA);
+    const auto flipsWith = [&](dram::MitigationHook *hook) {
+        bender::TestBench bench(cfg);
+        bench.executor().setPreflight(false);
+        if (hook != nullptr)
+            bench.device().setMitigation(hook);
+        for (RowId r = 8; r <= 12; ++r)
+            bench.writeRow(0, r, init);
+        bench.run(p);
+        std::size_t flips = 0;
+        for (RowId r : {RowId(8), RowId(10), RowId(12)})
+            flips += bench.readRow(0, r).diffCount(init);
+        return flips;
+    };
+
+    EXPECT_GT(flipsWith(nullptr), 0u);
+    ParaConfig always;
+    always.probability = 1.0;
+    ParaMitigation para(always, cfg.rowsPerSubarray);
+    EXPECT_EQ(flipsWith(&para), 0u);
 }
 
 } // namespace

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Soundness gate for the mitigation bypass certifier.
+
+Runs `pudhammer diffcheck --mitigation=<mech> --json` for each
+requested mechanism (or validates pre-captured JSON reports), checks
+the report schema, and fails when
+
+  - any soundness violation was recorded (a Certain verdict the
+    executed mitigation contradicted),
+  - any mismatch leaked in from the dataflow contract,
+  - the seed budget did not populate every verdict class
+    (mitigated-certain, bypass-certain, bypass-possible) -- a run
+    that never exercises a class proves nothing about it, or
+  - no victim row ever flipped in the unmitigated arm (the generator
+    stopped producing flip-grade programs, so the MitigatedCertain
+    half of the contract was tested against thin air).
+
+Usage:
+    check_mitigation_verdicts.py --binary PATH/TO/pudhammer \
+        [--seeds 300] [--mechanisms trr,prac]
+    check_mitigation_verdicts.py report_trr.json report_prac.json
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+REQUIRED = {
+    "mode": str,
+    "programs": int,
+    "instructions": int,
+    "loops": int,
+    "likelyVictims": int,
+    "mitigatedCertainRows": int,
+    "bypassCertainRows": int,
+    "possibleRows": int,
+    "flippedRows": int,
+    "mismatches": int,
+    "soundnessViolations": int,
+}
+
+# Verdict classes every healthy run must populate.
+COVERAGE = ("mitigatedCertainRows", "bypassCertainRows", "possibleRows")
+
+
+def fail(msg):
+    print(f"check_mitigation_verdicts: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(report, origin):
+    for key, typ in REQUIRED.items():
+        if key not in report:
+            fail(f"{origin}: missing key '{key}'")
+        if not isinstance(report[key], typ):
+            fail(f"{origin}: key '{key}' is {type(report[key]).__name__},"
+                 f" expected {typ.__name__}")
+    if report["mode"] not in ("trr", "prac"):
+        fail(f"{origin}: mode '{report['mode']}' is not a mitigation run")
+    if report["programs"] == 0:
+        fail(f"{origin}: zero programs checked")
+    if report["soundnessViolations"] != 0:
+        fail(f"{origin}: {report['soundnessViolations']} soundness "
+             f"violation(s) across {report['programs']} programs")
+    if report["mismatches"] != 0:
+        fail(f"{origin}: {report['mismatches']} mismatch(es)")
+    for key in COVERAGE:
+        if report[key] == 0:
+            fail(f"{origin}: verdict class '{key}' never populated "
+                 f"({report['programs']} programs) -- the run cannot "
+                 f"witness that class's contract")
+    if report["flippedRows"] == 0:
+        fail(f"{origin}: no victim row ever flipped unmitigated; the "
+             f"generator produced no flip-grade programs")
+    print(f"check_mitigation_verdicts: {origin}: OK -- "
+          f"{report['programs']} programs, "
+          f"{report['mitigatedCertainRows']} mitigated-certain, "
+          f"{report['bypassCertainRows']} bypass-certain, "
+          f"{report['possibleRows']} refused, "
+          f"{report['flippedRows']} flipped, 0 violations")
+
+
+def run_binary(binary, mech, seeds):
+    cmd = [binary, "diffcheck", f"--mitigation={mech}",
+           f"--seeds={seeds}", "--json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}: "
+             f"{proc.stdout}{proc.stderr}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{' '.join(cmd)}: bad JSON ({e}): {proc.stdout!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reports", nargs="*",
+                    help="pre-captured --json reports to validate")
+    ap.add_argument("--binary", help="pudhammer binary to invoke")
+    ap.add_argument("--seeds", type=int, default=300)
+    ap.add_argument("--mechanisms", default="trr,prac")
+    args = ap.parse_args()
+
+    if not args.reports and not args.binary:
+        fail("pass report files or --binary")
+
+    for path in args.reports:
+        with open(path, encoding="utf-8") as f:
+            validate(json.load(f), path)
+
+    if args.binary:
+        for mech in args.mechanisms.split(","):
+            mech = mech.strip()
+            if not mech:
+                continue
+            validate(run_binary(args.binary, mech, args.seeds),
+                     f"{mech} x{args.seeds}")
+
+    print("check_mitigation_verdicts: all gates passed")
+
+
+if __name__ == "__main__":
+    main()

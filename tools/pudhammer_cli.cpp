@@ -51,6 +51,38 @@ using namespace pud::hammer;
 
 namespace {
 
+/** Split a comma-separated option value ("trr,prac") into entries. */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? value.size() : comma;
+        if (end > start)
+            out.push_back(value.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+const char *
+mitVerdictName(lint::MitVerdict v)
+{
+    switch (v) {
+      case lint::MitVerdict::NotEvaluated:     return "-";
+      case lint::MitVerdict::BypassCertain:    return "bypass-certain";
+      case lint::MitVerdict::BypassPossible:   return "bypass-possible";
+      case lint::MitVerdict::MitigatedCertain:
+        return "mitigated-certain";
+    }
+    return "?";
+}
+
 int
 cmdModules()
 {
@@ -376,10 +408,30 @@ cmdLint(const Args &args)
     lint::LintOptions opts;
     opts.effects = args.has("effects");
     opts.dataflow = args.has("dataflow");
+    if (args.has("mitigations")) {
+        for (const std::string &m :
+             splitList(args.get("mitigations", ""))) {
+            if (m == "trr")
+                opts.mitigations.trr = true;
+            else if (m == "prac")
+                opts.mitigations.prac = true;
+            else if (m == "para")
+                opts.mitigations.para = true;
+            else if (m == "graphene")
+                opts.mitigations.graphene = true;
+            else
+                fatal("unknown --mitigations entry '%s' "
+                      "(trr|prac|para|graphene)",
+                      m.c_str());
+        }
+        if (!opts.mitigations.any())
+            fatal("--mitigations needs at least one of "
+                  "trr,prac,para,graphene");
+    }
     lint::EffectReport report;
-    const lint::LintResult result =
-        lint::lintProgram(program, cfg, opts,
-                          opts.effects ? &report : nullptr);
+    const bool want_report = opts.effects || opts.mitigations.any();
+    const lint::LintResult result = lint::lintProgram(
+        program, cfg, opts, want_report ? &report : nullptr);
 
     if (args.has("sarif")) {
         lint::printSarif(result, program);
@@ -387,20 +439,36 @@ cmdLint(const Args &args)
         lint::printJson(result, program);
     } else {
         lint::printReport(result, program);
-        if (opts.effects && !report.victims.empty()) {
+        if (want_report && !report.victims.empty()) {
+            const bool mit = opts.mitigations.any();
             std::printf("\npredicted victims on %s "
                         "(damage as a fraction of the flip threshold):\n",
                         cfg.profile.moduleId.c_str());
-            Table table({"bank", "phys row", "weighted closes",
-                         "optimistic", "typical", "verdict"});
+            std::vector<std::string> cols = {"bank", "phys row",
+                                             "weighted closes",
+                                             "optimistic", "typical",
+                                             "verdict"};
+            if (mit) {
+                cols.push_back("mitigation");
+                cols.push_back("bypass HC_first >=");
+            }
+            Table table(cols);
             for (const auto &v : report.victims) {
-                table.addRow(
-                    {Table::count(v.bank), Table::count(v.victimPhys),
-                     Table::num(v.weightedCloses),
-                     Table::num(v.optimisticDamage, 3),
-                     Table::num(v.typicalDamage, 3),
-                     v.verdict == lint::Verdict::Likely ? "likely"
-                                                        : "impossible"});
+                std::vector<std::string> row = {
+                    Table::count(v.bank), Table::count(v.victimPhys),
+                    Table::num(v.weightedCloses),
+                    Table::num(v.optimisticDamage, 3),
+                    Table::num(v.typicalDamage, 3),
+                    v.verdict == lint::Verdict::Likely ? "likely"
+                                                       : "impossible"};
+                if (mit) {
+                    row.push_back(mitVerdictName(v.mitVerdict));
+                    row.push_back(
+                        v.bypassHcFirstLowerBound > 0
+                            ? Table::num(v.bypassHcFirstLowerBound, 0)
+                            : std::string("unreachable"));
+                }
+                table.addRow(row);
             }
             table.print(stdout);
         }
@@ -408,7 +476,8 @@ cmdLint(const Args &args)
 
     if (!result.clean())
         return 1;
-    if (args.has("werror") && result.count(lint::Severity::Warning) > 0)
+    if (args.has("werror") &&
+        result.totalCount(lint::Severity::Warning) > 0)
         return 1;
     return 0;
 }
@@ -421,7 +490,46 @@ cmdDiffCheck(const Args &args)
         static_cast<std::uint64_t>(args.getInt("seeds", 1000));
     cfg.firstSeed =
         static_cast<std::uint64_t>(args.getInt("first-seed", 1));
+    if (args.has("mitigation")) {
+        const std::string mech = args.get("mitigation", "");
+        if (mech == "trr")
+            cfg.mitigation = check::MitigationUnderTest::Trr;
+        else if (mech == "prac")
+            cfg.mitigation = check::MitigationUnderTest::Prac;
+        else
+            fatal("unknown --mitigation '%s' (expected trr or prac)",
+                  mech.c_str());
+    }
+    const bool mit =
+        cfg.mitigation != check::MitigationUnderTest::None;
     const check::DiffCheckStats stats = check::runDiffCheck(cfg);
+
+    if (args.has("json")) {
+        std::printf(
+            "{\"mode\":\"%s\",\"programs\":%llu,"
+            "\"instructions\":%llu,\"loops\":%llu,"
+            "\"likelyVictims\":%llu,\"mitigatedCertainRows\":%llu,"
+            "\"bypassCertainRows\":%llu,\"possibleRows\":%llu,"
+            "\"flippedRows\":%llu,\"rowsVerified\":%llu,"
+            "\"mismatches\":%llu,\"soundnessViolations\":%llu}\n",
+            !mit ? "dataflow"
+                 : cfg.mitigation == check::MitigationUnderTest::Trr
+                       ? "trr"
+                       : "prac",
+            static_cast<unsigned long long>(stats.programs),
+            static_cast<unsigned long long>(stats.instructions),
+            static_cast<unsigned long long>(stats.loops),
+            static_cast<unsigned long long>(stats.likelyVictims),
+            static_cast<unsigned long long>(stats.mitigatedCertainRows),
+            static_cast<unsigned long long>(stats.bypassCertainRows),
+            static_cast<unsigned long long>(stats.possibleRows),
+            static_cast<unsigned long long>(stats.flippedRows),
+            static_cast<unsigned long long>(stats.rowsVerified),
+            static_cast<unsigned long long>(stats.mismatches),
+            static_cast<unsigned long long>(
+                stats.soundnessViolations));
+        return stats.ok() ? 0 : 1;
+    }
 
     Table table({"metric", "value"});
     const auto row = [&](const char *label, std::uint64_t v) {
@@ -430,10 +538,20 @@ cmdDiffCheck(const Args &args)
     row("programs", stats.programs);
     row("instructions", stats.instructions);
     row("loops", stats.loops);
-    row("SiMRA merges", stats.merges);
-    row("rows verified bit-exact", stats.rowsVerified);
-    row("rows unverifiable (by design)", stats.rowsUnverifiable);
-    row("mismatches", stats.mismatches);
+    if (mit) {
+        row("likely victims", stats.likelyVictims);
+        row("mitigated-certain rows (asserted)",
+            stats.mitigatedCertainRows);
+        row("bypass-certain rows (asserted)", stats.bypassCertainRows);
+        row("bypass-possible rows (refused)", stats.possibleRows);
+        row("victim rows flipped unmitigated", stats.flippedRows);
+        row("soundness violations", stats.soundnessViolations);
+    } else {
+        row("SiMRA merges", stats.merges);
+        row("rows verified bit-exact", stats.rowsVerified);
+        row("rows unverifiable (by design)", stats.rowsUnverifiable);
+        row("mismatches", stats.mismatches);
+    }
     table.print();
 
     if (!stats.ok()) {
@@ -441,9 +559,14 @@ cmdDiffCheck(const Args &args)
                     stats.firstMismatch.c_str());
         return 1;
     }
-    std::printf("\nno static/dynamic disagreement across %llu "
-                "programs\n",
-                static_cast<unsigned long long>(stats.programs));
+    if (mit) {
+        std::printf("\nno soundness violations across %llu programs\n",
+                    static_cast<unsigned long long>(stats.programs));
+    } else {
+        std::printf("\nno static/dynamic disagreement across %llu "
+                    "programs\n",
+                    static_cast<unsigned long long>(stats.programs));
+    }
     return 0;
 }
 
@@ -609,14 +732,19 @@ usage()
         "          |demo-unbalanced|demo-bad-wr|demo-subtrp|demo-broken\n"
         "          |demo-ctrl-clobber|demo-majority-geom\n"
         "          [--module=ID | --profile=ID] [--hammers=N]\n"
-        "          [--effects] [--dataflow] [--json | --sarif]\n"
-        "          [--werror]\n"
+        "          [--effects] [--dataflow]\n"
+        "          [--mitigations=trr,prac,para,graphene]\n"
+        "          [--json | --sarif] [--werror]\n"
         "          (--effects: static disturbance prediction;\n"
         "           --dataflow: row-state dataflow analysis;\n"
-        "           --werror: warnings also exit nonzero)\n"
+        "           --mitigations: bypass certifier vs the listed\n"
+        "           mechanisms; --werror: warnings also exit nonzero)\n"
         "  diffcheck [--seeds=N] [--first-seed=N]\n"
+        "          [--mitigation=trr|prac] [--json]\n"
         "          differential check: seeded random programs through\n"
-        "          the dataflow pass and the device, bit-exact rows\n"
+        "          the dataflow pass and the device, bit-exact rows;\n"
+        "          with --mitigation, the bypass certifier's Certain\n"
+        "          verdicts are asserted against a live mitigation\n"
         "  trace-summarize --trace=FILE\n"
         "          per-phase time/count tables from a JSONL trace\n"
         "common: --seed=N --rows=N (rows per subarray)\n"
