@@ -3,18 +3,77 @@
  * Reproduces the paper's Table 2: per module family, the minimum and
  * average HC_first across all tested rows for double-sided RowHammer,
  * CoMRA, and SiMRA, next to the paper's reported anchors.
+ *
+ * Two execution paths:
+ *
+ *  - default: the in-process measurePopulation pipeline with pairwise
+ *    dropIncomplete filtering (a victim counts only if *every*
+ *    technique flipped it), exactly the paper's paired methodology;
+ *  - --workers=N: the multi-process popsweep sketch path, which scales
+ *    to the paper's full 316-chip population (--full uncaps the module
+ *    count at each family's real Table 2 size unless --modules is
+ *    given).  Sketches are streaming and per-measure, so min/avg are
+ *    over each technique's own flipped victims independently -- the
+ *    pairing of dropIncomplete cannot be expressed in merged sketches
+ *    and min/avg here do not depend on it.  Per-family wall time and
+ *    aggregate worker RSS go to stderr; stdout stays deterministic.
  */
 
+#include <climits>
+#include <cstdio>
+
 #include "common.h"
+#include "hammer/popsweep.h"
 
 using namespace pud;
 using namespace pud::bench;
+
+namespace {
+
+/** moduleId as a path component ("KVR24N17S8/8" has a slash). */
+std::string
+familySlug(const std::string &module_id)
+{
+    std::string s = module_id;
+    for (char &c : s)
+        if (c == '/')
+            c = '_';
+    return s;
+}
+
+std::string
+cellFromStats(double mn, double mean)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f (%.1fK)", mn,
+                  mean / 1000.0);
+    return std::string(buf);
+}
+
+std::string
+paperCell(double mn, double avg)
+{
+    if (mn <= 0)
+        return std::string("N/A");
+    return cellFromStats(mn, avg);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const Args args(argc, argv);
-    const Scale scale = Scale::parse(args);
+    Scale scale = Scale::parse(args);
+    const int workers = static_cast<int>(args.getInt("workers", 0));
+    const std::string dir = args.get("dir", "BENCH_table2.workdir");
+
+    // Paper scale: --full --workers=N runs every family at its real
+    // Table 2 module count (316 chips fleet-wide) through the sketch
+    // path; populationFor still clamps to family.numModules.
+    if (workers > 0 && args.has("full") && !args.has("modules"))
+        scale.modulesCap = INT_MAX;
+
     banner("Table 2: per-family min (avg) HC_first", "paper Table 2");
 
     Table table({"module", "mfr", "die", "dens",
@@ -42,39 +101,59 @@ main(int argc, char **argv)
 
         // SiMRA needs sandwichable victims; use the same odd victim
         // population for every technique so the comparison is paired.
-        auto series = runPopulation(
-            populationFor(family, scale, family.supportsSimra),
-            measures);
-        series = hammer::dropIncomplete(series);
+        const PopulationConfig cfg =
+            populationFor(family, scale, family.supportsSimra);
 
-        auto cell = [](const std::vector<double> &s) {
-            const auto bs = stats::boxStats(s);
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%.0f (%.1fK)", bs.min,
-                          bs.mean / 1000.0);
-            return std::string(buf);
-        };
-        auto paper_cell = [](double mn, double avg) {
-            if (mn <= 0)
-                return std::string("N/A");
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%.0f (%.1fK)", mn,
-                          avg / 1000.0);
-            return std::string(buf);
-        };
+        std::string rh, comra, simra = "N/A";
+        if (workers > 0) {
+            hammer::PopsweepOptions popt;
+            popt.dir = dir + "_" + familySlug(family.moduleId);
+            popt.workers = workers;
+            popt.jobsPerWorker = scale.jobs;
+            const hammer::PopsweepResult r =
+                hammer::popsweep(cfg, measures, popt);
+            const auto &sk = r.sweep.sketches;
+            rh = cellFromStats(sk[0].min(), sk[0].mean());
+            comra = cellFromStats(sk[1].min(), sk[1].mean());
+            if (family.supportsSimra)
+                simra = cellFromStats(sk[2].min(), sk[2].mean());
+            std::fprintf(stderr,
+                         "# %s: %d modules, %zu shards, wall %.1f s, "
+                         "aggregate RSS %.1f MiB, workers %d\n",
+                         family.moduleId.c_str(), cfg.modules,
+                         r.sweep.totalShards,
+                         r.sweep.telemetry.wallSeconds,
+                         static_cast<double>(r.aggregateRssBytes) /
+                             (1024.0 * 1024.0),
+                         workers);
+        } else {
+            auto series = runPopulation(cfg, measures);
+            series = hammer::dropIncomplete(series);
+            auto cell = [](const std::vector<double> &s) {
+                const auto bs = stats::boxStats(s);
+                return cellFromStats(bs.min, bs.mean);
+            };
+            rh = cell(series[0]);
+            comra = cell(series[1]);
+            if (family.supportsSimra)
+                simra = cell(series[2]);
+        }
 
         table.addRow({family.moduleId, name(family.mfr), family.dieRev,
-                      family.density, cell(series[0]),
-                      paper_cell(family.rhMin, family.rhAvg),
-                      cell(series[1]),
-                      paper_cell(family.comraMin, family.comraAvg),
-                      family.supportsSimra ? cell(series[2]) : "N/A",
-                      paper_cell(family.simraMin, family.simraAvg)});
+                      family.density, rh,
+                      paperCell(family.rhMin, family.rhAvg), comra,
+                      paperCell(family.comraMin, family.comraAvg),
+                      simra,
+                      paperCell(family.simraMin, family.simraAvg)});
     }
 
     table.print();
     std::printf("\nNote: measured minima depend on the sampled "
                 "population size; run with --full to approach the "
                 "paper's all-rows scale.\n");
+    if (workers > 0)
+        std::printf("Note: --workers uses the streaming sketch path; "
+                    "min/avg are per-technique over flipped victims "
+                    "(no pairwise dropIncomplete filtering).\n");
     return 0;
 }

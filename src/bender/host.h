@@ -63,6 +63,14 @@ class TestBench
 
     ExecResult run(const Program &p) { return executor_.run(p); }
 
+    /**
+     * Re-seed the socket for the next module instance without
+     * reconstructing the Device arena: O(populated rows), and the
+     * Executor's shape-keyed plan cache stays warm (plans depend only
+     * on program shape, never on module state).
+     */
+    void reset(std::uint64_t seed) { device_->reset(seed); }
+
     void
     writeRow(BankId bank, RowId row, const RowData &data)
     {

@@ -83,6 +83,7 @@ Device::populateRow(BankState &bank, RowId r)
 
     Row &row = bank.rows[r];
     row.populated = true;
+    bank.populatedIdx.push_back(r);
     ++populatedRows_;
     row.data = RowData(cfg_.cols);
 
@@ -137,10 +138,12 @@ Device::populateRow(BankState &bank, RowId r)
                 0.3, simra_row * std::exp(kCellShare *
                                           cal.simraRegularSigma *
                                           rng.gaussian()));
+            double jitter[5];
+            rng.gaussianBlock(jitter, 5);
             for (int n = 0; n < 5; ++n) {
                 cell.simraFactor[n] = static_cast<float>(std::max(
                     0.2, cell_simra * std::exp(kSimraPerNJitterSigma *
-                                               rng.gaussian())));
+                                               jitter[n])));
             }
         }
 
@@ -157,6 +160,56 @@ Device::populateRow(BankState &bank, RowId r)
                             : FlipDirection::ZeroToOne;
         cell.resetDamage();
     }
+}
+
+void
+Device::reset(std::uint64_t seed)
+{
+    if (recorder_.active)
+        fatal("Device::reset: loop recording active");
+
+    cfg_.seed = seed;
+
+    for (BankState &bank : banks_) {
+        if (bank.rows.empty()) {
+            // Never-touched shell: nothing to clear, and leaving it
+            // empty preserves the lazy first-touch cost profile.
+            continue;
+        }
+        for (RowId r : bank.populatedIdx)
+            bank.rows[r] = Row{};
+        bank.populatedIdx.clear();
+
+        bank.st = BankState::St::Idle;
+        bank.openRows.clear();
+        bank.openKind = OpenKind::Normal;
+        bank.openedAt = 0;
+        bank.comraDelayOfOpen = 0;
+        bank.comraPartnerOfOpen = kNoRow;
+        bank.offGapOfOpen = 0;
+        bank.simraActToPre = 0;
+        bank.simraPreToAct = 0;
+        bank.pendingValid = false;
+        bank.pending = CloseEvent{};
+        bank.pendingClosedAt = 0;
+        bank.pendingOpenedAt = 0;
+        bank.pendingKind = OpenKind::Normal;
+        std::fill(bank.trrRing.begin(), bank.trrRing.end(), kNoRow);
+        bank.trrPos = 0;
+        bank.trrFill = 0;
+    }
+
+    disturb_ = DisturbanceModel(cfg_);
+    temperature_ = cfg_.temperature;
+    trrEnabled_ = false;
+    now_ = 0;
+    refCounter_ = 0;
+    trrRng_ = Rng(cfg_.seed).fork(0x7272);
+    noiseRng_ = Rng(cfg_.seed).fork(0x4E01);
+    counters_ = DeviceCounters{};
+    populatedRows_ = 0;
+    mitigation_ = nullptr;
+    mitigationRefresh_.clear();
 }
 
 void

@@ -236,12 +236,38 @@ class Device
     /** Rows whose weak-cell population has been drawn so far. */
     std::size_t populatedRowCount() const { return populatedRows_; }
 
+    // ---- arena reuse ------------------------------------------------------
+
+    /**
+     * Return the device to the state a freshly constructed
+     * `Device(cfg)` with `cfg.seed = seed` would have, in
+     * O(populated rows) instead of O(all rows): only rows whose
+     * weak-cell population was drawn are cleared (each bank keeps a
+     * dense index-vector of them), bank shells and the row arrays keep
+     * their allocations, and the per-module RNG streams are re-seeded
+     * exactly as the constructor does.  Population sweeps use this to
+     * reuse one Device arena per worker slot across thousands of
+     * module instances; a test pins that a reset device reproduces a
+     * fresh one's HC_first bit-identically.  Fatal while a loop
+     * recording is active.
+     */
+    void reset(std::uint64_t seed);
+
   private:
     struct BankState
     {
         enum class St { Idle, Open, Precharging };
 
         std::vector<Row> rows;
+
+        /**
+         * Dense index-vector of the rows in `rows` whose population
+         * has been drawn (in materialization order, not sorted).  This
+         * is what keeps reset() O(populated rows): mostly-idle modules
+         * at fleet scale touch a few dozen rows out of tens of
+         * thousands, and the reset walks exactly those.
+         */
+        std::vector<RowId> populatedIdx;
 
         St st = St::Idle;
         std::vector<RowId> openRows;  //!< physical, sorted

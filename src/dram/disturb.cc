@@ -354,14 +354,8 @@ DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
                event.rows.end();
     };
 
-    struct Contribution
-    {
-        RowId victim;
-        RowId aggressor;
-        int distance;
-        int side;  // -1: aggressor below victim, +1: above
-    };
-    std::vector<Contribution> contribs;
+    std::vector<Contribution> &contribs = contribScratch_;
+    contribs.clear();
     contribs.reserve(event.rows.size() * 4);
 
     for (RowId a : event.rows) {
@@ -380,11 +374,18 @@ DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
         }
     }
 
-    // Group by victim (contribs is near-sorted; sort to be safe).
-    std::sort(contribs.begin(), contribs.end(),
-              [](const Contribution &x, const Contribution &y) {
-                  return x.victim < y.victim;
-              });
+    // Group by victim.  Single-aggressor closes (the overwhelmingly
+    // common case: every RowHammer/CoMRA half-cycle) emit victims in
+    // strictly increasing order with no duplicates, so the sort would
+    // be an exact no-op -- skip it.  Multi-row groups keep the sort:
+    // with duplicate victim keys its (unstable) equal-key order fixes
+    // the FP deposit order, which must not change under a perf tweak.
+    if (event.rows.size() > 1) {
+        std::sort(contribs.begin(), contribs.end(),
+                  [](const Contribution &x, const Contribution &y) {
+                      return x.victim < y.victim;
+                  });
+    }
 
     std::size_t i = 0;
     while (i < contribs.size()) {
@@ -457,6 +458,20 @@ DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
                  : 1.0) *
             regionGain(eff_cls, event.simraN, region);
 
+        // The CoMRA/SiMRA temperature gains are pow() of family
+        // constants -- identical for every cell of the victim -- and so
+        // is the SiMRA N index; hoist both out of the per-cell fold.
+        // (The conventional class keeps its per-cell slope inline.)
+        const int simra_idx = simraIndex(event.simraN);
+        const WeakCell neutralCell;
+        const double class_temp =
+            eff_cls == TechClass::Conventional
+                ? 1.0
+                : tempGain(eff_cls, event.simraN, temperature,
+                           neutralCell);
+        const double simra_tech =
+            simra_sandwiched ? 0.0 : kSimraEdgeGain[simra_idx];
+
         for (std::size_t k = i; k < j; ++k) {
             const Contribution &c = contribs[k];
             const RowData &aggr_data = rows[c.aggressor].data;
@@ -485,19 +500,21 @@ DisturbanceModel::applyClose(std::vector<Row> &rows, const CloseEvent &event,
                     break;
                   case TechClass::Simra:
                     tech = simra_sandwiched
-                               ? cell.simraFactor[simraIndex(
-                                     event.simraN)]
-                               : kSimraEdgeGain[simraIndex(
-                                     event.simraN)];
+                               ? cell.simraFactor[simra_idx]
+                               : simra_tech;
                     break;
                   default:
                     tech = 1.0;
                 }
 
+                const double cell_temp =
+                    eff_cls == TechClass::Conventional
+                        ? tempGain(eff_cls, event.simraN, temperature,
+                                   cell)
+                        : class_temp;
                 const double delta =
                     common * dist_w * tech *
-                    minorityScale(eff_cls, cell) *
-                    tempGain(eff_cls, event.simraN, temperature, cell) *
+                    minorityScale(eff_cls, cell) * cell_temp *
                     dataGain(aggr_data, cell.col, stored) /
                     (2.0 * cell.baseHc * cell.trialScale);
                 addDamage(cell, eff_cls, static_cast<float>(delta));

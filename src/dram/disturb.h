@@ -242,8 +242,26 @@ class DisturbanceModel
     /** Apply one deposit (shared by live path and replay). */
     static void deposit(WeakCell &cell, TechClass cls, float delta);
 
+    /** One (victim, aggressor) adjacency of a close event. */
+    struct Contribution
+    {
+        RowId victim;
+        RowId aggressor;
+        int distance;
+        int side;  //!< -1: aggressor below victim, +1: above
+    };
+
     DeviceConfig cfg_;
     RowId rowsPerSubarray_;
+
+    /**
+     * Scratch for applyClose, reused across close events.  Every close
+     * of a fleet sweep's hammer loop used to heap-allocate a fresh
+     * contribution vector; at 10^5+ modules that allocation churn is
+     * measurable, so the model keeps the buffer warm instead (cleared,
+     * never shrunk).
+     */
+    std::vector<Contribution> contribScratch_;
 
     bool recording_ = false;
     DamageRecord record_;

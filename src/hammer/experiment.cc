@@ -145,6 +145,7 @@ measurePopulation(const PopulationConfig &cfg,
         r.workUnits = r.victims * measures.size();
         r.seconds = secondsSince(shard_start);
         r.acts = tester.device().counters().acts;
+        r.populatedRows = tester.device().populatedRowCount();
         const bender::ExecStats &xs = tester.bench().executor().stats();
         r.fastPathIterations = xs.fastPathIterations;
         r.planCacheHits = xs.planCacheHits;

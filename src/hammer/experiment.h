@@ -8,6 +8,7 @@
 #ifndef PUD_HAMMER_EXPERIMENT_H
 #define PUD_HAMMER_EXPERIMENT_H
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <string>
@@ -78,6 +79,13 @@ struct ShardReport
 
     /** ACT commands issued by the shard's device (hammers/sec base). */
     std::uint64_t acts = 0;
+
+    /**
+     * Rows whose weak-cell population the shard's device materialized.
+     * The lazy-row RSS argument at fleet scale rests on this staying a
+     * small constant per module; benches report the fleet maximum.
+     */
+    std::size_t populatedRows = 0;
 
     // Executor counters accumulated by the shard's tester
     // (bender::ExecStats): how much of the work took the loop
@@ -192,6 +200,16 @@ struct PopulationTelemetry
         std::uint64_t n = 0;
         for (const ShardReport &s : shards)
             n += s.planCacheMisses;
+        return n;
+    }
+
+    /** Largest per-shard materialized-row count (RSS sublinearity). */
+    std::size_t
+    maxPopulatedRows() const
+    {
+        std::size_t n = 0;
+        for (const ShardReport &s : shards)
+            n = std::max(n, s.populatedRows);
         return n;
     }
 };

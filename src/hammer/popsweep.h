@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Multi-process fleet sweeps: the popsweep supervisor.
+ *
+ * sweepPopulation (population.h) scales across threads within one
+ * process; popsweep scales across *processes*.  The supervisor forks N
+ * workers, gives each a contiguous range of the canonical shard plan,
+ * and coordinates purely at the file level: every worker owns one
+ * popckpt1 checkpoint file (crash-safe atomic commits, global shard
+ * indices) plus two sidecars -- a meta record and a pud::obs metrics
+ * snapshot -- all written atomically, so the supervisor never observes
+ * a torn file.
+ *
+ * Fault model: a worker that exits abnormally, or whose checkpoint
+ * mtime stops advancing for longer than the stall timeout, is killed
+ * and re-forked; the replacement resumes from the worker's own
+ * checkpoint (the committed prefix is never recomputed).  Workers set
+ * PR_SET_PDEATHSIG so a dying supervisor reaps the whole tree.
+ *
+ * Determinism contract (same as sweepPopulation, extended across
+ * processes): the fleet sketch is the per-shard sketches merged in
+ * global shard-index order, each shard's sketch depends only on its
+ * own identically-seeded tester, and worker ranges depend only on
+ * (shards, workers) -- so stdout built from the merged sketches is
+ * byte-identical across any (workers x jobs x interrupt/restart)
+ * schedule, and identical to the single-process sweepPopulation path.
+ */
+
+#ifndef PUD_HAMMER_POPSWEEP_H
+#define PUD_HAMMER_POPSWEEP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hammer/population.h"
+
+namespace pud::hammer {
+
+/** Knobs of one popsweep call beyond the PopulationConfig. */
+struct PopsweepOptions
+{
+    /**
+     * Coordination directory (created if absent): worker checkpoints
+     * and sidecars live here, and a rerun pointing at the same
+     * directory resumes every worker from its committed prefix.
+     */
+    std::string dir;
+
+    /** Worker processes to fork; must be >= 1. */
+    int workers = 1;
+
+    /** Threads inside each worker (PopulationConfig::jobs). */
+    int jobsPerWorker = 1;
+
+    /** Relative quantile error bound of the per-measure sketches. */
+    double sketchAlpha = 0.01;
+
+    /**
+     * A live worker whose checkpoint file has not been committed to
+     * for this long is presumed wedged, killed, and restarted.  The
+     * checkpoint writer commits on a ~1s-floor cadence precisely so
+     * this mtime watch has a heartbeat to observe.
+     */
+    double stallTimeoutSeconds = 120.0;
+
+    /** Abnormal exits / stalls tolerated per worker before fatal. */
+    int maxRestartsPerWorker = 3;
+};
+
+/** What one worker did, as observed by the supervisor. */
+struct WorkerReport
+{
+    int worker = 0;
+    std::size_t shardBegin = 0;  //!< global shard range [begin, end)
+    std::size_t shardEnd = 0;
+    int restarts = 0;            //!< respawns after crash/stall
+    std::uint64_t peakRssBytes = 0;  //!< worker-reported getrusage peak
+    double wallSeconds = 0.0;    //!< final (successful) attempt only
+    std::size_t resumedShards = 0;
+};
+
+/** Fleet result of a popsweep run. */
+struct PopsweepResult
+{
+    /**
+     * Merged fleet view, shaped exactly like a single-process
+     * sweepPopulation over the full plan: sketches merged in global
+     * shard order, telemetry concatenating every worker's per-shard
+     * reports in that same order.
+     */
+    SweepResult sweep;
+
+    std::vector<WorkerReport> workers;
+
+    /**
+     * Sum of the workers' self-reported peak RSS.  This is the honest
+     * multi-process memory figure: RUSAGE_CHILDREN reports the
+     * *maximum* child, not the sum, so each worker records its own
+     * peak in its meta sidecar and the supervisor adds them up.
+     */
+    std::uint64_t aggregateRssBytes = 0;
+};
+
+/**
+ * Fork `opt.workers` processes and sweep the population across them;
+ * blocks until every shard is accounted for.  Fatal when a worker
+ * exceeds its restart budget or a completed worker file fails
+ * validation.  Requires a POSIX host (fork/waitpid).
+ */
+PopsweepResult popsweep(const PopulationConfig &cfg,
+                        const std::vector<MeasureFn> &measures,
+                        const PopsweepOptions &opt);
+
+/** The contiguous shard range worker `w` of `workers` owns. */
+std::pair<std::size_t, std::size_t>
+popsweepWorkerRange(std::size_t shards, int workers, int w);
+
+} // namespace pud::hammer
+
+#endif // PUD_HAMMER_POPSWEEP_H

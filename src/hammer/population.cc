@@ -1,11 +1,15 @@
 #include "hammer/population.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -28,13 +32,6 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** One completed shard as stored in (and restored from) a checkpoint. */
-struct ShardRecord
-{
-    ShardReport report;
-    std::vector<stats::SampleSketch> sketches;  //!< one per measure
-};
-
 std::string
 encodeRecord(std::size_t index, const ShardRecord &rec)
 {
@@ -44,6 +41,7 @@ encodeRecord(std::size_t index, const ShardRecord &rec)
     out += " units=" + std::to_string(rec.report.workUnits);
     out += " seconds=" + stats::hexDouble(rec.report.seconds);
     out += " acts=" + std::to_string(rec.report.acts);
+    out += " populated=" + std::to_string(rec.report.populatedRows);
     out += " fast=" + std::to_string(rec.report.fastPathIterations);
     out += " hits=" + std::to_string(rec.report.planCacheHits);
     out += " misses=" + std::to_string(rec.report.planCacheMisses);
@@ -73,89 +71,206 @@ kvInt(std::istream &line, const char *key, T *out)
     return ec == std::errc() && ptr == last;
 }
 
-/**
- * Load the canonical-order prefix of completed shards.  Stops (without
- * failing) at the first truncated or malformed record: a crash while
- * appending leaves at most one partial record at the tail, and every
- * complete record before it is still valid.
- */
-std::map<std::size_t, ShardRecord>
-loadCheckpoint(const std::string &path, std::uint64_t fingerprint,
-               std::size_t measures, std::size_t total_shards)
+struct CheckpointHeader
 {
-    std::map<std::size_t, ShardRecord> loaded;
-    std::ifstream in(path);
-    if (!in)
-        return loaded;
+    std::uint64_t fingerprint = 0;
+    std::size_t measures = 0;
+    std::size_t shards = 0;
+    std::size_t base = 0;
+};
 
-    std::string line;
-    if (!std::getline(in, line))
-        return loaded;
-    {
-        std::istringstream header(line);
-        std::string magic;
-        std::uint64_t fp = 0;
-        std::size_t m = 0;
-        if (!(header >> magic) || magic != "popckpt1" ||
-            !kvInt(header, "fp", &fp) ||
-            !kvInt(header, "measures", &m)) {
-            fatal("checkpoint %s: unrecognized header", path.c_str());
-        }
-        if (fp != fingerprint || m != measures) {
-            fatal("checkpoint %s was written by a different sweep "
-                  "configuration (fingerprint %016llx vs %016llx); "
-                  "refusing to resume",
-                  path.c_str(), static_cast<unsigned long long>(fp),
-                  static_cast<unsigned long long>(fingerprint));
-        }
-    }
-
-    std::size_t expect = 0;
-    while (std::getline(in, line)) {
-        std::istringstream ls(line);
-        ShardRecord rec;
-        std::size_t index = 0;
-        if (!kvInt(ls, "shard", &index) || index != expect ||
-            index >= total_shards ||
-            !kvInt(ls, "module", &rec.report.module) ||
-            !kvInt(ls, "victims", &rec.report.victims) ||
-            !kvInt(ls, "units", &rec.report.workUnits))
-            break;
-        {
-            std::string tok;
-            if (!(ls >> tok) || tok.rfind("seconds=", 0) != 0 ||
-                !stats::parseHexDouble(tok.substr(8),
-                                       &rec.report.seconds))
-                break;
-        }
-        if (!kvInt(ls, "acts", &rec.report.acts) ||
-            !kvInt(ls, "fast", &rec.report.fastPathIterations) ||
-            !kvInt(ls, "hits", &rec.report.planCacheHits) ||
-            !kvInt(ls, "misses", &rec.report.planCacheMisses))
-            break;
-
-        bool ok = true;
-        rec.sketches.reserve(measures);
-        for (std::size_t i = 0; i < measures; ++i) {
-            if (!std::getline(in, line) || line.rfind("sk ", 0) != 0) {
-                ok = false;
-                break;
-            }
-            auto sk = stats::SampleSketch::deserialize(
-                std::string_view(line).substr(3));
-            if (!sk) {
-                ok = false;
-                break;
-            }
-            rec.sketches.push_back(std::move(*sk));
-        }
-        if (!ok)
-            break;
-        loaded.emplace(index, std::move(rec));
-        ++expect;
-    }
-    return loaded;
+bool
+parseHeader(const std::string &line, CheckpointHeader *h)
+{
+    std::istringstream header(line);
+    std::string magic;
+    return (header >> magic) && magic == "popckpt1" &&
+           kvInt(header, "fp", &h->fingerprint) &&
+           kvInt(header, "measures", &h->measures) &&
+           kvInt(header, "shards", &h->shards) &&
+           kvInt(header, "base", &h->base);
 }
+
+/**
+ * Parse one record whose first line is already in `line` (the sk
+ * payload lines are consumed from `in`).  False on any mismatch; the
+ * stream may then be mid-record, which callers treat as the end of
+ * the valid prefix.
+ */
+bool
+parseRecord(std::istream &in, std::string &line, std::size_t expect,
+            std::size_t total_shards, std::size_t measures,
+            ShardRecord *rec)
+{
+    std::istringstream ls(line);
+    std::size_t index = 0;
+    if (!kvInt(ls, "shard", &index) || index != expect ||
+        index >= total_shards ||
+        !kvInt(ls, "module", &rec->report.module) ||
+        !kvInt(ls, "victims", &rec->report.victims) ||
+        !kvInt(ls, "units", &rec->report.workUnits))
+        return false;
+    {
+        std::string tok;
+        if (!(ls >> tok) || tok.rfind("seconds=", 0) != 0 ||
+            !stats::parseHexDouble(tok.substr(8), &rec->report.seconds))
+            return false;
+    }
+    if (!kvInt(ls, "acts", &rec->report.acts) ||
+        !kvInt(ls, "populated", &rec->report.populatedRows) ||
+        !kvInt(ls, "fast", &rec->report.fastPathIterations) ||
+        !kvInt(ls, "hits", &rec->report.planCacheHits) ||
+        !kvInt(ls, "misses", &rec->report.planCacheMisses))
+        return false;
+
+    rec->sketches.reserve(measures);
+    for (std::size_t i = 0; i < measures; ++i) {
+        if (!std::getline(in, line) || line.rfind("sk ", 0) != 0)
+            return false;
+        auto sk = stats::SampleSketch::deserialize(
+            std::string_view(line).substr(3));
+        if (!sk)
+            return false;
+        rec->sketches.push_back(std::move(*sk));
+    }
+    return true;
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        fatal("cannot open checkpoint temp file %s", tmp.c_str());
+    const char *p = contents.data();
+    std::size_t left = contents.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            ::close(fd);
+            fatal("short write to checkpoint temp file %s",
+                  tmp.c_str());
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("fsync failed on checkpoint temp file %s", tmp.c_str());
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename %s over %s", tmp.c_str(), path.c_str());
+
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);  // durability of the rename itself; best effort
+        ::close(dfd);
+    }
+}
+
+namespace {
+
+/**
+ * Canonical-order streaming checkpoint writer.
+ *
+ * Shards complete in scheduler order, but the file must always be a
+ * complete canonical prefix (that is what makes a resumed merge
+ * bit-identical), so completed records park until every lower-index
+ * shard has been handed in.  Commits go through atomicReplace: the
+ * on-disk file is rewritten whole, which keeps every observable state
+ * a valid prefix at the cost of O(records) IO per commit -- bounded by
+ * committing on a time cadence that stretches as the file grows.  The
+ * cadence also refreshes the file mtime, which is what the popsweep
+ * supervisor's stall detector watches.
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter(std::string path, std::string header,
+                     std::size_t next)
+        : path_(std::move(path)), header_(std::move(header)),
+          next_(next), lastCommit_(std::chrono::steady_clock::now())
+    {}
+
+    /** Seed the writer with the already-validated resumed prefix. */
+    void
+    addResumed(std::string record)
+    {
+        lines_.push_back(std::move(record));
+    }
+
+    /** Commit the resumed prefix (even if empty: the header must be
+     *  on disk before the supervisor can trust the file). */
+    void
+    commitInitial()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        commitLocked();
+    }
+
+    void
+    offer(std::size_t index, std::string record)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        parked_.emplace(index, std::move(record));
+        while (!parked_.empty() && parked_.begin()->first == next_) {
+            lines_.push_back(std::move(parked_.begin()->second));
+            parked_.erase(parked_.begin());
+            ++next_;
+            ++uncommitted_;
+        }
+        if (uncommitted_ == 0)
+            return;
+        // Stretch the commit interval as the file grows so total IO
+        // stays near-linear; floor of 1s keeps small runs durable and
+        // the mtime fresh for stall detection.
+        const double interval =
+            std::max(1.0, static_cast<double>(lines_.size()) / 50000.0);
+        if (secondsSince(lastCommit_) >= interval)
+            commitLocked();
+    }
+
+    void
+    finish()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!parked_.empty())
+            fatal("checkpoint %s: %zu shard records never became "
+                  "appendable (gap in the canonical order)",
+                  path_.c_str(), parked_.size());
+        if (uncommitted_ > 0)
+            commitLocked();
+    }
+
+  private:
+    void
+    commitLocked()
+    {
+        std::string contents = header_;
+        for (const std::string &line : lines_)
+            contents += line;
+        atomicWriteFile(path_, contents);
+        uncommitted_ = 0;
+        lastCommit_ = std::chrono::steady_clock::now();
+    }
+
+    std::string path_;
+    std::string header_;
+    std::vector<std::string> lines_;  //!< canonical-order records
+    std::map<std::size_t, std::string> parked_;
+    std::size_t next_;          //!< next global index to append
+    std::size_t uncommitted_ = 0;
+    std::chrono::steady_clock::time_point lastCommit_;
+    std::mutex mutex_;
+};
 
 } // namespace
 
@@ -176,6 +291,78 @@ populationFingerprint(const PopulationConfig &cfg, std::size_t measures)
     return h;
 }
 
+CheckpointScan
+scanCheckpoint(const std::string &path)
+{
+    CheckpointScan scan;
+    std::ifstream in(path);
+    if (!in)
+        return scan;
+    std::string line;
+    if (!std::getline(in, line))
+        return scan;
+    CheckpointHeader h;
+    if (!parseHeader(line, &h))
+        return scan;
+    scan.valid = true;
+    scan.fingerprint = h.fingerprint;
+    scan.measures = h.measures;
+    scan.shards = h.shards;
+    scan.base = h.base;
+
+    std::size_t expect = h.base;
+    while (std::getline(in, line)) {
+        ShardRecord rec;
+        if (!parseRecord(in, line, expect, h.shards, h.measures,
+                         &rec)) {
+            scan.torn = true;
+            break;
+        }
+        ++scan.records;
+        ++expect;
+    }
+    return scan;
+}
+
+std::vector<std::pair<std::size_t, ShardRecord>>
+loadCheckpointRecords(const std::string &path, std::uint64_t fingerprint,
+                      std::size_t measures, std::size_t total_shards)
+{
+    std::vector<std::pair<std::size_t, ShardRecord>> loaded;
+    std::ifstream in(path);
+    if (!in)
+        return loaded;
+
+    std::string line;
+    if (!std::getline(in, line))
+        return loaded;
+    CheckpointHeader h;
+    if (!parseHeader(line, &h))
+        fatal("checkpoint %s: unrecognized header", path.c_str());
+    if (h.fingerprint != fingerprint || h.measures != measures) {
+        fatal("checkpoint %s was written by a different sweep "
+              "configuration (fingerprint %016llx vs %016llx); "
+              "refusing to resume",
+              path.c_str(),
+              static_cast<unsigned long long>(h.fingerprint),
+              static_cast<unsigned long long>(fingerprint));
+    }
+    if (h.shards != total_shards)
+        fatal("checkpoint %s plans %zu shards, expected %zu",
+              path.c_str(), h.shards, total_shards);
+
+    std::size_t expect = h.base;
+    while (std::getline(in, line)) {
+        ShardRecord rec;
+        if (!parseRecord(in, line, expect, total_shards, measures,
+                         &rec))
+            break;
+        loaded.emplace_back(expect, std::move(rec));
+        ++expect;
+    }
+    return loaded;
+}
+
 SweepResult
 sweepPopulation(const PopulationConfig &cfg,
                 const std::vector<MeasureFn> &measures,
@@ -190,62 +377,58 @@ sweepPopulation(const PopulationConfig &cfg,
     const std::vector<ShardPlan> shards =
         planPopulationShards(cfg, victims.size());
 
-    std::vector<ShardRecord> records(shards.size());
-    std::vector<bool> resumed(shards.size(), false);
+    const std::size_t begin = std::min(opt.shardBegin, shards.size());
+    const std::size_t end =
+        std::min(opt.shardEnd, shards.size());
+    if (begin > end)
+        fatal("sweepPopulation: shard range [%zu, %zu) is invalid",
+              begin, end);
+    const std::size_t range = end - begin;
+
+    std::vector<ShardRecord> records(range);
+    std::vector<bool> resumed(range, false);
 
     // ---- resume -------------------------------------------------------
     std::size_t resumed_count = 0;
     if (!opt.checkpointPath.empty()) {
         auto loaded =
-            loadCheckpoint(opt.checkpointPath, fingerprint,
-                           measures.size(), shards.size());
+            loadCheckpointRecords(opt.checkpointPath, fingerprint,
+                                  measures.size(), shards.size());
+        if (!loaded.empty() && loaded.front().first != begin)
+            fatal("checkpoint %s covers shards starting at %zu, "
+                  "expected %zu; refusing to resume",
+                  opt.checkpointPath.c_str(), loaded.front().first,
+                  begin);
         for (auto &[index, rec] : loaded) {
-            records[index] = std::move(rec);
-            records[index].report.firstSlot = shards[index].slotBase;
-            resumed[index] = true;
+            if (index >= end)
+                break;
+            records[index - begin] = std::move(rec);
+            records[index - begin].report.firstSlot =
+                shards[index].slotBase;
+            resumed[index - begin] = true;
             ++resumed_count;
         }
     }
 
-    // ---- checkpoint writer (canonical-order streaming append) ---------
-    //
-    // Shards complete in scheduler order, but the file must always be
-    // a prefix of the canonical shard sequence (that is what makes a
-    // resumed merge bit-identical).  Completed records park in `ready`
-    // until every lower-index shard has been appended.
-    std::ofstream ckpt;
-    std::mutex ckpt_mutex;
-    std::map<std::size_t, std::string> ready;
-    std::size_t next_to_append = resumed_count;
+    // ---- checkpoint writer (canonical-order atomic commits) -----------
+    std::unique_ptr<CheckpointWriter> ckpt;
     if (!opt.checkpointPath.empty()) {
-        // Rewrite the validated prefix rather than appending after
-        // whatever the old file ends with: a crash mid-append can
-        // leave a partial record at the tail, and appending past it
-        // would corrupt every later resume.
-        ckpt.open(opt.checkpointPath, std::ios::trunc);
-        if (!ckpt)
-            fatal("cannot open checkpoint file %s",
-                  opt.checkpointPath.c_str());
-        ckpt << "popckpt1 fp=" << fingerprint
-             << " measures=" << measures.size()
-             << " shards=" << shards.size() << '\n';
+        std::string header = "popckpt1 fp=" +
+                             std::to_string(fingerprint) +
+                             " measures=" +
+                             std::to_string(measures.size()) +
+                             " shards=" + std::to_string(shards.size()) +
+                             " base=" + std::to_string(begin) + '\n';
+        ckpt = std::make_unique<CheckpointWriter>(
+            opt.checkpointPath, std::move(header),
+            begin + resumed_count);
         for (std::size_t i = 0; i < resumed_count; ++i)
-            ckpt << encodeRecord(i, records[i]);
-        ckpt.flush();
+            ckpt->addResumed(encodeRecord(begin + i, records[i]));
+        // Rewrite the validated prefix rather than trusting whatever
+        // the old file ends with; from here on every commit replaces
+        // the file atomically.
+        ckpt->commitInitial();
     }
-    auto offerRecord = [&](std::size_t index) {
-        if (!ckpt.is_open())
-            return;
-        std::lock_guard<std::mutex> lock(ckpt_mutex);
-        ready.emplace(index, encodeRecord(index, records[index]));
-        while (!ready.empty() &&
-               ready.begin()->first == next_to_append) {
-            ckpt << ready.begin()->second;
-            ready.erase(ready.begin());
-            ++next_to_append;
-            ckpt.flush();
-        }
-    };
 
     if (obs::traceOn()) [[unlikely]]
         obs::trace().event(
@@ -256,22 +439,57 @@ sweepPopulation(const PopulationConfig &cfg,
                              static_cast<std::size_t>(
                                  std::max(0, cfg.modules))},
              {"measures", measures.size()},
-             {"shards", shards.size()},
+             {"shards", range},
+             {"shard_base", begin},
              {"resumed", resumed_count},
              {"jobs", static_cast<std::int64_t>(jobs)}});
 
+    // ---- tester arena pool -------------------------------------------
+    //
+    // Module instances of one sweep differ only in their device seed
+    // (populationDeviceConfig), so a finished shard's tester can be
+    // re-seeded for the next shard with the O(populated-rows)
+    // Device::reset instead of reconstructing the whole arena: row
+    // arrays, TRR rings, and the executor's shape-keyed plan cache all
+    // stay warm.  The pool holds at most `jobs` testers.  A reset
+    // tester is bit-identical to a fresh one (pinned by
+    // DeviceResetTest), so results do not depend on which arena a
+    // shard lands on.
+    std::mutex arena_mutex;
+    std::vector<std::unique_ptr<ModuleTester>> arenas;
+
     // ---- sweep --------------------------------------------------------
-    exec::parallelFor(jobs, shards.size(), [&](std::size_t si) {
-        if (resumed[si])
+    exec::parallelFor(jobs, range, [&](std::size_t ri) {
+        if (resumed[ri])
             return;
-        const ShardPlan &shard = shards[si];
+        const ShardPlan &shard = shards[begin + ri];
         const auto shard_start = std::chrono::steady_clock::now();
 
-        ModuleTester tester(populationDeviceConfig(cfg, shard.module));
+        std::unique_ptr<ModuleTester> tester_slot;
+        {
+            std::lock_guard<std::mutex> lock(arena_mutex);
+            if (!arenas.empty()) {
+                tester_slot = std::move(arenas.back());
+                arenas.pop_back();
+            }
+        }
+        dram::DeviceConfig dev_cfg =
+            populationDeviceConfig(cfg, shard.module);
+        if (tester_slot)
+            tester_slot->reset(dev_cfg.seed);
+        else
+            tester_slot =
+                std::make_unique<ModuleTester>(std::move(dev_cfg));
+        ModuleTester &tester = *tester_slot;
         if (cfg.setup)
             cfg.setup(tester);
 
-        ShardRecord &rec = records[si];
+        // The executor's stats survive a reset (the plan cache is
+        // kept warm on purpose); report per-shard deltas.
+        const bender::ExecStats stats_before =
+            tester.bench().executor().stats();
+
+        ShardRecord &rec = records[ri];
         rec.sketches.assign(measures.size(),
                             stats::SampleSketch(opt.sketchAlpha));
         for (std::size_t v = shard.victimBegin; v < shard.victimEnd;
@@ -293,12 +511,25 @@ sweepPopulation(const PopulationConfig &cfg,
         r.workUnits = r.victims * measures.size();
         r.seconds = secondsSince(shard_start);
         r.acts = tester.device().counters().acts;
+        r.populatedRows = tester.device().populatedRowCount();
         const bender::ExecStats &xs = tester.bench().executor().stats();
-        r.fastPathIterations = xs.fastPathIterations;
-        r.planCacheHits = xs.planCacheHits;
-        r.planCacheMisses = xs.planCacheMisses;
-        offerRecord(si);
+        r.fastPathIterations =
+            xs.fastPathIterations - stats_before.fastPathIterations;
+        r.planCacheHits =
+            xs.planCacheHits - stats_before.planCacheHits;
+        r.planCacheMisses =
+            xs.planCacheMisses - stats_before.planCacheMisses;
+
+        {
+            std::lock_guard<std::mutex> lock(arena_mutex);
+            arenas.push_back(std::move(tester_slot));
+        }
+        if (ckpt)
+            ckpt->offer(begin + ri, encodeRecord(begin + ri, rec));
     });
+
+    if (ckpt)
+        ckpt->finish();
 
     // ---- canonical-order fleet merge ----------------------------------
     SweepResult result;
@@ -320,7 +551,7 @@ sweepPopulation(const PopulationConfig &cfg,
     for (const ShardRecord &rec : records)
         result.telemetry.shards.push_back(rec.report);
     result.resumedShards = resumed_count;
-    result.totalShards = shards.size();
+    result.totalShards = range;
 
     if (obs::traceOn()) [[unlikely]]
         obs::trace().event(

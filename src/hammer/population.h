@@ -22,8 +22,10 @@
 #ifndef PUD_HAMMER_POPULATION_H
 #define PUD_HAMMER_POPULATION_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hammer/experiment.h"
@@ -38,15 +40,80 @@ struct SweepOptions
      * Checkpoint file; empty disables checkpointing.  An existing file
      * must carry the same configuration fingerprint (mismatch is
      * fatal: silently mixing populations would corrupt the fleet
-     * statistics).  Completed shard records are appended and flushed
-     * as the sweep runs, so an interrupted process loses at most the
-     * shards still in flight.
+     * statistics).  Completed shard records are committed to the file
+     * as the sweep runs -- every commit is write-temp + fsync + rename,
+     * so the file on disk is always a *complete* canonical prefix and a
+     * crashed process (power loss included) never re-reads its own torn
+     * write.  An interrupted run loses at most the shards still in
+     * flight plus the commit batch being accumulated.
      */
     std::string checkpointPath;
 
     /** Relative quantile error bound of the per-measure sketches. */
     double sketchAlpha = 0.01;
+
+    /**
+     * Global shard range [shardBegin, min(shardEnd, totalShards)) this
+     * call computes; the default covers the whole plan.  Multi-process
+     * drivers (hammer/popsweep.h) give each worker a contiguous range
+     * and its own checkpoint file; record indices in the file stay
+     * *global*, so the supervisor can merge worker files in canonical
+     * shard order without any renumbering.
+     */
+    std::size_t shardBegin = 0;
+    std::size_t shardEnd = static_cast<std::size_t>(-1);
 };
+
+/** One completed shard as stored in (and restored from) a checkpoint. */
+struct ShardRecord
+{
+    ShardReport report;
+    std::vector<stats::SampleSketch> sketches;  //!< one per measure
+};
+
+/**
+ * Cheap structural scan of a checkpoint file: header fields plus the
+ * number of complete records, without deserializing sketch payloads
+ * into full sketches for the caller.  `torn` reports trailing bytes
+ * after the last complete record -- with atomic commits this indicates
+ * outside interference (truncation, concurrent writers), not a crash,
+ * and the supervisor surfaces it.  `valid` is false when the file is
+ * missing or the header does not parse.
+ */
+struct CheckpointScan
+{
+    bool valid = false;
+    std::uint64_t fingerprint = 0;
+    std::size_t measures = 0;
+    std::size_t shards = 0;  //!< total planned shards (header)
+    std::size_t base = 0;    //!< first global shard index (header)
+    std::size_t records = 0; //!< complete records present
+    bool torn = false;
+};
+
+CheckpointScan scanCheckpoint(const std::string &path);
+
+/**
+ * Atomically replace `path` with `contents`: write `path + ".tmp"`,
+ * fsync, rename over the destination (POSIX rename is atomic), then
+ * best-effort fsync the containing directory.  Readers only ever see
+ * the old or the new complete file.  Shared by the checkpoint writer
+ * and the popsweep sidecar files.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &contents);
+
+/**
+ * Load the valid canonical prefix of a checkpoint: records for global
+ * shard indices [base, base + result.size()), in order.  Fatal when
+ * the file exists but was written by a different sweep configuration;
+ * an absent or empty file yields an empty vector.  Exposed so the
+ * popsweep supervisor can fold completed worker files into the fleet
+ * merge without rerunning any work.
+ */
+std::vector<std::pair<std::size_t, ShardRecord>>
+loadCheckpointRecords(const std::string &path, std::uint64_t fingerprint,
+                      std::size_t measures, std::size_t total_shards);
 
 /** What one sweepPopulation call produced. */
 struct SweepResult

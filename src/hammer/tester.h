@@ -70,6 +70,15 @@ class ModuleTester
 
     explicit ModuleTester(dram::DeviceConfig cfg) : bench_(std::move(cfg)) {}
 
+    /**
+     * Re-seed the underlying bench for the next module instance
+     * (arena reuse; see TestBench::reset).  The once-per-tester
+     * warning/lint latches stay latched: under arena reuse they mean
+     * once per worker slot, which is the intended warning cadence for
+     * fleet sweeps anyway.
+     */
+    void reset(std::uint64_t seed) { bench_.reset(seed); }
+
     bender::TestBench &bench() { return bench_; }
     dram::Device &device() { return bench_.device(); }
     const dram::Device &device() const { return bench_.device(); }

@@ -115,6 +115,30 @@ MetricsRegistry::print(std::FILE *out) const
 }
 
 void
+MetricsRegistry::merge(const MetricsSnapshot &snap)
+{
+    for (const auto &c : snap.counters) {
+        // Intern the name even at value 0 so a merged registry lists
+        // exactly the counters the workers knew about -- otherwise a
+        // zero counter would appear or vanish depending on which
+        // process happened to touch its call site.
+        const CounterId id = counterId(c.name);
+        if (c.value != 0)
+            shard().counters[id].fetch_add(c.value,
+                                           std::memory_order_relaxed);
+    }
+    for (const auto &h : snap.hists) {
+        const HistId id = histId(h.name);
+        const std::size_t n =
+            std::min<std::size_t>(h.buckets.size(), kHistBuckets);
+        for (std::size_t b = 0; b < n; ++b)
+            if (h.buckets[b])
+                shard().hists[id][b].fetch_add(
+                    h.buckets[b], std::memory_order_relaxed);
+    }
+}
+
+void
 MetricsRegistry::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +149,249 @@ MetricsRegistry::reset()
             for (auto &b : hist)
                 b.store(0, std::memory_order_relaxed);
     }
+}
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Minimal strict cursor over the exact JSON grammar snapshotToJson
+ * emits (no floats, no nested objects beyond the fixed shape).  Not a
+ * general JSON parser on purpose: the sidecar files are machine
+ * written, so anything unexpected is corruption and should fail.
+ */
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+
+    void
+    ws()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    lit(char c)
+    {
+        ws();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    str(std::string *out)
+    {
+        ws();
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        out->clear();
+        while (p < end && *p != '"') {
+            char ch = *p++;
+            if (ch == '\\') {
+                if (p >= end)
+                    return false;
+                const char esc = *p++;
+                switch (esc) {
+                  case '"': ch = '"'; break;
+                  case '\\': ch = '\\'; break;
+                  case 'n': ch = '\n'; break;
+                  case 't': ch = '\t'; break;
+                  case 'u': {
+                    if (end - p < 4)
+                        return false;
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = *p++;
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    if (v > 0x7F)
+                        return false;  // names are ASCII
+                    ch = static_cast<char>(v);
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            }
+            *out += ch;
+        }
+        if (p >= end)
+            return false;
+        ++p;  // closing quote
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t *out)
+    {
+        ws();
+        if (p >= end || *p < '0' || *p > '9')
+            return false;
+        std::uint64_t v = 0;
+        while (p < end && *p >= '0' && *p <= '9') {
+            const std::uint64_t d =
+                static_cast<std::uint64_t>(*p - '0');
+            if (v > (~0ULL - d) / 10)
+                return false;  // overflow
+            v = v * 10 + d;
+            ++p;
+        }
+        *out = v;
+        return true;
+    }
+};
+
+} // namespace
+
+std::string
+snapshotToJson(const MetricsSnapshot &snap)
+{
+    std::string out = "{\"counters\":[";
+    bool first = true;
+    for (const auto &c : snap.counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, c.name);
+        out += ",\"value\":" + std::to_string(c.value) + '}';
+    }
+    out += "],\"hists\":[";
+    first = true;
+    for (const auto &h : snap.hists) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, h.name);
+        out += ",\"buckets\":[";
+        bool fb = true;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (!h.buckets[b])
+                continue;
+            if (!fb)
+                out += ',';
+            fb = false;
+            out += '[' + std::to_string(b) + ',' +
+                   std::to_string(h.buckets[b]) + ']';
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::optional<MetricsSnapshot>
+snapshotFromJson(std::string_view json)
+{
+    JsonCursor c{json.data(), json.data() + json.size()};
+    MetricsSnapshot snap;
+    std::string key;
+
+    if (!c.lit('{') || !c.str(&key) || key != "counters" ||
+        !c.lit(':') || !c.lit('['))
+        return std::nullopt;
+    c.ws();
+    if (!c.lit(']')) {
+        for (;;) {
+            MetricsSnapshot::Counter counter;
+            if (!c.lit('{') || !c.str(&key) || key != "name" ||
+                !c.lit(':') || !c.str(&counter.name) || !c.lit(',') ||
+                !c.str(&key) || key != "value" || !c.lit(':') ||
+                !c.u64(&counter.value) || !c.lit('}'))
+                return std::nullopt;
+            snap.counters.push_back(std::move(counter));
+            if (c.lit(','))
+                continue;
+            if (c.lit(']'))
+                break;
+            return std::nullopt;
+        }
+    }
+
+    if (!c.lit(',') || !c.str(&key) || key != "hists" ||
+        !c.lit(':') || !c.lit('['))
+        return std::nullopt;
+    c.ws();
+    if (!c.lit(']')) {
+        for (;;) {
+            MetricsSnapshot::Hist hist;
+            hist.buckets.assign(MetricsRegistry::kHistBuckets, 0);
+            if (!c.lit('{') || !c.str(&key) || key != "name" ||
+                !c.lit(':') || !c.str(&hist.name) || !c.lit(',') ||
+                !c.str(&key) || key != "buckets" || !c.lit(':') ||
+                !c.lit('['))
+                return std::nullopt;
+            c.ws();
+            if (!c.lit(']')) {
+                for (;;) {
+                    std::uint64_t b = 0, count = 0;
+                    if (!c.lit('[') || !c.u64(&b) || !c.lit(',') ||
+                        !c.u64(&count) || !c.lit(']') ||
+                        b >= MetricsRegistry::kHistBuckets)
+                        return std::nullopt;
+                    hist.buckets[b] = count;
+                    hist.total += count;
+                    if (c.lit(','))
+                        continue;
+                    if (c.lit(']'))
+                        break;
+                    return std::nullopt;
+                }
+            }
+            if (!c.lit('}'))
+                return std::nullopt;
+            snap.hists.push_back(std::move(hist));
+            if (c.lit(','))
+                continue;
+            if (c.lit(']'))
+                break;
+            return std::nullopt;
+        }
+    }
+    if (!c.lit('}'))
+        return std::nullopt;
+    c.ws();
+    if (c.p != c.end)
+        return std::nullopt;
+    return snap;
 }
 
 } // namespace pud::obs

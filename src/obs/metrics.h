@@ -38,7 +38,9 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pud::obs {
@@ -162,6 +164,17 @@ class MetricsRegistry
     /** Zero every shard (tests; not safe against concurrent writers). */
     void reset();
 
+    /**
+     * Fold a snapshot from another process into this registry (names
+     * are interned on the fly, values add into the calling thread's
+     * shard).  This is how the popsweep supervisor propagates worker
+     * metrics: every worker dumps its snapshot beside its checkpoint
+     * and the supervisor merges them, so the final name-sorted print
+     * stays deterministic across worker counts -- counter sums are
+     * partition-independent.  Works regardless of the enabled flag.
+     */
+    void merge(const MetricsSnapshot &snap);
+
   private:
     struct Shard
     {
@@ -195,6 +208,18 @@ metricsOn()
 {
     return detail::g_metricsEnabled.load(std::memory_order_relaxed);
 }
+
+/**
+ * Snapshot <-> JSON, for cross-process metrics propagation (worker
+ * sidecar files).  The JSON is deterministic: a name-sorted snapshot
+ * serializes to byte-identical output, and
+ * snapshotFromJson(snapshotToJson(s)) reproduces s exactly (empty
+ * histogram buckets are elided on both sides).
+ */
+std::string snapshotToJson(const MetricsSnapshot &snap);
+
+/** Strict parser for snapshotToJson output; nullopt when malformed. */
+std::optional<MetricsSnapshot> snapshotFromJson(std::string_view json);
 
 } // namespace pud::obs
 

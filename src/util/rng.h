@@ -13,6 +13,7 @@
 #ifndef PUD_UTIL_RNG_H
 #define PUD_UTIL_RNG_H
 
+#include <cstddef>
 #include <cstdint>
 #include <cmath>
 #include <numbers>
@@ -133,6 +134,34 @@ class Rng
     logNormalMedian(double median, double sigma)
     {
         return median * std::exp(sigma * gaussian());
+    }
+
+    /**
+     * Fill `out[0..n)` with the next n raw outputs.  Draw-for-draw
+     * identical to calling next() n times -- the batch form exists so
+     * hot loops (weak-cell population, per-close damage folds) can
+     * advance the state in one pass without the per-call function
+     * boundary, never so it can reorder or skip draws.
+     */
+    void
+    fill(std::uint64_t *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
+    /**
+     * Fill `out[0..n)` with standard-normal draws, bit-identical to n
+     * successive gaussian() calls (same Box-Muller, two uniforms per
+     * draw, no cached spare).  Batching keeps the sqrt/log/cos chain in
+     * one loop the compiler can software-pipeline; callers rely on the
+     * sequence equivalence for seed-stable populations.
+     */
+    void
+    gaussianBlock(double *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = gaussian();
     }
 
     /** Fork an independent stream keyed by an arbitrary tag. */

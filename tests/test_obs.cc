@@ -158,6 +158,118 @@ TEST_F(MetricsTest, ResetZeroesEverything)
         EXPECT_EQ(c.value, 0u) << c.name;
 }
 
+// ---- snapshot JSON + cross-process merge ----------------------------------
+
+TEST_F(MetricsTest, SnapshotJsonRoundTripsExactly)
+{
+    const CounterId c = metrics().counterId("obs_test.json.count");
+    metrics().counterId("obs_test.json.zero");  // stays at 0
+    const HistId h = metrics().histId("obs_test.json.hist");
+    metrics().add(c, 12345678901234567ull);
+    metrics().observe(h, 0);
+    metrics().observe(h, 300);
+
+    const MetricsSnapshot snap = metrics().snapshot();
+    const std::string json = snapshotToJson(snap);
+    const auto back = snapshotFromJson(json);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->counters.size(), snap.counters.size());
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        EXPECT_EQ(back->counters[i].name, snap.counters[i].name);
+        EXPECT_EQ(back->counters[i].value, snap.counters[i].value);
+    }
+    ASSERT_EQ(back->hists.size(), snap.hists.size());
+    for (std::size_t i = 0; i < snap.hists.size(); ++i) {
+        EXPECT_EQ(back->hists[i].name, snap.hists[i].name);
+        EXPECT_EQ(back->hists[i].total, snap.hists[i].total);
+        EXPECT_EQ(back->hists[i].buckets, snap.hists[i].buckets);
+    }
+
+    // Determinism: serializing the parsed snapshot reproduces the
+    // original bytes (this is what makes the sidecar files diffable).
+    EXPECT_EQ(snapshotToJson(*back), json);
+}
+
+TEST(MetricsJson, EscapedNamesSurviveTheRoundTrip)
+{
+    MetricsSnapshot snap;
+    snap.counters.push_back({"weird \"name\"\\with\nescapes\t!", 7});
+    const auto back = snapshotFromJson(snapshotToJson(snap));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->counters.size(), 1u);
+    EXPECT_EQ(back->counters[0].name, snap.counters[0].name);
+    EXPECT_EQ(back->counters[0].value, 7u);
+}
+
+TEST(MetricsJson, MalformedInputIsRejectedNotMisparsed)
+{
+    const std::string good =
+        "{\"counters\":[{\"name\":\"a\",\"value\":1}],\"hists\":[]}";
+    ASSERT_TRUE(snapshotFromJson(good).has_value());
+
+    EXPECT_FALSE(snapshotFromJson("").has_value());
+    EXPECT_FALSE(snapshotFromJson("{").has_value());
+    EXPECT_FALSE(snapshotFromJson(good + "x").has_value());
+    EXPECT_FALSE(
+        snapshotFromJson(good.substr(0, good.size() - 3)).has_value());
+    // Out-of-range bucket index.
+    EXPECT_FALSE(
+        snapshotFromJson("{\"counters\":[],\"hists\":[{\"name\":\"h\","
+                         "\"buckets\":[[999,1]]}]}")
+            .has_value());
+    // Value overflowing uint64.
+    EXPECT_FALSE(
+        snapshotFromJson("{\"counters\":[{\"name\":\"a\",\"value\":"
+                         "99999999999999999999999}],\"hists\":[]}")
+            .has_value());
+}
+
+TEST_F(MetricsTest, MergeAddsValuesAndInternsZeroCounters)
+{
+    MetricsSnapshot incoming;
+    incoming.counters.push_back({"obs_test.merge.sum", 40});
+    incoming.counters.push_back({"obs_test.merge.zero", 0});
+    MetricsSnapshot::Hist hist;
+    hist.name = "obs_test.merge.hist";
+    hist.buckets.assign(MetricsRegistry::kHistBuckets, 0);
+    hist.buckets[3] = 5;
+    hist.total = 5;
+    incoming.hists.push_back(hist);
+
+    metrics().add(metrics().counterId("obs_test.merge.sum"), 2);
+    // merge must work with recording disabled: the supervisor folds
+    // worker sidecars whether or not --metrics enabled this process.
+    metrics().setEnabled(false);
+    metrics().merge(incoming);
+    metrics().merge(incoming);
+    metrics().setEnabled(true);
+
+    const MetricsSnapshot snap = metrics().snapshot();
+    std::uint64_t sum = 0;
+    bool zero_listed = false, hist_found = false;
+    for (const auto &c : snap.counters) {
+        if (c.name == "obs_test.merge.sum")
+            sum = c.value;
+        if (c.name == "obs_test.merge.zero") {
+            zero_listed = true;
+            EXPECT_EQ(c.value, 0u);
+        }
+    }
+    for (const auto &h : snap.hists) {
+        if (h.name != "obs_test.merge.hist")
+            continue;
+        hist_found = true;
+        EXPECT_EQ(h.buckets[3], 10u);
+        EXPECT_EQ(h.total, 10u);
+    }
+    EXPECT_EQ(sum, 82u);
+    // A zero-valued counter must still be *listed* after a merge:
+    // otherwise the fleet printout's line set would depend on which
+    // worker happened to touch a call site.
+    EXPECT_TRUE(zero_listed);
+    EXPECT_TRUE(hist_found);
+}
+
 // ---- TraceWriter -----------------------------------------------------------
 
 std::vector<std::string>

@@ -12,15 +12,23 @@ passes an explicit --max-regress tuned for runner variance, and a
 baseline refresh is just `--update-baseline` on the reference box.
 
 Beyond throughput, two scale invariants are gated unconditionally:
-  * peak RSS must stay sublinear in the module count relative to the
-    baseline (the lazy-threshold guarantee), and
+  * aggregate RSS must stay sublinear in the module count relative to
+    the baseline (the lazy-threshold guarantee, summed across worker
+    processes for multi-process runs), and
   * populated rows per module must not grow (a regression there means
     the sweep started materializing rows it never touches).
+
+Multi-process scaling (--scan-workers runs) is gated opt-in with
+--min-worker-speedup: the "scaling" array must show the largest worker
+count reaching at least that speedup over workers=1.  CI derives the
+floor from the runner's core count -- demanding 5x from a 1-core
+container would only test the scheduler's sense of humor.
 
 Usage:
     check_population_throughput.py BENCH_population.json \
         [--baseline bench/baselines/population_baseline.json] \
-        [--max-regress 0.10] [--update-baseline]
+        [--max-regress 0.10] [--min-worker-speedup X] \
+        [--update-baseline]
 """
 
 import argparse
@@ -40,29 +48,55 @@ SCHEMA = {
     "shards": int,
     "resumed_shards": int,
     "jobs": int,
+    "workers": int,
     "wall_seconds": (int, float),
     "acts": int,
     "hammers_per_sec": (int, float),
     "work_units_per_sec": (int, float),
     "peak_rss_bytes": int,
+    "aggregate_rss_bytes": int,
     "populated_rows_per_module_max": int,
 }
+
+# Per-entry schema of the optional "scaling" array (--scan-workers).
+SCALING_SCHEMA = {
+    "workers": int,
+    "wall_seconds": (int, float),
+    "acts": int,
+    "hammers_per_sec": (int, float),
+    "aggregate_rss_bytes": int,
+}
+
+
+def check_keys(data, schema, errors, where=""):
+    for key, types in schema.items():
+        if key not in data:
+            errors.append(f"missing key {where}{key!r}")
+        elif isinstance(data[key], bool) or \
+                not isinstance(data[key], types):
+            errors.append(f"key {where}{key!r} has type "
+                          f"{type(data[key]).__name__}")
 
 
 def load_record(path):
     with open(path) as f:
         data = json.load(f)
     errors = []
-    for key, types in SCHEMA.items():
-        if key not in data:
-            errors.append(f"missing key {key!r}")
-        elif isinstance(data[key], bool) or \
-                not isinstance(data[key], types):
-            errors.append(f"key {key!r} has type "
-                          f"{type(data[key]).__name__}")
+    check_keys(data, SCHEMA, errors)
     if data.get("bench") != "population_scale":
         errors.append(f"bench is {data.get('bench')!r}, expected "
                       "'population_scale'")
+    scaling = data.get("scaling")
+    if scaling is not None:
+        if not isinstance(scaling, list):
+            errors.append("key 'scaling' is not a list")
+        else:
+            for i, entry in enumerate(scaling):
+                if not isinstance(entry, dict):
+                    errors.append(f"scaling[{i}] is not an object")
+                else:
+                    check_keys(entry, SCALING_SCHEMA, errors,
+                               where=f"scaling[{i}].")
     if errors:
         for e in errors:
             print(f"{path}: schema error: {e}", file=sys.stderr)
@@ -78,6 +112,9 @@ def main():
     ap.add_argument("--max-regress", type=float, default=0.10,
                     help="maximum tolerated fractional hammers/sec "
                          "drop vs baseline (default 0.10)")
+    ap.add_argument("--min-worker-speedup", type=float, default=None,
+                    help="require the scaling array's largest worker "
+                         "count to reach this speedup over workers=1")
     ap.add_argument("--update-baseline", action="store_true",
                     help="record json_file as the new baseline "
                          "instead of gating")
@@ -87,7 +124,8 @@ def main():
     print(f"{args.json_file}: schema ok "
           f"({cur['modules']} modules, {cur['work_units']} units, "
           f"{cur['hammers_per_sec']:.3g} hammers/s, "
-          f"peak RSS {cur['peak_rss_bytes'] / 2**20:.1f} MiB)")
+          f"workers {cur['workers']}, aggregate RSS "
+          f"{cur['aggregate_rss_bytes'] / 2**20:.1f} MiB)")
 
     if args.update_baseline:
         shutil.copyfile(args.json_file, args.baseline)
@@ -118,15 +156,20 @@ def main():
     # linear.  Comparing rss/modules directly penalizes small runs
     # (the fixed process footprint dominates), so gate on the
     # *absolute* RSS staying below baseline-RSS scaled by any module
-    # growth, with 2x headroom.
+    # growth, with 2x headroom.  The multi-process figure is the sum
+    # of worker peaks; scale its cap by any worker-count growth too
+    # (each process pays the fixed footprint once).
     scale = max(1.0, cur["modules"] / base["modules"])
-    rss_cap = 2.0 * base["peak_rss_bytes"] * scale
-    status = "ok" if cur["peak_rss_bytes"] <= rss_cap else "FAIL"
-    print(f"peak RSS: {cur['peak_rss_bytes'] / 2**20:.1f} MiB "
-          f"(cap {rss_cap / 2**20:.1f} MiB at {cur['modules']} "
-          f"modules) {status}")
+    procs = max(1.0,
+                max(1, cur["workers"]) / max(1, base["workers"]))
+    rss_cap = 2.0 * base["aggregate_rss_bytes"] * scale * procs
+    status = ("ok" if cur["aggregate_rss_bytes"] <= rss_cap
+              else "FAIL")
+    print(f"aggregate RSS: {cur['aggregate_rss_bytes'] / 2**20:.1f} "
+          f"MiB (cap {rss_cap / 2**20:.1f} MiB at {cur['modules']} "
+          f"modules, {max(1, cur['workers'])} workers) {status}")
     if status == "FAIL":
-        failures.append("peak RSS grew superlinearly")
+        failures.append("aggregate RSS grew superlinearly")
 
     status = ("ok" if cur["populated_rows_per_module_max"] <=
               base["populated_rows_per_module_max"] else "FAIL")
@@ -135,6 +178,27 @@ def main():
           f"{base['populated_rows_per_module_max']} {status}")
     if status == "FAIL":
         failures.append("lazy materialization touches more rows")
+
+    # Multi-process scaling gate (opt-in; CI derives the floor from
+    # the runner's core count).
+    if args.min_worker_speedup is not None:
+        scaling = cur.get("scaling") or []
+        by_workers = {e["workers"]: e for e in scaling}
+        if 1 not in by_workers or len(by_workers) < 2:
+            print("FAIL: --min-worker-speedup needs a scaling array "
+                  "with workers=1 and at least one larger count",
+                  file=sys.stderr)
+            failures.append("scaling data missing")
+        else:
+            top = max(by_workers)
+            speedup = (by_workers[top]["hammers_per_sec"] /
+                       by_workers[1]["hammers_per_sec"])
+            status = ("ok" if speedup >= args.min_worker_speedup
+                      else "FAIL")
+            print(f"worker scaling: {speedup:.2f}x at workers={top} "
+                  f"(floor {args.min_worker_speedup:.2f}x) {status}")
+            if status == "FAIL":
+                failures.append("worker scaling below floor")
 
     if failures:
         for f in failures:

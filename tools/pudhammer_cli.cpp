@@ -37,6 +37,7 @@
 #include "check/diffcheck.h"
 #include "exec/pool.h"
 #include "hammer/experiment.h"
+#include "hammer/popsweep.h"
 #include "hammer/reveng.h"
 #include "lint/effects.h"
 #include "lint/linter.h"
@@ -222,6 +223,125 @@ cmdHcFirst(const Args &args)
                 series[0].size(), noflip);
     std::printf("HC_first min/q1/median/q3/max: %s\n",
                 bs.str().c_str());
+    return 0;
+}
+
+/**
+ * Fleet-scale population sweep through the sketch pipeline, across
+ * worker processes.  The stdout summary is built purely from the
+ * canonical-order sketch merge, so it is byte-identical across
+ * --workers values (0 = in-process sweepPopulation, the identity
+ * reference), --jobs values, and interrupt/restart schedules;
+ * wall-time and RSS go to stderr to keep stdout diffable.
+ */
+int
+cmdPopsweep(const Args &args)
+{
+    const std::string technique = args.get("technique", "rh");
+    const int n = static_cast<int>(args.getInt("n", 4));
+    const double temp = args.getDouble("temp", 80.0);
+
+    ModuleTester::Options opt;
+    opt.searchWcdp = false;
+    opt.pattern = dram::DataPattern::P55;
+
+    MeasureFn measure;
+    if (technique == "rh")
+        measure = [opt](ModuleTester &t, dram::RowId v) {
+            return t.rhDouble(v, opt);
+        };
+    else if (technique == "comra")
+        measure = [opt](ModuleTester &t, dram::RowId v) {
+            return t.comraDouble(v, opt);
+        };
+    else if (technique == "simra")
+        measure = [opt, n](ModuleTester &t, dram::RowId v) {
+            return t.simraDouble(v, n, opt);
+        };
+    else
+        fatal("unknown --technique=%s (rh|comra|simra)",
+              technique.c_str());
+
+    PopulationConfig pop;
+    pop.moduleId = args.get("module", "HMA81GU7AFR8N-UH");
+    pop.modules = static_cast<int>(args.getInt("modules", 100));
+    pop.victimsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("victims", 2));
+    pop.oddOnly = technique == "simra";
+    pop.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    pop.rowsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("rows", 128));
+    pop.setup = [temp](ModuleTester &t) {
+        t.bench().thermo().setTarget(temp);
+    };
+
+    const int workers = static_cast<int>(args.getInt("workers", 0));
+    const int jobs = static_cast<int>(args.getInt("jobs", 1));
+    const double alpha = args.getDouble("alpha", 0.01);
+    const std::string dir = args.get("dir", "");
+
+    SweepResult sweep;
+    if (workers <= 0) {
+        // In-process reference path (the byte-identity baseline the
+        // multi-process runs are diffed against).
+        pop.jobs = jobs;
+        SweepOptions so;
+        so.sketchAlpha = alpha;
+        if (!dir.empty())
+            so.checkpointPath = dir + "/single.ckpt";
+        sweep = sweepPopulation(pop, {measure}, so);
+        std::fprintf(stderr,
+                     "# in-process: jobs=%d wall=%.2fs resumed=%zu\n",
+                     exec::resolveJobs(jobs), sweep.telemetry.wallSeconds,
+                     sweep.resumedShards);
+    } else {
+        if (dir.empty())
+            fatal("popsweep: --dir=PATH is required with --workers>0");
+        PopsweepOptions po;
+        po.dir = dir;
+        po.workers = workers;
+        po.jobsPerWorker = jobs;
+        po.sketchAlpha = alpha;
+        po.stallTimeoutSeconds =
+            args.getDouble("stall-timeout", 120.0);
+        const PopsweepResult r = popsweep(pop, {measure}, po);
+        sweep = std::move(r.sweep);
+        for (const WorkerReport &w : r.workers)
+            std::fprintf(stderr,
+                         "# worker %d: shards [%zu, %zu) restarts=%d "
+                         "rss=%llu wall=%.2fs resumed=%zu\n",
+                         w.worker, w.shardBegin, w.shardEnd,
+                         w.restarts,
+                         static_cast<unsigned long long>(
+                             w.peakRssBytes),
+                         w.wallSeconds, w.resumedShards);
+        std::fprintf(stderr,
+                     "# aggregate rss=%llu wall=%.2fs workers=%d\n",
+                     static_cast<unsigned long long>(
+                         r.aggregateRssBytes),
+                     sweep.telemetry.wallSeconds, workers);
+    }
+
+    std::printf("popsweep %s technique=%s%s modules=%d victims=%zu "
+                "shards=%zu\n",
+                pop.moduleId.c_str(), technique.c_str(),
+                technique == "simra"
+                    ? ("-" + std::to_string(n)).c_str()
+                    : "",
+                pop.modules,
+                populationVictims(pop).size(), sweep.totalShards);
+    for (std::size_t i = 0; i < sweep.sketches.size(); ++i) {
+        const stats::SampleSketch &sk = sweep.sketches[i];
+        std::printf("measure %zu: count=%llu dropped=%llu\n", i,
+                    static_cast<unsigned long long>(sk.count()),
+                    static_cast<unsigned long long>(sk.dropped()));
+        std::printf("  min=%.6g q25=%.6g median=%.6g q75=%.6g "
+                    "max=%.6g mean=%.6g\n",
+                    sk.min(), sk.quantile(0.25), sk.quantile(0.5),
+                    sk.quantile(0.75), sk.max(), sk.mean());
+        std::printf("  sum=%s buckets=%zu\n",
+                    stats::hexDouble(sk.sum()).c_str(), sk.buckets());
+    }
     return 0;
 }
 
@@ -726,6 +846,13 @@ usage()
         "          [--victims=K] [--temp=C] [--pattern=...|wcdp]\n"
         "          [--jobs=N]  (N threads; 0 = all cores, 1 = serial;\n"
         "           results are identical for every N > 1)\n"
+        "  popsweep --module=ID [--modules=N] [--victims=K]\n"
+        "          [--technique=rh|comra|simra] [--n=4]\n"
+        "          [--workers=W --dir=PATH] [--jobs=J] [--alpha=A]\n"
+        "          [--stall-timeout=S]\n"
+        "          fleet sweep through the sketch pipeline; W worker\n"
+        "          processes (0 = in-process reference path); stdout\n"
+        "          is byte-identical across workers/jobs/restarts\n"
         "  attack  --module=ID --technique=rh|comra|simra [--trr]\n"
         "          [--hammers=N]\n"
         "  lint    --program=rh|comra|simra|combined|trr-rh|trr-simra\n"
@@ -771,6 +898,8 @@ main(int argc, char **argv)
         return cmdReveng(args);
     if (cmd == "hcfirst")
         return cmdHcFirst(args);
+    if (cmd == "popsweep")
+        return cmdPopsweep(args);
     if (cmd == "attack")
         return cmdAttack(args);
     if (cmd == "lint")
