@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Frequency-domain fuzzing campaign benchmark (ROADMAP item 1).
+ *
+ * Runs a seeded pud::fuzz campaign -- generate, dedup, execute on
+ * exec shards, minimize -- at 10^4..10^5-candidate scale against one
+ * calibrated module family and reports throughput.  The default scale
+ * is a quick local run; --full is the nightly 10^5-candidate
+ * campaign.
+ *
+ * stdout is the campaign's deterministic summary (byte-identical
+ * across --jobs values, like every other bench).  Wall time and
+ * throughput go to stderr and, as JSON, to --json=FILE (default
+ * BENCH_fuzz_campaign.json):
+ *
+ *   {
+ *     "bench": "fuzz_campaign", "module_id": ..., "seed": S,
+ *     "candidates": N, "unique": U, "dedup_hits": D,
+ *     "static_skips": K, "executed": E, "effective": F,
+ *     "baseline_acts": B, "best_acts": A, "minimizer_probes": P,
+ *     "jobs": J, "wall_seconds": T, "candidates_per_sec": N/T
+ *   }
+ *
+ * Scale knobs:
+ *   --module=ID         calibrated family (default HMA81GU7AFR8N-UH)
+ *   --candidates=N      pre-dedup candidates (default 20000)
+ *   --seed=N            campaign seed (default 1)
+ *   --jobs=N            execution shards (default: all threads)
+ *   --budget-periods=N  HC_first budget per candidate (default 6000)
+ *   --minimize-top=N    patterns to minimize (default 1)
+ *   --full              nightly scale: 10^5 candidates
+ *   --corpus=FILE       also export the JSONL corpus
+ *   --json=FILE         perf record path
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "exec/pool.h"
+#include "fuzz/campaign.h"
+#include "obs/obs.h"
+#include "util/args.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pud;
+
+    const Args args(argc, argv);
+    obs::initFromArgs(args);
+
+    fuzz::CampaignConfig cfg;
+    cfg.moduleId = args.get("module", cfg.moduleId);
+    cfg.candidates = static_cast<std::uint64_t>(
+        args.getInt("candidates", args.has("full") ? 100000 : 20000));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.jobs = exec::resolveJobs(
+        static_cast<int>(args.getInt("jobs", 0)));
+    cfg.maxPeriods = static_cast<std::uint64_t>(
+        args.getInt("budget-periods", 6000));
+    cfg.minimizeTop =
+        static_cast<int>(args.getInt("minimize-top", 1));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const fuzz::CampaignResult r = fuzz::runCampaign(cfg);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::fputs(fuzz::summarize(r).c_str(), stdout);
+
+    if (args.has("corpus")) {
+        std::ofstream os(args.get("corpus"));
+        if (!os)
+            fatal("cannot write %s", args.get("corpus").c_str());
+        fuzz::writeCorpusJsonl(r, os);
+    }
+
+    const std::uint64_t best_acts =
+        r.bestIdx == static_cast<std::size_t>(-1)
+            ? 0
+            : r.results[r.bestIdx].hcActs;
+    std::uint64_t probes = 0;
+    for (const auto &m : r.minimized)
+        probes += m.probes;
+
+    std::fprintf(stderr,
+                 "fuzz campaign: %" PRIu64 " candidates in %.2f s "
+                 "(%.0f cand/s, jobs=%d)\n",
+                 r.generated, wall,
+                 wall > 0 ? static_cast<double>(r.generated) / wall : 0,
+                 cfg.jobs);
+
+    const std::string json_path =
+        args.get("json", "BENCH_fuzz_campaign.json");
+    if (FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\"bench\":\"fuzz_campaign\",\"module_id\":\"%s\","
+            "\"seed\":%" PRIu64 ",\"candidates\":%" PRIu64
+            ",\"unique\":%zu,\"dedup_hits\":%" PRIu64
+            ",\"static_skips\":%" PRIu64 ",\"executed\":%" PRIu64
+            ",\"effective\":%" PRIu64 ",\"baseline_acts\":%" PRIu64
+            ",\"best_acts\":%" PRIu64 ",\"minimizer_probes\":%" PRIu64
+            ",\"jobs\":%d,\"wall_seconds\":%.3f,"
+            "\"candidates_per_sec\":%.1f}\n",
+            cfg.moduleId.c_str(), cfg.seed, r.generated,
+            r.corpus.size(), r.dedupHits, r.staticSkips, r.executed,
+            r.effective, r.baselineActs, best_acts, probes, cfg.jobs,
+            wall,
+            wall > 0 ? static_cast<double>(r.generated) / wall : 0);
+        std::fclose(f);
+        std::fprintf(stderr, "perf record: %s\n", json_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+    return 0;
+}

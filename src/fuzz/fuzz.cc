@@ -1,0 +1,328 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace pud::fuzz {
+
+namespace {
+
+using pud::Time;
+
+/**
+ * The PatternTimings menus: the calibrated operating points the
+ * paper's sweeps (and the hand-built experiments) exercise.  t_AggOn
+ * index 0 is the nominal tRAS hold RowHammer uses; the larger entries
+ * are the RowPress regime (Fig. 9).  CoMRA delays stay within the
+ * device's copy window (Fig. 18 sweeps 7.5-12 ns; the model's
+ * comraMaxPreToAct is 13 ns), SiMRA gaps within the group-open window.
+ */
+constexpr double kAggOnNs[kAggOnMenuSize] = {36.0, 120.0, 1000.0,
+                                             7800.0};
+constexpr double kComraDelayNs[kComraDelayMenuSize] = {2.5, 5.0, 7.5};
+constexpr double kSimraGapNs[kSimraGapMenuSize] = {1.5, 3.0, 4.5};
+
+/** XOR mask giving the bit-combination SiMRA group of size n. */
+RowId
+simraMask(int n)
+{
+    switch (n) {
+      case 2:
+        return 0x2;
+      case 4:
+        return 0x6;
+      case 8:
+        return 0xE;
+      default:
+        fatal("fuzz: unsupported SiMRA group size %d", n);
+    }
+}
+
+void
+hashBytes(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;  // FNV-1a prime
+    }
+}
+
+} // namespace
+
+const char *
+techName(Tech t)
+{
+    switch (t) {
+      case Tech::RowHammer:
+        return "rowhammer";
+      case Tech::Comra:
+        return "comra";
+      case Tech::Simra:
+        return "simra";
+      case Tech::Press:
+        return "press";
+    }
+    return "?";
+}
+
+std::uint64_t
+shapeHash(const Candidate &c)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+    const unsigned char head[3] = {c.trefis, c.slotsPerTrefi,
+                                   static_cast<unsigned char>(
+                                       c.refSync)};
+    hashBytes(h, head, sizeof head);
+    for (const Component &k : c.comps) {
+        const unsigned char body[7] = {
+            static_cast<unsigned char>(k.tech),
+            k.phase,
+            k.stride,
+            static_cast<unsigned char>(k.offLo),
+            static_cast<unsigned char>(k.offHi),
+            k.simraN,
+            k.timingSel,
+        };
+        hashBytes(h, body, sizeof body);
+    }
+    return h;
+}
+
+Candidate
+generateCandidate(std::uint64_t seed, std::uint64_t index)
+{
+    // Counter-based stream: candidate `index` is reproducible on any
+    // thread without materializing earlier candidates.
+    Rng rng = Rng::keyed(seed, 0xF0220001ULL, index);
+
+    Candidate c;
+    c.trefis = static_cast<std::uint8_t>(1 + rng.below(4));
+    static constexpr std::uint8_t kSlots[5] = {8, 12, 16, 24, 32};
+    c.slotsPerTrefi = kSlots[rng.below(5)];
+    c.refSync = rng.chance(0.5);
+
+    const std::size_t ncomps = 1 + rng.below(4);
+    c.comps.reserve(ncomps);
+    for (std::size_t i = 0; i < ncomps; ++i) {
+        Component k;
+        k.tech = static_cast<Tech>(rng.below(4));
+        k.phase = static_cast<std::uint8_t>(rng.below(c.slotsPerTrefi));
+        k.stride = static_cast<std::uint8_t>(1u << rng.below(4));
+
+        // Aggressor geometry menus.  Offsets stay within kVictimMargin
+        // of the victim; the "far" +14 partner models the paper's
+        // far-double-sided arrangements (Obs. 5).
+        static constexpr std::int8_t kSandwich[][2] = {
+            {-1, 1}, {-2, 2}, {-1, 0}, {1, -1}, {-1, 14}};
+        static constexpr std::int8_t kComraOps[][2] = {
+            {-1, 1}, {1, -1}, {-1, 14}, {-2, 2}};
+
+        switch (k.tech) {
+          case Tech::RowHammer:
+          case Tech::Press: {
+            const auto &o = kSandwich[rng.below(5)];
+            k.offLo = o[0];
+            k.offHi = o[1];
+            // Canonical timing: RowHammer is pinned to the nominal
+            // hold so equal programs hash equally; Press draws from
+            // the long-t_AggOn entries.
+            k.timingSel = static_cast<std::uint8_t>(
+                k.tech == Tech::Press ? 1 + rng.below(kAggOnMenuSize - 1)
+                                      : 0);
+            break;
+          }
+          case Tech::Comra: {
+            const auto &o = kComraOps[rng.below(4)];
+            k.offLo = o[0];
+            k.offHi = o[1];
+            k.timingSel = static_cast<std::uint8_t>(
+                rng.below(kComraDelayMenuSize));
+            break;
+          }
+          case Tech::Simra: {
+            k.offLo = 0;
+            k.offHi = 0;
+            k.simraN =
+                static_cast<std::uint8_t>(1u << (1 + rng.below(3)));
+            k.timingSel = static_cast<std::uint8_t>(
+                rng.below(kSimraGapMenuSize));
+            break;
+          }
+        }
+        c.comps.push_back(k);
+    }
+    return c;
+}
+
+BuiltPattern
+buildPattern(const Candidate &c, BankId bank, RowId victim,
+             std::uint64_t periods, const dram::DeviceConfig &cfg)
+{
+    if (c.comps.empty())
+        fatal("fuzz: candidate has no components");
+    if (c.slotsPerTrefi == 0 || c.trefis == 0)
+        fatal("fuzz: degenerate candidate grid %u x %u", c.trefis,
+              c.slotsPerTrefi);
+    if (victim % 16 != 1)
+        fatal("fuzz: victim %u must satisfy victim %% 16 == 1 so the "
+              "SiMRA bit-combination groups sandwich it",
+              victim);
+    const RowId rps = cfg.rowsPerSubarray;
+    const RowId sub_lo = victim / rps * rps;
+    if (victim < sub_lo + kVictimMargin ||
+        victim + kVictimMargin >= sub_lo + rps)
+        fatal("fuzz: victim %u needs %u rows of subarray margin "
+              "(rowsPerSubarray %u)",
+              victim, kVictimMargin, rps);
+    if (cfg.profile.mapping != dram::MappingScheme::Sequential)
+        fatal("fuzz: buildPattern requires the Sequential mapping "
+              "(campaign configs pin it)");
+
+    const dram::TimingParams &t = cfg.timings;
+    const std::size_t slots =
+        static_cast<std::size_t>(c.trefis) * c.slotsPerTrefi;
+
+    // Slot ownership: earlier components claim their (phase, stride)
+    // lattice first; later components only win free slots.
+    std::vector<int> owner(slots, -1);
+    for (std::size_t ci = 0; ci < c.comps.size(); ++ci) {
+        const Component &k = c.comps[ci];
+        if (k.stride == 0)
+            fatal("fuzz: component stride must be >= 1");
+        for (std::size_t s = k.phase; s < slots; s += k.stride)
+            if (owner[s] < 0)
+                owner[s] = static_cast<int>(ci);
+    }
+
+    // Slot pacing: with refSync the per-tREFI REF + tRFC recovery is
+    // carved out of the tREFI budget, like withRefInterleave does.
+    const Time ref_overhead = c.refSync ? t.tRP + t.tRFC : 0;
+    if (t.tREFI <= ref_overhead)
+        fatal("fuzz: tREFI leaves no slot budget");
+    const Time slot_time = (t.tREFI - ref_overhead) / c.slotsPerTrefi;
+
+    BuiltPattern out;
+    Program &p = out.program;
+    p.loopBegin(periods);
+
+    std::vector<std::uint64_t> occurrence(c.comps.size(), 0);
+    const auto arow = [&](std::int8_t off) {
+        const RowId r = static_cast<RowId>(
+            static_cast<std::int64_t>(victim) + off);
+        out.aggressors.push_back(r);
+        return r;  // Sequential mapping: logical == physical
+    };
+
+    for (std::size_t s = 0; s < slots; ++s) {
+        if (c.refSync && s > 0 && s % c.slotsPerTrefi == 0)
+            p.ref(t.tRP).nop(t.tRFC);
+        const int ci = owner[s];
+        if (ci < 0) {
+            p.nop(slot_time);
+            continue;
+        }
+        const Component &k = c.comps[static_cast<std::size_t>(ci)];
+        const std::uint64_t occ = occurrence[ci]++;
+        switch (k.tech) {
+          case Tech::RowHammer:
+          case Tech::Press: {
+            const Time agg_on = units::fromNs(
+                kAggOnNs[k.timingSel % kAggOnMenuSize]);
+            const std::int8_t off =
+                (k.offHi != 0 && occ % 2 == 1) ? k.offHi : k.offLo;
+            const Time gap = std::max(t.tRP, slot_time - agg_on);
+            p.act(bank, arow(off), gap).pre(bank, agg_on);
+            out.actsPerPeriod += 1;
+            break;
+          }
+          case Tech::Comra: {
+            const Time delay = units::fromNs(
+                kComraDelayNs[k.timingSel % kComraDelayMenuSize]);
+            const Time internal = t.tRAS + delay + t.tRAS;
+            const Time gap = std::max(t.tRP, slot_time - internal);
+            p.act(bank, arow(k.offLo), gap)
+                .pre(bank, t.tRAS)
+                .act(bank, arow(k.offHi), delay)
+                .pre(bank, t.tRAS);
+            out.actsPerPeriod += 2;
+            break;
+          }
+          case Tech::Simra: {
+            const Time g = units::fromNs(
+                kSimraGapNs[k.timingSel % kSimraGapMenuSize]);
+            const RowId r1 = victim - 1;
+            const RowId mask = simraMask(k.simraN);
+            const RowId r2 = r1 ^ mask;
+            // The open group is every bit-subset of the mask; record
+            // them all as aggressors for data initialization.
+            for (RowId m = 0;; m = (m - mask) & mask) {
+                out.aggressors.push_back(r1 | m);
+                if (m == mask)
+                    break;
+            }
+            const Time internal = g + g + t.tRAS;
+            const Time gap = std::max(t.tRP, slot_time - internal);
+            p.act(bank, r1, gap)
+                .pre(bank, g)
+                .act(bank, r2, g)
+                .pre(bank, t.tRAS);
+            out.actsPerPeriod += 2;
+            break;
+          }
+        }
+    }
+    if (c.refSync)
+        p.ref(t.tRP).nop(t.tRFC);
+    p.loopEnd();
+
+    std::sort(out.aggressors.begin(), out.aggressors.end());
+    out.aggressors.erase(
+        std::unique(out.aggressors.begin(), out.aggressors.end()),
+        out.aggressors.end());
+    return out;
+}
+
+std::string
+toJsonl(const Candidate &c, std::uint64_t idx, std::uint64_t hash,
+        const char *status, std::uint64_t acts_per_period,
+        std::uint64_t hc_periods, std::uint64_t hc_acts)
+{
+    char buf[256];
+    std::string line;
+    std::snprintf(buf, sizeof buf,
+                  "{\"idx\":%" PRIu64 ",\"hash\":\"0x%016" PRIx64
+                  "\",\"status\":\"%s\",\"trefis\":%u,"
+                  "\"slots_per_trefi\":%u,\"ref_sync\":%s,"
+                  "\"acts_per_period\":%" PRIu64,
+                  idx, hash, status, c.trefis, c.slotsPerTrefi,
+                  c.refSync ? "true" : "false", acts_per_period);
+    line += buf;
+    if (hc_periods != ~std::uint64_t(0)) {
+        std::snprintf(buf, sizeof buf,
+                      ",\"hc_periods\":%" PRIu64 ",\"hc_acts\":%" PRIu64,
+                      hc_periods, hc_acts);
+        line += buf;
+    } else {
+        line += ",\"hc_periods\":null,\"hc_acts\":null";
+    }
+    line += ",\"comps\":[";
+    for (std::size_t i = 0; i < c.comps.size(); ++i) {
+        const Component &k = c.comps[i];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"tech\":\"%s\",\"phase\":%u,\"stride\":%u,"
+                      "\"off_lo\":%d,\"off_hi\":%d,\"simra_n\":%u,"
+                      "\"timing\":%u}",
+                      i > 0 ? "," : "", techName(k.tech), k.phase,
+                      k.stride, k.offLo, k.offHi, k.simraN,
+                      k.timingSel);
+        line += buf;
+    }
+    line += "]}";
+    return line;
+}
+
+} // namespace pud::fuzz

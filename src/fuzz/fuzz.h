@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Frequency-domain pattern fuzzing over the bender ISA (ROADMAP 1).
+ *
+ * A candidate is a Blacksmith-style frequency-domain description of a
+ * hammering pattern: a base period of `trefis` refresh intervals, each
+ * divided into `slotsPerTrefi` activation slots, plus an ordered list
+ * of components.  Each component claims slots on a (phase, stride)
+ * lattice -- phase is its offset relative to the REF cadence, stride
+ * its period in slots (regularity), and the number of slots it wins
+ * its intensity -- and stamps one technique-specific access group
+ * (RowHammer, CoMRA copy cycle, SiMRA group open, or a RowPress-style
+ * long-t_AggOn activation) into every slot it owns.  Components are
+ * drawn against the PatternTimings menu the calibrated experiments
+ * use, so every candidate stays inside the device model's calibrated
+ * envelope.
+ *
+ * The encoding is deliberately tiny and integer-valued: the canonical
+ * byte serialization doubles as the corpus dedup key (shapeHash) and
+ * as the JSONL export format, and candidate i is a pure function of
+ * (seed, i) via counter-based keyed RNG streams, which is what makes
+ * campaign corpora byte-identical across --jobs values.
+ */
+
+#ifndef PUD_FUZZ_FUZZ_H
+#define PUD_FUZZ_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bender/program.h"
+#include "dram/config.h"
+#include "hammer/patterns.h"
+#include "util/rng.h"
+
+namespace pud::fuzz {
+
+using bender::Program;
+using dram::BankId;
+using dram::RowId;
+
+/** Technique class a component stamps into its slots. */
+enum class Tech : std::uint8_t {
+    RowHammer = 0,  //!< ACT / PRE at nominal timings
+    Comra = 1,      //!< ACT src, PRE(tRAS), violated-tRP ACT dst
+    Simra = 2,      //!< ACT r1, violated-tRAS PRE, violated-tRP ACT r2
+    Press = 3,      //!< RowHammer held open (long t_AggOn)
+};
+
+const char *techName(Tech t);
+
+/** One frequency-domain access component of a candidate. */
+struct Component
+{
+    Tech tech = Tech::RowHammer;
+
+    /** First claimed slot, relative to the period start (and hence to
+     *  the REF cadence when the candidate is refSync). */
+    std::uint8_t phase = 0;
+
+    /** Slot lattice period: the component claims every stride-th slot
+     *  from `phase` that an earlier component has not claimed. */
+    std::uint8_t stride = 1;
+
+    /**
+     * Aggressor placement, as physical-row offsets from the campaign
+     * victim.  RowHammer/Press alternate offLo/offHi per claimed slot
+     * (offHi == 0 means single-sided: every slot hits offLo); CoMRA
+     * uses (src = offLo, dst = offHi).  Ignored for SiMRA, whose
+     * group is derived from simraN below.
+     */
+    std::int8_t offLo = -1;
+    std::int8_t offHi = 1;
+
+    /** SiMRA group size (2 / 4 / 8); 0 for other techniques. */
+    std::uint8_t simraN = 0;
+
+    /** Index into the PatternTimings menu (technique-dependent). */
+    std::uint8_t timingSel = 0;
+};
+
+/** One fuzzing candidate: a periodic frequency-domain pattern. */
+struct Candidate
+{
+    std::uint8_t trefis = 1;         //!< period length in tREFIs
+    std::uint8_t slotsPerTrefi = 16; //!< activation slots per tREFI
+    bool refSync = false;            //!< REF at every tREFI boundary
+    std::vector<Component> comps;    //!< ordered; earlier wins slots
+};
+
+/**
+ * Canonical 64-bit shape hash (FNV-1a over the candidate's canonical
+ * byte serialization).  Two candidates with equal hashes are treated
+ * as duplicates by the campaign corpus.
+ */
+std::uint64_t shapeHash(const Candidate &c);
+
+/**
+ * Generate candidate `index` of a seeded campaign stream.  Pure
+ * function of (seed, index): any thread may materialize any candidate
+ * in any order, which the campaign's determinism contract relies on.
+ */
+Candidate generateCandidate(std::uint64_t seed, std::uint64_t index);
+
+/** A candidate compiled against a concrete victim. */
+struct BuiltPattern
+{
+    /**
+     * The program: loopBegin(periods){ one base period } loopEnd with
+     * the period loop at index 0, so sweeps patch the trip count via
+     * withLoopCount(0, n) and share one executor plan per shape.
+     */
+    Program program;
+
+    /** Physical aggressor rows the pattern activates (sorted, unique). */
+    std::vector<RowId> aggressors;
+
+    /** Aggressor-row activations in one base period. */
+    std::uint64_t actsPerPeriod = 0;
+};
+
+/**
+ * Compile `c` for a victim at physical row `victim` of `bank`.
+ * The victim must satisfy victim % 8 == 1 and sit at least
+ * kVictimMargin rows inside its subarray so every component's
+ * aggressor group stays within the subarray (fatal otherwise).
+ */
+BuiltPattern buildPattern(const Candidate &c, BankId bank, RowId victim,
+                          std::uint64_t periods,
+                          const dram::DeviceConfig &cfg);
+
+/** Rows of margin buildPattern needs around the victim. */
+constexpr RowId kVictimMargin = 16;
+
+/** Menu sizes exposed for tests. */
+constexpr int kAggOnMenuSize = 4;
+constexpr int kComraDelayMenuSize = 3;
+constexpr int kSimraGapMenuSize = 3;
+
+/** One corpus line (without the trailing newline). */
+std::string toJsonl(const Candidate &c, std::uint64_t idx,
+                    std::uint64_t hash, const char *status,
+                    std::uint64_t acts_per_period,
+                    std::uint64_t hc_periods, std::uint64_t hc_acts);
+
+} // namespace pud::fuzz
+
+#endif // PUD_FUZZ_FUZZ_H

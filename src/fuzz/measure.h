@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared measurement core of the campaign driver and the minimizer:
+ * one HC_first search of a built candidate on a bench.
+ */
+
+#ifndef PUD_FUZZ_MEASURE_H
+#define PUD_FUZZ_MEASURE_H
+
+#include <cstdint>
+
+#include "bender/host.h"
+#include "fuzz/fuzz.h"
+
+namespace pud::fuzz {
+
+/**
+ * HC_first of `built` (in base periods) on `bench`, or
+ * hammer::kNoFlip.  Resets the bench to its config seed first, so
+ * every candidate is measured on identical silicon regardless of what
+ * ran on the bench before (the arena-reuse idiom); then probes once
+ * at the full budget and only runs the bisection search if the
+ * victim flips.  Every executed trial increments *probes when given.
+ */
+std::uint64_t measureBuiltHc(bender::TestBench &bench,
+                             const BuiltPattern &built, RowId victim,
+                             std::uint64_t max_periods,
+                             std::uint64_t *probes = nullptr);
+
+} // namespace pud::fuzz
+
+#endif // PUD_FUZZ_MEASURE_H

@@ -1,0 +1,109 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "fuzz/measure.h"
+#include "hammer/hcfirst.h"
+
+namespace pud::fuzz {
+
+namespace {
+
+constexpr std::uint64_t kNoFlip = hammer::kNoFlip;
+
+} // namespace
+
+MinimizedPattern
+minimizePattern(bender::TestBench &bench,
+                const dram::DeviceConfig &dcfg,
+                const Candidate &original, RowId victim,
+                std::uint64_t max_periods, std::size_t corpus_idx)
+{
+    MinimizedPattern out;
+    out.corpusIdx = corpus_idx;
+    out.original = original;
+
+    // Total-ACT cost of one candidate variant (kNoFlip if it stops
+    // flipping); every underlying trial bumps out.probes.
+    const auto cost = [&](const Candidate &c) -> std::uint64_t {
+        const BuiltPattern built =
+            buildPattern(c, 0, victim, 1, dcfg);
+        const std::uint64_t hc = measureBuiltHc(
+            bench, built, victim, max_periods, &out.probes);
+        return hc == kNoFlip ? kNoFlip : hc * built.actsPerPeriod;
+    };
+
+    // Replay: deterministic measurement must reproduce the campaign.
+    out.originalActs = cost(original);
+    out.aggressorsBefore =
+        buildPattern(original, 0, victim, 1, dcfg).aggressors.size();
+
+    Candidate best = original;
+    std::uint64_t best_acts = out.originalActs;
+
+    // Greedy bisection toward a minimal aggressor set: accept any
+    // reduction that does not cost more ACTs than the current best.
+    if (best_acts != kNoFlip) {
+        bool improved = true;
+        while (improved) {
+            improved = false;
+
+            // Drop whole components.
+            for (std::size_t i = 0;
+                 !improved && best.comps.size() > 1 &&
+                 i < best.comps.size();
+                 ++i) {
+                Candidate trial = best;
+                trial.comps.erase(trial.comps.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                const std::uint64_t acts = cost(trial);
+                if (acts <= best_acts) {
+                    best = std::move(trial);
+                    best_acts = acts;
+                    improved = true;
+                }
+            }
+
+            // Single-side double-sided RowHammer/Press components.
+            for (std::size_t i = 0; !improved && i < best.comps.size();
+                 ++i) {
+                Component &k = best.comps[i];
+                if ((k.tech != Tech::RowHammer &&
+                     k.tech != Tech::Press) ||
+                    k.offHi == 0)
+                    continue;
+                Candidate trial = best;
+                trial.comps[i].offHi = 0;
+                const std::uint64_t acts = cost(trial);
+                if (acts <= best_acts) {
+                    best = std::move(trial);
+                    best_acts = acts;
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    out.minimized = best;
+    out.minimizedActs = best_acts;
+    out.aggressorsAfter =
+        buildPattern(best, 0, victim, 1, dcfg).aggressors.size();
+
+    // Fig-21-style intensity sweep: thin every component's lattice by
+    // a common stride scale and re-measure the total-ACT cost.
+    for (int scale : {1, 2, 4, 8}) {
+        if (scale == 1) {
+            out.intensitySweep.emplace_back(scale, best_acts);
+            continue;
+        }
+        Candidate thinned = best;
+        for (Component &k : thinned.comps) {
+            const int s = k.stride * scale;
+            k.stride = static_cast<std::uint8_t>(std::min(s, 255));
+        }
+        out.intensitySweep.emplace_back(scale, cost(thinned));
+    }
+    return out;
+}
+
+} // namespace pud::fuzz

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Replayer / minimizer for effective fuzzed patterns.
+ *
+ * Given an effective candidate, the minimizer first replays it (the
+ * measurement is deterministic, so the replay must reproduce the
+ * campaign's HC_first), then greedily bisects it down to a minimal
+ * aggressor set: it repeatedly tries dropping whole components and
+ * single-siding double-sided ones, keeping any reduction whose total
+ * ACT cost does not exceed the current best.  Finally it sweeps
+ * intensity Fig-21-style by thinning every component's slot lattice
+ * (stride x 2, x4, x8) and recording the cost at each density.
+ *
+ * Contract: purely deterministic -- same bench config and candidate
+ * in, same MinimizedPattern out; every HC search it runs is counted
+ * in `probes` (exported as the fuzz.minimizer_probes counter).
+ */
+
+#ifndef PUD_FUZZ_MINIMIZE_H
+#define PUD_FUZZ_MINIMIZE_H
+
+#include "bender/host.h"
+#include "fuzz/campaign.h"
+
+namespace pud::fuzz {
+
+MinimizedPattern minimizePattern(bender::TestBench &bench,
+                                 const dram::DeviceConfig &dcfg,
+                                 const Candidate &original,
+                                 RowId victim,
+                                 std::uint64_t max_periods,
+                                 std::size_t corpus_idx);
+
+} // namespace pud::fuzz
+
+#endif // PUD_FUZZ_MINIMIZE_H

@@ -48,7 +48,11 @@ searchOnce(const HcSearchConfig &cfg,
         if (probe(flips_at, hi, "ramp", lo, hi))
             break;
         lo = hi;
-        hi *= 2;
+        // Doubling past UINT64_MAX/2 would wrap hi to a value below lo
+        // (or zero) and the ramp would never terminate; clamp straight
+        // to the budget ceiling instead, which the check at the top of
+        // the loop then probes once and breaks on.
+        hi = hi > cfg.maxHammers / 2 ? cfg.maxHammers : hi * 2;
     }
 
     // Bisect until the bracket width is within the convergence bound:

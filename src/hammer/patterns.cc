@@ -1,6 +1,7 @@
 #include "hammer/patterns.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/logging.h"
 
@@ -118,6 +119,14 @@ combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2, RowId comra_src,
 Program
 withRefInterleave(const Program &flat, const dram::TimingParams &t)
 {
+    // A tREFI that does not exceed the tRFC recovery would leave zero
+    // budget for hammering between REFs; the old code silently clamped
+    // to one body iteration per tREFI, hiding the misconfiguration.
+    if (t.tREFI <= t.tRFC)
+        fatal("withRefInterleave: tREFI (%lld ps) must exceed tRFC "
+              "(%lld ps)",
+              static_cast<long long>(t.tREFI),
+              static_cast<long long>(t.tRFC));
     const auto &insts = flat.insts();
     Program p;
     std::size_t i = 0;
@@ -222,6 +231,10 @@ trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
         fatal("trrBypassPattern: no aggressors");
     if (comra && aggressors.size() % 2 != 0)
         fatal("trrBypassPattern: CoMRA needs (src, dst) pairs");
+    if (acts_per_trefi < (comra ? 2 : 1))
+        fatal("trrBypassPattern: actsPerTrefi must be >= %d "
+              "(got %d)",
+              comra ? 2 : 1, acts_per_trefi);
 
     Program p;
     if (cycles == 0)
@@ -235,37 +248,66 @@ trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
         std::max(t.base.tRP, 2 * slot - t.base.tRAS -
                                  t.comraPreToAct - t.aggOn());
 
-    p.loopBegin(cycles);
+    // Units the aggressor phase walks: (src, dst) pairs for CoMRA,
+    // single rows otherwise.
+    const std::size_t units =
+        comra ? aggressors.size() / 2 : aggressors.size();
+    const std::size_t per_cycle = static_cast<std::size_t>(
+        comra ? acts_per_trefi / 2 : acts_per_trefi);
 
-    // Aggressor phase: acts_per_trefi ACTs spread over the aggressor
-    // list within one tREFI, then a (potentially TRR-capable) REF.
-    if (comra) {
-        const int cycles_per_trefi = acts_per_trefi / 2;
-        for (int i = 0; i < cycles_per_trefi; ++i) {
-            const std::size_t pair =
-                (i % (aggressors.size() / 2)) * 2;
-            p.act(bank, aggressors[pair], comra_gap)
-                .pre(bank, t.base.tRAS)
-                .act(bank, aggressors[pair + 1], t.comraPreToAct)
-                .pre(bank, t.aggOn());
-        }
-    } else {
-        for (int i = 0; i < acts_per_trefi; ++i) {
-            p.act(bank, aggressors[i % aggressors.size()], act_gap)
-                .pre(bank, t.aggOn());
-        }
-    }
-    p.ref(t.base.tRP);
+    // The walk must carry across outer cycles: restarting at unit 0
+    // every cycle would starve every unit past the first per_cycle
+    // whenever units > per_cycle (and skew the distribution whenever
+    // per_cycle % units != 0).  The rotation advances by
+    // per_cycle % units each cycle and returns to its start after
+    // `period` cycles, so unroll one full period into the loop body
+    // and emit any leftover cycles flat after it; the leftover restarts
+    // at offset 0 because the loop body spans whole periods.
+    const std::size_t step = per_cycle % units;
+    const std::size_t period =
+        step == 0 ? 1 : units / std::gcd(units, step);
 
-    // Dummy phase: three tREFIs of dummy-row hammering, each ending
-    // with a REF, flooding the TRR sampler window.
-    for (int trefi = 0; trefi < 3; ++trefi) {
-        for (int i = 0; i < acts_per_trefi; ++i)
-            p.act(bank, dummy, act_gap).pre(bank, t.aggOn());
+    const auto emit_cycle = [&](std::size_t cycle) {
+        const std::size_t start = (cycle * per_cycle) % units;
+
+        // Aggressor phase: acts_per_trefi ACTs spread over the
+        // aggressor list within one tREFI, then a (potentially
+        // TRR-capable) REF.
+        if (comra) {
+            for (std::size_t i = 0; i < per_cycle; ++i) {
+                const std::size_t pair = ((start + i) % units) * 2;
+                p.act(bank, aggressors[pair], comra_gap)
+                    .pre(bank, t.base.tRAS)
+                    .act(bank, aggressors[pair + 1], t.comraPreToAct)
+                    .pre(bank, t.aggOn());
+            }
+        } else {
+            for (std::size_t i = 0; i < per_cycle; ++i) {
+                p.act(bank, aggressors[(start + i) % units], act_gap)
+                    .pre(bank, t.aggOn());
+            }
+        }
         p.ref(t.base.tRP);
-    }
 
-    p.loopEnd();
+        // Dummy phase: three tREFIs of dummy-row hammering, each
+        // ending with a REF, flooding the TRR sampler window.
+        for (int trefi = 0; trefi < 3; ++trefi) {
+            for (int i = 0; i < acts_per_trefi; ++i)
+                p.act(bank, dummy, act_gap).pre(bank, t.aggOn());
+            p.ref(t.base.tRP);
+        }
+    };
+
+    const std::uint64_t outer = cycles / period;
+    const std::uint64_t rem = cycles % period;
+    if (outer > 0) {
+        p.loopBegin(outer);
+        for (std::size_t c = 0; c < period; ++c)
+            emit_cycle(c);
+        p.loopEnd();
+    }
+    for (std::uint64_t c = 0; c < rem; ++c)
+        emit_cycle(static_cast<std::size_t>(c));
     return p;
 }
 
@@ -273,6 +315,9 @@ Program
 trrSimraPattern(BankId bank, RowId r1, RowId r2, std::uint64_t cycles,
                 const PatternTimings &t, int acts_per_trefi)
 {
+    if (acts_per_trefi < 2)
+        fatal("trrSimraPattern: actsPerTrefi must be >= 2 (got %d)",
+              acts_per_trefi);
     Program p;
     if (cycles == 0)
         return p;

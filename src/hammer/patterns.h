@@ -102,7 +102,8 @@ Program combinedPattern(BankId bank, RowId rh_a1, RowId rh_a2,
  *
  * with `per` = iterations fitting one tREFI after the tRFC recovery.
  * Top-level non-loop commands pass through unchanged; RD/WR anywhere
- * and nested loops are unsupported (fatal).
+ * and nested loops are unsupported (fatal), as is a timing set with
+ * `tREFI <= tRFC` (zero hammering budget between REFs).
  */
 Program withRefInterleave(const Program &flat,
                           const dram::TimingParams &t);
@@ -116,6 +117,12 @@ Program withRefInterleave(const Program &flat,
  *
  * For `comra == true` the aggressor list is walked in (src, dst) pairs
  * performing copy cycles instead of plain activations.
+ *
+ * The walk over the aggressor list carries across cycles: when the
+ * list is longer than one tREFI's activation budget, cycle c resumes
+ * where cycle c-1 stopped, so every aggressor is activated (the loop
+ * body internally unrolls one full rotation period).  Rejects
+ * `actsPerTrefi < 1` (`< 2` with `comra`) with a fatal diagnostic.
  */
 Program trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
                          RowId dummy, bool comra, std::uint64_t cycles,
@@ -124,6 +131,7 @@ Program trrBypassPattern(BankId bank, const std::vector<RowId> &aggressors,
 /**
  * SiMRA under TRR (paper §7): per tREFI, issue `actsPerTrefi / 2`
  * SiMRA operations (each consumes two ACT commands), then a REF.
+ * Rejects `actsPerTrefi < 2` with a fatal diagnostic.
  */
 Program trrSimraPattern(BankId bank, RowId r1, RowId r2,
                         std::uint64_t cycles, const PatternTimings &t,

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the frequency-domain pattern fuzzer (pud::fuzz).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "fuzz/campaign.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/minimize.h"
+
+namespace {
+
+using namespace pud;
+using namespace pud::fuzz;
+using bender::Op;
+
+std::uint64_t
+countOps(const Program &p, Op op)
+{
+    std::uint64_t n = 0;
+    for (const auto &inst : p.insts())
+        n += inst.op == op;
+    return n;
+}
+
+/** A small, fast campaign configuration shared by the smoke tests. */
+CampaignConfig
+smokeConfig()
+{
+    CampaignConfig cfg;
+    cfg.candidates = 40;
+    cfg.seed = 3;
+    cfg.maxPeriods = 4000;
+    cfg.chunk = 8;
+    cfg.baseline = false;  // the slow part; covered by the CLI test
+    cfg.minimizeTop = 1;
+    return cfg;
+}
+
+TEST(FuzzGenerator, PureFunctionOfSeedAndIndex)
+{
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const Candidate a = generateCandidate(7, i);
+        const Candidate b = generateCandidate(7, i);
+        EXPECT_EQ(shapeHash(a), shapeHash(b)) << "index " << i;
+    }
+    // Different seeds must decorrelate the stream.
+    std::size_t diff = 0;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        diff += shapeHash(generateCandidate(7, i)) !=
+                shapeHash(generateCandidate(8, i));
+    EXPECT_GT(diff, 50u);
+}
+
+TEST(FuzzGenerator, StaysInsideTheCalibratedMenus)
+{
+    const std::set<std::uint8_t> slots{8, 12, 16, 24, 32};
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const Candidate c = generateCandidate(1, i);
+        EXPECT_GE(c.trefis, 1);
+        EXPECT_LE(c.trefis, 4);
+        EXPECT_TRUE(slots.count(c.slotsPerTrefi));
+        ASSERT_GE(c.comps.size(), 1u);
+        ASSERT_LE(c.comps.size(), 4u);
+        for (const Component &k : c.comps) {
+            EXPECT_GE(k.stride, 1);
+            EXPECT_LT(k.phase, c.slotsPerTrefi);
+            // Offsets must stay inside buildPattern's victim margin.
+            EXPECT_LE(std::abs(static_cast<int>(k.offLo)),
+                      static_cast<int>(kVictimMargin) - 1);
+            EXPECT_LE(std::abs(static_cast<int>(k.offHi)),
+                      static_cast<int>(kVictimMargin) - 1);
+            switch (k.tech) {
+              case Tech::RowHammer:
+                // Pinned to the nominal hold: canonical for dedup.
+                EXPECT_EQ(k.timingSel, 0);
+                break;
+              case Tech::Press:
+                EXPECT_GE(k.timingSel, 1);
+                EXPECT_LT(k.timingSel, kAggOnMenuSize);
+                break;
+              case Tech::Comra:
+                EXPECT_LT(k.timingSel, kComraDelayMenuSize);
+                break;
+              case Tech::Simra:
+                EXPECT_TRUE(k.simraN == 2 || k.simraN == 4 ||
+                            k.simraN == 8);
+                EXPECT_LT(k.timingSel, kSimraGapMenuSize);
+                break;
+            }
+        }
+    }
+}
+
+TEST(FuzzGenerator, ShapeHashCoversEveryField)
+{
+    const Candidate base = generateCandidate(1, 0);
+    const std::uint64_t h = shapeHash(base);
+
+    Candidate m = base;
+    m.trefis = static_cast<std::uint8_t>(m.trefis + 1);
+    EXPECT_NE(shapeHash(m), h);
+
+    m = base;
+    m.refSync = !m.refSync;
+    EXPECT_NE(shapeHash(m), h);
+
+    m = base;
+    m.comps[0].phase = static_cast<std::uint8_t>(m.comps[0].phase + 1);
+    EXPECT_NE(shapeHash(m), h);
+
+    m = base;
+    m.comps[0].stride =
+        static_cast<std::uint8_t>(m.comps[0].stride + 1);
+    EXPECT_NE(shapeHash(m), h);
+
+    m = base;
+    m.comps.push_back(m.comps[0]);
+    EXPECT_NE(shapeHash(m), h);
+}
+
+TEST(FuzzBuild, StampsTheClaimedLattice)
+{
+    CampaignConfig ccfg;
+    const dram::DeviceConfig dcfg = campaignDeviceConfig(ccfg);
+    const RowId victim = campaignVictim(ccfg.rowsPerSubarray);
+
+    Candidate c;
+    c.trefis = 1;
+    c.slotsPerTrefi = 8;
+    c.refSync = true;
+    Component k;
+    k.tech = Tech::RowHammer;
+    k.phase = 0;
+    k.stride = 2;
+    k.offLo = -1;
+    k.offHi = 1;
+    c.comps.push_back(k);
+
+    const BuiltPattern b = buildPattern(c, 0, victim, 11, dcfg);
+    EXPECT_TRUE(b.program.balanced());
+    EXPECT_EQ(b.program.insts().front().op, Op::LoopBegin);
+    EXPECT_EQ(b.program.insts().front().count, 11u);
+    // Slots 0, 2, 4, 6 of the 8-slot period.
+    EXPECT_EQ(b.actsPerPeriod, 4u);
+    EXPECT_EQ(countOps(b.program, Op::Act), 4u);
+    // refSync: one REF per tREFI in the period.
+    EXPECT_EQ(countOps(b.program, Op::Ref), 1u);
+    // Double-sided: alternating occurrences hit both neighbours.
+    ASSERT_EQ(b.aggressors.size(), 2u);
+    EXPECT_EQ(b.aggressors[0], victim - 1);
+    EXPECT_EQ(b.aggressors[1], victim + 1);
+}
+
+TEST(FuzzBuild, EarlierComponentsWinContestedSlots)
+{
+    CampaignConfig ccfg;
+    const dram::DeviceConfig dcfg = campaignDeviceConfig(ccfg);
+    const RowId victim = campaignVictim(ccfg.rowsPerSubarray);
+
+    Candidate c;
+    c.trefis = 1;
+    c.slotsPerTrefi = 8;
+    Component a;  // claims 0, 2, 4, 6 (1 ACT each)
+    a.tech = Tech::RowHammer;
+    a.phase = 0;
+    a.stride = 2;
+    a.offLo = -1;
+    a.offHi = 1;
+    Component b;  // wants every slot, only gets 1, 3, 5, 7
+    b.tech = Tech::Comra;
+    b.phase = 0;
+    b.stride = 1;
+    b.offLo = -2;
+    b.offHi = 2;
+    c.comps = {a, b};
+
+    const BuiltPattern built = buildPattern(c, 0, victim, 1, dcfg);
+    // 4 RowHammer ACTs + 4 CoMRA copy cycles (2 ACTs each).
+    EXPECT_EQ(built.actsPerPeriod, 4u + 8u);
+    ASSERT_EQ(built.aggressors.size(), 4u);
+    EXPECT_EQ(built.aggressors[0], victim - 2);
+    EXPECT_EQ(built.aggressors[3], victim + 2);
+}
+
+TEST(FuzzBuild, SimraGroupSandwichesTheVictim)
+{
+    CampaignConfig ccfg;
+    const dram::DeviceConfig dcfg = campaignDeviceConfig(ccfg);
+    const RowId victim = campaignVictim(ccfg.rowsPerSubarray);
+    ASSERT_EQ(victim % 16, 1u);
+
+    Candidate c;
+    c.trefis = 1;
+    c.slotsPerTrefi = 8;
+    Component k;
+    k.tech = Tech::Simra;
+    k.phase = 0;
+    k.stride = 4;
+    k.simraN = 4;
+    c.comps.push_back(k);
+
+    const BuiltPattern b = buildPattern(c, 0, victim, 1, dcfg);
+    // N=4 group: r1, r1^2, r1^4, r1^6 with r1 = victim - 1.
+    ASSERT_EQ(b.aggressors.size(), 4u);
+    const RowId r1 = victim - 1;
+    EXPECT_EQ(b.aggressors[0], r1);
+    EXPECT_EQ(b.aggressors[1], r1 ^ 0x2u);
+    EXPECT_EQ(b.aggressors[2], r1 ^ 0x4u);
+    EXPECT_EQ(b.aggressors[3], r1 ^ 0x6u);
+    // 2 slots claimed (0, 4), 2 ACTs per group open.
+    EXPECT_EQ(b.actsPerPeriod, 4u);
+}
+
+TEST(FuzzBuildDeathTest, RejectsInvalidVictims)
+{
+    CampaignConfig ccfg;
+    const dram::DeviceConfig dcfg = campaignDeviceConfig(ccfg);
+    Candidate c = generateCandidate(1, 0);
+    // Misaligned: SiMRA groups could not sandwich this victim.
+    EXPECT_DEATH(buildPattern(c, 0, 34, 1, dcfg), "victim");
+    // Aligned, but without subarray margin.
+    EXPECT_DEATH(buildPattern(c, 0, 1, 1, dcfg), "margin");
+    // No components.
+    Candidate empty;
+    EXPECT_DEATH(
+        buildPattern(empty, 0, campaignVictim(ccfg.rowsPerSubarray), 1,
+                     dcfg),
+        "components");
+}
+
+TEST(FuzzCampaign, CorpusIsByteIdenticalAcrossJobs)
+{
+    CampaignConfig cfg = smokeConfig();
+    cfg.jobs = 1;
+    const CampaignResult r1 = runCampaign(cfg);
+    cfg.jobs = 3;
+    const CampaignResult r3 = runCampaign(cfg);
+
+    std::ostringstream c1, c3;
+    writeCorpusJsonl(r1, c1);
+    writeCorpusJsonl(r3, c3);
+    EXPECT_EQ(c1.str(), c3.str());
+    EXPECT_EQ(summarize(r1), summarize(r3));
+}
+
+TEST(FuzzCampaign, FindsEffectivePatternsAndMinimizes)
+{
+    const CampaignConfig cfg = smokeConfig();
+    const CampaignResult r = runCampaign(cfg);
+
+    EXPECT_EQ(r.generated, cfg.candidates);
+    EXPECT_EQ(r.corpus.size(), r.results.size());
+    EXPECT_GE(r.effective, 1u);
+    ASSERT_NE(r.bestIdx, static_cast<std::size_t>(-1));
+    const CandidateResult &best = r.results[r.bestIdx];
+    EXPECT_EQ(best.status, Status::Effective);
+    EXPECT_EQ(best.hcActs, best.hcPeriods * best.actsPerPeriod);
+
+    // The minimizer replays the campaign measurement exactly, then
+    // only ever reduces the total-ACT cost.
+    ASSERT_EQ(r.minimized.size(), 1u);
+    const MinimizedPattern &m = r.minimized.front();
+    EXPECT_EQ(m.corpusIdx, r.bestIdx);
+    EXPECT_EQ(m.originalActs, best.hcActs);
+    EXPECT_LE(m.minimizedActs, m.originalActs);
+    EXPECT_LE(m.aggressorsAfter, m.aggressorsBefore);
+    EXPECT_GT(m.probes, 0u);
+    ASSERT_EQ(m.intensitySweep.size(), 4u);
+    EXPECT_EQ(m.intensitySweep[0].first, 1);
+    EXPECT_EQ(m.intensitySweep[0].second, m.minimizedActs);
+}
+
+TEST(FuzzCampaign, StaticFilterOnlySkipsTrueNoFlips)
+{
+    // With the filter off, every skipped candidate must measure as a
+    // no-flip: the predictor is an optimization, never an oracle.
+    CampaignConfig cfg = smokeConfig();
+    cfg.minimizeTop = 0;
+    cfg.staticFilter = true;
+    const CampaignResult with = runCampaign(cfg);
+    cfg.staticFilter = false;
+    const CampaignResult without = runCampaign(cfg);
+
+    ASSERT_EQ(with.results.size(), without.results.size());
+    for (std::size_t i = 0; i < with.results.size(); ++i) {
+        if (with.results[i].status == Status::StaticSkip)
+            EXPECT_EQ(without.results[i].status, Status::NoFlip)
+                << "corpus idx " << i;
+        else
+            EXPECT_EQ(with.results[i].status,
+                      without.results[i].status);
+    }
+    EXPECT_EQ(with.effective, without.effective);
+}
+
+TEST(FuzzCorpus, JsonlNullsHcFieldsForNonFlips)
+{
+    const Candidate c = generateCandidate(1, 0);
+    const std::uint64_t none = ~std::uint64_t(0);
+    const std::string dead =
+        toJsonl(c, 0, shapeHash(c), "no_flip", 6, none, none);
+    EXPECT_NE(dead.find("\"hc_periods\":null"), std::string::npos);
+    EXPECT_NE(dead.find("\"hc_acts\":null"), std::string::npos);
+    const std::string live =
+        toJsonl(c, 0, shapeHash(c), "effective", 6, 100, 600);
+    EXPECT_NE(live.find("\"hc_periods\":100"), std::string::npos);
+    EXPECT_NE(live.find("\"hc_acts\":600"), std::string::npos);
+}
+
+TEST(FuzzCampaignDeathTest, RejectsDegenerateConfigs)
+{
+    CampaignConfig cfg = smokeConfig();
+    cfg.candidates = 0;
+    EXPECT_DEATH(runCampaign(cfg), "candidates");
+    cfg = smokeConfig();
+    cfg.chunk = 0;
+    EXPECT_DEATH(runCampaign(cfg), "chunk");
+    cfg = smokeConfig();
+    cfg.maxPeriods = 0;
+    EXPECT_DEATH(runCampaign(cfg), "maxPeriods");
+}
+
+} // namespace

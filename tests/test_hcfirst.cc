@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "hammer/hcfirst.h"
 
@@ -43,6 +44,30 @@ TEST(HcFirst, ThresholdOfOne)
     const std::uint64_t hc =
         findHcFirst(cfg, [](std::uint64_t n) { return n >= 1; });
     EXPECT_EQ(hc, 1u);
+}
+
+TEST(HcFirst, RampSurvivesBudgetNearUint64Max)
+{
+    // With maxHammers at UINT64_MAX the exponential ramp used to wrap
+    // (hi *= 2 past 2^63 yields a value below lo, then zero), probing
+    // forever without converging.  The clamped ramp must terminate in
+    // O(64) ramp probes plus O(64) bisection probes.
+    HcSearchConfig cfg;
+    cfg.maxHammers = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t threshold = cfg.maxHammers - 5;
+    std::uint64_t probes = 0;
+    const std::uint64_t hc = findHcFirst(cfg, [&](std::uint64_t n) {
+        ++probes;
+        // A wrapped ramp revisits tiny counts indefinitely; cap the
+        // probe budget so the pre-fix behavior fails instead of
+        // hanging the test binary.
+        EXPECT_LT(probes, 200u) << "ramp did not terminate";
+        if (probes >= 200)
+            return true;
+        return n >= threshold;
+    });
+    EXPECT_GE(hc, threshold);
+    EXPECT_LT(probes, 200u);
 }
 
 TEST(HcFirst, ThresholdAtBudgetBoundary)

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "bender/host.h"
+#include "dram/config.h"
 #include "hammer/patterns.h"
 
 namespace {
@@ -21,6 +24,23 @@ countOps(const Program &p, Op op)
     for (const auto &inst : p.insts())
         n += inst.op == op;
     return n;
+}
+
+/** Loop-expanded ACT totals per row: what the device would replay. */
+std::map<RowId, std::uint64_t>
+perRowActs(const Program &p)
+{
+    std::map<RowId, std::uint64_t> acts;
+    std::vector<std::uint64_t> mult{1};
+    for (const auto &inst : p.insts()) {
+        if (inst.op == Op::LoopBegin)
+            mult.push_back(mult.back() * inst.count);
+        else if (inst.op == Op::LoopEnd)
+            mult.pop_back();
+        else if (inst.op == Op::Act)
+            acts[inst.row] += mult.back();
+    }
+    return acts;
 }
 
 TEST(Patterns, ZeroHammersYieldEmptyPrograms)
@@ -143,6 +163,79 @@ TEST(Patterns, TrrBypassPacing)
         EXPECT_LE(s, t.base.tREFI + t.base.tRP + t.base.tRAS);
 }
 
+TEST(Patterns, TrrBypassRotationCoversAllAggressors)
+{
+    // 8 aggressors but only 4 ACT slots per cycle: the rotation must
+    // carry across cycles so the tail of the list is not starved.
+    PatternTimings t;
+    const std::vector<RowId> aggr{10, 12, 14, 16, 18, 20, 22, 24};
+    const std::uint64_t cycles = 4;
+    const Program p =
+        trrBypassPattern(0, aggr, 40, false, cycles, t, 4);
+    EXPECT_TRUE(p.balanced());
+
+    const auto acts = perRowActs(p);
+    for (RowId r : aggr) {
+        ASSERT_TRUE(acts.count(r))
+            << "aggressor row " << r << " never activated";
+        // 4 cycles x 4 ACTs spread evenly over 8 rows = 2 each.
+        EXPECT_EQ(acts.at(r), 2u) << "row " << r;
+    }
+    EXPECT_EQ(acts.at(40), cycles * 3u * 4u);  // dummy phase
+    EXPECT_EQ(countOps(p, Op::Ref) * p.insts().front().count,
+              cycles * 4u);
+}
+
+TEST(Patterns, TrrBypassRotationEvensShortLists)
+{
+    // units < acts_per_trefi with a non-dividing count: without the
+    // carried rotation the first rows of the list soak up the slack
+    // every cycle (6/3/3 over 3 cycles); with it every row gets an
+    // equal share.
+    PatternTimings t;
+    const std::vector<RowId> aggr{10, 12, 14};
+    const Program p = trrBypassPattern(0, aggr, 40, false, 3, t, 4);
+    const auto acts = perRowActs(p);
+    for (RowId r : aggr)
+        EXPECT_EQ(acts.at(r), 4u) << "row " << r;
+}
+
+TEST(Patterns, TrrBypassComraRotationCoversAllPairs)
+{
+    // 4 (src, dst) pairs, 2 copy cycles per tREFI: two outer cycles
+    // must visit every pair exactly once.
+    PatternTimings t;
+    const std::vector<RowId> aggr{50, 51, 52, 53, 54, 55, 56, 57};
+    const Program p = trrBypassPattern(0, aggr, 90, true, 2, t, 4);
+    const auto acts = perRowActs(p);
+    for (RowId r : aggr) {
+        ASSERT_TRUE(acts.count(r))
+            << "CoMRA operand row " << r << " never activated";
+        EXPECT_EQ(acts.at(r), 1u) << "row " << r;
+    }
+}
+
+TEST(Patterns, TrrBypassRotationRemainderCycles)
+{
+    // period = 2 (8 rows / 4 acts) but cycles = 3: one full rotation
+    // in the loop plus a flat leftover cycle that restarts at offset
+    // 0.  Totals: rows 10-16 get 2, rows 18-24 get 1.
+    PatternTimings t;
+    const std::vector<RowId> aggr{10, 12, 14, 16, 18, 20, 22, 24};
+    const Program p = trrBypassPattern(0, aggr, 40, false, 3, t, 4);
+    EXPECT_TRUE(p.balanced());
+    const auto acts = perRowActs(p);
+    std::uint64_t total = 0;
+    for (RowId r : aggr) {
+        ASSERT_TRUE(acts.count(r)) << "row " << r;
+        EXPECT_GE(acts.at(r), 1u);
+        total += acts.at(r);
+    }
+    EXPECT_EQ(total, 3u * 4u);
+    EXPECT_EQ(acts.at(10), 2u);
+    EXPECT_EQ(acts.at(18), 1u);
+}
+
 TEST(Patterns, TrrBypassComraNeedsPairs)
 {
     PatternTimings t;
@@ -160,6 +253,132 @@ TEST(Patterns, TrrSimraOpsPerTrefi)
     EXPECT_EQ(countOps(p, Op::Act), 2u * 78u);
     EXPECT_EQ(countOps(p, Op::Ref), 1u);
     EXPECT_EQ(p.insts().front().count, 3u);
+}
+
+TEST(Patterns, RejectsDegenerateActsPerTrefi)
+{
+    PatternTimings t;
+    EXPECT_DEATH(trrBypassPattern(0, {10, 12}, 40, false, 1, t, 0),
+                 "actsPerTrefi");
+    EXPECT_DEATH(trrBypassPattern(0, {10, 12}, 40, true, 1, t, 1),
+                 "actsPerTrefi");
+    EXPECT_DEATH(trrSimraPattern(0, 16, 18, 1, t, 1),
+                 "actsPerTrefi");
+    EXPECT_DEATH(trrSimraPattern(0, 16, 18, 1, t, 0),
+                 "actsPerTrefi");
+}
+
+TEST(Patterns, RefInterleaveRejectsTrefiBelowTrfc)
+{
+    PatternTimings t;
+    const Program flat = doubleSidedRowHammer(0, 10, 12, 100, t);
+    dram::TimingParams bad = t.base;
+    bad.tREFI = bad.tRFC;
+    EXPECT_DEATH(withRefInterleave(flat, bad), "tREFI");
+    bad.tREFI = bad.tRFC - 1;
+    EXPECT_DEATH(withRefInterleave(flat, bad), "tREFI");
+}
+
+std::vector<std::uint64_t>
+loopCounts(const Program &p)
+{
+    std::vector<std::uint64_t> counts;
+    for (const auto &inst : p.insts())
+        if (inst.op == Op::LoopBegin)
+            counts.push_back(inst.count);
+    return counts;
+}
+
+TEST(Patterns, RefInterleaveEmitsRemainderTail)
+{
+    // Body duration 100 ns, budget 450 ns => per = 4; count 10 =>
+    // two full tREFI groups plus a flat remainder loop of 2.
+    dram::TimingParams t;
+    t.tRFC = units::fromNs(50.0);
+    t.tREFI = units::fromNs(500.0);
+    Program flat;
+    flat.loopBegin(10)
+        .act(0, 5, units::fromNs(60.0))
+        .pre(0, units::fromNs(40.0))
+        .loopEnd();
+    const Program p = withRefInterleave(flat, t);
+    EXPECT_TRUE(p.balanced());
+    EXPECT_EQ(loopCounts(p),
+              (std::vector<std::uint64_t>{2, 4, 2}));
+    EXPECT_EQ(countOps(p, Op::Ref), 1u);
+    EXPECT_EQ(countOps(p, Op::Nop), 1u);
+
+    // Loop-expanded totals are preserved: 2*4 + 2 = 10 activations.
+    EXPECT_EQ(perRowActs(p).at(5), 10u);
+}
+
+TEST(Patterns, RefInterleaveClampsOversizedBodyToOnePerTrefi)
+{
+    // Body (200 ns) longer than the post-tRFC budget (150 ns): per
+    // clamps to 1, i.e. one body iteration between consecutive REFs.
+    dram::TimingParams t;
+    t.tRFC = units::fromNs(50.0);
+    t.tREFI = units::fromNs(200.0);
+    Program flat;
+    flat.loopBegin(10)
+        .act(0, 5, units::fromNs(120.0))
+        .pre(0, units::fromNs(80.0))
+        .loopEnd();
+    const Program p = withRefInterleave(flat, t);
+    EXPECT_TRUE(p.balanced());
+    EXPECT_EQ(loopCounts(p),
+              (std::vector<std::uint64_t>{10, 1}));
+    EXPECT_EQ(perRowActs(p).at(5), 10u);
+    EXPECT_EQ(countOps(p, Op::Ref), 1u);
+}
+
+/**
+ * Flip results of the REF-interleaved rewrite vs the flat program,
+ * both under the fast path.  The run is arranged so the inserted REFs
+ * are flip-neutral -- too few for the stripe to reach the populated
+ * rows, TRR off, and aggressor off-times already past the off-gain
+ * saturation knee in the flat layout -- so the rewrite must leave the
+ * device's end state byte-identical.
+ */
+TEST(Patterns, RefInterleaveFlipResultsMatchFlatWhenRefsAreNeutral)
+{
+    dram::DeviceConfig cfg = dram::makeConfig("HMA81GU7AFR8N-UH", 11);
+    cfg.banks = 1;
+    cfg.subarraysPerBank = 2;
+    cfg.rowsPerSubarray = 64;
+    cfg.cols = 64;
+    cfg.profile.mapping = dram::MappingScheme::Sequential;
+
+    PatternTimings t;
+    t.base = cfg.timings;
+    t.tAggOn = units::fromNs(100.0);  // saturate offGain in both runs
+
+    // 40001 iterations: exercises the remainder tail as well.
+    const Program flat =
+        doubleSidedRowHammer(0, 31, 33, 40001, t);
+    const Program inter = withRefInterleave(flat, t.base);
+    ASSERT_GT(countOps(inter, Op::Ref), 0u);
+
+    const dram::RowData aggr(cfg.cols, dram::DataPattern::P55);
+    const dram::RowData vict(cfg.cols, dram::DataPattern::PAA);
+
+    const auto run = [&](const Program &p) {
+        bender::TestBench bench(cfg);
+        for (RowId r = 28; r <= 36; ++r)
+            bench.writeRow(0, r, r == 32 ? vict : aggr);
+        bench.run(p);
+        std::vector<dram::RowData> rows;
+        for (RowId r = 28; r <= 36; ++r)
+            rows.push_back(bench.readRow(0, r));
+        return rows;
+    };
+
+    const auto flat_rows = run(flat);
+    const auto inter_rows = run(inter);
+    ASSERT_EQ(flat_rows.size(), inter_rows.size());
+    for (std::size_t i = 0; i < flat_rows.size(); ++i)
+        EXPECT_EQ(flat_rows[i].diffCount(inter_rows[i]), 0u)
+            << "row " << (28 + i);
 }
 
 class HammerCountSweep

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Schema validator for pud::fuzz JSONL corpora.
+
+Checks:
+  - line 1 is the header: schema "pud-fuzz-corpus-v1" with the
+    campaign parameters, and `unique` equals the entry count while
+    `unique + dedup_hits == candidates`,
+  - every entry line parses as JSON with every required field of the
+    right type, `idx` strictly increasing (generation order) and
+    `hash` a unique 0x-prefixed 16-digit value,
+  - `status` is one of static_skip / no_flip / effective, and the
+    hc fields are consistent with it: effective entries carry
+    hc_periods / hc_acts with hc_acts == hc_periods * acts_per_period,
+    everything else carries nulls,
+  - every component stays inside the generator's menus (tech name,
+    stride >= 1, SiMRA group size in {2, 4, 8}).
+
+Exits 0 when the corpus is valid, 1 with a line-numbered diagnostic
+otherwise.
+
+Usage:
+    check_fuzz_corpus.py CORPUS.jsonl [--min-effective N]
+"""
+
+import argparse
+import json
+import sys
+
+TECHS = {"rowhammer", "comra", "simra", "press"}
+STATUSES = {"static_skip", "no_flip", "effective"}
+
+HEADER_FIELDS = {
+    "schema": str,
+    "module": str,
+    "seed": int,
+    "candidates": int,
+    "unique": int,
+    "dedup_hits": int,
+    "max_periods": int,
+    "baseline_acts": int,
+}
+
+ENTRY_FIELDS = {
+    "idx": int,
+    "hash": str,
+    "status": str,
+    "trefis": int,
+    "slots_per_trefi": int,
+    "ref_sync": bool,
+    "acts_per_period": int,
+    "comps": list,
+}
+
+COMP_FIELDS = {
+    "tech": str,
+    "phase": int,
+    "stride": int,
+    "off_lo": int,
+    "off_hi": int,
+    "simra_n": int,
+    "timing": int,
+}
+
+
+def fail(lineno, msg):
+    print(f"check_fuzz_corpus: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(lineno, obj, fields, what):
+    for name, typ in fields.items():
+        if name not in obj:
+            fail(lineno, f"{what} missing field {name!r}")
+        if not isinstance(obj[name], typ) or (
+            typ is int and isinstance(obj[name], bool)
+        ):
+            fail(lineno, f"{what} field {name!r} has wrong type")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("corpus")
+    ap.add_argument(
+        "--min-effective",
+        type=int,
+        default=0,
+        help="require at least N effective entries",
+    )
+    args = ap.parse_args()
+
+    with open(args.corpus, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(0, "empty corpus")
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(1, f"header is not JSON: {e}")
+    check_fields(1, header, HEADER_FIELDS, "header")
+    if header["schema"] != "pud-fuzz-corpus-v1":
+        fail(1, f"unknown schema {header['schema']!r}")
+    if header["unique"] + header["dedup_hits"] != header["candidates"]:
+        fail(1, "unique + dedup_hits != candidates")
+    if header["unique"] != len(lines) - 1:
+        fail(1, f"header says {header['unique']} entries, "
+                f"file has {len(lines) - 1}")
+
+    prev_idx = -1
+    hashes = set()
+    effective = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(lineno, f"not JSON: {exc}")
+        check_fields(lineno, e, ENTRY_FIELDS, "entry")
+
+        if e["idx"] <= prev_idx:
+            fail(lineno, f"idx {e['idx']} not strictly increasing")
+        prev_idx = e["idx"]
+        if e["idx"] >= header["candidates"]:
+            fail(lineno, f"idx {e['idx']} beyond candidate count")
+
+        h = e["hash"]
+        if len(h) != 18 or not h.startswith("0x"):
+            fail(lineno, f"malformed hash {h!r}")
+        try:
+            int(h, 16)
+        except ValueError:
+            fail(lineno, f"malformed hash {h!r}")
+        if h in hashes:
+            fail(lineno, f"duplicate hash {h} survived dedup")
+        hashes.add(h)
+
+        if e["status"] not in STATUSES:
+            fail(lineno, f"unknown status {e['status']!r}")
+        if e["status"] == "effective":
+            effective += 1
+            for k in ("hc_periods", "hc_acts"):
+                if not isinstance(e.get(k), int):
+                    fail(lineno, f"effective entry needs integer {k}")
+            if e["hc_acts"] != e["hc_periods"] * e["acts_per_period"]:
+                fail(lineno,
+                     "hc_acts != hc_periods * acts_per_period")
+        else:
+            for k in ("hc_periods", "hc_acts"):
+                if e.get(k) is not None:
+                    fail(lineno, f"{e['status']} entry must null {k}")
+
+        if not (1 <= e["trefis"]):
+            fail(lineno, "trefis must be >= 1")
+        if e["slots_per_trefi"] < 1:
+            fail(lineno, "slots_per_trefi must be >= 1")
+        if not e["comps"]:
+            fail(lineno, "entry has no components")
+        for c in e["comps"]:
+            if not isinstance(c, dict):
+                fail(lineno, "component is not an object")
+            check_fields(lineno, c, COMP_FIELDS, "component")
+            if c["tech"] not in TECHS:
+                fail(lineno, f"unknown tech {c['tech']!r}")
+            if c["stride"] < 1:
+                fail(lineno, "component stride must be >= 1")
+            if c["tech"] == "simra" and c["simra_n"] not in (2, 4, 8):
+                fail(lineno, f"bad simra_n {c['simra_n']}")
+
+    if effective < args.min_effective:
+        fail(len(lines),
+             f"only {effective} effective entries, "
+             f"need {args.min_effective}")
+
+    print(f"check_fuzz_corpus: OK ({len(lines) - 1} entries, "
+          f"{effective} effective)")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,8 +34,11 @@
 #include <utility>
 #include <vector>
 
+#include <fstream>
+
 #include "check/diffcheck.h"
 #include "exec/pool.h"
+#include "fuzz/campaign.h"
 #include "hammer/experiment.h"
 #include "hammer/popsweep.h"
 #include "hammer/reveng.h"
@@ -835,6 +838,40 @@ cmdTraceSummarize(const Args &args)
     return 0;
 }
 
+int
+cmdFuzz(const Args &args)
+{
+    fuzz::CampaignConfig cfg;
+    cfg.moduleId = args.get("module", cfg.moduleId);
+    cfg.candidates = static_cast<std::uint64_t>(
+        args.getInt("candidates", 2000));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.jobs = static_cast<int>(args.getInt("jobs", 1));
+    cfg.rowsPerSubarray =
+        static_cast<dram::RowId>(args.getInt("rows", 64));
+    cfg.maxPeriods = static_cast<std::uint64_t>(
+        args.getInt("budget-periods", 20000));
+    cfg.chunk =
+        static_cast<std::size_t>(args.getInt("chunk", 256));
+    cfg.staticFilter = !args.has("no-static-filter");
+    cfg.baseline = !args.has("no-baseline");
+    cfg.minimizeTop =
+        static_cast<int>(args.getInt("minimize-top", 1));
+
+    const fuzz::CampaignResult result = fuzz::runCampaign(cfg);
+
+    const std::string corpus_path = args.get("corpus");
+    if (!corpus_path.empty()) {
+        std::ofstream os(corpus_path);
+        if (!os)
+            fatal("fuzz: cannot open corpus file %s",
+                  corpus_path.c_str());
+        fuzz::writeCorpusJsonl(result, os);
+    }
+    std::fputs(fuzz::summarize(result).c_str(), stdout);
+    return 0;
+}
+
 void
 usage()
 {
@@ -866,6 +903,13 @@ usage()
         "           --dataflow: row-state dataflow analysis;\n"
         "           --mitigations: bypass certifier vs the listed\n"
         "           mechanisms; --werror: warnings also exit nonzero)\n"
+        "  fuzz    [--module=ID] [--candidates=N] [--seed=N]\n"
+        "          [--jobs=N] [--rows=N] [--budget-periods=N]\n"
+        "          [--chunk=N] [--corpus=FILE] [--minimize-top=K]\n"
+        "          [--no-static-filter] [--no-baseline]\n"
+        "          frequency-domain pattern fuzzing campaign; the\n"
+        "          JSONL corpus and stdout are byte-identical across\n"
+        "          --jobs values for a fixed seed\n"
         "  diffcheck [--seeds=N] [--first-seed=N]\n"
         "          [--mitigation=trr|prac] [--json]\n"
         "          differential check: seeded random programs through\n"
@@ -904,6 +948,8 @@ main(int argc, char **argv)
         return cmdAttack(args);
     if (cmd == "lint")
         return cmdLint(args);
+    if (cmd == "fuzz")
+        return cmdFuzz(args);
     if (cmd == "diffcheck")
         return cmdDiffCheck(args);
     if (cmd == "trace-summarize")
